@@ -1,0 +1,74 @@
+// Ablation: external-memory sensitivity (the data-motion-network knob).
+// Sweeps the random single-beat access latency and reports the Marked-HW
+// blur time against the (latency-insensitive) sequential designs — making
+// the paper's central lesson quantitative: the naive offload's fate is
+// decided by the memory system, not by the datapath.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "platform/cpu_model.hpp"
+#include "platform/memory.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+zynq::ZynqPlatform platform_with_latency(int latency) {
+  zynq::DdrConfig ddr;
+  ddr.random_read_latency = latency;
+  ddr.random_write_latency = latency;
+  return zynq::ZynqPlatform(
+      zynq::ClockDomain(667e6), zynq::ClockDomain(100e6),
+      zynq::CpuModel::cortex_a9_667mhz(), ddr, zynq::BramConfig{},
+      hls::DeviceCapacity::zynq7020(), zynq::PowerConfig{});
+}
+
+void BM_DatamoverSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int latency : {25, 50, 100, 150}) {
+      const accel::ToneMappingSystem sys(platform_with_latency(latency),
+                                         accel::Workload::paper());
+      acc += sys.analyze(accel::Design::marked_hw).timing.blur_s;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_DatamoverSweep)->Unit(benchmark::kMicrosecond);
+
+void print_sweep() {
+  benchkit::print_header(
+      "ABLATION: random single-beat DDR latency vs the Marked-HW regression");
+  TextTable t({"bus latency (PL cycles)", "Marked HW blur (s)",
+               "Sequential blur (s)", "SW blur (s)",
+               "naive offload verdict"});
+  for (int latency : {10, 25, 50, 100, 150, 200}) {
+    const accel::ToneMappingSystem sys(platform_with_latency(latency),
+                                       accel::Workload::paper());
+    const double marked = sys.analyze(accel::Design::marked_hw).timing.blur_s;
+    const double seq =
+        sys.analyze(accel::Design::sequential_access).timing.blur_s;
+    const double sw = sys.analyze(accel::Design::sw_source).timing.blur_s;
+    t.add_row({std::to_string(latency), format_fixed(marked, 1),
+               format_fixed(seq, 2), format_fixed(sw, 2),
+               marked > sw ? "slower than software" : "faster than software"});
+  }
+  std::cout << t.render();
+  std::cout <<
+      "\nReading: even at an implausibly good 10-cycle bus round trip the"
+      "\nnaive per-element offload barely competes with the cached ARM;"
+      "\nat realistic ZC702 latencies (~100 cycles) it is the Table II"
+      "\ncatastrophe. The sequential restructuring is flat across the"
+      "\nsweep because its traffic is burst DMA + on-chip BRAM.\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_sweep();
+  return 0;
+}

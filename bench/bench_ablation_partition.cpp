@@ -1,0 +1,79 @@
+// Ablation: the ARRAY_PARTITION factor (the §III.B "system parallelism"
+// knob). Sweeps the cyclic partition factor for the float and fixed-point
+// designs and reports the achieved II, blur time, resources and energy —
+// showing (a) the port-limited II scaling as ceil(taps / bandwidth), and
+// (b) diminishing returns once the DMA and PS stages dominate.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+void BM_PartitionSweep(benchmark::State& state) {
+  const zynq::ZynqPlatform platform = zynq::ZynqPlatform::zc702();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int factor : {1, 2, 4, 8, 16}) {
+      accel::Workload w = accel::Workload::paper();
+      w.partition_factor = factor;
+      const accel::ToneMappingSystem sys(platform, w);
+      acc += sys.analyze(accel::Design::fixed_point).timing.blur_s;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PartitionSweep)->Unit(benchmark::kMicrosecond);
+
+void print_sweep(accel::Design design, const char* title) {
+  const zynq::ZynqPlatform platform = zynq::ZynqPlatform::zc702();
+  benchkit::print_header(title);
+  TextTable t({"partition factor", "II", "blur (s)", "total (s)",
+               "blur speedup vs SW", "DSP", "BRAM36", "energy (J)"});
+
+  accel::Workload base = accel::Workload::paper();
+  const accel::ToneMappingSystem sw_sys(platform, base);
+  const double sw_blur =
+      sw_sys.analyze(accel::Design::sw_source).timing.blur_s;
+
+  for (int factor : {1, 2, 4, 8, 16, 32}) {
+    accel::Workload w = base;
+    w.partition_factor = factor;
+    const accel::ToneMappingSystem sys(platform, w);
+    try {
+      const accel::DesignReport r = sys.analyze(design);
+      t.add_row({std::to_string(factor),
+                 std::to_string(r.hls_report->schedule.ii),
+                 format_fixed(r.timing.blur_s, 3),
+                 format_fixed(r.timing.total_s(), 2),
+                 format_speedup(sw_blur / r.timing.blur_s, 1),
+                 std::to_string(r.resources.dsps),
+                 std::to_string(r.resources.bram36),
+                 format_fixed(r.energy.total_j(), 2)});
+    } catch (const PlatformError&) {
+      t.add_row({std::to_string(factor), "-", "-", "-", "-", "-", "-",
+                 "does not fit"});
+    }
+  }
+  std::cout << t.render();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_sweep(accel::Design::hls_pragmas,
+              "ABLATION: ARRAY_PARTITION factor, float datapath");
+  print_sweep(accel::Design::fixed_point,
+              "ABLATION: ARRAY_PARTITION factor, 16-bit fixed datapath");
+  std::cout <<
+      "\nReading: the II halves with each doubling of the factor until"
+      "\nDSP replication and BRAM banking grow; past ~x8 the blur is so"
+      "\nfast that the DMA floor and the untouched PS stages dominate —"
+      "\nthe Amdahl wall the extension bench attacks.\n";
+  return 0;
+}

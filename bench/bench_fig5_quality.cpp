@@ -1,0 +1,109 @@
+// Fig 5 / §IV.B reproduction: tone-map the 1024x1024 HDR test image with
+// the 32-bit floating-point and the 16-bit fixed-point accelerators, write
+// the image triplet (input preview, FlP output, FxP output) and measure
+// PSNR and SSIM between the two outputs.
+//
+// Paper: PSNR = 66 dB ("similar to the typical values obtained in lossy
+// image compression"), SSIM = 1. Absolute PSNR depends on the photograph,
+// which we substitute with a synthetic scene (see DESIGN.md SS2); the model
+// must land in the lossy-compression band (>= 50 dB) with SSIM rounding
+// to 1.00.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "image/stats.hpp"
+#include "imageio/pnm.hpp"
+#include "imageio/synthetic.hpp"
+#include "metrics/quality.hpp"
+#include "metrics/ssim.hpp"
+#include "tonemap/global_operators.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+constexpr int kSize = 1024;
+
+void BM_FloatPipeline(benchmark::State& state) {
+  const img::ImageF hdr = io::paper_test_image(256);
+  tonemap::PipelineOptions opt;
+  opt.sigma = 13.0;
+  opt.radius = 39;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::tone_map_image(hdr, opt));
+  }
+  state.SetLabel("256x256 host run");
+}
+BENCHMARK(BM_FloatPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_FixedPipeline(benchmark::State& state) {
+  const img::ImageF hdr = io::paper_test_image(256);
+  tonemap::PipelineOptions opt;
+  opt.sigma = 13.0;
+  opt.radius = 39;
+  opt.blur = tonemap::BlurKind::streaming_fixed;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::tone_map_image(hdr, opt));
+  }
+  state.SetLabel("256x256 host run");
+}
+BENCHMARK(BM_FixedPipeline)->Unit(benchmark::kMillisecond);
+
+void print_fig5() {
+  benchkit::print_header(
+      "FIG 5 / SS IV.B: image quality, 16-bit FxP vs 32-bit FlP (1024x1024)");
+
+  std::cout << "generating the 1024x1024 HDR scene (substitute for the\n"
+               "paper's photograph; see DESIGN.md SS2)...\n";
+  const img::ImageF hdr = io::paper_test_image(kSize);
+
+  const accel::Workload w = accel::Workload::paper();
+  tonemap::PipelineOptions flp_opt =
+      w.pipeline_options(accel::Design::hls_pragmas);
+  tonemap::PipelineOptions fxp_opt =
+      w.pipeline_options(accel::Design::fixed_point);
+
+  std::cout << "running the 32-bit floating-point pipeline...\n";
+  const tonemap::PipelineResult flp = tonemap::tone_map(hdr, flp_opt);
+  std::cout << "running the 16-bit fixed-point pipeline...\n";
+  const tonemap::PipelineResult fxp = tonemap::tone_map(hdr, fxp_opt);
+
+  // Fig 5 image triplet. The HDR input is previewed with the global log
+  // operator (an HDR file cannot be shown directly, as in the paper).
+  io::write_pnm("fig5a_input_preview.ppm",
+                img::to_u8(tonemap::global_log(hdr)));
+  io::write_pnm("fig5b_float32.ppm", img::to_u8(flp.output));
+  io::write_pnm("fig5c_fixed16.ppm", img::to_u8(fxp.output));
+  std::cout << "wrote fig5a_input_preview.ppm, fig5b_float32.ppm, "
+               "fig5c_fixed16.ppm\n\n";
+
+  const double psnr_db = metrics::psnr(flp.output, fxp.output);
+  const double ssim = metrics::ssim(flp.output, fxp.output);
+  const double mask_psnr = metrics::psnr(flp.mask, fxp.mask);
+
+  TextTable t({"metric", "paper", "model", "note"});
+  t.add_row({"PSNR FxP vs FlP (dB)", "66", format_fixed(psnr_db, 1),
+             "lossy-compression grade"});
+  t.add_row({"SSIM FxP vs FlP", "1", format_fixed(ssim, 4),
+             "perceptually identical"});
+  t.add_row({"PSNR of the blur mask alone (dB)", "-",
+             format_fixed(mask_psnr, 1), "before the masking stage"});
+  std::cout << t.render();
+
+  std::cout << "\nDynamic range of the input scene: "
+            << format_fixed(
+                   img::compute_dynamic_range(img::luminance(hdr)).decades, 1)
+            << " decades\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_fig5();
+  return 0;
+}

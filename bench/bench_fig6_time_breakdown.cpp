@@ -1,0 +1,69 @@
+// Fig 6 reproduction: execution time bar chart split into time spent in
+// the programmable logic (PL) and the processing system (PS), for the four
+// charted implementations ("omitting the Marked HW function which is not
+// relevant"). Rendered as a table plus an ASCII bar chart.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+void BM_TimeBreakdown(benchmark::State& state) {
+  const accel::ToneMappingSystem sys = benchkit::paper_system();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (accel::Design d : accel::charted_designs()) {
+      const accel::TimingBreakdown t = sys.analyze(d).timing;
+      acc += t.ps_busy_s() - t.pl_busy_s();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TimeBreakdown)->Unit(benchmark::kMicrosecond);
+
+void print_fig6() {
+  const accel::ToneMappingSystem sys = benchkit::paper_system();
+  benchkit::print_header(
+      "FIG 6: Tone mapping execution time, PS vs PL split");
+
+  TextTable t({"Design implementation", "PS (s)", "PL (s)", "Total (s)",
+               "Total paper (s)"});
+  double max_total = 0.0;
+  for (accel::Design d : accel::charted_designs()) {
+    const accel::TimingBreakdown tm = sys.analyze(d).timing;
+    max_total = std::max(max_total, tm.total_s());
+    t.add_row({accel::display_name(d), format_fixed(tm.ps_busy_s(), 2),
+               format_fixed(tm.pl_busy_s(), 2), format_fixed(tm.total_s(), 2),
+               format_fixed(benchkit::paper_timing(d).total_s, 2)});
+  }
+  std::cout << t.render() << '\n';
+
+  // ASCII rendition of the stacked bar chart ('#' = PS, '*' = PL).
+  constexpr int kWidth = 48;
+  for (accel::Design d : accel::charted_designs()) {
+    const accel::TimingBreakdown tm = sys.analyze(d).timing;
+    const int ps = static_cast<int>(tm.ps_busy_s() / max_total * kWidth + 0.5);
+    const int pl = static_cast<int>(tm.pl_busy_s() / max_total * kWidth + 0.5);
+    std::cout << std::string(2, ' ') << std::string(static_cast<std::size_t>(ps), '#')
+              << std::string(static_cast<std::size_t>(pl), '*') << "  "
+              << accel::display_name(d) << " (" << format_fixed(tm.total_s(), 1)
+              << " s)\n";
+  }
+  std::cout << "\n  # = processing system (PS)   * = programmable logic (PL)\n";
+  std::cout << "\nReading: once accelerated, the blur's PL share is a sliver;\n"
+               "the residual PS stages dominate the total (as in the paper,\n"
+               "where the total only drops from 26.66 s to ~19 s).\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_fig6();
+  return 0;
+}

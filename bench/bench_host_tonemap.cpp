@@ -1,0 +1,130 @@
+// Host-performance benchmarks (not a paper artefact): native throughput of
+// the library's pixel kernels on this machine, using google-benchmark
+// conventionally. Useful to track regressions in the functional code that
+// all paper experiments run through.
+#include <benchmark/benchmark.h>
+
+#include "imageio/synthetic.hpp"
+#include "metrics/quality.hpp"
+#include "metrics/ssim.hpp"
+#include "tonemap/blur.hpp"
+#include "tonemap/global_operators.hpp"
+#include "tonemap/operators.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+img::ImageF plane(int size) {
+  return img::luminance(io::paper_test_image(size));
+}
+
+void BM_BlurSeparableFloat(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF im = plane(size);
+  const tonemap::GaussianKernel k(static_cast<double>(state.range(1)) / 3.0,
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::blur_separable_float(im, k));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_BlurSeparableFloat)
+    ->Args({128, 12})
+    ->Args({256, 12})
+    ->Args({256, 39})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlurStreamingFloat(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF im = plane(size);
+  const tonemap::GaussianKernel k(static_cast<double>(state.range(1)) / 3.0,
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::blur_streaming_float(im, k));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_BlurStreamingFloat)
+    ->Args({128, 12})
+    ->Args({256, 12})
+    ->Args({256, 39})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlurStreamingFixed16(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF im = plane(size);
+  const tonemap::GaussianKernel k(static_cast<double>(state.range(1)) / 3.0,
+                                  static_cast<int>(state.range(1)));
+  const tonemap::FixedBlurConfig cfg = tonemap::FixedBlurConfig::paper();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::blur_streaming_fixed(im, k, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_BlurStreamingFixed16)
+    ->Args({128, 12})
+    ->Args({256, 12})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NonlinearMasking(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF hdr = io::paper_test_image(size);
+  const img::ImageF norm = tonemap::normalize_to_max(hdr);
+  const img::ImageF mask = img::luminance(norm);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::nonlinear_masking(norm, mask));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size * 3);
+}
+BENCHMARK(BM_NonlinearMasking)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineFloat(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF hdr = io::paper_test_image(size);
+  tonemap::PipelineOptions opt;
+  opt.sigma = 6.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::tone_map_image(hdr, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_FullPipelineFloat)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_GlobalReinhard(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF hdr = io::paper_test_image(size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tonemap::reinhard_global(hdr));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_GlobalReinhard)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Ssim(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  const img::ImageF a = plane(size);
+  img::ImageF b = a;
+  b.at(0, 0) += 0.01f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::ssim(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_Ssim)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SceneGeneration(benchmark::State& state) {
+  const int size = static_cast<int>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::generate_hdr_scene_square(
+        io::SceneKind::window_interior, size, ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * size * size);
+}
+BENCHMARK(BM_SceneGeneration)->Arg(256)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// Table I reproduction: the hardware-acceleration optimization steps, run
+// incrementally. Also reproduces the §III.A/§III.B workflow preamble: the
+// profiling pass that identifies the Gaussian blur as the function to mark
+// for acceleration, and the incremental gain each step contributes.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "profiling/profiler.hpp"
+#include "tonemap/op_counts.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+void BM_FullOptimizationLadder(benchmark::State& state) {
+  const accel::ToneMappingSystem sys = benchkit::paper_system();
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (accel::Design d : accel::all_designs()) {
+      acc += sys.analyze(d).timing.blur_s;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FullOptimizationLadder)->Unit(benchmark::kMicrosecond);
+
+void print_profile_preamble(const accel::ToneMappingSystem& sys) {
+  benchkit::print_header(
+      "SDSoC flow step 0 (SS III.A): profile the application on the ARM");
+  const zynq::CpuModel& cpu = sys.platform().cpu();
+  const accel::Workload& w = sys.workload();
+  const tonemap::GaussianKernel kernel = w.kernel();
+
+  prof::ProfileRegistry reg;
+  auto record_split = [&](const char* label, tonemap::OpCounts ops) {
+    tonemap::OpCounts libm;
+    libm.pow_calls = ops.pow_calls;
+    libm.exp2_calls = ops.exp2_calls;
+    ops.pow_calls = ops.exp2_calls = 0;
+    reg.record(label, cpu.seconds_for(ops));
+    if (libm.pow_calls + libm.exp2_calls > 0) {
+      reg.record("libm pow/exp2 (not accelerable)", cpu.seconds_for(libm));
+    }
+  };
+  record_split("normalization",
+               tonemap::count_normalization(w.width, w.height, w.channels));
+  record_split("intensity",
+               tonemap::count_intensity(w.width, w.height, w.channels));
+  record_split("gaussian_blur",
+               tonemap::count_gaussian_blur(w.width, w.height, kernel));
+  record_split("nonlinear_masking", tonemap::count_nonlinear_masking(
+                                        w.width, w.height, w.channels));
+  record_split("adjustments",
+               tonemap::count_adjustments(w.width, w.height, w.channels));
+  std::cout << reg.render();
+  std::cout << "\nTop application function (marked for acceleration): "
+            << "gaussian_blur\n";
+}
+
+void print_table1(const accel::ToneMappingSystem& sys) {
+  benchkit::print_header(
+      "TABLE I: Hardware acceleration optimization steps (incremental)");
+
+  struct Step {
+    const char* description;
+    accel::Design design;
+  };
+  const Step steps[] = {
+      {"(baseline) Full software execution on the ARM",
+       accel::Design::sw_source},
+      {"(regression) Straightforward marking of the hot function",
+       accel::Design::marked_hw},
+      {"1  Algorithm restructuring for sequential memory accesses",
+       accel::Design::sequential_access},
+      {"2  Pipelining and array partitioning through HLS pragmas",
+       accel::Design::hls_pragmas},
+      {"3  Floating-point to fixed-point conversion",
+       accel::Design::fixed_point},
+  };
+
+  TextTable t({"Step", "Blur (s)", "vs previous", "vs software"});
+  const double sw_blur =
+      sys.analyze(accel::Design::sw_source).timing.blur_s;
+  double prev = sw_blur;
+  bool first = true;
+  for (const Step& step : steps) {
+    const double blur = sys.analyze(step.design).timing.blur_s;
+    t.add_row({step.description, format_fixed(blur, 2),
+               first ? "-" : format_speedup(prev / blur, 2),
+               format_speedup(sw_blur / blur, 2)});
+    prev = blur;
+    first = false;
+  }
+  std::cout << t.render();
+  std::cout <<
+      "\nReading: the naive offload *degrades* performance (the paper's"
+      "\ncautionary result); restructuring recovers it; the pragmas and the"
+      "\nfixed-point conversion deliver the acceleration.\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  const accel::ToneMappingSystem sys = benchkit::paper_system();
+  print_profile_preamble(sys);
+  print_table1(sys);
+  return 0;
+}

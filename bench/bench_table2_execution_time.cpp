@@ -1,0 +1,71 @@
+// Table II reproduction: tone-mapping execution times for the five design
+// implementations (Gaussian blur time and total time), paper vs model.
+//
+// The google-benchmark cases time the analysis pipeline itself (scheduling
+// + resource estimation + energy accounting per design); the custom main
+// then prints the reproduced table with paper reference values.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+void BM_AnalyzeDesign(benchmark::State& state) {
+  const accel::ToneMappingSystem sys = benchkit::paper_system();
+  const accel::Design d = accel::all_designs()[
+      static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const accel::DesignReport r = sys.analyze(d);
+    benchmark::DoNotOptimize(r.timing.blur_s);
+  }
+  state.SetLabel(accel::short_name(d));
+}
+BENCHMARK(BM_AnalyzeDesign)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void print_table2() {
+  const accel::ToneMappingSystem sys = benchkit::paper_system();
+
+  benchkit::print_header(
+      "TABLE II: Tone mapping execution times (paper vs model)");
+  TextTable t({"Design implementation", "Blur paper (s)", "Blur model (s)",
+               "dev", "Total paper (s)", "Total model (s)", "dev"});
+  for (accel::Design d : accel::all_designs()) {
+    const accel::DesignReport r = sys.analyze(d);
+    const benchkit::PaperTiming ref = benchkit::paper_timing(d);
+    t.add_row({accel::display_name(d), format_fixed(ref.blur_s, 2),
+               format_fixed(r.timing.blur_s, 2),
+               benchkit::deviation(r.timing.blur_s, ref.blur_s),
+               format_fixed(ref.total_s, 2),
+               format_fixed(r.timing.total_s(), 2),
+               benchkit::deviation(r.timing.total_s(), ref.total_s)});
+  }
+  std::cout << t.render();
+
+  const accel::DesignReport sw = sys.analyze(accel::Design::sw_source);
+  const accel::DesignReport fxp = sys.analyze(accel::Design::fixed_point);
+  const accel::Speedup s = accel::speedup(sw, fxp);
+  std::cout << "\nAccelerated Gaussian blur speed-up vs software: "
+            << format_speedup(s.blur, 1)
+            << "  (paper: \"improvement of more than 17x\", 7.29/0.42 = 17.4x)\n";
+
+  std::cout << "\nHLS synthesis reports for the hardware designs:\n\n";
+  for (accel::Design d : accel::all_designs()) {
+    const accel::DesignReport r = sys.analyze(d);
+    if (r.hls_report.has_value()) {
+      std::cout << r.hls_report->render() << '\n';
+    }
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  print_table2();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Design-space exploration: the HLS promise the paper leans on ("a faster
+// and more efficient design-space exploration", §III.B), made concrete.
+// Sweeps the ARRAY_PARTITION factor and the ap_fixed bit width, evaluates
+// each point's blur time / energy / resources on the platform model and
+// measures output quality against the float reference, then prints the
+// time-energy Pareto front.
+//
+//   ./design_space_exploration
+#include <iostream>
+
+#include "accel/explorer.hpp"
+#include "common/table.hpp"
+#include "imageio/synthetic.hpp"
+#include "platform/zynq.hpp"
+
+int main() {
+  using namespace tmhls;
+  try {
+    const zynq::ZynqPlatform platform = zynq::ZynqPlatform::zc702();
+    accel::Workload workload = accel::Workload::paper();
+
+    // Quality is measured functionally on reduced geometry (the numeric
+    // path is identical; only the pixel count shrinks).
+    accel::Workload quality_workload = workload;
+    quality_workload.width = quality_workload.height = 192;
+    quality_workload.sigma = 6.0;
+    quality_workload.radius = 18;
+    const img::ImageF quality_image = io::generate_hdr_scene_square(
+        io::SceneKind::window_interior, 192, 2018);
+
+    accel::ExplorationConfig cfg;
+    cfg.partition_factors = {1, 2, 4, 8};
+    cfg.data_widths = {8, 12, 16, 24, 32};
+    cfg.quality_image = &quality_image;
+
+    std::cout << "sweeping partition factors {1,2,4,8} x data widths "
+                 "{8,12,16,24,32} + float...\n\n";
+    // Timing/energy/resources evaluate on the paper workload; quality on
+    // the reduced one.
+    std::vector<accel::ExplorationPoint> points;
+    {
+      accel::ExplorationConfig timing_cfg = cfg;
+      timing_cfg.quality_image = nullptr;
+      points = accel::explore(platform, workload, timing_cfg);
+      const auto quality_points =
+          accel::explore(platform, quality_workload, cfg);
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i].psnr_db = quality_points[i].psnr_db;
+        points[i].ssim = quality_points[i].ssim;
+      }
+    }
+    std::cout << accel::render(points) << '\n';
+
+    std::cout << "time-energy Pareto front:\n\n";
+    std::cout << accel::render(accel::pareto_front(points)) << '\n';
+
+    std::cout <<
+        "Reading: 12- and 24-bit points are rejected by the SDSoC bus-\n"
+        "alignment rule (SS III.C). The paper's chosen point - 16 bits,\n"
+        "modest partitioning - sits on the Pareto front: 8-bit is faster\n"
+        "but visibly lossy; 32-bit float-grade accuracy costs twice the\n"
+        "BRAM and the port-limited II.\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+// Power telemetry session: reproduces the §IV.C measurement methodology.
+// The paper reads the board's TI power controllers over PMBus (USB-to-GPIO
+// adapter + Fusion Digital Power Designer) while the application runs;
+// here the PmbusMonitor samples the modelled rails through one run of each
+// implementation and prints the traces, average powers and energies.
+//
+//   ./power_monitor [design]
+// where design is one of: sw_source, marked_hw, sequential_access,
+// hls_pragmas, fixed_point (default: all charted designs).
+#include <iostream>
+#include <string>
+
+#include "accel/system.hpp"
+#include "common/table.hpp"
+#include "platform/zynq.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+void monitor_one(const accel::ToneMappingSystem& system, accel::Design d) {
+  const zynq::PmbusMonitor monitor = system.power_timeline(d);
+  const accel::DesignReport report = system.analyze(d);
+
+  std::cout << "\n=== " << accel::display_name(d) << " ===\n\n";
+
+  // Phase timeline first: short phases (the accelerated blur is a ~0.4 s
+  // sliver in a ~21 s run) would be missed by a coarse sampling grid.
+  TextTable phases({"phase", "duration (s)", "PS (W)", "PL (W)"});
+  for (const zynq::PowerPhase& p : monitor.phases()) {
+    phases.add_row({p.label, format_fixed(p.duration_s, 3),
+                    format_fixed(p.powers.ps_w, 3),
+                    format_fixed(p.powers.pl_w, 3)});
+  }
+  std::cout << phases.render() << '\n';
+
+  // Then the PMBus-style sampled trace (~10 Hz GUI polling scaled to the
+  // run length).
+  const double interval = monitor.total_duration_s() / 12.0;
+  std::cout << monitor.render_trace(interval) << '\n';
+
+  const zynq::RailPowers avg = monitor.average_power();
+  const zynq::RailPowers energy = monitor.energy_j();
+  TextTable t({"rail", "avg power (W)", "energy (J)"});
+  t.add_row({"PS", format_fixed(avg.ps_w, 3), format_fixed(energy.ps_w, 2)});
+  t.add_row({"PL", format_fixed(avg.pl_w, 3), format_fixed(energy.pl_w, 2)});
+  t.add_row({"DDR", format_fixed(avg.ddr_w, 3), format_fixed(energy.ddr_w, 2)});
+  t.add_row({"BRAM", format_fixed(avg.bram_w, 3),
+             format_fixed(energy.bram_w, 2)});
+  t.add_row({"total", format_fixed(avg.total_w(), 3),
+             format_fixed(report.energy.total_j(), 2)});
+  std::cout << t.render();
+  std::cout << "execution time " << format_fixed(report.timing.total_s(), 2)
+            << " s; energy = avg power x time = "
+            << format_fixed(avg.total_w() * monitor.total_duration_s(), 2)
+            << " J\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace tmhls;
+  try {
+    const accel::ToneMappingSystem system(zynq::ZynqPlatform::zc702(),
+                                          accel::Workload::paper());
+    if (argc > 1) {
+      const std::string name = argv[1];
+      for (accel::Design d : accel::all_designs()) {
+        if (name == accel::short_name(d)) {
+          monitor_one(system, d);
+          return 0;
+        }
+      }
+      std::cerr << "unknown design: " << name << '\n';
+      return 1;
+    }
+    for (accel::Design d : accel::charted_designs()) {
+      monitor_one(system, d);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

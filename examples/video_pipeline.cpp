@@ -1,0 +1,116 @@
+// Video tone mapping: the paper's mobile-capture motivation extended to
+// streams. A virtual camera pans across an HDR scene with exposure drift;
+// the stateful video mapper suppresses the flicker per-frame normalisation
+// would cause, and the platform model reports the frame rate and battery
+// energy the software vs accelerated designs would sustain.
+//
+//   ./video_pipeline [frames]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "imageio/pnm.hpp"
+#include "platform/zynq.hpp"
+#include "video/sequence.hpp"
+#include "video/video_tonemapper.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tmhls;
+  try {
+    const int frames = argc > 1 ? std::stoi(argv[1]) : 12;
+
+    video::SceneSequence::Config cfg;
+    cfg.frame_size = 192;
+    cfg.frames = frames;
+    cfg.master_size = 448;
+    cfg.exposure_drift = 0.8;
+    const video::SceneSequence sequence(cfg);
+
+    std::cout << "synthetic HDR pan: " << frames << " frames of "
+              << cfg.frame_size << "x" << cfg.frame_size
+              << ", exposure drift " << cfg.exposure_drift
+              << " log10 units\n\n";
+
+    // Flicker comparison: a highlight (car headlight, sun reflection)
+    // appears mid-sequence. Per-frame normalisation rescales the whole
+    // image in one step (a visible "pop"); temporal adaptation spreads
+    // the transition. Built from a constant-exposure pan frame so the
+    // content is realistic but the event is controlled.
+    video::SceneSequence::Config pan_cfg = cfg;
+    pan_cfg.exposure_drift = 0.0;
+    const video::SceneSequence pan(pan_cfg);
+    auto event_frame = [&](int i) {
+      img::ImageF f = pan.frame(0);
+      float fmax = 0.0f;
+      for (float v : f.samples()) fmax = std::max(fmax, v);
+      if (i >= frames / 2) {
+        const int cx = cfg.frame_size / 2;
+        for (int y = cx - 4; y < cx + 4; ++y) {
+          for (int x = cx - 4; x < cx + 4; ++x) {
+            for (int c = 0; c < 3; ++c) {
+              f.at(x, y, c) = 20.0f * fmax; // highlight appears
+            }
+          }
+        }
+      }
+      return f;
+    };
+    auto run = [&](double rate, const char* tag) {
+      video::VideoToneMapperOptions opt;
+      opt.pipeline.sigma = 6.0;
+      opt.pipeline.radius = 18;
+      opt.adaptation_rate = rate;
+      video::VideoToneMapper mapper(opt);
+      std::vector<double> means;
+      for (int i = 0; i < frames; ++i) {
+        const img::ImageF out = mapper.process(event_frame(i));
+        means.push_back(video::mean_luminance(out));
+        if (i == frames / 2) {
+          io::write_pnm(std::string("video_event_") + tag + ".ppm",
+                        img::to_u8(out));
+        }
+      }
+      return video::peak_flicker(means);
+    };
+    const double naive = run(1.0, "per_frame");
+    const double adapted = run(0.15, "adapted");
+
+    TextTable flick({"normalisation", "peak flicker", "note"});
+    flick.add_row({"per-frame (paper's single-image behaviour)",
+                   format_fixed(naive, 4),
+                   "pops when the highlight appears"});
+    flick.add_row({"temporally adapted (rate 0.15)",
+                   format_fixed(adapted, 4),
+                   format_fixed(naive / std::max(adapted, 1e-9), 1) +
+                       "x smaller worst jump"});
+    std::cout << flick.render() << '\n';
+
+    // Throughput/energy on the modelled platform at full 1024x1024 frames.
+    const zynq::ZynqPlatform platform = zynq::ZynqPlatform::zc702();
+    const accel::Workload w = accel::Workload::paper();
+    TextTable perf({"design", "s/frame", "fps", "J/frame",
+                    std::to_string(frames) + "-frame clip (J)"});
+    for (accel::Design d :
+         {accel::Design::sw_source, accel::Design::fixed_point}) {
+      const video::VideoRunStats stats =
+          video::analyze_video(platform, w, d, frames);
+      perf.add_row({accel::display_name(d),
+                    format_fixed(stats.seconds_per_frame, 2),
+                    format_fixed(stats.fps, 3),
+                    format_fixed(stats.joules_per_frame, 1),
+                    format_fixed(stats.total_joules, 0)});
+    }
+    std::cout << perf.render();
+    std::cout << "\nwrote video_frame0_per_frame.ppm / "
+                 "video_frame0_adapted.ppm\n"
+                 "Note: even accelerated, 1024x1024 Moroney mapping is far\n"
+                 "from video rate on this platform — the PS stages bound it\n"
+                 "(see bench_ext_beyond_paper for the masking accelerator\n"
+                 "that attacks exactly that).\n";
+    return 0;
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,95 @@
+// The five design implementations of Table II and the workload they run.
+//
+// Each hardware variant is expressed as an hls::Loop description of the
+// Gaussian-blur function; the scheduler and resource estimator then derive
+// its timing and utilisation with no per-variant special-casing. The rows:
+//
+//   sw_source         "SW source code"            — blur on the ARM
+//   marked_hw         "Marked HW function"        — naive offload, random
+//                     single-beat DDR reads per tap (Table II's regression)
+//   sequential_access "Sequential memory accesses" — restructured: DMA
+//                     streams into BRAM line buffers, compute unpipelined
+//   hls_pragmas       "HLS pragmas"               — + PIPELINE and
+//                     ARRAY_PARTITION (port-limited II)
+//   fixed_point       "FlP to FxP conversion"     — + 16-bit ap_fixed
+//                     datapath; two pixels pack per BRAM word, doubling
+//                     read bandwidth and halving the II
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/loop.hpp"
+#include "tonemap/blur.hpp"
+#include "tonemap/kernel.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::accel {
+
+/// The five implementations, in Table II order.
+enum class Design {
+  sw_source,
+  marked_hw,
+  sequential_access,
+  hls_pragmas,
+  fixed_point,
+};
+
+/// All designs in Table II order.
+const std::vector<Design>& all_designs();
+
+/// The four designs of Figs 6-8 (Marked HW omitted, as in the paper).
+const std::vector<Design>& charted_designs();
+
+/// Paper row name, e.g. "SW source code".
+const char* display_name(Design d);
+
+/// Short identifier, e.g. "sw_source".
+const char* short_name(Design d);
+
+/// True for designs whose blur runs in the programmable logic.
+bool runs_on_pl(Design d);
+
+/// The workload every experiment runs: image geometry + kernel + pipeline
+/// settings. Defaults reproduce the paper's setup (1024x1024 RGB HDR,
+/// 79-tap Gaussian).
+struct Workload {
+  int width = 1024;
+  int height = 1024;
+  int channels = 3;
+  double sigma = 13.0;
+  int radius = 39; ///< taps = 2*radius + 1 = 79
+  float brightness = 0.05f;
+  float contrast = 1.15f;
+  tonemap::FixedBlurConfig fixed = tonemap::FixedBlurConfig::paper();
+
+  /// ARRAY_PARTITION factor applied by the hls_pragmas / fixed_point
+  /// variants (cyclic). The paper does not publish its factor; 2 is the
+  /// value whose port-limited II reproduces Table II's timings.
+  int partition_factor = 2;
+
+  /// The paper's 1024x1024 configuration.
+  static Workload paper();
+
+  int taps() const { return 2 * radius + 1; }
+  std::int64_t pixels() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  tonemap::GaussianKernel kernel() const {
+    return tonemap::GaussianKernel(sigma, radius);
+  }
+
+  /// Pipeline options that functionally realise `design` for this workload.
+  tonemap::PipelineOptions pipeline_options(Design design) const;
+};
+
+/// Build the hls::Loop describing the blur of a hardware design (both
+/// separable passes flattened into one loop of 2 * pixels iterations).
+/// Precondition: runs_on_pl(design).
+hls::Loop build_blur_loop(Design design, const Workload& workload);
+
+/// Bytes moved per DMA-streamed blur invocation (in + out, both passes);
+/// zero for designs that do not use the DMA mover.
+std::int64_t dma_bytes(Design design, const Workload& workload);
+
+} // namespace tmhls::accel

@@ -1,0 +1,150 @@
+#include "accel/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "metrics/quality.hpp"
+#include "metrics/ssim.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::accel {
+
+namespace {
+
+// Evaluate one design point, filling quality metrics if a reference image
+// is supplied.
+ExplorationPoint evaluate_point(const zynq::ZynqPlatform& platform,
+                                Workload workload, Design design,
+                                int partition_factor,
+                                std::optional<int> data_bits, int int_bits,
+                                const img::ImageF* quality_image) {
+  ExplorationPoint pt;
+  pt.design = design;
+  pt.partition_factor = partition_factor;
+  pt.data_bits = data_bits;
+  workload.partition_factor = partition_factor;
+
+  if (data_bits.has_value()) {
+    pt.label = "fxp" + std::to_string(*data_bits) + "/p" +
+               std::to_string(partition_factor);
+    const fixed::FixedFormat fmt(*data_bits, int_bits,
+                                 fixed::Round::half_up,
+                                 fixed::Overflow::saturate);
+    if (!fmt.is_bus_aligned()) {
+      pt.feasible = false;
+      pt.rejection_reason = "width not bus-aligned (SDSoC: 8/16/32/64)";
+      return pt;
+    }
+    workload.fixed = tonemap::FixedBlurConfig{fmt, fmt};
+  } else {
+    pt.label = "float/p" + std::to_string(partition_factor);
+  }
+
+  const ToneMappingSystem system(platform, workload);
+  try {
+    const DesignReport report = system.analyze(design);
+    pt.blur_s = report.timing.blur_s;
+    pt.total_s = report.timing.total_s();
+    pt.energy_j = report.energy.total_j();
+    pt.resources = report.resources;
+  } catch (const PlatformError& e) {
+    pt.feasible = false;
+    pt.rejection_reason = e.what();
+    return pt;
+  }
+
+  if (quality_image != nullptr && data_bits.has_value()) {
+    // Reference: the float pipeline on the same workload.
+    tonemap::PipelineOptions ref_opt =
+        workload.pipeline_options(Design::hls_pragmas);
+    tonemap::PipelineOptions fxp_opt =
+        workload.pipeline_options(Design::fixed_point);
+    const img::ImageF ref = tonemap::tone_map_image(*quality_image, ref_opt);
+    const img::ImageF out = tonemap::tone_map_image(*quality_image, fxp_opt);
+    pt.psnr_db = metrics::psnr(ref, out);
+    pt.ssim = metrics::ssim(ref, out);
+  }
+  return pt;
+}
+
+} // namespace
+
+std::vector<ExplorationPoint> explore(const zynq::ZynqPlatform& platform,
+                                      const Workload& workload,
+                                      const ExplorationConfig& config) {
+  TMHLS_REQUIRE(!config.partition_factors.empty(),
+                "exploration needs at least one partition factor");
+  std::vector<ExplorationPoint> points;
+  for (int pf : config.partition_factors) {
+    TMHLS_REQUIRE(pf >= 1, "partition factor must be >= 1");
+    // Float datapath point.
+    points.push_back(evaluate_point(platform, workload, Design::hls_pragmas,
+                                    pf, std::nullopt, config.int_bits,
+                                    config.quality_image));
+    // Fixed-point datapath points.
+    for (int bits : config.data_widths) {
+      points.push_back(evaluate_point(platform, workload,
+                                      Design::fixed_point, pf, bits,
+                                      config.int_bits,
+                                      config.quality_image));
+    }
+  }
+  return points;
+}
+
+std::vector<ExplorationPoint> pareto_front(
+    const std::vector<ExplorationPoint>& points) {
+  const auto quality = [](const ExplorationPoint& p) {
+    // Float datapath (no PSNR value) is the exact reference: best quality.
+    return p.psnr_db.value_or(1e9);
+  };
+  std::vector<ExplorationPoint> front;
+  for (const ExplorationPoint& p : points) {
+    if (!p.feasible) continue;
+    bool dominated = false;
+    for (const ExplorationPoint& q : points) {
+      if (!q.feasible) continue;
+      const bool better_or_equal = q.blur_s <= p.blur_s &&
+                                   q.energy_j <= p.energy_j &&
+                                   quality(q) >= quality(p);
+      const bool strictly_better = q.blur_s < p.blur_s ||
+                                   q.energy_j < p.energy_j ||
+                                   quality(q) > quality(p);
+      if (better_or_equal && strictly_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const ExplorationPoint& a, const ExplorationPoint& b) {
+              return a.blur_s < b.blur_s;
+            });
+  return front;
+}
+
+std::string render(const std::vector<ExplorationPoint>& points) {
+  TextTable t({"point", "blur (s)", "total (s)", "energy (J)", "DSP",
+               "BRAM36", "PSNR (dB)", "SSIM", "status"});
+  for (const ExplorationPoint& p : points) {
+    std::string psnr = "-";
+    std::string ssim_s = "-";
+    if (p.psnr_db.has_value()) {
+      psnr = std::isinf(*p.psnr_db) ? "inf" : format_fixed(*p.psnr_db, 1);
+    }
+    if (p.ssim.has_value()) ssim_s = format_fixed(*p.ssim, 4);
+    t.add_row({p.label,
+               p.feasible ? format_fixed(p.blur_s, 3) : "-",
+               p.feasible ? format_fixed(p.total_s, 2) : "-",
+               p.feasible ? format_fixed(p.energy_j, 2) : "-",
+               p.feasible ? std::to_string(p.resources.dsps) : "-",
+               p.feasible ? std::to_string(p.resources.bram36) : "-", psnr,
+               ssim_s, p.feasible ? "ok" : p.rejection_reason});
+  }
+  return t.render();
+}
+
+} // namespace tmhls::accel

@@ -1,0 +1,66 @@
+// Design-space exploration over the HLS knobs — the "faster and more
+// efficient design-space exploration" HLS promises (§III.B). Sweeps the
+// ARRAY_PARTITION factor and the fixed-point bit width, reporting the
+// blur time, total time, energy, resources and (for bit-width points)
+// measured output quality versus the float reference.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/system.hpp"
+#include "image/image.hpp"
+
+namespace tmhls::accel {
+
+/// One evaluated design point.
+struct ExplorationPoint {
+  std::string label;
+  Design design = Design::hls_pragmas;
+  int partition_factor = 1;
+  std::optional<int> data_bits; ///< set for fixed-point points
+  double blur_s = 0.0;
+  double total_s = 0.0;
+  double energy_j = 0.0;
+  hls::ResourceEstimate resources;
+  /// Quality vs the float pipeline output (only when a reference image is
+  /// provided to the sweep): PSNR in dB and SSIM.
+  std::optional<double> psnr_db;
+  std::optional<double> ssim;
+  /// False if the point was rejected (does not fit the device or violates
+  /// the SDSoC bus-alignment rule).
+  bool feasible = true;
+  std::string rejection_reason;
+};
+
+/// Sweep configuration.
+struct ExplorationConfig {
+  std::vector<int> partition_factors = {1, 2, 4, 8};
+  /// Fixed-point widths to evaluate; widths that are not bus-aligned
+  /// (8/16/32/64, §III.C) are reported as infeasible rather than skipped,
+  /// matching the SDSoC constraint.
+  std::vector<int> data_widths = {8, 12, 16, 24, 32};
+  /// Integer bits for each fixed format (sign + guard, as in the paper).
+  int int_bits = 2;
+  /// Evaluate quality on this HDR image (empty -> skip quality metrics).
+  const img::ImageF* quality_image = nullptr;
+};
+
+/// Run the sweep on a platform + workload.
+std::vector<ExplorationPoint> explore(const zynq::ZynqPlatform& platform,
+                                      const Workload& workload,
+                                      const ExplorationConfig& config);
+
+/// Points on the time/energy/quality Pareto front among feasible points:
+/// a point is dominated if another is no worse on blur time, energy AND
+/// PSNR, and strictly better on at least one. Points without a PSNR value
+/// (the float datapath) count as reference quality, i.e. best possible.
+/// Sorted by ascending blur time.
+std::vector<ExplorationPoint> pareto_front(
+    const std::vector<ExplorationPoint>& points);
+
+/// Render a sweep as an aligned text table.
+std::string render(const std::vector<ExplorationPoint>& points);
+
+} // namespace tmhls::accel

@@ -1,0 +1,186 @@
+#include "accel/extensions.hpp"
+
+#include "common/error.hpp"
+#include "hls/scheduler.hpp"
+#include "tonemap/op_counts.hpp"
+
+namespace tmhls::accel {
+
+namespace {
+
+// PS times of the stages that stay in software for a given split.
+struct PsStages {
+  double normalization_s = 0.0;
+  double intensity_s = 0.0;
+  double masking_s = 0.0;
+  double adjustments_s = 0.0;
+};
+
+PsStages ps_stage_times(const zynq::ZynqPlatform& platform,
+                        const Workload& w) {
+  const zynq::CpuModel& cpu = platform.cpu();
+  PsStages s;
+  s.normalization_s = cpu.seconds_for(
+      tonemap::count_normalization(w.width, w.height, w.channels));
+  s.intensity_s =
+      cpu.seconds_for(tonemap::count_intensity(w.width, w.height, w.channels));
+  s.masking_s = cpu.seconds_for(
+      tonemap::count_nonlinear_masking(w.width, w.height, w.channels));
+  s.adjustments_s = cpu.seconds_for(
+      tonemap::count_adjustments(w.width, w.height, w.channels));
+  return s;
+}
+
+hls::HlsReport synthesize_loop(const zynq::ZynqPlatform& platform,
+                               const std::string& name,
+                               const hls::Loop& loop) {
+  const hls::Scheduler scheduler(platform.operator_library());
+  hls::HlsReport report =
+      hls::synthesize(name, loop, scheduler, platform.pl_clock().freq_hz(),
+                      platform.device());
+  if (!hls::fits(report.resources, platform.device())) {
+    throw PlatformError("extension design does not fit the device: " + name);
+  }
+  return report;
+}
+
+zynq::EnergyBreakdown account(const zynq::ZynqPlatform& platform,
+                              const TimingBreakdown& t,
+                              const hls::ResourceEstimate& resources) {
+  return platform.power().account(t.total_s(), t.ps_busy_s(), t.pl_busy_s(),
+                                  resources);
+}
+
+} // namespace
+
+hls::Loop build_fused_blur_loop(const Workload& w) {
+  // Start from the paper's fixed-point pass and fuse: the horizontal and
+  // vertical processes run concurrently (dataflow), so the loop covers the
+  // image ONCE; each pipeline slot carries both passes' MACs. The II stays
+  // port-limited per process (each has its own buffer), so the fused II is
+  // the max of the two — identical to the single pass's.
+  hls::Loop loop = build_blur_loop(Design::fixed_point, w);
+  loop.name = "gaussian_blur_fused";
+  loop.trip_count = w.pixels(); // one traversal instead of two
+  // Both processes' arithmetic is live concurrently.
+  for (auto& op : loop.ops) op.count *= 2;
+  // Two line buffers (one per process); reads per iteration double but so
+  // does the number of independent buffers, leaving the per-buffer port
+  // pressure — and hence the II — unchanged.
+  hls::ArraySpec second = loop.arrays[0];
+  second.name = "line_buffer_v";
+  loop.arrays[0].name = "line_buffer_h";
+  loop.arrays.push_back(second);
+  return loop;
+}
+
+hls::Loop build_masking_loop(const Workload& w) {
+  // Per pixel: one exp2 for gamma; per channel: log2 + multiply + exp2.
+  // Each LUT evaluation costs two ROM reads (base + guard for the
+  // interpolation) plus a handful of integer MACs; the clz/normalise and
+  // interpolation logic is int ops.
+  hls::Loop loop;
+  loop.name = "nonlinear_masking_fixed";
+  loop.trip_count = w.pixels();
+  const int luts_per_pixel = 1 + 2 * w.channels; // gamma + (log2+exp2)/chan
+  loop.ops = {
+      {hls::OpKind::fixed_mul, 2 * w.channels + 1}, // interp + g*l products
+      {hls::OpKind::fixed_add, 3 * w.channels + 2},
+      {hls::OpKind::int_op, 6 * w.channels + 4}, // clz, shifts, splits
+  };
+  hls::ArraySpec rom;
+  rom.name = "log_exp_roms";
+  rom.elements = 2 * 65; // log + exp tables with guard entries
+  rom.element_bits = 32;
+  rom.read_ports = 2;       // ROMs replicate cheaply
+  rom.elems_per_word = 1;
+  rom.partitions = w.channels + 1; // one replica per concurrent evaluation
+  rom.reads_per_iter = 2 * luts_per_pixel;
+  rom.writes_per_iter = 0;
+  loop.arrays = {rom};
+  loop.recurrence_length = 0; // purely feed-forward per pixel
+  loop.pragmas.pipeline = {true, 1};
+  loop.pragmas.partition = {hls::PartitionMode::cyclic, w.channels + 1};
+  loop.pragmas.access = hls::AccessPattern::sequential;
+  return loop;
+}
+
+ExtensionResult paper_final_design(const zynq::ZynqPlatform& platform,
+                                   const Workload& workload) {
+  const ToneMappingSystem system(platform, workload);
+  const DesignReport r = system.analyze(Design::fixed_point);
+  ExtensionResult e;
+  e.name = "paper final (FlP to FxP)";
+  e.timing = r.timing;
+  e.resources = r.resources;
+  e.energy = r.energy;
+  e.blur_report = r.hls_report;
+  return e;
+}
+
+ExtensionResult analyze_dataflow_fused(const zynq::ZynqPlatform& platform,
+                                       const Workload& w) {
+  const PsStages ps = ps_stage_times(platform, w);
+  const hls::HlsReport blur =
+      synthesize_loop(platform, "gaussian_blur_fused", build_fused_blur_loop(w));
+
+  ExtensionResult e;
+  e.name = "dataflow-fused blur";
+  e.timing.normalization_s = ps.normalization_s;
+  e.timing.intensity_s = ps.intensity_s;
+  e.timing.masking_s = ps.masking_s;
+  e.timing.adjustments_s = ps.adjustments_s;
+  e.timing.blur_on_pl = true;
+  // One DMA round trip instead of two: in once, out once.
+  const std::int64_t bytes = dma_bytes(Design::fixed_point, w) / 2;
+  e.timing.dma_s = platform.pl_clock().seconds_for_cycles(
+      static_cast<double>(platform.dma().transfer_cycles(bytes)));
+  e.timing.blur_s = blur.execution_seconds() + e.timing.dma_s;
+  e.resources = blur.resources;
+  e.energy = account(platform, e.timing, e.resources);
+  e.blur_report = blur;
+  return e;
+}
+
+ExtensionResult analyze_masking_accelerator(
+    const zynq::ZynqPlatform& platform, const Workload& w) {
+  const PsStages ps = ps_stage_times(platform, w);
+  const hls::HlsReport blur =
+      synthesize_loop(platform, "gaussian_blur_fused", build_fused_blur_loop(w));
+  const hls::HlsReport masking = synthesize_loop(
+      platform, "nonlinear_masking_fixed", build_masking_loop(w));
+
+  ExtensionResult e;
+  e.name = "fused blur + masking accel";
+  e.timing.normalization_s = ps.normalization_s;
+  e.timing.intensity_s = ps.intensity_s;
+  e.timing.masking_s = 0.0; // moved to the PL
+  e.timing.adjustments_s = ps.adjustments_s;
+  e.timing.blur_on_pl = true;
+  // Streams: normalised image in (once), corrected image out, plus the
+  // RGB planes through the masking stage (data bytes per workload channel).
+  const std::int64_t bytes_per_elem = (w.fixed.data.width() + 7) / 8;
+  const std::int64_t bytes =
+      dma_bytes(Design::fixed_point, w) / 2 +
+      2 * w.pixels() * w.channels * bytes_per_elem;
+  e.timing.dma_s = platform.pl_clock().seconds_for_cycles(
+      static_cast<double>(platform.dma().transfer_cycles(bytes)));
+  e.timing.blur_s =
+      blur.execution_seconds() + masking.execution_seconds() + e.timing.dma_s;
+  e.resources = blur.resources + masking.resources;
+  e.energy = account(platform, e.timing, e.resources);
+  e.blur_report = blur;
+  e.masking_report = masking;
+  return e;
+}
+
+std::vector<ExtensionResult> analyze_extensions(
+    const zynq::ZynqPlatform& platform, const Workload& workload) {
+  std::vector<ExtensionResult> results;
+  results.push_back(paper_final_design(platform, workload));
+  results.push_back(analyze_dataflow_fused(platform, workload));
+  results.push_back(analyze_masking_accelerator(platform, workload));
+  return results;
+}
+
+} // namespace tmhls::accel

@@ -1,0 +1,59 @@
+// Extension design points beyond the paper — the §V "future work"
+// directions, evaluated with the same platform/scheduler machinery as the
+// five Table II designs:
+//
+//   dataflow_fused        The two blur passes as concurrent dataflow
+//                         processes (#pragma HLS DATAFLOW): the image
+//                         streams through once instead of twice, halving
+//                         both the pipelined cycle count and the DMA
+//                         traffic.
+//   masking_accelerator   Moroney's correction moved into the PL next to
+//                         the fused blur, using the integer-only
+//                         log2/exp2/pow datapath (fixed::FixedMath). This
+//                         attacks the post-acceleration bottleneck: the
+//                         ~20 s of PS-side pow() that keep Table II's
+//                         totals high.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/system.hpp"
+
+namespace tmhls::accel {
+
+/// One evaluated extension point, reported like a Table II row.
+struct ExtensionResult {
+  std::string name;
+  TimingBreakdown timing;
+  hls::ResourceEstimate resources;
+  zynq::EnergyBreakdown energy;
+  std::optional<hls::HlsReport> blur_report;
+  std::optional<hls::HlsReport> masking_report;
+};
+
+/// Fixed-point blur with both passes fused via dataflow.
+ExtensionResult analyze_dataflow_fused(const zynq::ZynqPlatform& platform,
+                                       const Workload& workload);
+
+/// Fused blur + fixed-point masking accelerator: only normalization,
+/// intensity extraction and the final adjustments remain on the PS.
+ExtensionResult analyze_masking_accelerator(
+    const zynq::ZynqPlatform& platform, const Workload& workload);
+
+/// The paper's final design (FlP-to-FxP) re-expressed as an
+/// ExtensionResult, as the comparison baseline for extension tables.
+ExtensionResult paper_final_design(const zynq::ZynqPlatform& platform,
+                                   const Workload& workload);
+
+/// All extension points in presentation order (baseline first).
+std::vector<ExtensionResult> analyze_extensions(
+    const zynq::ZynqPlatform& platform, const Workload& workload);
+
+/// Build the hls::Loop of the fused two-pass blur (exposed for tests).
+hls::Loop build_fused_blur_loop(const Workload& workload);
+
+/// Build the hls::Loop of the masking datapath (exposed for tests).
+hls::Loop build_masking_loop(const Workload& workload);
+
+} // namespace tmhls::accel

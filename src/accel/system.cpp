@@ -1,0 +1,134 @@
+#include "accel/system.hpp"
+
+#include "common/error.hpp"
+#include "hls/scheduler.hpp"
+#include "tonemap/op_counts.hpp"
+
+namespace tmhls::accel {
+
+ToneMappingSystem::ToneMappingSystem(zynq::ZynqPlatform platform,
+                                     Workload workload)
+    : platform_(std::move(platform)), workload_(workload) {
+  TMHLS_REQUIRE(workload.width > 0 && workload.height > 0,
+                "workload dimensions must be positive");
+}
+
+DesignReport ToneMappingSystem::analyze(Design design) const {
+  const Workload& w = workload_;
+  const tonemap::GaussianKernel kernel = w.kernel();
+  const zynq::CpuModel& cpu = platform_.cpu();
+
+  DesignReport report;
+  report.design = design;
+
+  // PS point-wise stages: op counts x CPU cost model.
+  TimingBreakdown& t = report.timing;
+  t.normalization_s = cpu.seconds_for(
+      tonemap::count_normalization(w.width, w.height, w.channels));
+  t.intensity_s = cpu.seconds_for(
+      tonemap::count_intensity(w.width, w.height, w.channels));
+  t.masking_s = cpu.seconds_for(
+      tonemap::count_nonlinear_masking(w.width, w.height, w.channels));
+  t.adjustments_s = cpu.seconds_for(
+      tonemap::count_adjustments(w.width, w.height, w.channels));
+
+  if (design == Design::sw_source) {
+    t.blur_on_pl = false;
+    t.blur_s =
+        cpu.seconds_for(tonemap::count_gaussian_blur(w.width, w.height, kernel));
+  } else {
+    // Hardware blur: synthesize the design's loop and check BRAM fit.
+    const hls::Loop loop = build_blur_loop(design, w);
+    const hls::Scheduler scheduler(platform_.operator_library());
+    hls::HlsReport hr =
+        hls::synthesize("gaussian_blur/" + std::string(short_name(design)),
+                        loop, scheduler, platform_.pl_clock().freq_hz(),
+                        platform_.device());
+    if (!hls::fits(hr.resources, platform_.device())) {
+      throw PlatformError(
+          std::string("design does not fit the device: ") +
+          display_name(design));
+    }
+    const double compute_s = hr.execution_seconds();
+    const double dma_s = platform_.pl_clock().seconds_for_cycles(
+        static_cast<double>(platform_.dma().transfer_cycles(
+            dma_bytes(design, w))));
+    t.blur_on_pl = true;
+    t.dma_s = dma_s;
+    t.blur_s = compute_s + dma_s;
+    report.resources = hr.resources;
+    report.hls_report = std::move(hr);
+  }
+
+  report.energy = platform_.power().account(
+      t.total_s(), t.ps_busy_s(), t.pl_busy_s(), report.resources);
+  return report;
+}
+
+std::vector<DesignReport> ToneMappingSystem::analyze_all() const {
+  std::vector<DesignReport> reports;
+  reports.reserve(all_designs().size());
+  for (Design d : all_designs()) reports.push_back(analyze(d));
+  return reports;
+}
+
+RunResult ToneMappingSystem::run(const img::ImageF& hdr, Design design) const {
+  TMHLS_REQUIRE(hdr.width() == workload_.width &&
+                    hdr.height() == workload_.height,
+                "input image does not match the workload geometry");
+  RunResult result;
+  result.report = analyze(design);
+  result.images = tonemap::tone_map(hdr, workload_.pipeline_options(design));
+  return result;
+}
+
+zynq::PmbusMonitor ToneMappingSystem::power_timeline(Design design) const {
+  const DesignReport report = analyze(design);
+  const zynq::PowerModel& power = platform_.power();
+  const TimingBreakdown& t = report.timing;
+
+  // Rail powers for "PS computing" and "PL computing" states.
+  auto ps_phase = [&](const std::string& label, double dur) {
+    zynq::PowerPhase p;
+    p.label = label;
+    p.duration_s = dur;
+    p.powers.ps_w = power.ps_power_w(true);
+    p.powers.pl_w = power.pl_power_w(report.resources, false);
+    p.powers.ddr_w = power.config().ddr_w;
+    p.powers.bram_w = power.config().bram_w;
+    return p;
+  };
+  auto pl_phase = [&](const std::string& label, double dur) {
+    zynq::PowerPhase p;
+    p.label = label;
+    p.duration_s = dur;
+    p.powers.ps_w = power.ps_power_w(false); // ARM waits on the accelerator
+    p.powers.pl_w = power.pl_power_w(report.resources, true);
+    p.powers.ddr_w = power.config().ddr_w;
+    p.powers.bram_w = power.config().bram_w;
+    return p;
+  };
+
+  zynq::PmbusMonitor monitor;
+  monitor.add_phase(ps_phase("normalization (PS)", t.normalization_s));
+  monitor.add_phase(ps_phase("intensity (PS)", t.intensity_s));
+  if (t.blur_on_pl) {
+    monitor.add_phase(pl_phase("gaussian_blur (PL)", t.blur_s));
+  } else {
+    monitor.add_phase(ps_phase("gaussian_blur (PS)", t.blur_s));
+  }
+  monitor.add_phase(ps_phase("nonlinear_masking (PS)", t.masking_s));
+  monitor.add_phase(ps_phase("adjustments (PS)", t.adjustments_s));
+  return monitor;
+}
+
+Speedup speedup(const DesignReport& baseline, const DesignReport& improved) {
+  TMHLS_REQUIRE(improved.timing.blur_s > 0.0 && improved.timing.total_s() > 0.0,
+                "speedup: improved design has zero time");
+  Speedup s;
+  s.blur = baseline.timing.blur_s / improved.timing.blur_s;
+  s.total = baseline.timing.total_s() / improved.timing.total_s();
+  return s;
+}
+
+} // namespace tmhls::accel

@@ -1,0 +1,98 @@
+// The hardware-software co-designed tone-mapping system: PS stages + the
+// chosen blur implementation, evaluated on the platform model. Produces
+// everything the paper's evaluation section reports — Table II timings,
+// Fig 6 PS/PL split, Fig 7 per-rail energy, Fig 8 bottomline/overhead —
+// plus the functional output images for the §IV.B quality comparison.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/design.hpp"
+#include "hls/report.hpp"
+#include "image/image.hpp"
+#include "platform/pmbus.hpp"
+#include "platform/power.hpp"
+#include "platform/zynq.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::accel {
+
+/// Where each second of a run is spent.
+struct TimingBreakdown {
+  // PS point-wise stages (always software).
+  double normalization_s = 0.0;
+  double intensity_s = 0.0;
+  double masking_s = 0.0;
+  double adjustments_s = 0.0;
+  // The Gaussian blur, wherever it runs.
+  double blur_s = 0.0;
+  bool blur_on_pl = false;
+  // DMA streaming time included in blur_s (0 for non-DMA designs).
+  double dma_s = 0.0;
+
+  /// Time the ARM is executing pipeline code.
+  double ps_busy_s() const {
+    return normalization_s + intensity_s + masking_s + adjustments_s +
+           (blur_on_pl ? 0.0 : blur_s);
+  }
+  /// Time the programmable logic is executing the accelerator.
+  double pl_busy_s() const { return blur_on_pl ? blur_s : 0.0; }
+  /// End-to-end execution time of one image.
+  double total_s() const { return ps_busy_s() + pl_busy_s(); }
+};
+
+/// Full analytic report for one design point.
+struct DesignReport {
+  Design design = Design::sw_source;
+  TimingBreakdown timing;
+  hls::ResourceEstimate resources; ///< zero for sw_source
+  zynq::EnergyBreakdown energy;
+  /// HLS synthesis report (present for hardware designs).
+  std::optional<hls::HlsReport> hls_report;
+};
+
+/// A functional run's outcome: the analytic report plus real pixels.
+struct RunResult {
+  DesignReport report;
+  tonemap::PipelineResult images;
+};
+
+/// The co-designed system on a platform.
+class ToneMappingSystem {
+public:
+  ToneMappingSystem(zynq::ZynqPlatform platform, Workload workload);
+
+  const zynq::ZynqPlatform& platform() const { return platform_; }
+  const Workload& workload() const { return workload_; }
+
+  /// Analytic evaluation of a design point (timing, resources, energy).
+  /// Throws PlatformError if a hardware design's buffers do not fit the
+  /// device's BRAM.
+  DesignReport analyze(Design design) const;
+
+  /// Reports for all five designs, in Table II order.
+  std::vector<DesignReport> analyze_all() const;
+
+  /// Functional run: tone-map `hdr` with the design's numeric datapath and
+  /// attach the analytic report. `hdr` must match the workload geometry.
+  RunResult run(const img::ImageF& hdr, Design design) const;
+
+  /// Build the PMBus phase timeline of a design's run (§IV.C telemetry):
+  /// one phase per pipeline stage with that phase's per-rail powers.
+  zynq::PmbusMonitor power_timeline(Design design) const;
+
+private:
+  zynq::ZynqPlatform platform_;
+  Workload workload_;
+};
+
+/// Speed-up of `b` relative to `a` for the blur and the total time.
+struct Speedup {
+  double blur = 0.0;
+  double total = 0.0;
+};
+Speedup speedup(const DesignReport& baseline, const DesignReport& improved);
+
+} // namespace tmhls::accel

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tmhls::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "tmhls: assertion `%s` failed at %s:%d: %s\n", expr,
+               file, line, msg.c_str());
+  std::abort();
+}
+
+} // namespace tmhls::detail

@@ -1,0 +1,63 @@
+// Error handling primitives shared by every tmhls module.
+//
+// Policy (C++ Core Guidelines E.2/E.14): throw exceptions derived from
+// tmhls::Error by value for recoverable, caller-visible failures (bad file,
+// bad argument); use TMHLS_ASSERT for internal invariants that indicate a
+// programming error inside the library itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace tmhls {
+
+/// Base class of every exception thrown by tmhls.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller supplied an argument that violates a documented precondition.
+class InvalidArgument : public Error {
+public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// An I/O operation (file open, parse, write) failed.
+class IoError : public Error {
+public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated-platform configuration is inconsistent (e.g. a line buffer
+/// that does not fit in BRAM, or a bus width that is not 8/16/32/64).
+class PlatformError : public Error {
+public:
+  explicit PlatformError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+/// Implementation of TMHLS_ASSERT: prints expression + location and aborts.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+} // namespace detail
+
+} // namespace tmhls
+
+/// Internal invariant check. Active in all build types: the simulator is an
+/// analytic model, so checks are cheap relative to the work they guard.
+#define TMHLS_ASSERT(expr, msg)                                           \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::tmhls::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));     \
+    }                                                                     \
+  } while (false)
+
+/// Precondition check on a public API boundary: throws InvalidArgument.
+#define TMHLS_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      throw ::tmhls::InvalidArgument(std::string("precondition failed: ") \
+                                     + (msg));                            \
+    }                                                                     \
+  } while (false)

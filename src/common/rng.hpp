@@ -1,0 +1,44 @@
+// Deterministic random number generation for synthetic workloads and tests.
+//
+// xoshiro256** (Blackman & Vigna, public domain algorithm) — chosen over
+// std::mt19937 because its output sequence is identical across standard
+// library implementations, making synthetic HDR scenes reproducible
+// everywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace tmhls {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Seeded via splitmix64 so that
+/// any 64-bit seed yields a well-mixed state.
+class Rng {
+public:
+  /// Construct from a seed; the same seed always yields the same sequence.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Box-Muller, deterministic pairing).
+  double normal();
+
+  /// Normal variate with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+private:
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+} // namespace tmhls

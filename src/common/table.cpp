@@ -1,0 +1,103 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tmhls {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TMHLS_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  TMHLS_REQUIRE(cells.size() == headers_.size(),
+                "row width must match header width");
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+  ++data_rows_;
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << pad(cells[c], widths[c]);
+      os << (c + 1 == cells.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+  auto emit_separator = [&] {
+    os << '|';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-');
+      os << (c + 1 == widths.size() ? "|" : "|");
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  emit_separator();
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      emit_separator();
+    } else {
+      emit_row(r.cells);
+    }
+  }
+  return os.str();
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string format_si(double value, int digits) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static const Scale scales[] = {{1e9, " G"}, {1e6, " M"}, {1e3, " k"},
+                                 {1.0, " "},  {1e-3, " m"}, {1e-6, " u"},
+                                 {1e-9, " n"}};
+  const double mag = std::abs(value);
+  for (const Scale& s : scales) {
+    if (mag >= s.factor || (s.factor == 1e-9)) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.*g%s", digits, value / s.factor,
+                    s.suffix);
+      return buf;
+    }
+  }
+  return format_fixed(value, digits);
+}
+
+std::string format_speedup(double ratio, int digits) {
+  return format_fixed(ratio, digits) + "x";
+}
+
+} // namespace tmhls

@@ -1,0 +1,52 @@
+// Plain-text table rendering used by the HLS report printer and the
+// paper-reproduction benches. Produces aligned, pipe-separated tables that
+// read well in a terminal and in markdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmhls {
+
+/// A simple column-aligned text table.
+///
+///     TextTable t({"Design", "Blur (s)", "Total (s)"});
+///     t.add_row({"SW source code", "7.29", "26.66"});
+///     std::cout << t.render();
+class TextTable {
+public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  /// Number of data rows added so far (separators not counted).
+  std::size_t row_count() const { return data_rows_; }
+
+  /// Render the table to a string (trailing newline included).
+  std::string render() const;
+
+private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::size_t data_rows_ = 0;
+};
+
+/// Format a double with `digits` digits after the decimal point.
+std::string format_fixed(double value, int digits);
+
+/// Format a double in engineering style with an SI suffix (n, u, m, '', k, M, G).
+std::string format_si(double value, int digits = 3);
+
+/// Format a ratio as e.g. "17.4x".
+std::string format_speedup(double ratio, int digits = 1);
+
+} // namespace tmhls

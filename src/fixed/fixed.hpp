@@ -1,0 +1,134 @@
+// Arbitrary-precision fixed-point arithmetic, equivalent to Vivado HLS
+// `ap_fixed<W, I, Q, O>` for W <= 32.
+//
+// The paper (§III.C) converts the Gaussian blur from 32-bit float to a
+// 16-bit fixed-point datapath using `ap_fixed`, choosing 16 total bits so
+// the accelerator argument stays bus-aligned (8/16/32/64). This header
+// provides the same semantics so the fixed-point blur in src/tonemap is
+// bit-accurate: every add and multiply requantises to the declared format,
+// exactly like a hardware datapath whose registers are W bits wide.
+//
+// Template parameters mirror ap_fixed:
+//   W  total bit width (1..32), two's complement, signed
+//   I  integer bits including the sign bit (1..W); F = W - I fraction bits
+//   R  rounding mode applied when precision is lost
+//   O  overflow mode applied when range is exceeded
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "fixed/fixed_format.hpp"
+
+namespace tmhls::fixed {
+
+/// Compile-time fixed-point value. See file comment for semantics.
+template <int W, int I, Round R = Round::truncate,
+          Overflow O = Overflow::saturate>
+class Fixed {
+  static_assert(W >= 1 && W <= 32, "Fixed supports 1..32 total bits");
+  static_assert(I >= 1 && I <= W, "integer bits must be in [1, W]");
+
+public:
+  static constexpr int total_bits = W;
+  static constexpr int int_bits = I;
+  static constexpr int frac_bits = W - I;
+  static constexpr Round round_mode = R;
+  static constexpr Overflow overflow_mode = O;
+
+  /// Zero value.
+  constexpr Fixed() = default;
+
+  /// Quantise a double into this format (rounding + overflow applied).
+  explicit Fixed(double v) : raw_(format().raw_from_double(v)) {}
+
+  /// Quantise an integer into this format.
+  explicit Fixed(int v) : Fixed(static_cast<double>(v)) {}
+
+  /// Reinterpret a raw two's-complement pattern (no scaling applied).
+  static Fixed from_raw(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = format().wrap_raw(raw);
+    return f;
+  }
+
+  /// The runtime descriptor of this format (shared with the sweep API).
+  static const FixedFormat& format() {
+    static const FixedFormat fmt{W, I, R, O};
+    return fmt;
+  }
+
+  /// Raw two's-complement integer backing this value.
+  constexpr std::int64_t raw() const { return raw_; }
+
+  /// Exact real value represented (raw * 2^-F).
+  double to_double() const { return format().raw_to_double(raw_); }
+
+  /// Largest representable value.
+  static Fixed max() { return from_raw(format().max_raw()); }
+  /// Most negative representable value.
+  static Fixed min() { return from_raw(format().min_raw()); }
+  /// Smallest positive increment (one LSB).
+  static Fixed epsilon() { return from_raw(1); }
+
+  /// Sum, requantised into this format (models a W-bit accumulator).
+  friend Fixed operator+(Fixed a, Fixed b) {
+    return from_quantised(a.raw_ + b.raw_);
+  }
+  /// Difference, requantised into this format.
+  friend Fixed operator-(Fixed a, Fixed b) {
+    return from_quantised(a.raw_ - b.raw_);
+  }
+  /// Negation (saturates at the most negative value when saturating).
+  friend Fixed operator-(Fixed a) { return from_quantised(-a.raw_); }
+
+  /// Product, requantised: the exact 2W-bit product is shifted back by F
+  /// with rounding mode R, then overflow mode O is applied.
+  friend Fixed operator*(Fixed a, Fixed b) {
+    const std::int64_t exact = a.raw_ * b.raw_; // fits: 2*31 bits < 63
+    const std::int64_t scaled =
+        shift_right_round(exact, frac_bits, R);
+    return from_quantised(scaled);
+  }
+
+  /// Quotient, requantised. Requires b != 0.
+  friend Fixed operator/(Fixed a, Fixed b) {
+    TMHLS_REQUIRE(b.raw_ != 0, "fixed-point division by zero");
+    return from_quantised(div_scaled(a.raw_, b.raw_, frac_bits, R));
+  }
+
+  Fixed& operator+=(Fixed b) { return *this = *this + b; }
+  Fixed& operator-=(Fixed b) { return *this = *this - b; }
+  Fixed& operator*=(Fixed b) { return *this = *this * b; }
+  Fixed& operator/=(Fixed b) { return *this = *this / b; }
+
+  friend bool operator==(Fixed a, Fixed b) { return a.raw_ == b.raw_; }
+  friend bool operator!=(Fixed a, Fixed b) { return a.raw_ != b.raw_; }
+  friend bool operator<(Fixed a, Fixed b) { return a.raw_ < b.raw_; }
+  friend bool operator<=(Fixed a, Fixed b) { return a.raw_ <= b.raw_; }
+  friend bool operator>(Fixed a, Fixed b) { return a.raw_ > b.raw_; }
+  friend bool operator>=(Fixed a, Fixed b) { return a.raw_ >= b.raw_; }
+
+  /// Human-readable rendering, e.g. "0.49997 (raw 16383, Fixed<16,2>)".
+  std::string to_string() const {
+    return format().value_to_string(raw_);
+  }
+
+private:
+  static Fixed from_quantised(std::int64_t raw) {
+    Fixed f;
+    f.raw_ = format().apply_overflow(raw);
+    return f;
+  }
+
+  std::int64_t raw_ = 0;
+};
+
+/// The format used throughout the paper's fixed-point accelerator:
+/// 16 total bits. Pixel data is normalised to [0, 1) before the blur, so
+/// 2 integer bits (sign + one guard bit for kernel-weighted sums) leaves
+/// 14 fraction bits.
+using PaperFixed = Fixed<16, 2, Round::half_up, Overflow::saturate>;
+
+} // namespace tmhls::fixed

@@ -1,0 +1,188 @@
+#include "fixed/fixed_format.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tmhls::fixed {
+
+const char* to_string(Round r) {
+  switch (r) {
+    case Round::truncate: return "AP_TRN";
+    case Round::toward_zero: return "AP_TRN_ZERO";
+    case Round::half_up: return "AP_RND";
+    case Round::half_even: return "AP_RND_CONV";
+  }
+  return "?";
+}
+
+const char* to_string(Overflow o) {
+  switch (o) {
+    case Overflow::saturate: return "AP_SAT";
+    case Overflow::wrap: return "AP_WRAP";
+  }
+  return "?";
+}
+
+std::int64_t shift_right_round(std::int64_t v, int shift, Round mode) {
+  TMHLS_ASSERT(shift >= 0 && shift <= 62, "shift out of range");
+  if (shift == 0) return v;
+  const std::int64_t floor_part = v >> shift; // arithmetic shift: floor
+  const std::int64_t mask = (std::int64_t{1} << shift) - 1;
+  const std::int64_t rem = v & mask; // discarded bits, in [0, 2^shift)
+  if (rem == 0) return floor_part;
+
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  switch (mode) {
+    case Round::truncate:
+      return floor_part;
+    case Round::toward_zero:
+      // Negative non-exact values round up toward zero.
+      return (v < 0) ? floor_part + 1 : floor_part;
+    case Round::half_up:
+      // floor(x + 0.5): add half then floor.
+      return (v + half) >> shift;
+    case Round::half_even: {
+      if (rem > half) return floor_part + 1;
+      if (rem < half) return floor_part;
+      // Tie: round to even.
+      return (floor_part & 1) ? floor_part + 1 : floor_part;
+    }
+  }
+  return floor_part;
+}
+
+std::int64_t div_scaled(std::int64_t a, std::int64_t b, int frac_bits,
+                        Round mode) {
+  TMHLS_ASSERT(b != 0, "div_scaled by zero");
+  TMHLS_ASSERT(frac_bits >= 0 && frac_bits <= 31, "frac_bits out of range");
+  // Exact value is (a * 2^F) / b. |a| <= 2^31, so a << F fits in 63 bits
+  // for F <= 31.
+  const std::int64_t num = a << frac_bits;
+  const std::int64_t q = num / b; // truncates toward zero
+  const std::int64_t r = num % b;
+  if (r == 0) return q;
+
+  const bool negative = (num < 0) != (b < 0);
+  const std::int64_t abs_r = std::abs(r);
+  const std::int64_t abs_b = std::abs(b);
+  switch (mode) {
+    case Round::truncate:
+      // Round toward negative infinity.
+      return negative ? q - 1 : q;
+    case Round::toward_zero:
+      return q;
+    case Round::half_up:
+      // Round half away from +inf convention: match floor(x + 0.5).
+      if (2 * abs_r > abs_b) return negative ? q - 1 : q + 1;
+      if (2 * abs_r < abs_b) return negative ? q : q;
+      return negative ? q : q + 1; // exactly half: +0.5 then floor
+    case Round::half_even: {
+      if (2 * abs_r > abs_b) return negative ? q - 1 : q + 1;
+      if (2 * abs_r < abs_b) return negative ? q : q;
+      const std::int64_t floor_q = negative ? q - 1 : q;
+      return (floor_q & 1) ? floor_q + 1 : floor_q;
+    }
+  }
+  return q;
+}
+
+FixedFormat::FixedFormat(int width, int int_bits, Round round,
+                         Overflow overflow)
+    : width_(width), int_bits_(int_bits), round_(round), overflow_(overflow),
+      max_raw_((std::int64_t{1} << (width - 1)) - 1),
+      min_raw_(-(std::int64_t{1} << (width - 1))),
+      lsb_(std::ldexp(1.0, -(width - int_bits))) {
+  TMHLS_REQUIRE(width >= 1 && width <= 32, "width must be in [1, 32]");
+  TMHLS_REQUIRE(int_bits >= 1 && int_bits <= width,
+                "int_bits must be in [1, width]");
+}
+
+std::int64_t FixedFormat::raw_from_double(double v) const {
+  if (std::isnan(v)) return 0;
+  if (std::isinf(v)) return v > 0 ? max_raw_ : min_raw_;
+  const double scaled = std::ldexp(v, frac_bits());
+  // Values whose scaled magnitude exceeds the int64 range cannot be
+  // converted exactly: saturate clamps; wrap reduces modulo 2^width first
+  // (best effort — a double that large has no low-order bits left anyway).
+  constexpr double kInt64Safe = 9.0e18;
+  if (scaled >= kInt64Safe || scaled <= -kInt64Safe) {
+    if (overflow_ == Overflow::saturate) {
+      return scaled > 0 ? max_raw_ : min_raw_;
+    }
+    const double span = std::ldexp(1.0, width_);
+    return wrap_raw(static_cast<std::int64_t>(std::fmod(scaled, span)));
+  }
+  double rounded = 0.0;
+  switch (round_) {
+    case Round::truncate:
+      rounded = std::floor(scaled);
+      break;
+    case Round::toward_zero:
+      rounded = std::trunc(scaled);
+      break;
+    case Round::half_up:
+      rounded = std::floor(scaled + 0.5);
+      break;
+    case Round::half_even: {
+      const double fl = std::floor(scaled);
+      const double frac = scaled - fl;
+      if (frac > 0.5) {
+        rounded = fl + 1.0;
+      } else if (frac < 0.5) {
+        rounded = fl;
+      } else {
+        rounded = (std::fmod(fl, 2.0) == 0.0) ? fl : fl + 1.0;
+      }
+      break;
+    }
+  }
+  return apply_overflow(static_cast<std::int64_t>(rounded));
+}
+
+double FixedFormat::raw_to_double(std::int64_t raw) const {
+  return std::ldexp(static_cast<double>(raw), -frac_bits());
+}
+
+std::int64_t FixedFormat::apply_overflow(std::int64_t raw) const {
+  if (raw >= min_raw_ && raw <= max_raw_) return raw;
+  switch (overflow_) {
+    case Overflow::saturate:
+      return raw > max_raw_ ? max_raw_ : min_raw_;
+    case Overflow::wrap:
+      return wrap_raw(raw);
+  }
+  return raw;
+}
+
+std::int64_t FixedFormat::wrap_raw(std::int64_t raw) const {
+  const auto uraw = static_cast<std::uint64_t>(raw);
+  const std::uint64_t mask =
+      (width_ == 64) ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << width_) - 1);
+  std::uint64_t low = uraw & mask;
+  // Sign-extend bit W-1.
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width_ - 1);
+  if (low & sign_bit) low |= ~mask;
+  return static_cast<std::int64_t>(low);
+}
+
+bool FixedFormat::is_bus_aligned() const {
+  return width_ == 8 || width_ == 16 || width_ == 32 || width_ == 64;
+}
+
+std::string FixedFormat::to_string() const {
+  std::ostringstream os;
+  os << "Fixed<" << width_ << ',' << int_bits_ << ','
+     << fixed::to_string(round_) << ',' << fixed::to_string(overflow_) << '>';
+  return os.str();
+}
+
+std::string FixedFormat::value_to_string(std::int64_t raw) const {
+  std::ostringstream os;
+  os << raw_to_double(raw) << " (raw " << raw << ", " << to_string() << ')';
+  return os.str();
+}
+
+} // namespace tmhls::fixed

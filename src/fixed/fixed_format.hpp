@@ -1,0 +1,118 @@
+// Runtime-described fixed-point formats.
+//
+// The compile-time `Fixed<W,I,R,O>` template (fixed.hpp) is what the
+// bit-accurate datapath uses; `FixedFormat` is the runtime twin used by the
+// design-space-exploration sweeps (examples/design_space_exploration) where
+// the bit width is a loop variable, and by the SDSoC-style bus-alignment
+// check from §III.C of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmhls::fixed {
+
+/// Rounding applied when low-order bits are discarded.
+/// Mirrors Vivado HLS quantisation modes.
+enum class Round {
+  truncate,    ///< AP_TRN: round toward negative infinity (drop bits)
+  toward_zero, ///< AP_TRN_ZERO: round toward zero
+  half_up,     ///< AP_RND: round half away from zero handled as +0.5 floor
+  half_even,   ///< AP_RND_CONV: round half to even (convergent)
+};
+
+/// Overflow behaviour when a value exceeds the representable range.
+enum class Overflow {
+  saturate, ///< AP_SAT: clamp to the closest representable value
+  wrap,     ///< AP_WRAP: keep the low W bits (two's-complement wrap)
+};
+
+const char* to_string(Round r);
+const char* to_string(Overflow o);
+
+/// Shift `v` right by `shift` bits, rounding the discarded bits per `mode`.
+/// shift == 0 returns v unchanged; shift must be in [0, 62].
+std::int64_t shift_right_round(std::int64_t v, int shift, Round mode);
+
+/// Compute round((a << frac_bits) / b) without overflowing 64 bits,
+/// rounding per `mode`. Used by fixed-point division.
+std::int64_t div_scaled(std::int64_t a, std::int64_t b, int frac_bits,
+                        Round mode);
+
+/// A runtime fixed-point format descriptor: signed two's complement,
+/// `width` total bits of which `int_bits` are integer bits (incl. sign).
+class FixedFormat {
+public:
+  /// Construct a format; throws InvalidArgument if width not in [1,32] or
+  /// int_bits not in [1,width].
+  FixedFormat(int width, int int_bits, Round round = Round::truncate,
+              Overflow overflow = Overflow::saturate);
+
+  int width() const { return width_; }
+  int int_bits() const { return int_bits_; }
+  int frac_bits() const { return width_ - int_bits_; }
+  Round round() const { return round_; }
+  Overflow overflow() const { return overflow_; }
+
+  /// Most positive raw pattern: 2^(W-1) - 1.
+  std::int64_t max_raw() const { return max_raw_; }
+  /// Most negative raw pattern: -2^(W-1).
+  std::int64_t min_raw() const { return min_raw_; }
+  /// Largest representable real value.
+  double max_value() const { return raw_to_double(max_raw_); }
+  /// Most negative representable real value.
+  double min_value() const { return raw_to_double(min_raw_); }
+  /// Value of one LSB (the quantisation step), 2^-frac_bits.
+  double lsb() const { return lsb_; }
+
+  /// Quantise a real value into a raw pattern (rounding then overflow).
+  /// NaN quantises to 0 (matching ap_fixed's behaviour of undefined->0 in
+  /// practice, and keeping the pipeline total).
+  std::int64_t raw_from_double(double v) const;
+
+  /// Exact real value of a raw pattern.
+  double raw_to_double(std::int64_t raw) const;
+
+  /// Apply only the overflow rule to an (already scaled) raw value.
+  std::int64_t apply_overflow(std::int64_t raw) const;
+
+  /// Two's-complement wrap of a raw value into W bits (ignores overflow mode).
+  std::int64_t wrap_raw(std::int64_t raw) const;
+
+  /// Round-trip a double through this format: quantisation in one call.
+  double quantize(double v) const { return raw_to_double(raw_from_double(v)); }
+
+  /// SDSoC constraint from §III.C: hardware-function argument widths must be
+  /// 8, 16, 32 or 64 bits for AXI bus alignment.
+  bool is_bus_aligned() const;
+
+  /// Render e.g. "Fixed<16,2,AP_RND,AP_SAT>".
+  std::string to_string() const;
+
+  /// Render a value with raw pattern and format, for diagnostics.
+  std::string value_to_string(std::int64_t raw) const;
+
+  friend bool operator==(const FixedFormat& a, const FixedFormat& b) {
+    return a.width_ == b.width_ && a.int_bits_ == b.int_bits_ &&
+           a.round_ == b.round_ && a.overflow_ == b.overflow_;
+  }
+  friend bool operator!=(const FixedFormat& a, const FixedFormat& b) {
+    return !(a == b);
+  }
+
+private:
+  int width_;
+  int int_bits_;
+  Round round_;
+  Overflow overflow_;
+  std::int64_t max_raw_;
+  std::int64_t min_raw_;
+  double lsb_;
+};
+
+/// Round-trip helper: quantise `v` as if stored in `fmt`.
+inline double quantize(const FixedFormat& fmt, double v) {
+  return fmt.quantize(v);
+}
+
+} // namespace tmhls::fixed

@@ -1,0 +1,109 @@
+#include "fixed/fixed_math.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tmhls::fixed {
+
+namespace {
+
+constexpr int kExpLutFracBits = 30; // Q30 exp ROM
+// Interpolation fraction bits inside one ROM segment.
+constexpr int kLogInterpBits = 16;
+constexpr int kExpInterpBits = FixedMath::kQ - FixedMath::kLutBits; // 10
+
+} // namespace
+
+FixedMath::FixedMath() {
+  for (int j = 0; j <= kLutSize; ++j) {
+    const double frac = static_cast<double>(j) / kLutSize;
+    log_lut_[j] = static_cast<std::int64_t>(
+        std::llround(std::log2(1.0 + frac) * (1 << kQ)));
+    exp_lut_[j] = static_cast<std::int64_t>(
+        std::llround(std::exp2(frac) * (std::int64_t{1} << kExpLutFracBits)));
+  }
+}
+
+std::int64_t FixedMath::log2_q16(std::int64_t raw,
+                                 const FixedFormat& fmt) const {
+  TMHLS_REQUIRE(raw > 0, "log2 of a non-positive fixed-point value");
+  // Position of the most significant set bit: raw in [2^p, 2^(p+1)).
+  const int p =
+      static_cast<int>(std::bit_width(static_cast<std::uint64_t>(raw))) - 1;
+  // Normalise the mantissa to 40 fraction bits (raw < 2^32, so the shift
+  // is always non-negative and lossless).
+  constexpr int kNormBits = 40;
+  const std::int64_t norm = raw << (kNormBits - p);
+  const std::int64_t frac = norm - (std::int64_t{1} << kNormBits);
+  const auto idx = static_cast<int>(frac >> (kNormBits - kLutBits));
+  const std::int64_t rem =
+      (frac >> (kNormBits - kLutBits - kLogInterpBits)) &
+      ((std::int64_t{1} << kLogInterpBits) - 1);
+  const std::int64_t base = log_lut_[idx];
+  const std::int64_t slope = log_lut_[idx + 1] - log_lut_[idx];
+  const std::int64_t mant_log = base + ((slope * rem) >> kLogInterpBits);
+  const std::int64_t exponent = p - fmt.frac_bits();
+  return (exponent << kQ) + mant_log;
+}
+
+std::int64_t FixedMath::exp2_q16(std::int64_t x_q16) const {
+  // Split x = i + f with f in [0, 1).
+  const std::int64_t i = x_q16 >> kQ; // floor for negatives too
+  const std::int64_t f = x_q16 - (i << kQ);
+  const auto idx = static_cast<int>(f >> kExpInterpBits);
+  const std::int64_t rem = f & ((std::int64_t{1} << kExpInterpBits) - 1);
+  const std::int64_t base = exp_lut_[idx];
+  const std::int64_t slope = exp_lut_[idx + 1] - exp_lut_[idx];
+  const std::int64_t mant = base + ((slope * rem) >> kExpInterpBits); // Q30
+
+  // Result = mant * 2^i, converted from Q30 to Q16: shift by (30-16) - i.
+  const std::int64_t shift = (kExpLutFracBits - kQ) - i;
+  if (shift <= 0) {
+    // Large positive exponents: guard against int64 overflow.
+    if (-shift >= 62 - kExpLutFracBits) {
+      return std::int64_t{1} << 62; // saturated "huge" Q16 value
+    }
+    return mant << (-shift);
+  }
+  if (shift > 62) return 0; // deep underflow
+  return shift_right_round(mant, static_cast<int>(shift), Round::half_up);
+}
+
+std::int64_t FixedMath::pow_q16(std::int64_t raw, const FixedFormat& fmt,
+                                std::int64_t g_q16) const {
+  TMHLS_REQUIRE(raw >= 0, "pow of a negative fixed-point value");
+  if (raw == 0) return 0;
+  const std::int64_t l = log2_q16(raw, fmt);
+  // g * l in Q32, rounded back to Q16. |l| <= ~32 in Q16 (2^21), g within
+  // a few units (2^18): the product fits comfortably in int64.
+  const std::int64_t prod =
+      shift_right_round(g_q16 * l, kQ, Round::half_up);
+  return exp2_q16(prod);
+}
+
+std::int64_t FixedMath::q16_to_raw(std::int64_t q16, const FixedFormat& fmt) {
+  const int shift = kQ - fmt.frac_bits();
+  std::int64_t raw = q16;
+  if (shift > 0) {
+    raw = shift_right_round(q16, shift, fmt.round());
+  } else if (shift < 0) {
+    // Widening: guard the shift against overflow, then saturate via the
+    // format's overflow rule.
+    if (-shift > 40) {
+      raw = q16 > 0 ? fmt.max_raw() + 1 : fmt.min_raw() - 1;
+    } else {
+      raw = q16 << (-shift);
+    }
+  }
+  return fmt.apply_overflow(raw);
+}
+
+std::int64_t FixedMath::raw_to_q16(std::int64_t raw, const FixedFormat& fmt) {
+  const int shift = fmt.frac_bits() - kQ;
+  if (shift > 0) return shift_right_round(raw, shift, fmt.round());
+  return raw << (-shift);
+}
+
+} // namespace tmhls::fixed

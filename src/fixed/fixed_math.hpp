@@ -1,0 +1,65 @@
+// Fixed-point transcendental math: log2 / exp2 / pow on integer datapaths.
+//
+// The paper stops after converting the Gaussian blur to fixed point; its
+// conclusion names the masking stage as the next bottleneck candidate.
+// Accelerating Moroney's non-linear masking (out = in^gamma with a
+// per-pixel gamma = 2^(2*mask-1)) in programmable logic needs pow() without
+// an FPU. This module provides the standard hardware construction:
+//
+//   log2:  normalise to [1, 2) with a leading-zero count, then a 64-entry
+//          ROM of log2(1+j/64) with linear interpolation;
+//   exp2:  split integer/fraction, 64-entry ROM of 2^(j/64) with linear
+//          interpolation, then a shift;
+//   pow:   x^g = exp2(g * log2(x)).
+//
+// All arithmetic is integer-only (the ROMs are built once with double
+// precision, exactly like ROM initialisation in synthesis). The working
+// log domain is Q16 (16 fraction bits).
+#pragma once
+
+#include <cstdint>
+
+#include "fixed/fixed_format.hpp"
+
+namespace tmhls::fixed {
+
+/// Integer-only log2/exp2/pow over fixed-point values. Immutable after
+/// construction; safe to share.
+class FixedMath {
+public:
+  /// Fraction bits of the Q16 log-domain values.
+  static constexpr int kQ = 16;
+  /// log2 of the ROM size (64 entries + guard).
+  static constexpr int kLutBits = 6;
+
+  FixedMath();
+
+  /// log2 of a positive fixed-point value `raw` interpreted in `fmt`,
+  /// returned in Q16. Throws InvalidArgument for raw <= 0.
+  std::int64_t log2_q16(std::int64_t raw, const FixedFormat& fmt) const;
+
+  /// 2^x for x in Q16, returned in Q16 (saturating at the int64-safe
+  /// bound). Accepts any finite Q16 input; underflow rounds to 0.
+  std::int64_t exp2_q16(std::int64_t x_q16) const;
+
+  /// x^g for x >= 0: `raw` in `fmt`, exponent `g_q16` in Q16, result in
+  /// Q16. pow(0, g) = 0 for g > 0.
+  std::int64_t pow_q16(std::int64_t raw, const FixedFormat& fmt,
+                       std::int64_t g_q16) const;
+
+  /// Convert a Q16 value into a raw pattern of `fmt` (rounding + overflow
+  /// per the format).
+  static std::int64_t q16_to_raw(std::int64_t q16, const FixedFormat& fmt);
+
+  /// Convert a raw pattern of `fmt` into Q16 (exact when fmt has <= 16
+  /// fraction bits; rounded per the format otherwise).
+  static std::int64_t raw_to_q16(std::int64_t raw, const FixedFormat& fmt);
+
+private:
+  static constexpr int kLutSize = 1 << kLutBits;
+  // ROMs carry one guard entry so interpolation can read index+1.
+  std::int64_t log_lut_[kLutSize + 1];  // Q16: log2(1 + j/64)
+  std::int64_t exp_lut_[kLutSize + 1];  // Q30: 2^(j/64)
+};
+
+} // namespace tmhls::fixed

@@ -1,0 +1,58 @@
+#include "hls/dataflow.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::hls {
+
+DataflowSchedule schedule_dataflow(const std::vector<DataflowProcess>& chain,
+                                   const Scheduler& scheduler) {
+  TMHLS_REQUIRE(!chain.empty(), "dataflow region needs at least one process");
+
+  DataflowSchedule region;
+  std::int64_t slowest_cycles = 0;
+
+  std::vector<double> rates;
+  for (const DataflowProcess& p : chain) {
+    const ScheduleResult s = scheduler.schedule(p.loop);
+    const std::int64_t tokens = p.tokens > 0 ? p.tokens : p.loop.trip_count;
+    TMHLS_REQUIRE(tokens > 0, "process must move at least one token");
+    rates.push_back(static_cast<double>(s.total_cycles) /
+                    static_cast<double>(tokens));
+    if (s.total_cycles > slowest_cycles) {
+      slowest_cycles = s.total_cycles;
+      region.bottleneck = p.name;
+    }
+    region.resources +=
+        estimate_resources(p.loop, s, scheduler.library());
+    region.processes.push_back(s);
+  }
+
+  // The region finishes when the slowest process finishes, delayed by each
+  // upstream process's start latency (one iteration: the first token).
+  std::int64_t start_delay = 0;
+  for (std::size_t i = 0; i + 1 < region.processes.size(); ++i) {
+    start_delay += region.processes[i].iteration_latency;
+  }
+  region.total_cycles = slowest_cycles + start_delay;
+
+  // FIFO sizing between consecutive processes: enough tokens to absorb the
+  // rate mismatch over the consumer's start delay, at least 2 (ping-pong).
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const double producer_rate = rates[i];
+    const std::int64_t consumer_start =
+        region.processes[i + 1].iteration_latency;
+    const std::int64_t lead = producer_rate > 0.0
+                                  ? static_cast<std::int64_t>(
+                                        static_cast<double>(consumer_start) /
+                                        producer_rate) +
+                                        1
+                                  : 1;
+    region.fifo_depths.push_back(std::max<std::int64_t>(2, lead));
+  }
+  return region;
+}
+
+} // namespace tmhls::hls

@@ -1,0 +1,54 @@
+// Dataflow composition — the #pragma HLS DATAFLOW model.
+//
+// A dataflow region runs several loops ("processes") concurrently,
+// connected by FIFO streams: the region's throughput is set by its slowest
+// process, and its latency by the pipeline of processes. This is the
+// construct behind the fused two-pass blur extension and, more generally,
+// behind any streaming accelerator chain (blur -> masking -> ...).
+//
+// Model:
+//   region II (per token)   = max over processes of their effective
+//                             cycles-per-token
+//   region total cycles     = max process total + sum of the others' fill
+//                             latencies (each process starts once its
+//                             predecessor emits its first token)
+//   FIFO depth requirement  = the token lead a producer can build up
+//                             before its consumer starts draining.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hls/resources.hpp"
+#include "hls/scheduler.hpp"
+
+namespace tmhls::hls {
+
+/// One process of a dataflow region: a scheduled loop plus the number of
+/// stream tokens it consumes/produces over its lifetime.
+struct DataflowProcess {
+  std::string name;
+  Loop loop;
+  /// Tokens this process produces (defaults to its trip count).
+  std::int64_t tokens = 0;
+};
+
+/// The composed region's schedule.
+struct DataflowSchedule {
+  std::vector<ScheduleResult> processes;
+  /// Cycles from first input token to last output token.
+  std::int64_t total_cycles = 0;
+  /// The slowest process (region bottleneck).
+  std::string bottleneck;
+  /// Combined resources (every process is live concurrently).
+  ResourceEstimate resources;
+  /// Suggested FIFO depth between consecutive processes, in tokens.
+  std::vector<std::int64_t> fifo_depths;
+};
+
+/// Schedule a chain of processes connected process[i] -> process[i+1].
+/// Throws InvalidArgument on an empty chain.
+DataflowSchedule schedule_dataflow(const std::vector<DataflowProcess>& chain,
+                                   const Scheduler& scheduler);
+
+} // namespace tmhls::hls

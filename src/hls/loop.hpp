@@ -1,0 +1,74 @@
+// The loop-nest intermediate representation the scheduler consumes.
+//
+// A hardware function is described as a perfectly-nested loop whose body is
+// a bag of operations plus accesses to on-chip arrays. This is the level at
+// which Vivado HLS reports its schedule ("for each clock cycle which
+// operation is performed by the hardware module", §III.B) and at which the
+// two pragmas act.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/operators.hpp"
+#include "hls/pragmas.hpp"
+
+namespace tmhls::hls {
+
+/// An on-chip memory (BRAM buffer or register bank) accessed by the loop.
+struct ArraySpec {
+  std::string name;
+  /// Total elements stored.
+  std::int64_t elements = 0;
+  /// Bits per element (32 for float, 16 for the paper's ap_fixed).
+  int element_bits = 32;
+  /// Ports available to the loop's reads per bank. A true-dual-port BRAM
+  /// has 2; the streaming blur reserves one for the line-buffer writer, so
+  /// the convolution reads see 1 per bank.
+  int read_ports = 1;
+  /// Elements packed per physical word (memory "reshaping": a 32-bit BRAM
+  /// word holds two 16-bit pixels, doubling read bandwidth — the §III.C
+  /// fixed-point win beyond shorter operators).
+  int elems_per_word = 1;
+  /// Bank count created by ARRAY_PARTITION (1 = unpartitioned).
+  int partitions = 1;
+
+  /// Reads the loop body performs on this array per iteration.
+  std::int64_t reads_per_iter = 0;
+  /// Writes per iteration.
+  std::int64_t writes_per_iter = 0;
+
+  /// Peak element throughput per cycle the banks can deliver.
+  std::int64_t read_bandwidth_per_cycle() const {
+    return static_cast<std::int64_t>(partitions) * read_ports * elems_per_word;
+  }
+};
+
+/// One operation kind with its per-iteration multiplicity.
+struct OpUse {
+  OpKind kind = OpKind::int_op;
+  std::int64_t count = 0;
+};
+
+/// A loop to schedule.
+struct Loop {
+  std::string name;
+  /// Iterations of the (flattened) loop.
+  std::int64_t trip_count = 0;
+  /// Operations per iteration (excluding array reads/writes, which are
+  /// described by `arrays` and costed as bram accesses).
+  std::vector<OpUse> ops;
+  /// On-chip arrays accessed by the body.
+  std::vector<ArraySpec> arrays;
+  /// Loop-carried dependency: the operation on the recurrence (e.g. the
+  /// accumulator's add) and how many of them chain per iteration. With a
+  /// fully-unrolled reduction the chain collapses into a tree and the
+  /// recurrence length is 1 (the final accumulator update).
+  OpKind recurrence_op = OpKind::fadd;
+  int recurrence_length = 0; ///< 0 = no loop-carried dependency
+  /// Directives attached to this loop.
+  PragmaSet pragmas;
+};
+
+} // namespace tmhls::hls

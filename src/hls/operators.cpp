@@ -1,0 +1,56 @@
+#include "hls/operators.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::hls {
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::bram_read: return "bram_read";
+    case OpKind::bram_write: return "bram_write";
+    case OpKind::ddr_random_read: return "ddr_random_read";
+    case OpKind::ddr_random_write: return "ddr_random_write";
+    case OpKind::fadd: return "fadd";
+    case OpKind::fmul: return "fmul";
+    case OpKind::fdiv: return "fdiv";
+    case OpKind::fixed_add: return "fixed_add";
+    case OpKind::fixed_mul: return "fixed_mul";
+    case OpKind::int_op: return "int_op";
+  }
+  return "?";
+}
+
+const OperatorInfo& OperatorLibrary::info(OpKind kind) const {
+  const auto idx = static_cast<int>(kind);
+  TMHLS_ASSERT(idx >= 0 && idx < kOpKinds, "bad OpKind");
+  return ops_[idx];
+}
+
+OperatorLibrary OperatorLibrary::with_op(OpKind kind,
+                                         OperatorInfo info) const {
+  OperatorLibrary copy = *this;
+  copy.ops_[static_cast<int>(kind)] = info;
+  return copy;
+}
+
+OperatorLibrary OperatorLibrary::artix7_100mhz() {
+  OperatorLibrary lib;
+  auto set = [&lib](OpKind k, OperatorInfo oi) {
+    lib.ops_[static_cast<int>(k)] = oi;
+  };
+  // Latencies: Xilinx LogiCORE floating-point operator figures at ~100 MHz
+  // on Artix-class fabric; resources per instance.
+  set(OpKind::bram_read, {2, 10, 10, 0});
+  set(OpKind::bram_write, {1, 10, 10, 0});
+  set(OpKind::ddr_random_read, {100, 50, 80, 0});
+  set(OpKind::ddr_random_write, {100, 50, 80, 0});
+  set(OpKind::fadd, {5, 220, 180, 2});
+  set(OpKind::fmul, {3, 120, 150, 3});
+  set(OpKind::fdiv, {28, 800, 900, 0});
+  set(OpKind::fixed_add, {1, 16, 16, 0});
+  set(OpKind::fixed_mul, {1, 30, 40, 1});
+  set(OpKind::int_op, {1, 12, 8, 0});
+  return lib;
+}
+
+} // namespace tmhls::hls

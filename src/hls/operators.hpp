@@ -1,0 +1,58 @@
+// The HLS operator library: latency and resource cost of each operation a
+// synthesised datapath can perform, at the target clock. The float
+// latencies model Xilinx floating-point operator cores on Artix-class
+// fabric at 100 MHz; fixed-point operations map to plain integer logic
+// (§III.C: "allowing the use of simple hardware operators implementing
+// integer arithmetic and improving speed, area and energy").
+#pragma once
+
+#include <cstdint>
+
+namespace tmhls::hls {
+
+/// Operation kinds a loop body can contain.
+enum class OpKind {
+  bram_read,        ///< read from an on-chip BRAM/register buffer
+  bram_write,       ///< write to an on-chip buffer
+  ddr_random_read,  ///< single-beat external-memory read over the bus
+  ddr_random_write, ///< single-beat external-memory write over the bus
+  fadd,             ///< floating-point add/subtract
+  fmul,             ///< floating-point multiply
+  fdiv,             ///< floating-point divide
+  fixed_add,        ///< fixed-point (integer) add/subtract
+  fixed_mul,        ///< fixed-point multiply
+  int_op,           ///< index arithmetic / compare / loop control
+};
+
+const char* to_string(OpKind k);
+
+/// Latency and resources of one operator instance.
+struct OperatorInfo {
+  int latency = 1; ///< cycles from operand to result
+  int luts = 0;    ///< LUTs per instance
+  int ffs = 0;     ///< flip-flops per instance
+  int dsps = 0;    ///< DSP48 slices per instance
+};
+
+/// Immutable table of operator costs for a target device and clock.
+class OperatorLibrary {
+public:
+  /// Cost of an operation kind.
+  const OperatorInfo& info(OpKind kind) const;
+
+  /// Replace the cost of one operation kind (used by the platform layer to
+  /// inject bus latencies, and by ablation benches to sweep costs).
+  OperatorLibrary with_op(OpKind kind, OperatorInfo info) const;
+
+  /// Default library: Artix-7-class programmable logic at 100 MHz, Xilinx
+  /// floating-point operator core latencies. External-memory costs default
+  /// to a 100-cycle single-beat round trip and are normally overridden by
+  /// the platform's DDR model.
+  static OperatorLibrary artix7_100mhz();
+
+private:
+  static constexpr int kOpKinds = 10;
+  OperatorInfo ops_[kOpKinds];
+};
+
+} // namespace tmhls::hls

@@ -1,0 +1,23 @@
+#include "hls/pragmas.hpp"
+
+namespace tmhls::hls {
+
+const char* to_string(PartitionMode m) {
+  switch (m) {
+    case PartitionMode::none: return "none";
+    case PartitionMode::cyclic: return "cyclic";
+    case PartitionMode::block: return "block";
+    case PartitionMode::complete: return "complete";
+  }
+  return "?";
+}
+
+const char* to_string(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::random: return "random";
+    case AccessPattern::sequential: return "sequential";
+  }
+  return "?";
+}
+
+} // namespace tmhls::hls

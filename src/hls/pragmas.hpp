@@ -1,0 +1,62 @@
+// SDSoC/Vivado-HLS compiler directives ("pragmas") as data.
+//
+// §III.B: "Compiler directives called pragmas can be used in SDSoC to guide
+// the compilation... essentially controlling the following knobs: data
+// motion network ... system parallelism". The two pragmas the paper adds
+// are #pragma HLS PIPELINE and #pragma HLS ARRAY_PARTITION; we also model
+// UNROLL (implied by pipelining an outer loop over a fixed inner loop) and
+// the data-mover access pattern (random vs sequential), which is what
+// separates the "Marked HW function" row from "Sequential memory accesses".
+#pragma once
+
+namespace tmhls::hls {
+
+/// #pragma HLS PIPELINE — overlap loop iterations at a target initiation
+/// interval. "Vivado HLS performs this operation trying to minimize the
+/// initiation interval, i.e. the number of clock cycles necessary between
+/// consecutive loop iterations."
+struct PipelinePragma {
+  bool enabled = false;
+  /// Requested II; the achieved II can be larger when data dependencies or
+  /// memory ports limit it (exactly the paper's caveat).
+  int target_ii = 1;
+};
+
+/// #pragma HLS ARRAY_PARTITION — split an array across independent memory
+/// banks to multiply the available ports.
+enum class PartitionMode {
+  none,     ///< single memory
+  cyclic,   ///< element i -> bank (i mod factor)
+  block,    ///< contiguous chunks per bank
+  complete, ///< fully scattered into registers
+};
+
+struct ArrayPartitionPragma {
+  PartitionMode mode = PartitionMode::none;
+  int factor = 1;
+};
+
+/// #pragma HLS UNROLL — replicate the loop body `factor` times.
+struct UnrollPragma {
+  int factor = 1; ///< 1 = no unrolling; 0 = full unroll
+};
+
+/// Data-mover access pattern between the accelerator and external memory
+/// (the SDSoC data-motion-network knob).
+enum class AccessPattern {
+  random,     ///< single-beat bus transactions per element (AXI-GP style)
+  sequential, ///< burst DMA streaming (AXI-DMA style)
+};
+
+/// The full set of directives attached to one hardware loop.
+struct PragmaSet {
+  PipelinePragma pipeline;
+  ArrayPartitionPragma partition;
+  UnrollPragma unroll;
+  AccessPattern access = AccessPattern::random;
+};
+
+const char* to_string(PartitionMode m);
+const char* to_string(AccessPattern p);
+
+} // namespace tmhls::hls

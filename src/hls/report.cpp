@@ -1,0 +1,70 @@
+#include "hls/report.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace tmhls::hls {
+
+double HlsReport::execution_seconds() const {
+  TMHLS_REQUIRE(clock_hz > 0.0, "report needs a positive clock");
+  return static_cast<double>(schedule.total_cycles) / clock_hz;
+}
+
+std::string HlsReport::render() const {
+  std::ostringstream os;
+  os << "== HLS synthesis report: " << function_name << " ==\n";
+  os << "Target clock: " << format_si(clock_hz, 4) << "Hz\n\n";
+
+  TextTable perf({"metric", "value"});
+  perf.add_row({"pipelined", schedule.pipelined ? "yes" : "no"});
+  if (schedule.pipelined) {
+    perf.add_row({"initiation interval (II)", std::to_string(schedule.ii)});
+    perf.add_row({"II bound: recurrence",
+                  std::to_string(schedule.ii_recurrence)});
+    perf.add_row({"II bound: memory ports",
+                  std::to_string(schedule.ii_memory)});
+    perf.add_row({"limited by", schedule.limiting_factor});
+  }
+  perf.add_row({"iteration latency",
+                std::to_string(schedule.iteration_latency)});
+  perf.add_row({"trip count", std::to_string(schedule.effective_trip_count)});
+  perf.add_row({"total cycles", std::to_string(schedule.total_cycles)});
+  perf.add_row({"estimated time", format_si(execution_seconds(), 4) + "s"});
+  os << perf.render() << '\n';
+
+  TextTable util({"resource", "used", "available", "utilisation"});
+  auto row = [&util](const char* name, std::int64_t used,
+                     std::int64_t avail) {
+    const double pct =
+        avail > 0 ? 100.0 * static_cast<double>(used) /
+                        static_cast<double>(avail)
+                  : 0.0;
+    util.add_row({name, std::to_string(used), std::to_string(avail),
+                  format_fixed(pct, 1) + " %"});
+  };
+  row("LUT", resources.luts, device.luts);
+  row("FF", resources.ffs, device.ffs);
+  row("DSP48", resources.dsps, device.dsps);
+  row("BRAM36", resources.bram36, device.bram36);
+  os << util.render();
+  os << (fits(resources, device) ? "Design fits the device.\n"
+                                 : "DESIGN DOES NOT FIT THE DEVICE.\n");
+  return os.str();
+}
+
+HlsReport synthesize(const std::string& function_name, const Loop& loop,
+                     const Scheduler& scheduler, double clock_hz,
+                     const DeviceCapacity& device) {
+  HlsReport report;
+  report.function_name = function_name;
+  report.clock_hz = clock_hz;
+  report.schedule = scheduler.schedule(loop);
+  report.resources =
+      estimate_resources(loop, report.schedule, scheduler.library());
+  report.device = device;
+  return report;
+}
+
+} // namespace tmhls::hls

@@ -1,0 +1,36 @@
+// Vivado-HLS-style synthesis report rendering. §III.B: "At each
+// optimization step, the performance report obtained after the compilation
+// has been analyzed to identify the bottleneck of the design." The report
+// carries the schedule (II + its limiting factor), latency and utilisation
+// estimates so that exactly that workflow can be followed with this model.
+#pragma once
+
+#include <string>
+
+#include "hls/loop.hpp"
+#include "hls/resources.hpp"
+#include "hls/scheduler.hpp"
+
+namespace tmhls::hls {
+
+/// A complete report for one synthesised hardware function.
+struct HlsReport {
+  std::string function_name;
+  double clock_hz = 0.0;
+  ScheduleResult schedule;
+  ResourceEstimate resources;
+  DeviceCapacity device;
+
+  /// Wall-clock execution estimate for the scheduled cycle count.
+  double execution_seconds() const;
+
+  /// Render the report as aligned text.
+  std::string render() const;
+};
+
+/// Build a report by scheduling `loop` and estimating its resources.
+HlsReport synthesize(const std::string& function_name, const Loop& loop,
+                     const Scheduler& scheduler, double clock_hz,
+                     const DeviceCapacity& device);
+
+} // namespace tmhls::hls

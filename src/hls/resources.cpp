@@ -1,0 +1,86 @@
+#include "hls/resources.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::hls {
+
+ResourceEstimate& ResourceEstimate::operator+=(const ResourceEstimate& o) {
+  luts += o.luts;
+  ffs += o.ffs;
+  dsps += o.dsps;
+  bram36 += o.bram36;
+  return *this;
+}
+
+DeviceCapacity DeviceCapacity::zynq7020() {
+  return DeviceCapacity{53200, 106400, 220, 140};
+}
+
+DeviceCapacity DeviceCapacity::zynq7045() {
+  return DeviceCapacity{218600, 437200, 900, 545};
+}
+
+bool fits(const ResourceEstimate& need, const DeviceCapacity& have) {
+  return need.luts <= have.luts && need.ffs <= have.ffs &&
+         need.dsps <= have.dsps && need.bram36 <= have.bram36;
+}
+
+double peak_utilisation(const ResourceEstimate& need,
+                        const DeviceCapacity& have) {
+  TMHLS_REQUIRE(have.luts > 0 && have.ffs > 0 && have.dsps > 0 &&
+                    have.bram36 > 0,
+                "device capacity must be positive");
+  double peak = 0.0;
+  peak = std::max(peak, static_cast<double>(need.luts) /
+                            static_cast<double>(have.luts));
+  peak = std::max(peak, static_cast<double>(need.ffs) /
+                            static_cast<double>(have.ffs));
+  peak = std::max(peak, static_cast<double>(need.dsps) /
+                            static_cast<double>(have.dsps));
+  peak = std::max(peak, static_cast<double>(need.bram36) /
+                            static_cast<double>(have.bram36));
+  return peak;
+}
+
+ResourceEstimate estimate_resources(const Loop& loop,
+                                    const ScheduleResult& schedule,
+                                    const OperatorLibrary& library) {
+  ResourceEstimate total;
+
+  int unroll = loop.pragmas.unroll.factor;
+  if (unroll == 0) unroll = static_cast<int>(loop.trip_count);
+  if (unroll < 1) unroll = 1;
+
+  // Functional units.
+  const std::int64_t ii =
+      schedule.pipelined ? std::max(1, schedule.ii) : 0;
+  for (const OpUse& use : loop.ops) {
+    if (use.count == 0) continue;
+    const std::int64_t per_iter = use.count * unroll;
+    const std::int64_t units =
+        schedule.pipelined ? ceil_div(per_iter, ii) : 1;
+    const OperatorInfo& oi = library.info(use.kind);
+    total.luts += units * oi.luts;
+    total.ffs += units * oi.ffs;
+    total.dsps += units * oi.dsps;
+  }
+
+  // Control overhead: counters, FSM, AXI adapters — a base cost per loop.
+  total.luts += 900;
+  total.ffs += 1100;
+
+  // Block RAM: bits per bank rounded up to whole BRAM36s, times banks.
+  constexpr std::int64_t kBram36Bits = 36 * 1024;
+  for (const ArraySpec& a : loop.arrays) {
+    if (a.elements == 0) continue;
+    const std::int64_t bank_elems = ceil_div(a.elements, a.partitions);
+    const std::int64_t bank_bits = bank_elems * a.element_bits;
+    total.bram36 += a.partitions * ceil_div(bank_bits, kBram36Bits);
+  }
+  return total;
+}
+
+} // namespace tmhls::hls

@@ -1,0 +1,61 @@
+// FPGA resource estimation for a scheduled loop — the "utilization
+// estimates" section of a Vivado HLS report. Drives two things downstream:
+// the BRAM fit check against the device, and the programmable-logic idle
+// power ("bottomline") in Fig 8b, which the paper observes growing as the
+// optimization steps enable more logic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hls/loop.hpp"
+#include "hls/scheduler.hpp"
+
+namespace tmhls::hls {
+
+/// Estimated device resources of one synthesised design.
+struct ResourceEstimate {
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t dsps = 0;
+  std::int64_t bram36 = 0; ///< 36 Kbit block RAMs
+
+  ResourceEstimate& operator+=(const ResourceEstimate& o);
+  friend ResourceEstimate operator+(ResourceEstimate a,
+                                    const ResourceEstimate& b) {
+    return a += b;
+  }
+};
+
+/// Capacity of the target device's programmable logic.
+struct DeviceCapacity {
+  std::int64_t luts = 0;
+  std::int64_t ffs = 0;
+  std::int64_t dsps = 0;
+  std::int64_t bram36 = 0;
+
+  /// Zynq-7020 (the part on the ZC702 board the paper's rails match).
+  static DeviceCapacity zynq7020();
+  /// Zynq-7045 (ZC706), for headroom experiments.
+  static DeviceCapacity zynq7045();
+};
+
+/// True if `need` fits inside `have` on every axis.
+bool fits(const ResourceEstimate& need, const DeviceCapacity& have);
+
+/// Utilisation of the scarcest resource, in [0, inf); > 1 means no fit.
+double peak_utilisation(const ResourceEstimate& need,
+                        const DeviceCapacity& have);
+
+/// Estimate the resources of a loop under its schedule.
+///
+/// Functional units: a pipelined loop at initiation interval II must issue
+/// `count / II` operations of each kind per cycle, so it instantiates
+/// ceil(count * unroll / II) units; an unpipelined loop reuses one unit per
+/// kind. BRAM: each array needs ceil(bits / 36 Kbit) blocks, and
+/// partitioning can only round the per-bank count up.
+ResourceEstimate estimate_resources(const Loop& loop,
+                                    const ScheduleResult& schedule,
+                                    const OperatorLibrary& library);
+
+} // namespace tmhls::hls

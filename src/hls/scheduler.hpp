@@ -1,0 +1,61 @@
+// The HLS loop scheduler: computes the initiation interval, iteration
+// latency and total cycle count of a loop under its pragma set — the model
+// of what Vivado HLS does when it compiles a marked function.
+//
+// Pipelined loops:   cycles = depth + (trips - 1) * II
+//   II = max(target_II, II_recurrence, II_memory)
+//   II_recurrence = recurrence_length * latency(recurrence_op)
+//     ("data dependency ... might limit this optimization", §III.B)
+//   II_memory     = ceil(reads_per_iter / read_bandwidth) per array
+//     ("hardware resources might limit this optimization")
+// Unpipelined loops: cycles = trips * (chained op latencies + loop control)
+//
+// The same scheduler handles the paper's four hardware variants purely
+// through their Loop descriptions; no per-variant special cases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hls/loop.hpp"
+#include "hls/operators.hpp"
+
+namespace tmhls::hls {
+
+/// Outcome of scheduling one loop.
+struct ScheduleResult {
+  std::string loop_name;
+  bool pipelined = false;
+  /// Achieved initiation interval (pipelined loops only).
+  int ii = 0;
+  /// The two II lower bounds, for the report.
+  int ii_recurrence = 0;
+  int ii_memory = 0;
+  /// Latency of one iteration (pipeline depth when pipelined).
+  int iteration_latency = 0;
+  /// Iterations after unrolling.
+  std::int64_t effective_trip_count = 0;
+  /// Total cycles for the whole loop.
+  std::int64_t total_cycles = 0;
+
+  /// Which constraint set the II: "target", "recurrence" or "memory ports".
+  std::string limiting_factor;
+};
+
+/// Schedules loops against an operator library.
+class Scheduler {
+public:
+  explicit Scheduler(OperatorLibrary library);
+
+  /// Schedule one loop. Throws InvalidArgument on malformed loops
+  /// (non-positive trip count, unroll factor < 0, ...).
+  ScheduleResult schedule(const Loop& loop) const;
+
+  const OperatorLibrary& library() const { return library_; }
+
+private:
+  OperatorLibrary library_;
+};
+
+} // namespace tmhls::hls

@@ -1,0 +1,207 @@
+#include "hlscode/blur_kernels.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::hlscode {
+
+namespace {
+
+int clamp_index(int v, int limit) {
+  return v < 0 ? 0 : (v >= limit ? limit - 1 : v);
+}
+
+// Generic horizontal pass: works for float and for the ap_fixed-style
+// Pixel16 (whose operator* / operator+ requantise exactly like the 16-bit
+// hardware datapath). Each input pixel is read from the stream exactly
+// once; edge clamping duplicates values inside the window registers, never
+// re-reads the stream — the property that makes the access pattern purely
+// sequential (Fig 4).
+template <typename T>
+void h_pass(Stream<T>& in, Stream<T>& out, int width, int height,
+            std::span<const T> weights) {
+  const int taps = static_cast<int>(weights.size());
+  const int radius = (taps - 1) / 2;
+  TMHLS_REQUIRE(taps >= 1 && taps <= kMaxTaps && taps % 2 == 1,
+                "taps must be odd and within kMaxTaps");
+  TMHLS_REQUIRE(width >= 1 && height >= 1, "geometry must be positive");
+
+  // In the synthesizable source this is `T window[kMaxTaps];`
+  // TMHLS_PRAGMA_HLS(array_partition variable = window complete)
+  std::vector<T> window(static_cast<std::size_t>(taps));
+
+  for (int y = 0; y < height; ++y) {
+    int next_x = 0; // next row pixel to pull from the stream
+    T last{};
+    // Advance the stream to row pixel `idx` (idx is nondecreasing),
+    // holding the last pixel once the row is exhausted (right-edge clamp).
+    auto pixel_at = [&](int idx) {
+      while (next_x <= idx && next_x < width) {
+        last = in.read();
+        ++next_x;
+      }
+      return last;
+    };
+    // Pre-fill centred on x = 0 (left-edge clamp duplicates pixel 0).
+    for (int i = 0; i < taps; ++i) {
+      window[static_cast<std::size_t>(i)] =
+          pixel_at(clamp_index(i - radius, width));
+    }
+    for (int x = 0; x < width; ++x) {
+      TMHLS_PRAGMA_HLS(pipeline II = 1)
+      T acc{};
+      for (int i = 0; i < taps; ++i) {
+        TMHLS_PRAGMA_HLS(unroll)
+        acc = acc + weights[static_cast<std::size_t>(i)] *
+                        window[static_cast<std::size_t>(i)];
+      }
+      out.write(acc);
+      for (int i = 0; i + 1 < taps; ++i) {
+        window[static_cast<std::size_t>(i)] =
+            window[static_cast<std::size_t>(i + 1)];
+      }
+      window[static_cast<std::size_t>(taps - 1)] =
+          pixel_at(clamp_index(x + radius + 1, width));
+    }
+  }
+}
+
+// Generic vertical pass with an on-chip line buffer of `taps` rows,
+// addressed by logical row modulo taps (the standard HLS line-buffer
+// idiom). Tap i of output row y reads logical row clamp(y + i - radius),
+// which is always resident: rows evict only once they can no longer be
+// referenced.
+template <typename T>
+void v_pass(Stream<T>& in, Stream<T>& out, int width, int height,
+            std::span<const T> weights) {
+  const int taps = static_cast<int>(weights.size());
+  const int radius = (taps - 1) / 2;
+  TMHLS_REQUIRE(taps >= 1 && taps <= kMaxTaps && taps % 2 == 1,
+                "taps must be odd and within kMaxTaps");
+  TMHLS_REQUIRE(width >= 1 && height >= 1, "geometry must be positive");
+
+  // In the synthesizable source: `T lines[kMaxTaps][MAX_WIDTH];`
+  // TMHLS_PRAGMA_HLS(array_partition variable = lines cyclic factor = 2 dim = 1)
+  LineBuffer<T> lines(taps, width);
+  int received = -1; // highest logical row pulled from the stream
+
+  auto ensure_row = [&](int logical) {
+    while (received < logical && received + 1 < height) {
+      ++received;
+      const int slot = received % taps;
+      for (int x = 0; x < width; ++x) {
+        lines.write(slot, x, in.read());
+      }
+    }
+  };
+
+  for (int y = 0; y < height; ++y) {
+    ensure_row(clamp_index(y + radius, height));
+    for (int x = 0; x < width; ++x) {
+      TMHLS_PRAGMA_HLS(pipeline II = 1)
+      T acc{};
+      for (int i = 0; i < taps; ++i) {
+        TMHLS_PRAGMA_HLS(unroll)
+        const int logical = clamp_index(y + i - radius, height);
+        acc = acc + weights[static_cast<std::size_t>(i)] *
+                        lines.at(logical % taps, x);
+      }
+      out.write(acc);
+    }
+  }
+}
+
+template <typename T>
+void top(Stream<T>& in, Stream<T>& out, int width, int height,
+         std::span<const T> weights) {
+  // TMHLS_PRAGMA_HLS(dataflow)
+  // The intermediate stream buffers the horizontal pass's lead over the
+  // vertical pass (up to radius+1 rows before the first output).
+  Stream<T> between;
+  h_pass(in, between, width, height, weights);
+  v_pass(between, out, width, height, weights);
+}
+
+} // namespace
+
+void blur_pass_horizontal_float(Stream<float>& in, Stream<float>& out,
+                                int width, int height,
+                                std::span<const float> weights) {
+  h_pass(in, out, width, height, weights);
+}
+
+void blur_pass_vertical_float(Stream<float>& in, Stream<float>& out,
+                              int width, int height,
+                              std::span<const float> weights) {
+  v_pass(in, out, width, height, weights);
+}
+
+void gaussian_blur_top_float(Stream<float>& in, Stream<float>& out,
+                             int width, int height,
+                             std::span<const float> weights) {
+  top(in, out, width, height, weights);
+}
+
+void blur_pass_horizontal_fixed(Stream<Pixel16>& in, Stream<Pixel16>& out,
+                                int width, int height,
+                                std::span<const Pixel16> weights) {
+  h_pass(in, out, width, height, weights);
+}
+
+void blur_pass_vertical_fixed(Stream<Pixel16>& in, Stream<Pixel16>& out,
+                              int width, int height,
+                              std::span<const Pixel16> weights) {
+  v_pass(in, out, width, height, weights);
+}
+
+void gaussian_blur_top_fixed(Stream<Pixel16>& in, Stream<Pixel16>& out,
+                             int width, int height,
+                             std::span<const Pixel16> weights) {
+  top(in, out, width, height, weights);
+}
+
+img::ImageF run_blur_float(const img::ImageF& src,
+                           const tonemap::GaussianKernel& kernel) {
+  TMHLS_REQUIRE(src.channels() == 1, "run_blur_float expects 1 channel");
+  const int w = src.width();
+  const int h = src.height();
+  Stream<float> in;
+  Stream<float> out;
+  for (float v : src.samples()) in.write(v);
+  const auto& wts = kernel.weights();
+  gaussian_blur_top_float(in, out, w, h,
+                          std::span<const float>(wts.data(), wts.size()));
+  img::ImageF result(w, h, 1);
+  for (float& v : result.samples()) v = out.read();
+  TMHLS_ASSERT(out.empty() && in.empty(), "stream accounting mismatch");
+  return result;
+}
+
+img::ImageF run_blur_fixed(const img::ImageF& src,
+                           const tonemap::GaussianKernel& kernel) {
+  TMHLS_REQUIRE(src.channels() == 1, "run_blur_fixed expects 1 channel");
+  const int w = src.width();
+  const int h = src.height();
+  Stream<Pixel16> in;
+  Stream<Pixel16> out;
+  // The AXI boundary quantises to the bus-aligned 16-bit format.
+  for (float v : src.samples()) {
+    in.write(Pixel16(static_cast<double>(v)));
+  }
+  std::vector<Pixel16> wts;
+  wts.reserve(kernel.weights().size());
+  for (float v : kernel.weights()) {
+    wts.push_back(Pixel16(static_cast<double>(v)));
+  }
+  gaussian_blur_top_fixed(in, out, w, h,
+                          std::span<const Pixel16>(wts.data(), wts.size()));
+  img::ImageF result(w, h, 1);
+  for (float& v : result.samples()) {
+    v = static_cast<float>(out.read().to_double());
+  }
+  TMHLS_ASSERT(out.empty() && in.empty(), "stream accounting mismatch");
+  return result;
+}
+
+} // namespace tmhls::hlscode

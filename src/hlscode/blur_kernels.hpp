@@ -1,0 +1,81 @@
+// The accelerator kernels in synthesizable (Vivado-HLS) style — the form
+// of the paper's actual hardware function after the §III.B restructuring.
+//
+// Each kernel is a streaming top function: pixels enter and leave through
+// Stream<> channels in raster order (the sequential access pattern of
+// Fig 4); neighbourhoods are reconstructed on chip with a ShiftReg
+// (horizontal pass) or a LineBuffer (vertical pass). TMHLS_PRAGMA_HLS
+// markers show where the paper's two pragmas sit.
+//
+// Functional contract: bit-identical to the golden models in src/tonemap —
+// `blur_streaming_float` for the float kernels and `blur_streaming_fixed`
+// with the paper's ap_fixed<16,2> config for the fixed kernels. The
+// hlscode tests enforce this equivalence; it is what guarantees that
+// results measured on the golden models transfer to the synthesizable
+// source.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fixed/fixed.hpp"
+#include "hlscode/stream.hpp"
+#include "image/image.hpp"
+#include "tonemap/kernel.hpp"
+
+namespace tmhls::hlscode {
+
+/// Largest kernel the synthesizable source supports: HLS needs static
+/// array bounds. radius <= 79 covers the paper's 79-tap workload twice.
+constexpr int kMaxTaps = 159;
+
+/// Horizontal blur pass: reads width*height pixels in raster order from
+/// `in`, writes the row-blurred pixels to `out`. Clamp-to-edge borders.
+/// `weights` holds 2*radius+1 taps (taps <= kMaxTaps).
+void blur_pass_horizontal_float(Stream<float>& in, Stream<float>& out,
+                                int width, int height,
+                                std::span<const float> weights);
+
+/// Vertical blur pass with an on-chip line buffer of `taps` rows.
+void blur_pass_vertical_float(Stream<float>& in, Stream<float>& out,
+                              int width, int height,
+                              std::span<const float> weights);
+
+/// The complete accelerated function: horizontal pass into an internal
+/// stream consumed by the vertical pass (in hardware: two dataflow
+/// processes). Equivalent to tonemap::blur_streaming_float bit-for-bit.
+void gaussian_blur_top_float(Stream<float>& in, Stream<float>& out,
+                             int width, int height,
+                             std::span<const float> weights);
+
+/// The paper's 16-bit datapath element type.
+using Pixel16 = fixed::PaperFixed;
+
+/// Fixed-point horizontal pass (ap_fixed<16,2> datapath, §III.C).
+void blur_pass_horizontal_fixed(Stream<Pixel16>& in, Stream<Pixel16>& out,
+                                int width, int height,
+                                std::span<const Pixel16> weights);
+
+/// Fixed-point vertical pass.
+void blur_pass_vertical_fixed(Stream<Pixel16>& in, Stream<Pixel16>& out,
+                              int width, int height,
+                              std::span<const Pixel16> weights);
+
+/// Complete fixed-point accelerated function.
+void gaussian_blur_top_fixed(Stream<Pixel16>& in, Stream<Pixel16>& out,
+                             int width, int height,
+                             std::span<const Pixel16> weights);
+
+// --- Host-side testbench drivers (the SDSoC software stub's role) --------
+
+/// Stream a 1-channel image through the float kernel and collect the
+/// result — what the generated software stub + data movers do at run time.
+img::ImageF run_blur_float(const img::ImageF& src,
+                           const tonemap::GaussianKernel& kernel);
+
+/// Stream through the fixed-point kernel (quantising at the boundary, as
+/// the bus-aligned 16-bit interface does).
+img::ImageF run_blur_fixed(const img::ImageF& src,
+                           const tonemap::GaussianKernel& kernel);
+
+} // namespace tmhls::hlscode

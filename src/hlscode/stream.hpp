@@ -1,0 +1,147 @@
+// Synthesizable-style streaming primitives, modelled on Vivado HLS's
+// hls::stream / line-buffer idioms.
+//
+// The paper's accelerator source is C++ written in the restricted style
+// Vivado HLS can compile to hardware (§III.A: "the SDSoC compiler invokes
+// Xilinx Vivado HLS to compile synthesizable C/C++ functions into
+// programmable logic"). This header provides host-executable equivalents
+// of the standard building blocks so the kernels in blur_kernels.hpp read
+// like (and could be ported 1:1 to) real HLS sources:
+//
+//   Stream<T>     ~ hls::stream<T>      (bounded FIFO)
+//   ShiftReg<T,N> ~ ap_shift_reg<T,N>   (horizontal sliding window)
+//   LineBuffer<T> ~ hls::LineBuffer     (vertical sliding window of rows)
+//
+// On the host these are plain data structures; the TMHLS_PRAGMA_HLS macro
+// marks where the #pragma HLS directives sit in the synthesizable source.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/error.hpp"
+
+/// Marks the position of a #pragma HLS directive in synthesizable code.
+/// Expands to nothing on the host; kept as documentation-in-code so the
+/// kernel bodies match what SDSoC would compile.
+#define TMHLS_PRAGMA_HLS(directive)
+
+namespace tmhls::hlscode {
+
+/// Bounded FIFO channel equivalent to hls::stream<T>. Reading an empty
+/// stream or overfilling a bounded one is a programming error in a
+/// dataflow design, so both fault via TMHLS_ASSERT (in hardware they would
+/// deadlock or drop data).
+template <typename T>
+class Stream {
+public:
+  /// depth == 0 means unbounded (host convenience); synthesizable streams
+  /// always declare a finite depth.
+  explicit Stream(std::size_t depth = 0) : depth_(depth) {}
+
+  /// True if no element is waiting.
+  bool empty() const { return fifo_.empty(); }
+
+  /// True if a bounded stream has reached its depth.
+  bool full() const { return depth_ != 0 && fifo_.size() >= depth_; }
+
+  /// Elements currently queued.
+  std::size_t size() const { return fifo_.size(); }
+
+  /// Blocking write (hardware would stall the producer).
+  void write(const T& value) {
+    TMHLS_ASSERT(!full(), "stream overflow: producer outran consumer");
+    fifo_.push_back(value);
+  }
+
+  /// Blocking read (hardware would stall the consumer).
+  T read() {
+    TMHLS_ASSERT(!fifo_.empty(), "stream underflow: read from empty stream");
+    T value = fifo_.front();
+    fifo_.pop_front();
+    return value;
+  }
+
+private:
+  std::size_t depth_;
+  std::deque<T> fifo_;
+};
+
+/// Fixed-length shift register equivalent to ap_shift_reg: shift() pushes a
+/// new sample in at the highest index and returns nothing; operator[] reads
+/// a tap. Synthesizes to a chain of registers (complete partitioning).
+template <typename T, int N>
+class ShiftReg {
+  static_assert(N >= 1, "shift register needs at least one stage");
+
+public:
+  ShiftReg() : regs_(static_cast<std::size_t>(N)) {}
+
+  /// Shift every stage down by one and insert `value` at the top.
+  void shift(const T& value) {
+    for (int i = 0; i + 1 < N; ++i) {
+      regs_[static_cast<std::size_t>(i)] = regs_[static_cast<std::size_t>(i + 1)];
+    }
+    regs_[static_cast<std::size_t>(N - 1)] = value;
+  }
+
+  /// Read tap i (0 = oldest sample).
+  const T& operator[](int i) const {
+    TMHLS_ASSERT(i >= 0 && i < N, "shift register tap out of range");
+    return regs_[static_cast<std::size_t>(i)];
+  }
+
+  /// Fill every stage with `value` (edge pre-load).
+  void fill(const T& value) {
+    for (auto& r : regs_) r = value;
+  }
+
+  static constexpr int length() { return N; }
+
+private:
+  std::vector<T> regs_;
+};
+
+/// Slot-addressed line buffer: the BRAM structure of Fig 4, `rows` banks of
+/// `width` samples. Kernels address banks with the standard HLS idiom
+/// (slot = logical_row % rows), which synthesizes to a modulo counter plus
+/// one BRAM bank per row — the structure ARRAY_PARTITION then splits.
+template <typename T>
+class LineBuffer {
+public:
+  LineBuffer(int rows, int width)
+      : rows_(rows), width_(width),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(width)) {
+    TMHLS_REQUIRE(rows >= 1 && width >= 1,
+                  "line buffer needs positive geometry");
+  }
+
+  int rows() const { return rows_; }
+  int width() const { return width_; }
+
+  /// Read column x of bank `slot`.
+  const T& at(int slot, int x) const {
+    TMHLS_ASSERT(slot >= 0 && slot < rows_, "line buffer slot out of range");
+    TMHLS_ASSERT(x >= 0 && x < width_, "line buffer column out of range");
+    return data_[static_cast<std::size_t>(slot) *
+                     static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+  }
+
+  /// Write column x of bank `slot`.
+  void write(int slot, int x, const T& value) {
+    TMHLS_ASSERT(slot >= 0 && slot < rows_, "line buffer slot out of range");
+    TMHLS_ASSERT(x >= 0 && x < width_, "line buffer column out of range");
+    data_[static_cast<std::size_t>(slot) *
+              static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = value;
+  }
+
+private:
+  int rows_;
+  int width_;
+  std::vector<T> data_;
+};
+
+} // namespace tmhls::hlscode

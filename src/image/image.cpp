@@ -1,0 +1,69 @@
+#include "image/image.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace tmhls::img {
+
+ImageF luminance(const ImageF& rgb) {
+  if (rgb.channels() == 1) return rgb;
+  TMHLS_REQUIRE(rgb.channels() >= 3, "luminance needs 1 or >=3 channels");
+  ImageF out(rgb.width(), rgb.height(), 1);
+  for (int y = 0; y < rgb.height(); ++y) {
+    for (int x = 0; x < rgb.width(); ++x) {
+      const float r = rgb.at_unchecked(x, y, 0);
+      const float g = rgb.at_unchecked(x, y, 1);
+      const float b = rgb.at_unchecked(x, y, 2);
+      out.at_unchecked(x, y) = 0.2126f * r + 0.7152f * g + 0.0722f * b;
+    }
+  }
+  return out;
+}
+
+ImageF extract_channel(const ImageF& src, int channel) {
+  TMHLS_REQUIRE(channel >= 0 && channel < src.channels(),
+                "channel out of range");
+  ImageF out(src.width(), src.height(), 1);
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      out.at_unchecked(x, y) = src.at_unchecked(x, y, channel);
+    }
+  }
+  return out;
+}
+
+ImageF absolute_difference(const ImageF& a, const ImageF& b) {
+  TMHLS_REQUIRE(a.same_shape(b), "absolute_difference: shape mismatch");
+  ImageF out(a.width(), a.height(), a.channels());
+  auto sa = a.samples();
+  auto sb = b.samples();
+  auto so = out.samples();
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    so[i] = std::abs(sa[i] - sb[i]);
+  }
+  return out;
+}
+
+ImageU8 to_u8(const ImageF& src) {
+  ImageU8 out(src.width(), src.height(), src.channels());
+  auto si = src.samples();
+  auto so = out.samples();
+  for (std::size_t i = 0; i < si.size(); ++i) {
+    const float scaled = clamp(si[i], 0.0f, 1.0f) * 255.0f;
+    so[i] = static_cast<std::uint8_t>(std::lround(scaled));
+  }
+  return out;
+}
+
+ImageF to_float(const ImageU8& src) {
+  ImageF out(src.width(), src.height(), src.channels());
+  auto si = src.samples();
+  auto so = out.samples();
+  for (std::size_t i = 0; i < si.size(); ++i) {
+    so[i] = static_cast<float>(si[i]) / 255.0f;
+  }
+  return out;
+}
+
+} // namespace tmhls::img

@@ -1,0 +1,126 @@
+// Image containers used throughout tmhls.
+//
+// Images are interleaved row-major (`pixel = (y * width + x) * channels + c`)
+// with 1 to 4 channels. `Image<float>` holds linear-light HDR data; the
+// tone-mapping pipeline produces display-referred values in [0, 1].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::img {
+
+/// Interleaved row-major image with `channels` samples per pixel.
+template <typename T>
+class Image {
+public:
+  /// Empty 0x0 image.
+  Image() = default;
+
+  /// Allocate a width x height image with `channels` samples per pixel,
+  /// value-initialised (zeros for arithmetic T).
+  Image(int width, int height, int channels = 1)
+      : width_(width), height_(height), channels_(channels),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
+              static_cast<std::size_t>(channels)) {
+    TMHLS_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+    TMHLS_REQUIRE(channels >= 1 && channels <= 4,
+                  "channels must be in [1, 4]");
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int channels() const { return channels_; }
+  /// Total number of samples (width * height * channels).
+  std::size_t sample_count() const { return data_.size(); }
+  /// Total number of pixels (width * height).
+  std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  bool empty() const { return data_.empty(); }
+
+  /// Sample accessor; (x, y) must be inside the image, c < channels.
+  T& at(int x, int y, int c = 0) {
+    TMHLS_ASSERT(in_bounds(x, y, c), "image access out of bounds");
+    return data_[index(x, y, c)];
+  }
+  const T& at(int x, int y, int c = 0) const {
+    TMHLS_ASSERT(in_bounds(x, y, c), "image access out of bounds");
+    return data_[index(x, y, c)];
+  }
+
+  /// Unchecked accessor for inner loops (bounds guaranteed by the caller).
+  T& at_unchecked(int x, int y, int c = 0) { return data_[index(x, y, c)]; }
+  const T& at_unchecked(int x, int y, int c = 0) const {
+    return data_[index(x, y, c)];
+  }
+
+  /// Flat view over all samples.
+  std::span<T> samples() { return data_; }
+  std::span<const T> samples() const { return data_; }
+
+  /// View over one row (all channels interleaved).
+  std::span<T> row(int y) {
+    TMHLS_ASSERT(y >= 0 && y < height_, "row out of bounds");
+    return std::span<T>(data_).subspan(index(0, y, 0),
+                                       static_cast<std::size_t>(width_) *
+                                           static_cast<std::size_t>(channels_));
+  }
+  std::span<const T> row(int y) const {
+    TMHLS_ASSERT(y >= 0 && y < height_, "row out of bounds");
+    return std::span<const T>(data_).subspan(
+        index(0, y, 0),
+        static_cast<std::size_t>(width_) * static_cast<std::size_t>(channels_));
+  }
+
+  /// Fill every sample with `v`.
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// True if the two images have identical dimensions and channel count.
+  bool same_shape(const Image& other) const {
+    return width_ == other.width_ && height_ == other.height_ &&
+           channels_ == other.channels_;
+  }
+
+private:
+  bool in_bounds(int x, int y, int c) const {
+    return x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 &&
+           c < channels_;
+  }
+  std::size_t index(int x, int y, int c) const {
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(x)) *
+               static_cast<std::size_t>(channels_) +
+           static_cast<std::size_t>(c);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int channels_ = 1;
+  std::vector<T> data_;
+};
+
+using ImageF = Image<float>;
+using ImageU8 = Image<std::uint8_t>;
+
+/// ITU-R BT.709 relative luminance of an RGB image; a 1-channel image passes
+/// through unchanged (copied).
+ImageF luminance(const ImageF& rgb);
+
+/// Extract one channel as a 1-channel image.
+ImageF extract_channel(const ImageF& src, int channel);
+
+/// Per-sample absolute difference.
+ImageF absolute_difference(const ImageF& a, const ImageF& b);
+
+/// Convert a [0,1] float image to 8-bit with rounding and clamping.
+ImageU8 to_u8(const ImageF& src);
+
+/// Convert an 8-bit image to floats in [0, 1].
+ImageF to_float(const ImageU8& src);
+
+} // namespace tmhls::img

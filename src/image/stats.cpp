@@ -1,0 +1,66 @@
+#include "image/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tmhls::img {
+
+Stats compute_stats(const ImageF& im) {
+  TMHLS_REQUIRE(!im.empty(), "compute_stats on empty image");
+  auto s = im.samples();
+  Stats st;
+  st.min = s[0];
+  st.max = s[0];
+  double sum = 0.0;
+  for (float v : s) {
+    st.min = std::min(st.min, v);
+    st.max = std::max(st.max, v);
+    sum += v;
+  }
+  st.mean = sum / static_cast<double>(s.size());
+  double var = 0.0;
+  for (float v : s) {
+    const double d = v - st.mean;
+    var += d * d;
+  }
+  st.stddev = std::sqrt(var / static_cast<double>(s.size()));
+
+  std::vector<float> sorted(s.begin(), s.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto percentile = [&](double p) {
+    const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return static_cast<float>((1.0 - frac) * sorted[lo] + frac * sorted[hi]);
+  };
+  st.percentile_1 = percentile(1.0);
+  st.percentile_99 = percentile(99.0);
+  return st;
+}
+
+DynamicRange compute_dynamic_range(const ImageF& im, float floor) {
+  TMHLS_REQUIRE(!im.empty(), "compute_dynamic_range on empty image");
+  std::vector<float> positive;
+  positive.reserve(im.sample_count());
+  for (float v : im.samples()) {
+    if (v > floor) positive.push_back(v);
+  }
+  DynamicRange dr;
+  if (positive.empty()) return dr;
+  std::sort(positive.begin(), positive.end());
+  const double lo = positive.front();
+  const double hi = positive.back();
+  dr.ratio = hi / lo;
+  dr.stops = std::log2(dr.ratio);
+  dr.decades = std::log10(dr.ratio);
+  const auto p = [&](double pct) {
+    const double idx = pct / 100.0 * static_cast<double>(positive.size() - 1);
+    return static_cast<double>(positive[static_cast<std::size_t>(idx)]);
+  };
+  dr.robust_ratio = p(99.0) / std::max(p(1.0), static_cast<double>(floor));
+  return dr;
+}
+
+} // namespace tmhls::img

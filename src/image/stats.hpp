@@ -1,0 +1,35 @@
+// Image statistics: range, percentiles, dynamic range in stops/decades.
+// Used to characterise HDR inputs (§II: HDR images have a very high ratio
+// between the luminance of the brightest and darkest pixel).
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tmhls::img {
+
+/// Summary statistics of the samples of an image.
+struct Stats {
+  float min = 0.0f;          ///< smallest sample
+  float max = 0.0f;          ///< largest sample
+  double mean = 0.0;         ///< arithmetic mean
+  double stddev = 0.0;       ///< population standard deviation
+  float percentile_1 = 0.0f; ///< 1st percentile (robust floor)
+  float percentile_99 = 0.0f;///< 99th percentile (robust ceiling)
+};
+
+/// Compute summary statistics over every sample of `im`.
+Stats compute_stats(const ImageF& im);
+
+/// Dynamic range characterisation of an HDR luminance image.
+struct DynamicRange {
+  double ratio = 0.0;   ///< max / min over positive samples
+  double stops = 0.0;   ///< log2(ratio)
+  double decades = 0.0; ///< log10(ratio)
+  double robust_ratio = 0.0; ///< p99 / p1 over positive samples
+};
+
+/// Compute the dynamic range of `im` considering only samples > `floor`
+/// (zero/negative samples carry no luminance information).
+DynamicRange compute_dynamic_range(const ImageF& im, float floor = 1e-12f);
+
+} // namespace tmhls::img

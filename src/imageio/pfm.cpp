@@ -1,0 +1,105 @@
+#include "imageio/pfm.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::io {
+
+namespace {
+
+float byteswap_float(float v) {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &v, 4);
+  u = ((u & 0xFF000000u) >> 24) | ((u & 0x00FF0000u) >> 8) |
+      ((u & 0x0000FF00u) << 8) | ((u & 0x000000FFu) << 24);
+  std::memcpy(&v, &u, 4);
+  return v;
+}
+
+bool host_is_little_endian() {
+  return std::endian::native == std::endian::little;
+}
+
+std::string next_token(std::istream& in) {
+  std::string tok;
+  in >> tok;
+  if (!in) throw IoError("pfm: truncated header");
+  return tok;
+}
+
+} // namespace
+
+img::ImageF read_pfm(std::istream& in) {
+  const std::string magic = next_token(in);
+  int channels = 0;
+  if (magic == "PF") {
+    channels = 3;
+  } else if (magic == "Pf") {
+    channels = 1;
+  } else {
+    throw IoError("pfm: bad magic '" + magic + "'");
+  }
+  const int width = std::stoi(next_token(in));
+  const int height = std::stoi(next_token(in));
+  const double scale = std::stod(next_token(in));
+  if (width <= 0 || height <= 0) throw IoError("pfm: bad dimensions");
+  in.get(); // single whitespace byte after the scale
+
+  const bool file_little = scale < 0.0;
+  img::ImageF image(width, height, channels);
+  std::vector<float> row(static_cast<std::size_t>(width) *
+                         static_cast<std::size_t>(channels));
+  // PFM stores rows bottom-to-top.
+  for (int y = height - 1; y >= 0; --y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(float)));
+    if (!in) throw IoError("pfm: truncated pixel data");
+    const bool need_swap = file_little != host_is_little_endian();
+    for (int x = 0; x < width; ++x) {
+      for (int c = 0; c < channels; ++c) {
+        float v = row[static_cast<std::size_t>(x) *
+                          static_cast<std::size_t>(channels) +
+                      static_cast<std::size_t>(c)];
+        if (need_swap) v = byteswap_float(v);
+        image.at_unchecked(x, y, c) = v;
+      }
+    }
+  }
+  return image;
+}
+
+img::ImageF read_pfm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("pfm: cannot open " + path);
+  return read_pfm(in);
+}
+
+void write_pfm(std::ostream& out, const img::ImageF& image) {
+  TMHLS_REQUIRE(image.channels() == 1 || image.channels() == 3,
+                "write_pfm needs 1 or 3 channels");
+  out << (image.channels() == 3 ? "PF" : "Pf") << "\n";
+  out << image.width() << " " << image.height() << "\n";
+  out << (host_is_little_endian() ? "-1.0" : "1.0") << "\n";
+  std::vector<float> row(static_cast<std::size_t>(image.width()) *
+                         static_cast<std::size_t>(image.channels()));
+  for (int y = image.height() - 1; y >= 0; --y) {
+    auto src = image.row(y);
+    std::copy(src.begin(), src.end(), row.begin());
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(float)));
+  }
+  if (!out) throw IoError("pfm: write failed");
+}
+
+void write_pfm(const std::string& path, const img::ImageF& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("pfm: cannot open " + path + " for writing");
+  write_pfm(out, image);
+}
+
+} // namespace tmhls::io

@@ -1,0 +1,26 @@
+// Portable FloatMap (PFM) reader/writer: uncompressed 32-bit float images,
+// grayscale ("Pf") or RGB ("PF"). PFM is lossless for float data, so it is
+// the format used to exchange exact intermediate results between tools and
+// to store golden references for the regression tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace tmhls::io {
+
+/// Read a PFM file (grayscale -> 1 channel, color -> 3 channels).
+img::ImageF read_pfm(const std::string& path);
+
+/// Read PFM data from a stream.
+img::ImageF read_pfm(std::istream& in);
+
+/// Write a 1- or 3-channel float image as PFM (little-endian).
+void write_pfm(const std::string& path, const img::ImageF& image);
+
+/// Write PFM data to a stream.
+void write_pfm(std::ostream& out, const img::ImageF& image);
+
+} // namespace tmhls::io

@@ -1,0 +1,82 @@
+#include "imageio/pnm.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace tmhls::io {
+
+namespace {
+
+// Skip whitespace and '#' comments between PNM header tokens.
+void skip_pnm_space(std::istream& in) {
+  int c = in.peek();
+  while (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '#') {
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else {
+      in.get();
+    }
+    c = in.peek();
+  }
+}
+
+int read_pnm_int(std::istream& in) {
+  skip_pnm_space(in);
+  int v = 0;
+  in >> v;
+  if (!in) throw IoError("pnm: truncated header");
+  return v;
+}
+
+} // namespace
+
+void write_pnm(std::ostream& out, const img::ImageU8& image) {
+  TMHLS_REQUIRE(image.channels() == 1 || image.channels() == 3,
+                "write_pnm needs 1 or 3 channels");
+  out << (image.channels() == 3 ? "P6" : "P5") << "\n"
+      << image.width() << " " << image.height() << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.samples().data()),
+            static_cast<std::streamsize>(image.sample_count()));
+  if (!out) throw IoError("pnm: write failed");
+}
+
+void write_pnm(const std::string& path, const img::ImageU8& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("pnm: cannot open " + path + " for writing");
+  write_pnm(out, image);
+}
+
+img::ImageU8 read_pnm(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  int channels = 0;
+  if (magic == "P6") {
+    channels = 3;
+  } else if (magic == "P5") {
+    channels = 1;
+  } else {
+    throw IoError("pnm: unsupported magic '" + magic + "'");
+  }
+  const int width = read_pnm_int(in);
+  const int height = read_pnm_int(in);
+  const int maxval = read_pnm_int(in);
+  if (width <= 0 || height <= 0) throw IoError("pnm: bad dimensions");
+  if (maxval != 255) throw IoError("pnm: only maxval 255 supported");
+  in.get(); // single whitespace after maxval
+
+  img::ImageU8 image(width, height, channels);
+  in.read(reinterpret_cast<char*>(image.samples().data()),
+          static_cast<std::streamsize>(image.sample_count()));
+  if (!in) throw IoError("pnm: truncated pixel data");
+  return image;
+}
+
+img::ImageU8 read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("pnm: cannot open " + path);
+  return read_pnm(in);
+}
+
+} // namespace tmhls::io

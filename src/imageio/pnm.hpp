@@ -1,0 +1,24 @@
+// Binary PPM (P6) / PGM (P5) writers for the 8-bit tone-mapped outputs
+// (the Fig 5 b/c images), plus readers used in round-trip tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace tmhls::io {
+
+/// Write an 8-bit image: 3 channels -> PPM (P6), 1 channel -> PGM (P5).
+void write_pnm(const std::string& path, const img::ImageU8& image);
+
+/// Write to a stream.
+void write_pnm(std::ostream& out, const img::ImageU8& image);
+
+/// Read a binary PPM/PGM file.
+img::ImageU8 read_pnm(const std::string& path);
+
+/// Read from a stream.
+img::ImageU8 read_pnm(std::istream& in);
+
+} // namespace tmhls::io

@@ -1,0 +1,234 @@
+#include "imageio/rgbe.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::io {
+
+void float_to_rgbe(float r, float g, float b, unsigned char out[4]) {
+  const float v = std::max(r, std::max(g, b));
+  if (v < 1e-32f) {
+    out[0] = out[1] = out[2] = out[3] = 0;
+    return;
+  }
+  int e = 0;
+  const float m = std::frexp(v, &e); // v = m * 2^e, m in [0.5, 1)
+  const float scale = m * 256.0f / v;
+  out[0] = static_cast<unsigned char>(r * scale);
+  out[1] = static_cast<unsigned char>(g * scale);
+  out[2] = static_cast<unsigned char>(b * scale);
+  out[3] = static_cast<unsigned char>(e + 128);
+}
+
+void rgbe_to_float(const unsigned char in[4], float& r, float& g, float& b) {
+  if (in[3] == 0) {
+    r = g = b = 0.0f;
+    return;
+  }
+  const float f = std::ldexp(1.0f, static_cast<int>(in[3]) - (128 + 8));
+  r = static_cast<float>(in[0]) * f;
+  g = static_cast<float>(in[1]) * f;
+  b = static_cast<float>(in[2]) * f;
+}
+
+namespace {
+
+constexpr int kMinRleWidth = 8;
+constexpr int kMaxRleWidth = 0x7FFF;
+
+void read_flat_scanline(std::istream& in, unsigned char* scan, int width,
+                        const unsigned char first[4]) {
+  std::memcpy(scan, first, 4);
+  if (width > 1) {
+    in.read(reinterpret_cast<char*>(scan + 4),
+            static_cast<std::streamsize>(4) * (width - 1));
+    if (!in) throw IoError("rgbe: truncated flat scanline");
+  }
+}
+
+// New-style RLE: each of the 4 components of the scanline is run-length
+// encoded separately.
+void read_rle_scanline(std::istream& in, unsigned char* scan, int width) {
+  std::vector<unsigned char> comp(static_cast<std::size_t>(width));
+  for (int c = 0; c < 4; ++c) {
+    int x = 0;
+    while (x < width) {
+      int code = in.get();
+      if (code == EOF) throw IoError("rgbe: truncated RLE scanline");
+      if (code > 128) { // run
+        const int run = code - 128;
+        const int value = in.get();
+        if (value == EOF) throw IoError("rgbe: truncated RLE run");
+        if (x + run > width) throw IoError("rgbe: RLE run overflows scanline");
+        std::memset(comp.data() + x, value, static_cast<std::size_t>(run));
+        x += run;
+      } else { // literal
+        const int count = code;
+        if (count == 0) throw IoError("rgbe: zero-length RLE literal");
+        if (x + count > width) {
+          throw IoError("rgbe: RLE literal overflows scanline");
+        }
+        in.read(reinterpret_cast<char*>(comp.data() + x), count);
+        if (!in) throw IoError("rgbe: truncated RLE literal");
+        x += count;
+      }
+    }
+    for (int i = 0; i < width; ++i) {
+      scan[static_cast<std::size_t>(i) * 4 + static_cast<std::size_t>(c)] =
+          comp[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void write_rle_component(std::ostream& out, const unsigned char* comp,
+                         int width) {
+  int x = 0;
+  while (x < width) {
+    // Find the next run of >= 4 identical bytes.
+    int run_start = x;
+    int run_len = 0;
+    while (run_start < width) {
+      run_len = 1;
+      while (run_len < 127 && run_start + run_len < width &&
+             comp[run_start + run_len] == comp[run_start]) {
+        ++run_len;
+      }
+      if (run_len >= 4) break;
+      run_start += run_len;
+    }
+    if (run_len < 4) run_start = width;
+
+    // Emit literals up to run_start.
+    while (x < run_start) {
+      const int count = std::min(128, run_start - x);
+      out.put(static_cast<char>(count));
+      out.write(reinterpret_cast<const char*>(comp + x), count);
+      x += count;
+    }
+    // Emit the run.
+    if (run_len >= 4) {
+      out.put(static_cast<char>(128 + run_len));
+      out.put(static_cast<char>(comp[run_start]));
+      x += run_len;
+    }
+  }
+}
+
+} // namespace
+
+img::ImageF read_rgbe(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) ||
+      (line.rfind("#?", 0) != 0)) {
+    throw IoError("rgbe: missing #?RADIANCE header");
+  }
+  bool format_ok = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) break; // blank line ends the header
+    if (line.rfind("FORMAT=", 0) == 0) {
+      if (line != "FORMAT=32-bit_rle_rgbe") {
+        throw IoError("rgbe: unsupported FORMAT: " + line);
+      }
+      format_ok = true;
+    }
+    // EXPOSURE/GAMMA/comments are accepted and ignored.
+  }
+  if (!format_ok) throw IoError("rgbe: missing FORMAT=32-bit_rle_rgbe");
+
+  if (!std::getline(in, line)) throw IoError("rgbe: missing resolution line");
+  int width = 0;
+  int height = 0;
+  {
+    std::istringstream rs(line);
+    std::string ydir, xdir;
+    rs >> ydir >> height >> xdir >> width;
+    if (!rs || ydir != "-Y" || xdir != "+X") {
+      throw IoError("rgbe: unsupported resolution line: " + line);
+    }
+  }
+  if (width <= 0 || height <= 0) throw IoError("rgbe: bad dimensions");
+
+  img::ImageF image(width, height, 3);
+  std::vector<unsigned char> scan(static_cast<std::size_t>(width) * 4);
+  for (int y = 0; y < height; ++y) {
+    unsigned char head[4];
+    in.read(reinterpret_cast<char*>(head), 4);
+    if (!in) throw IoError("rgbe: truncated scanline header");
+    const bool is_rle = head[0] == 2 && head[1] == 2 && head[2] < 128;
+    if (is_rle) {
+      const int rle_width = (head[2] << 8) | head[3];
+      if (rle_width != width) throw IoError("rgbe: RLE width mismatch");
+      read_rle_scanline(in, scan.data(), width);
+    } else {
+      read_flat_scanline(in, scan.data(), width, head);
+    }
+    for (int x = 0; x < width; ++x) {
+      float r = 0.0f;
+      float g = 0.0f;
+      float b = 0.0f;
+      rgbe_to_float(scan.data() + static_cast<std::size_t>(x) * 4, r, g, b);
+      image.at_unchecked(x, y, 0) = r;
+      image.at_unchecked(x, y, 1) = g;
+      image.at_unchecked(x, y, 2) = b;
+    }
+  }
+  return image;
+}
+
+img::ImageF read_rgbe(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("rgbe: cannot open " + path);
+  return read_rgbe(in);
+}
+
+void write_rgbe(std::ostream& out, const img::ImageF& image) {
+  TMHLS_REQUIRE(image.channels() == 3, "write_rgbe needs a 3-channel image");
+  const int width = image.width();
+  const int height = image.height();
+
+  out << "#?RADIANCE\n";
+  out << "# written by tmhls\n";
+  out << "FORMAT=32-bit_rle_rgbe\n\n";
+  out << "-Y " << height << " +X " << width << "\n";
+
+  const bool use_rle = width >= kMinRleWidth && width <= kMaxRleWidth;
+  std::vector<unsigned char> scan(static_cast<std::size_t>(width) * 4);
+  std::vector<unsigned char> comp(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      float_to_rgbe(image.at_unchecked(x, y, 0), image.at_unchecked(x, y, 1),
+                    image.at_unchecked(x, y, 2),
+                    scan.data() + static_cast<std::size_t>(x) * 4);
+    }
+    if (use_rle) {
+      const unsigned char head[4] = {
+          2, 2, static_cast<unsigned char>(width >> 8),
+          static_cast<unsigned char>(width & 0xFF)};
+      out.write(reinterpret_cast<const char*>(head), 4);
+      for (int c = 0; c < 4; ++c) {
+        for (int x = 0; x < width; ++x) {
+          comp[static_cast<std::size_t>(x)] =
+              scan[static_cast<std::size_t>(x) * 4 + static_cast<std::size_t>(c)];
+        }
+        write_rle_component(out, comp.data(), width);
+      }
+    } else {
+      out.write(reinterpret_cast<const char*>(scan.data()),
+                static_cast<std::streamsize>(scan.size()));
+    }
+  }
+  if (!out) throw IoError("rgbe: write failed");
+}
+
+void write_rgbe(const std::string& path, const img::ImageF& image) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw IoError("rgbe: cannot open " + path + " for writing");
+  write_rgbe(out, image);
+}
+
+} // namespace tmhls::io

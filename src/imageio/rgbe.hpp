@@ -1,0 +1,38 @@
+// Radiance RGBE (.hdr / .pic) reader and writer.
+//
+// RGBE packs an HDR RGB triple into 4 bytes: an 8-bit mantissa per channel
+// plus a shared 8-bit exponent (Ward, Graphics Gems II). It is the de-facto
+// interchange format for HDR photographs like the one the paper tone-maps,
+// so users who have the original test image can run the pipeline on it.
+//
+// Supported: `-Y h +X w` orientation (the overwhelmingly common one), both
+// flat and RLE-compressed scanlines on read; writes are RLE-compressed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace tmhls::io {
+
+/// Read a Radiance .hdr file into a linear-light 3-channel float image.
+/// Throws IoError on malformed input.
+img::ImageF read_rgbe(const std::string& path);
+
+/// Read RGBE data from a stream (for tests and in-memory round trips).
+img::ImageF read_rgbe(std::istream& in);
+
+/// Write a 3-channel float image as an RLE-compressed Radiance .hdr file.
+void write_rgbe(const std::string& path, const img::ImageF& image);
+
+/// Write RGBE data to a stream.
+void write_rgbe(std::ostream& out, const img::ImageF& image);
+
+/// Pack one linear RGB triple into RGBE bytes (exposed for tests).
+void float_to_rgbe(float r, float g, float b, unsigned char out[4]);
+
+/// Unpack RGBE bytes into a linear RGB triple (exposed for tests).
+void rgbe_to_float(const unsigned char in[4], float& r, float& g, float& b);
+
+} // namespace tmhls::io

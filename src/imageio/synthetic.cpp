@@ -1,0 +1,273 @@
+#include "imageio/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace tmhls::io {
+
+namespace {
+
+// Low-frequency value noise: bilinear interpolation of a coarse random
+// lattice. Deterministic in the rng sequence.
+class ValueNoise {
+public:
+  ValueNoise(int cells, Rng& rng) : cells_(cells), lattice_(
+      static_cast<std::size_t>(cells + 1) * static_cast<std::size_t>(cells + 1)) {
+    for (auto& v : lattice_) v = static_cast<float>(rng.uniform());
+  }
+
+  /// Sample at normalised coordinates (u, v) in [0, 1].
+  float sample(double u, double v) const {
+    const double x = u * cells_;
+    const double y = v * cells_;
+    const int x0 = std::min(static_cast<int>(x), cells_ - 1);
+    const int y0 = std::min(static_cast<int>(y), cells_ - 1);
+    const double fx = x - x0;
+    const double fy = y - y0;
+    const auto at = [&](int ix, int iy) {
+      return static_cast<double>(
+          lattice_[static_cast<std::size_t>(iy) *
+                       static_cast<std::size_t>(cells_ + 1) +
+                   static_cast<std::size_t>(ix)]);
+    };
+    const double top = lerp(at(x0, y0), at(x0 + 1, y0), fx);
+    const double bot = lerp(at(x0, y0 + 1), at(x0 + 1, y0 + 1), fx);
+    return static_cast<float>(lerp(top, bot, fy));
+  }
+
+private:
+  int cells_;
+  std::vector<float> lattice_;
+};
+
+void set_rgb(img::ImageF& im, int x, int y, float r, float g, float b) {
+  im.at_unchecked(x, y, 0) = r;
+  im.at_unchecked(x, y, 1) = g;
+  im.at_unchecked(x, y, 2) = b;
+}
+
+// Dark room lit by nwin bright windows; wall texture from value noise.
+// Window luminance ~ 3000, wall ~ 0.01-0.5: ~5.5 decades of range.
+img::ImageF make_window_interior(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  ValueNoise wall_noise(16, rng);
+  ValueNoise fine_noise(64, rng);
+
+  struct Window {
+    double cx, cy, half_w, half_h;
+  };
+  const int nwin = 2 + static_cast<int>(rng.uniform_int(0, 1));
+  std::vector<Window> windows;
+  for (int i = 0; i < nwin; ++i) {
+    Window win;
+    win.cx = rng.uniform(0.15, 0.85);
+    win.cy = rng.uniform(0.15, 0.55);
+    win.half_w = rng.uniform(0.06, 0.12);
+    win.half_h = rng.uniform(0.10, 0.18);
+    windows.push_back(win);
+  }
+
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double u = (x + 0.5) / w;
+      const double v = (y + 0.5) / h;
+      // Dim interior wall with texture and a floor gradient.
+      const double wall =
+          0.02 + 0.25 * wall_noise.sample(u, v) +
+          0.08 * fine_noise.sample(u, v) + 0.05 * v;
+      double r = wall * 0.9;
+      double g = wall * 0.85;
+      double b = wall * 0.8;
+      for (const Window& win : windows) {
+        const double dx = std::abs(u - win.cx) / win.half_w;
+        const double dy = std::abs(v - win.cy) / win.half_h;
+        if (dx < 1.0 && dy < 1.0) {
+          // Sky seen through the window: very bright, slightly blue.
+          const double sky = 2500.0 + 1500.0 * (1.0 - v);
+          r = sky * 0.85;
+          g = sky * 0.95;
+          b = sky * 1.05;
+        } else {
+          // Light spill around the frame decays with distance.
+          const double d = std::max(dx, dy);
+          if (d < 2.5) {
+            const double spill = 12.0 * std::exp(-3.0 * (d - 1.0));
+            r += spill * 0.9;
+            g += spill * 0.95;
+            b += spill;
+          }
+        }
+      }
+      set_rgb(im, x, y, static_cast<float>(r), static_cast<float>(g),
+              static_cast<float>(b));
+    }
+  }
+  return im;
+}
+
+// Radial sun disc + sky gradient + a handful of specular highlights.
+img::ImageF make_light_probe(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  const double sun_u = rng.uniform(0.3, 0.7);
+  const double sun_v = rng.uniform(0.2, 0.4);
+  struct Spark {
+    double u, v, lum;
+  };
+  std::vector<Spark> sparks;
+  for (int i = 0; i < 12; ++i) {
+    sparks.push_back({rng.uniform(0.0, 1.0), rng.uniform(0.5, 1.0),
+                      rng.uniform(50.0, 400.0)});
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double u = (x + 0.5) / w;
+      const double v = (y + 0.5) / h;
+      const double du = u - sun_u;
+      const double dv = v - sun_v;
+      const double dist = std::sqrt(du * du + dv * dv);
+      // Sky: horizon glow fading upward; dark ground below the horizon.
+      double base = v < 0.6 ? 5.0 + 30.0 * (0.6 - v)
+                            : 0.15 * (1.0 - v) + 0.02;
+      base = std::max(base, 0.02);
+      double lum = base;
+      // Sun disc with corona.
+      if (dist < 0.03) {
+        lum += 5000.0;
+      } else {
+        lum += 800.0 * std::exp(-40.0 * dist);
+      }
+      for (const Spark& s : sparks) {
+        const double sd = std::hypot(u - s.u, v - s.v);
+        if (sd < 0.01) lum += s.lum;
+      }
+      set_rgb(im, x, y, static_cast<float>(lum * 1.0),
+              static_cast<float>(lum * 0.92), static_cast<float>(lum * 0.78));
+    }
+  }
+  return im;
+}
+
+// Horizontal log-exposure sweep crossed with vertical reflectance bars:
+// an analytic scene whose statistics are easy to reason about in tests.
+img::ImageF make_gradient_bars(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  const int nbars = 16;
+  std::vector<double> reflectance(nbars);
+  for (auto& rf : reflectance) rf = rng.uniform(0.05, 1.0);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double u = (x + 0.5) / w;
+      const double v = (y + 0.5) / h;
+      // Illumination sweeps 5 decades left to right.
+      const double illum = std::pow(10.0, -2.0 + 5.0 * u);
+      const int bar = std::min(static_cast<int>(v * nbars), nbars - 1);
+      const double lum = illum * reflectance[static_cast<std::size_t>(bar)];
+      set_rgb(im, x, y, static_cast<float>(lum),
+              static_cast<float>(lum * 0.95), static_cast<float>(lum * 0.9));
+    }
+  }
+  return im;
+}
+
+// Night scene: very dark base with lamp posts (small bright discs with
+// falloff) and lit windows (rectangles) over noise texture.
+img::ImageF make_night_street(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  ValueNoise tex(32, rng);
+  struct Lamp {
+    double u, v;
+  };
+  std::vector<Lamp> lamps;
+  for (int i = 0; i < 6; ++i) {
+    lamps.push_back({0.1 + 0.15 * i + rng.uniform(-0.02, 0.02),
+                     rng.uniform(0.3, 0.45)});
+  }
+  struct Win {
+    double u0, v0, u1, v1, lum;
+  };
+  std::vector<Win> wins;
+  for (int i = 0; i < 10; ++i) {
+    const double u0 = rng.uniform(0.05, 0.9);
+    const double v0 = rng.uniform(0.05, 0.3);
+    wins.push_back({u0, v0, u0 + rng.uniform(0.01, 0.04),
+                    v0 + rng.uniform(0.02, 0.05),
+                    rng.uniform(20.0, 150.0)});
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const double u = (x + 0.5) / w;
+      const double v = (y + 0.5) / h;
+      double lum = 0.003 + 0.02 * tex.sample(u, v);
+      for (const Lamp& lamp : lamps) {
+        const double d = std::hypot(u - lamp.u, v - lamp.v);
+        if (d < 0.008) {
+          lum += 1200.0;
+        } else {
+          lum += 25.0 * std::exp(-25.0 * d);
+        }
+      }
+      for (const Win& win : wins) {
+        if (u >= win.u0 && u <= win.u1 && v >= win.v0 && v <= win.v1) {
+          lum += win.lum;
+        }
+      }
+      set_rgb(im, x, y, static_cast<float>(lum * 1.0),
+              static_cast<float>(lum * 0.85), static_cast<float>(lum * 0.6));
+    }
+  }
+  return im;
+}
+
+} // namespace
+
+SceneKind scene_kind_from_string(const std::string& name) {
+  if (name == "window_interior") return SceneKind::window_interior;
+  if (name == "light_probe") return SceneKind::light_probe;
+  if (name == "gradient_bars") return SceneKind::gradient_bars;
+  if (name == "night_street") return SceneKind::night_street;
+  throw InvalidArgument("unknown scene kind: " + name);
+}
+
+const char* to_string(SceneKind kind) {
+  switch (kind) {
+    case SceneKind::window_interior: return "window_interior";
+    case SceneKind::light_probe: return "light_probe";
+    case SceneKind::gradient_bars: return "gradient_bars";
+    case SceneKind::night_street: return "night_street";
+  }
+  return "?";
+}
+
+img::ImageF generate_hdr_scene(SceneKind kind, int width, int height,
+                               std::uint64_t seed) {
+  TMHLS_REQUIRE(width > 0 && height > 0, "scene dimensions must be positive");
+  switch (kind) {
+    case SceneKind::window_interior:
+      return make_window_interior(width, height, seed);
+    case SceneKind::light_probe:
+      return make_light_probe(width, height, seed);
+    case SceneKind::gradient_bars:
+      return make_gradient_bars(width, height, seed);
+    case SceneKind::night_street:
+      return make_night_street(width, height, seed);
+  }
+  throw InvalidArgument("unknown scene kind");
+}
+
+img::ImageF generate_hdr_scene_square(SceneKind kind, int size,
+                                      std::uint64_t seed) {
+  return generate_hdr_scene(kind, size, size, seed);
+}
+
+img::ImageF paper_test_image(int size) {
+  return generate_hdr_scene(SceneKind::window_interior, size, size, 2018);
+}
+
+} // namespace tmhls::io

@@ -1,0 +1,49 @@
+// Deterministic synthetic HDR scene generator.
+//
+// Substitution (see DESIGN.md §2): the paper evaluates on a single
+// 1024x1024 HDR photograph (Fig 5a) that is not distributed with the paper.
+// These generators produce linear-light scenes with comparable dynamic
+// range (5-6 decades) and the spatial structure local tone mapping reacts
+// to: bright windows against dark interiors, smooth gradients, point
+// highlights and texture. Every scene is a pure function of (kind, size,
+// seed), so all experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace tmhls::io {
+
+/// Available synthetic scene archetypes.
+enum class SceneKind {
+  window_interior, ///< dark room with bright windows — the classic HDR case
+  light_probe,     ///< smooth radial sun + sky gradient with point highlights
+  gradient_bars,   ///< horizontal exposure sweep with vertical texture bars
+  night_street,    ///< dark base, street lamps, lit windows, noise texture
+};
+
+/// Parse a scene kind from its lowercase name; throws InvalidArgument.
+SceneKind scene_kind_from_string(const std::string& name);
+
+/// Name of a scene kind (inverse of scene_kind_from_string).
+const char* to_string(SceneKind kind);
+
+/// Generate a linear-light RGB HDR scene, deterministic in
+/// (kind, width, height, seed). Only this explicit-geometry form exists: a
+/// square-size + seed overload would be one integer away from silently
+/// reinterpreting the seed as a height.
+img::ImageF generate_hdr_scene(SceneKind kind, int width, int height,
+                               std::uint64_t seed = 1);
+
+/// Square convenience wrapper with an explicit seed parameter name in the
+/// signature order (size, then seed).
+img::ImageF generate_hdr_scene_square(SceneKind kind, int size,
+                                      std::uint64_t seed = 1);
+
+/// The workload image used by every paper-reproduction bench: 1024x1024
+/// window_interior scene, seed 2018 (publication year, for memorability).
+img::ImageF paper_test_image(int size = 1024);
+
+} // namespace tmhls::io

@@ -1,0 +1,54 @@
+#include "metrics/quality.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace tmhls::metrics {
+
+double mse(const img::ImageF& a, const img::ImageF& b) {
+  TMHLS_REQUIRE(a.same_shape(b), "mse: shape mismatch");
+  TMHLS_REQUIRE(!a.empty(), "mse: empty images");
+  auto sa = a.samples();
+  auto sb = b.samples();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    const double d = static_cast<double>(sa[i]) - static_cast<double>(sb[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(sa.size());
+}
+
+double psnr(const img::ImageF& a, const img::ImageF& b, double peak) {
+  TMHLS_REQUIRE(peak > 0.0, "psnr: peak must be positive");
+  const double err = mse(a, b);
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(peak * peak / err);
+}
+
+double max_abs_error(const img::ImageF& a, const img::ImageF& b) {
+  TMHLS_REQUIRE(a.same_shape(b), "max_abs_error: shape mismatch");
+  auto sa = a.samples();
+  auto sb = b.samples();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<double>(sa[i]) -
+                                     static_cast<double>(sb[i])));
+  }
+  return worst;
+}
+
+double mean_abs_error(const img::ImageF& a, const img::ImageF& b) {
+  TMHLS_REQUIRE(a.same_shape(b), "mean_abs_error: shape mismatch");
+  TMHLS_REQUIRE(!a.empty(), "mean_abs_error: empty images");
+  auto sa = a.samples();
+  auto sb = b.samples();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    acc += std::abs(static_cast<double>(sa[i]) - static_cast<double>(sb[i]));
+  }
+  return acc / static_cast<double>(sa.size());
+}
+
+} // namespace tmhls::metrics

@@ -1,0 +1,27 @@
+// Full-reference image quality metrics: MSE and PSNR.
+//
+// §IV.B of the paper evaluates the fixed-point accelerator output against
+// the floating-point reference with PSNR (66 dB reported) before turning to
+// SSIM for a perceptual judgement. PSNR here follows the same convention:
+// peak = 1.0 for display-referred [0,1] float images (the tone-mapped
+// outputs), computed over all channels.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tmhls::metrics {
+
+/// Mean squared error over all samples of two same-shape images.
+double mse(const img::ImageF& a, const img::ImageF& b);
+
+/// Peak signal-to-noise ratio in dB with the given peak value.
+/// Identical images return +infinity.
+double psnr(const img::ImageF& a, const img::ImageF& b, double peak = 1.0);
+
+/// Maximum absolute per-sample difference (L-infinity error).
+double max_abs_error(const img::ImageF& a, const img::ImageF& b);
+
+/// Mean absolute per-sample difference (L1 / sample count).
+double mean_abs_error(const img::ImageF& a, const img::ImageF& b);
+
+} // namespace tmhls::metrics

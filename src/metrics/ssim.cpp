@@ -1,0 +1,124 @@
+#include "metrics/ssim.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::metrics {
+
+namespace {
+
+// Normalised 1D Gaussian window; SSIM's 2D window is separable.
+std::vector<double> gaussian_window(int radius, double sigma) {
+  std::vector<double> w(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-(i * i) / (2.0 * sigma * sigma));
+    w[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (double& v : w) v /= sum;
+  return w;
+}
+
+// Separable weighted filtering with clamp-to-edge borders, double precision.
+// SSIM statistics are second-order (variances, covariances), so the filter
+// runs in double even though the images are float.
+std::vector<double> filter_separable(const std::vector<double>& src, int w,
+                                     int h, const std::vector<double>& win) {
+  const int radius = static_cast<int>(win.size() / 2);
+  std::vector<double> tmp(src.size());
+  std::vector<double> dst(src.size());
+  auto at = [&](const std::vector<double>& buf, int x, int y) {
+    x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+    y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+    return buf[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+               static_cast<std::size_t>(x)];
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += win[static_cast<std::size_t>(k + radius)] * at(src, x + k, y);
+      }
+      tmp[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x)] = acc;
+    }
+  }
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += win[static_cast<std::size_t>(k + radius)] * at(tmp, x, y + k);
+      }
+      dst[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x)] = acc;
+    }
+  }
+  return dst;
+}
+
+std::vector<double> to_double_luma(const img::ImageF& im) {
+  const img::ImageF luma = img::luminance(im);
+  auto s = luma.samples();
+  return std::vector<double>(s.begin(), s.end());
+}
+
+} // namespace
+
+img::ImageF ssim_map(const img::ImageF& a, const img::ImageF& b,
+                     const SsimOptions& opt) {
+  TMHLS_REQUIRE(a.same_shape(b), "ssim: shape mismatch");
+  TMHLS_REQUIRE(!a.empty(), "ssim: empty images");
+  TMHLS_REQUIRE(opt.window_radius >= 1, "ssim: window radius must be >= 1");
+  TMHLS_REQUIRE(opt.window_sigma > 0.0, "ssim: window sigma must be > 0");
+  TMHLS_REQUIRE(opt.dynamic_range > 0.0, "ssim: dynamic range must be > 0");
+
+  const int w = a.width();
+  const int h = a.height();
+  const auto win = gaussian_window(opt.window_radius, opt.window_sigma);
+
+  const std::vector<double> x = to_double_luma(a);
+  const std::vector<double> y = to_double_luma(b);
+  std::vector<double> xx(x.size());
+  std::vector<double> yy(x.size());
+  std::vector<double> xy(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xx[i] = x[i] * x[i];
+    yy[i] = y[i] * y[i];
+    xy[i] = x[i] * y[i];
+  }
+
+  const auto mu_x = filter_separable(x, w, h, win);
+  const auto mu_y = filter_separable(y, w, h, win);
+  const auto s_xx = filter_separable(xx, w, h, win);
+  const auto s_yy = filter_separable(yy, w, h, win);
+  const auto s_xy = filter_separable(xy, w, h, win);
+
+  const double c1 = (opt.k1 * opt.dynamic_range) * (opt.k1 * opt.dynamic_range);
+  const double c2 = (opt.k2 * opt.dynamic_range) * (opt.k2 * opt.dynamic_range);
+
+  img::ImageF map(w, h, 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double mx = mu_x[i];
+    const double my = mu_y[i];
+    const double var_x = s_xx[i] - mx * mx;
+    const double var_y = s_yy[i] - my * my;
+    const double cov = s_xy[i] - mx * my;
+    const double num = (2.0 * mx * my + c1) * (2.0 * cov + c2);
+    const double den = (mx * mx + my * my + c1) * (var_x + var_y + c2);
+    map.samples()[i] = static_cast<float>(num / den);
+  }
+  return map;
+}
+
+double ssim(const img::ImageF& a, const img::ImageF& b,
+            const SsimOptions& opt) {
+  const img::ImageF map = ssim_map(a, b, opt);
+  double acc = 0.0;
+  for (float v : map.samples()) acc += v;
+  return acc / static_cast<double>(map.sample_count());
+}
+
+} // namespace tmhls::metrics

@@ -1,0 +1,32 @@
+// Structural Similarity index (SSIM), Wang, Bovik, Sheikh & Simoncelli,
+// IEEE TIP 2004 — the perceptual metric §IV.B uses to show the fixed-point
+// and floating-point tone-mapped images are visually identical (SSIM = 1).
+//
+// Implementation follows the reference: 11x11 Gaussian window with
+// sigma = 1.5, C1 = (K1*L)^2, C2 = (K2*L)^2 with K1 = 0.01, K2 = 0.03,
+// computed on luminance. Multi-channel images are converted via BT.709.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tmhls::metrics {
+
+/// Parameters of the SSIM computation (defaults follow Wang et al. 2004).
+struct SsimOptions {
+  int window_radius = 5;     ///< 11x11 window
+  double window_sigma = 1.5; ///< Gaussian weighting of the window
+  double k1 = 0.01;          ///< luminance stabiliser coefficient
+  double k2 = 0.03;          ///< contrast stabiliser coefficient
+  double dynamic_range = 1.0;///< L: 1.0 for [0,1] float images, 255 for 8-bit
+};
+
+/// Mean SSIM between two same-shape images (luminance if multi-channel).
+/// Returns a value in [-1, 1]; 1 means structurally identical.
+double ssim(const img::ImageF& a, const img::ImageF& b,
+            const SsimOptions& opt = {});
+
+/// Per-pixel SSIM map (1-channel, same size as the inputs).
+img::ImageF ssim_map(const img::ImageF& a, const img::ImageF& b,
+                     const SsimOptions& opt = {});
+
+} // namespace tmhls::metrics

@@ -1,0 +1,32 @@
+#include "platform/battery.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::zynq {
+
+Battery::Battery(double capacity_mah, double nominal_voltage_v,
+                 double converter_efficiency) {
+  TMHLS_REQUIRE(capacity_mah > 0.0, "battery capacity must be positive");
+  TMHLS_REQUIRE(nominal_voltage_v > 0.0, "battery voltage must be positive");
+  TMHLS_REQUIRE(converter_efficiency > 0.0 && converter_efficiency <= 1.0,
+                "converter efficiency must be in (0, 1]");
+  // mAh * V * 3.6 = joules.
+  usable_j_ = capacity_mah * nominal_voltage_v * 3.6 * converter_efficiency;
+}
+
+double Battery::images_per_charge(double energy_per_image_j) const {
+  TMHLS_REQUIRE(energy_per_image_j > 0.0,
+                "per-image energy must be positive");
+  return usable_j_ / energy_per_image_j;
+}
+
+double Battery::hours_at(double watts) const {
+  TMHLS_REQUIRE(watts > 0.0, "power draw must be positive");
+  return usable_j_ / watts / 3600.0;
+}
+
+Battery Battery::phone() { return Battery(3000.0, 3.8); }
+
+Battery Battery::embedded() { return Battery(1000.0, 7.4); }
+
+} // namespace tmhls::zynq

@@ -1,0 +1,38 @@
+// Battery model — §I's motivation made quantitative: "low-power techniques
+// ... have been developed to trade off computation exactness for lower
+// power consumption and increased battery life". Converts the per-image
+// energies of Figs 7/8 into what a product designer asks: how many images
+// per charge, and how much longer does the accelerated design last?
+#pragma once
+
+#include "platform/power.hpp"
+
+namespace tmhls::zynq {
+
+/// An idealised battery (no rate effects, fixed conversion efficiency).
+class Battery {
+public:
+  /// capacity_mah at nominal_voltage, drained through a converter with the
+  /// given efficiency in (0, 1].
+  Battery(double capacity_mah, double nominal_voltage_v,
+          double converter_efficiency = 0.9);
+
+  /// Total usable energy in joules.
+  double usable_joules() const { return usable_j_; }
+
+  /// How many images of `energy_per_image_j` one charge processes.
+  double images_per_charge(double energy_per_image_j) const;
+
+  /// Continuous runtime in hours at a constant power draw.
+  double hours_at(double watts) const;
+
+  /// A phone-scale battery: 3000 mAh at 3.8 V.
+  static Battery phone();
+  /// A small embedded/drone cell: 1000 mAh at 7.4 V.
+  static Battery embedded();
+
+private:
+  double usable_j_;
+};
+
+} // namespace tmhls::zynq

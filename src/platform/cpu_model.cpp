@@ -1,0 +1,35 @@
+#include "platform/cpu_model.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::zynq {
+
+CpuModel::CpuModel(double clock_hz, CpuCosts costs)
+    : clock_hz_(clock_hz), costs_(costs) {
+  TMHLS_REQUIRE(clock_hz > 0.0, "CPU clock must be positive");
+}
+
+double CpuModel::cycles_for(const tonemap::OpCounts& ops) const {
+  double cycles = 0.0;
+  cycles += static_cast<double>(ops.loads) * costs_.load;
+  cycles += static_cast<double>(ops.stores) * costs_.store;
+  cycles += static_cast<double>(ops.fadd) * costs_.fadd;
+  cycles += static_cast<double>(ops.fmul) * costs_.fmul;
+  cycles += static_cast<double>(ops.fdiv) * costs_.fdiv;
+  cycles += static_cast<double>(ops.fcmp) * costs_.fcmp;
+  cycles += static_cast<double>(ops.pow_calls) * costs_.pow_call;
+  cycles += static_cast<double>(ops.exp2_calls) * costs_.exp2_call;
+  cycles += static_cast<double>(ops.log_calls) * costs_.log_call;
+  cycles += static_cast<double>(ops.loop_iters) * costs_.loop;
+  return cycles;
+}
+
+double CpuModel::seconds_for(const tonemap::OpCounts& ops) const {
+  return cycles_for(ops) / clock_hz_;
+}
+
+CpuModel CpuModel::cortex_a9_667mhz() {
+  return CpuModel(667e6, CpuCosts{});
+}
+
+} // namespace tmhls::zynq

@@ -1,0 +1,58 @@
+// Processing-system (ARM Cortex-A9) execution-time model.
+//
+// PS stage times are (operation counts) x (per-operation cycle costs) at
+// the PS clock. The per-op costs are calibrated — within ranges plausible
+// for scalar VFP code on a 667 MHz Cortex-A9 with cache effects — so that
+// the software baseline reproduces Table II's "SW source code" row; every
+// accelerated variant then *derives* its speed-up from the same model (see
+// EXPERIMENTS.md "Calibration").
+//
+// Two deliberate features of the defaults:
+//  * Memory-touching costs (load/store) include the average cache-miss
+//    penalty of walking a 12 MB float workload through a 512 KB L2.
+//  * pow() is expensive (~3 us/call): normalised HDR pixels span ~6
+//    decades down to ~1e-6, where libm's pow takes its accurate slow path;
+//    both the display encoding and the masking stage pay it per sample.
+#pragma once
+
+#include "tonemap/op_counts.hpp"
+
+namespace tmhls::zynq {
+
+/// Per-operation average cycle costs on the PS core.
+struct CpuCosts {
+  double load = 9.0;        ///< float load incl. average miss penalty
+  double store = 6.0;       ///< float store
+  double fadd = 8.0;        ///< VFP add incl. dependency stalls
+  double fmul = 8.0;        ///< VFP multiply incl. dependency stalls
+  double fdiv = 30.0;       ///< VFP divide (non-pipelined)
+  double fcmp = 3.0;        ///< compare + select
+  double pow_call = 2000.0; ///< libm pow() on subnormal-heavy HDR data
+  double exp2_call = 600.0; ///< libm exp2()
+  double log_call = 600.0;  ///< libm log()/log1p()
+  double loop = 6.0;        ///< loop index/branch overhead per iteration
+};
+
+/// The PS execution-time model.
+class CpuModel {
+public:
+  CpuModel(double clock_hz, CpuCosts costs);
+
+  double clock_hz() const { return clock_hz_; }
+  const CpuCosts& costs() const { return costs_; }
+
+  /// Cycles to execute the given operation counts.
+  double cycles_for(const tonemap::OpCounts& ops) const;
+
+  /// Seconds to execute the given operation counts.
+  double seconds_for(const tonemap::OpCounts& ops) const;
+
+  /// Cortex-A9 at 667 MHz with the calibrated default costs.
+  static CpuModel cortex_a9_667mhz();
+
+private:
+  double clock_hz_;
+  CpuCosts costs_;
+};
+
+} // namespace tmhls::zynq

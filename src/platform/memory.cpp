@@ -1,0 +1,34 @@
+#include "platform/memory.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::zynq {
+
+DmaModel::DmaModel(DdrConfig config) : config_(config) {
+  TMHLS_REQUIRE(config.burst_bytes_per_cycle > 0.0,
+                "DMA bandwidth must be positive");
+  TMHLS_REQUIRE(config.dma_setup_cycles >= 0, "DMA setup must be >= 0");
+}
+
+std::int64_t DmaModel::transfer_cycles(std::int64_t bytes) const {
+  TMHLS_REQUIRE(bytes >= 0, "transfer size must be >= 0");
+  if (bytes == 0) return 0;
+  const double beats =
+      std::ceil(static_cast<double>(bytes) / config_.burst_bytes_per_cycle);
+  return config_.dma_setup_cycles + static_cast<std::int64_t>(beats);
+}
+
+bool buffer_fits_bram(std::int64_t bytes, const BramConfig& config) {
+  return bram36_blocks_for(bytes, config) <= config.total_bram36;
+}
+
+std::int64_t bram36_blocks_for(std::int64_t bytes, const BramConfig& config) {
+  TMHLS_REQUIRE(bytes >= 0, "buffer size must be >= 0");
+  TMHLS_REQUIRE(config.bytes_per_bram36 > 0, "BRAM36 size must be positive");
+  return ceil_div(bytes, config.bytes_per_bram36);
+}
+
+} // namespace tmhls::zynq

@@ -1,0 +1,55 @@
+// External-memory (DDR) and on-chip-memory (BRAM) models, and the two data
+// movers SDSoC can infer (§III.B's data-motion-network knob):
+//
+//  * random single-beat access (AXI general-purpose port) — what the naive
+//    "Marked HW function" uses for every neighbouring pixel, at ~100 PL
+//    cycles per round trip;
+//  * sequential burst DMA (AXI high-performance port) — what the
+//    restructured algorithm uses to stream pixels into BRAM line buffers
+//    (Fig 4), at 8 bytes per PL cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace tmhls::zynq {
+
+/// DDR controller seen from the programmable logic.
+struct DdrConfig {
+  /// Burst (DMA) bandwidth in bytes per PL cycle (64-bit AXI-HP port).
+  double burst_bytes_per_cycle = 8.0;
+  /// Latency of one random single-beat read, in PL cycles (bus round trip
+  /// through the PS interconnect + DRAM access).
+  int random_read_latency = 100;
+  /// Latency of one random single-beat write, in PL cycles.
+  int random_write_latency = 100;
+  /// Fixed cycles to program one DMA descriptor / transfer.
+  int dma_setup_cycles = 220;
+};
+
+/// DMA streaming model.
+class DmaModel {
+public:
+  explicit DmaModel(DdrConfig config);
+
+  /// PL cycles to stream `bytes` sequentially (setup + beats).
+  std::int64_t transfer_cycles(std::int64_t bytes) const;
+
+  const DdrConfig& config() const { return config_; }
+
+private:
+  DdrConfig config_;
+};
+
+/// On-chip BRAM capacity bookkeeping.
+struct BramConfig {
+  std::int64_t total_bram36 = 140;      ///< Zynq-7020
+  std::int64_t bytes_per_bram36 = 4608; ///< 36 Kbit
+};
+
+/// True if a buffer of `bytes` fits in `config` (whole-BRAM granularity).
+bool buffer_fits_bram(std::int64_t bytes, const BramConfig& config);
+
+/// Number of BRAM36 blocks a buffer of `bytes` occupies.
+std::int64_t bram36_blocks_for(std::int64_t bytes, const BramConfig& config);
+
+} // namespace tmhls::zynq

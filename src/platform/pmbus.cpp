@@ -1,0 +1,85 @@
+#include "platform/pmbus.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace tmhls::zynq {
+
+void PmbusMonitor::add_phase(PowerPhase phase) {
+  TMHLS_REQUIRE(phase.duration_s >= 0.0, "phase duration must be >= 0");
+  phases_.push_back(std::move(phase));
+}
+
+double PmbusMonitor::total_duration_s() const {
+  double total = 0.0;
+  for (const PowerPhase& p : phases_) total += p.duration_s;
+  return total;
+}
+
+std::vector<PowerSample> PmbusMonitor::sample(double interval_s) const {
+  TMHLS_REQUIRE(interval_s > 0.0, "sampling interval must be positive");
+  std::vector<PowerSample> samples;
+  const double total = total_duration_s();
+  if (phases_.empty() || total <= 0.0) return samples;
+
+  std::size_t phase_idx = 0;
+  double phase_start = 0.0;
+  for (double t = 0.0; t <= total + 1e-12; t += interval_s) {
+    const double clamped = std::min(t, total);
+    while (phase_idx + 1 < phases_.size() &&
+           clamped >= phase_start + phases_[phase_idx].duration_s) {
+      phase_start += phases_[phase_idx].duration_s;
+      ++phase_idx;
+    }
+    samples.push_back(PowerSample{clamped, phases_[phase_idx].powers,
+                                  phases_[phase_idx].label});
+  }
+  // Ensure the final instant is present.
+  if (samples.back().time_s < total) {
+    samples.push_back(
+        PowerSample{total, phases_.back().powers, phases_.back().label});
+  }
+  return samples;
+}
+
+RailPowers PmbusMonitor::average_power() const {
+  const double total = total_duration_s();
+  RailPowers avg;
+  if (total <= 0.0) return avg;
+  for (const PowerPhase& p : phases_) {
+    const double w = p.duration_s / total;
+    avg.ps_w += w * p.powers.ps_w;
+    avg.pl_w += w * p.powers.pl_w;
+    avg.ddr_w += w * p.powers.ddr_w;
+    avg.bram_w += w * p.powers.bram_w;
+  }
+  return avg;
+}
+
+RailPowers PmbusMonitor::energy_j() const {
+  RailPowers e;
+  for (const PowerPhase& p : phases_) {
+    e.ps_w += p.duration_s * p.powers.ps_w;
+    e.pl_w += p.duration_s * p.powers.pl_w;
+    e.ddr_w += p.duration_s * p.powers.ddr_w;
+    e.bram_w += p.duration_s * p.powers.bram_w;
+  }
+  return e;
+}
+
+std::string PmbusMonitor::render_trace(double interval_s) const {
+  TextTable t({"t (s)", "PS (W)", "PL (W)", "DDR (W)", "BRAM (W)",
+               "total (W)", "phase"});
+  for (const PowerSample& s : sample(interval_s)) {
+    t.add_row({format_fixed(s.time_s, 2), format_fixed(s.powers.ps_w, 3),
+               format_fixed(s.powers.pl_w, 3),
+               format_fixed(s.powers.ddr_w, 3),
+               format_fixed(s.powers.bram_w, 3),
+               format_fixed(s.powers.total_w(), 3), s.phase_label});
+  }
+  return t.render();
+}
+
+} // namespace tmhls::zynq

@@ -1,0 +1,70 @@
+// PMBus-style power telemetry (§IV.C).
+//
+// The paper reads the board's TI power controllers through a USB-to-GPIO
+// adapter and the Fusion Digital Power Designer GUI, sampling each rail's
+// power during a run. This monitor reproduces that instrument against the
+// simulated platform: the accel layer registers a timeline of execution
+// phases (each with per-rail power), and the monitor produces the sampled
+// traces and per-rail averages the paper multiplies by execution time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmhls::zynq {
+
+/// Power on the four monitored rails at one instant, in watts.
+struct RailPowers {
+  double ps_w = 0.0;
+  double pl_w = 0.0;
+  double ddr_w = 0.0;
+  double bram_w = 0.0;
+  double total_w() const { return ps_w + pl_w + ddr_w + bram_w; }
+};
+
+/// One contiguous phase of a run (e.g. "normalization on PS").
+struct PowerPhase {
+  std::string label;
+  double duration_s = 0.0;
+  RailPowers powers;
+};
+
+/// One telemetry sample.
+struct PowerSample {
+  double time_s = 0.0;
+  RailPowers powers;
+  std::string phase_label;
+};
+
+/// The monitor: accumulates phases, then samples or integrates them.
+class PmbusMonitor {
+public:
+  /// Append an execution phase to the timeline.
+  void add_phase(PowerPhase phase);
+
+  /// All registered phases in order.
+  const std::vector<PowerPhase>& phases() const { return phases_; }
+
+  /// Total duration of the timeline.
+  double total_duration_s() const;
+
+  /// Sample the timeline every `interval_s` (PMBus polling period;
+  /// the TI Fusion GUI polls at ~10 Hz). Always includes t = 0 and the
+  /// final instant.
+  std::vector<PowerSample> sample(double interval_s) const;
+
+  /// Time-weighted average power per rail over the whole timeline —
+  /// "the average power consumption measured with the TI software".
+  RailPowers average_power() const;
+
+  /// Energy per rail = integral of power over the timeline, in joules.
+  RailPowers energy_j() const;
+
+  /// Render the sampled traces as an aligned text table.
+  std::string render_trace(double interval_s) const;
+
+private:
+  std::vector<PowerPhase> phases_;
+};
+
+} // namespace tmhls::zynq

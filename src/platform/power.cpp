@@ -1,0 +1,53 @@
+#include "platform/power.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::zynq {
+
+PowerModel::PowerModel(PowerConfig config) : config_(config) {
+  TMHLS_REQUIRE(config.ps_idle_w >= 0.0 && config.pl_static_w >= 0.0 &&
+                    config.ddr_w >= 0.0 && config.bram_w >= 0.0,
+                "rail powers must be non-negative");
+}
+
+double PowerModel::pl_idle_w(const hls::ResourceEstimate& r) const {
+  return config_.pl_static_w +
+         config_.pl_per_klut_w * static_cast<double>(r.luts) / 1000.0 +
+         config_.pl_per_kff_w * static_cast<double>(r.ffs) / 1000.0 +
+         config_.pl_per_dsp_w * static_cast<double>(r.dsps) +
+         config_.pl_per_bram36_w * static_cast<double>(r.bram36);
+}
+
+double PowerModel::ps_power_w(bool ps_busy) const {
+  return config_.ps_idle_w + (ps_busy ? config_.ps_active_w : 0.0);
+}
+
+double PowerModel::pl_power_w(const hls::ResourceEstimate& resources,
+                              bool pl_busy) const {
+  return pl_idle_w(resources) + (pl_busy ? config_.pl_active_w : 0.0);
+}
+
+EnergyBreakdown PowerModel::account(
+    double total_s, double ps_busy_s, double pl_busy_s,
+    const hls::ResourceEstimate& resources) const {
+  TMHLS_REQUIRE(total_s >= 0.0, "total time must be >= 0");
+  TMHLS_REQUIRE(ps_busy_s >= 0.0 && ps_busy_s <= total_s + 1e-9,
+                "PS busy time must be within [0, total]");
+  TMHLS_REQUIRE(pl_busy_s >= 0.0 && pl_busy_s <= total_s + 1e-9,
+                "PL busy time must be within [0, total]");
+
+  EnergyBreakdown e;
+  e.ps.bottomline_j = config_.ps_idle_w * total_s;
+  e.ps.overhead_j = config_.ps_active_w * ps_busy_s;
+
+  e.pl.bottomline_j = pl_idle_w(resources) * total_s;
+  e.pl.overhead_j = config_.pl_active_w * pl_busy_s;
+
+  // "The energy consumption for the DDR and the BRAM ... does not vary
+  // when moving from idle to execution."
+  e.ddr.bottomline_j = config_.ddr_w * total_s;
+  e.bram.bottomline_j = config_.bram_w * total_s;
+  return e;
+}
+
+} // namespace tmhls::zynq

@@ -1,0 +1,82 @@
+// Per-rail power and energy model of the Zynq platform (§IV.C).
+//
+// The paper monitors the board's TI power controllers over PMBus and
+// focuses on four rails: the processing system (PS), the programmable
+// logic (PL), the DDR memory and the BRAM rail. It splits measured energy
+// into a "bottomline" (idle power x total time) and an "execution
+// overhead" (extra power while computing x busy time), and notes that the
+// DDR and BRAM rails do not vary between idle and execution.
+//
+// This model reproduces that accounting:
+//  * PS:  idle power, plus an active adder while PS code runs.
+//  * PL:  idle power that GROWS with the amount of enabled logic (clock
+//    tree + static of the synthesised design — why Fig 8b's bottomline
+//    rises with every optimization step), plus an active adder while the
+//    accelerator is busy.
+//  * DDR, BRAM: constant rail power (bottomline only).
+#pragma once
+
+#include "hls/resources.hpp"
+
+namespace tmhls::zynq {
+
+/// Rail power parameters (watts). Defaults are ZC702-board-scale values.
+struct PowerConfig {
+  double ps_idle_w = 0.40;   ///< PS rail, idle at 667 MHz
+  double ps_active_w = 0.22; ///< extra PS power while executing
+
+  double pl_static_w = 0.060;       ///< blank-fabric PL rail power
+  double pl_per_klut_w = 0.0028;    ///< idle adder per 1000 LUTs enabled
+  double pl_per_kff_w = 0.0012;     ///< idle adder per 1000 FFs enabled
+  double pl_per_dsp_w = 0.0011;     ///< idle adder per DSP48 enabled
+  double pl_per_bram36_w = 0.00045; ///< idle adder per BRAM36 enabled
+  double pl_active_w = 0.28;        ///< extra PL power while accelerator runs
+
+  double ddr_w = 0.38;  ///< DDR rail (constant, per the paper)
+  double bram_w = 0.015;///< BRAM rail (constant, per the paper)
+};
+
+/// Energy of one rail split the way Fig 8 splits it.
+struct RailEnergy {
+  double bottomline_j = 0.0; ///< idle power x total elapsed time
+  double overhead_j = 0.0;   ///< extra power x busy time
+  double total_j() const { return bottomline_j + overhead_j; }
+};
+
+/// Energy of a full run, by rail (Fig 7's stacking).
+struct EnergyBreakdown {
+  RailEnergy ps;
+  RailEnergy pl;
+  RailEnergy ddr;
+  RailEnergy bram;
+  double total_j() const {
+    return ps.total_j() + pl.total_j() + ddr.total_j() + bram.total_j();
+  }
+};
+
+/// The power model: rail powers from configuration + synthesised resources.
+class PowerModel {
+public:
+  explicit PowerModel(PowerConfig config);
+
+  const PowerConfig& config() const { return config_; }
+
+  /// PL rail idle power when `resources` worth of logic is enabled.
+  double pl_idle_w(const hls::ResourceEstimate& resources) const;
+
+  /// Average power on each rail while: PS busy / PL busy / both idle.
+  double ps_power_w(bool ps_busy) const;
+  double pl_power_w(const hls::ResourceEstimate& resources,
+                    bool pl_busy) const;
+
+  /// Account a run: total elapsed seconds, PS busy seconds, PL busy
+  /// seconds, and the accelerator's synthesised resources (zero for the
+  /// software-only implementation).
+  EnergyBreakdown account(double total_s, double ps_busy_s, double pl_busy_s,
+                          const hls::ResourceEstimate& resources) const;
+
+private:
+  PowerConfig config_;
+};
+
+} // namespace tmhls::zynq

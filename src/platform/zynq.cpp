@@ -1,0 +1,34 @@
+#include "platform/zynq.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::zynq {
+
+ClockDomain::ClockDomain(double freq_hz) : freq_hz_(freq_hz) {
+  TMHLS_REQUIRE(freq_hz > 0.0, "clock frequency must be positive");
+}
+
+ZynqPlatform::ZynqPlatform(ClockDomain ps_clock, ClockDomain pl_clock,
+                           CpuModel cpu, DdrConfig ddr, BramConfig bram,
+                           hls::DeviceCapacity device, PowerConfig power)
+    : ps_clock_(ps_clock), pl_clock_(pl_clock), cpu_(std::move(cpu)),
+      ddr_(ddr), dma_(ddr), bram_(bram), device_(device),
+      power_(power) {}
+
+hls::OperatorLibrary ZynqPlatform::operator_library() const {
+  hls::OperatorLibrary lib = hls::OperatorLibrary::artix7_100mhz();
+  lib = lib.with_op(hls::OpKind::ddr_random_read,
+                    {ddr_.random_read_latency, 50, 80, 0});
+  lib = lib.with_op(hls::OpKind::ddr_random_write,
+                    {ddr_.random_write_latency, 50, 80, 0});
+  return lib;
+}
+
+ZynqPlatform ZynqPlatform::zc702() {
+  return ZynqPlatform(ClockDomain(667e6), ClockDomain(100e6),
+                      CpuModel::cortex_a9_667mhz(), DdrConfig{},
+                      BramConfig{}, hls::DeviceCapacity::zynq7020(),
+                      PowerConfig{});
+}
+
+} // namespace tmhls::zynq

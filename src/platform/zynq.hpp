@@ -1,0 +1,60 @@
+// The assembled Zynq-7000 AP SoC platform model: PS + PL clock domains,
+// CPU cost model, memory system, device capacity and power model — the
+// single source of truth every experiment runs against.
+#pragma once
+
+#include "hls/operators.hpp"
+#include "hls/resources.hpp"
+#include "platform/cpu_model.hpp"
+#include "platform/memory.hpp"
+#include "platform/power.hpp"
+
+namespace tmhls::zynq {
+
+/// A clock domain with frequency-to-time conversion.
+class ClockDomain {
+public:
+  explicit ClockDomain(double freq_hz);
+  double freq_hz() const { return freq_hz_; }
+  double seconds_for_cycles(double cycles) const { return cycles / freq_hz_; }
+
+private:
+  double freq_hz_;
+};
+
+/// The full platform.
+class ZynqPlatform {
+public:
+  ZynqPlatform(ClockDomain ps_clock, ClockDomain pl_clock, CpuModel cpu,
+               DdrConfig ddr, BramConfig bram, hls::DeviceCapacity device,
+               PowerConfig power);
+
+  const ClockDomain& ps_clock() const { return ps_clock_; }
+  const ClockDomain& pl_clock() const { return pl_clock_; }
+  const CpuModel& cpu() const { return cpu_; }
+  const DdrConfig& ddr() const { return ddr_; }
+  const DmaModel& dma() const { return dma_; }
+  const BramConfig& bram() const { return bram_; }
+  const hls::DeviceCapacity& device() const { return device_; }
+  const PowerModel& power() const { return power_; }
+
+  /// The HLS operator library for this platform's PL, with the external
+  /// memory costs injected from the DDR model.
+  hls::OperatorLibrary operator_library() const;
+
+  /// ZC702-class board: Zynq-7020, PS at 667 MHz, PL at 100 MHz, DDR3.
+  /// The configuration all paper-reproduction benches use.
+  static ZynqPlatform zc702();
+
+private:
+  ClockDomain ps_clock_;
+  ClockDomain pl_clock_;
+  CpuModel cpu_;
+  DdrConfig ddr_;
+  DmaModel dma_;
+  BramConfig bram_;
+  hls::DeviceCapacity device_;
+  PowerModel power_;
+};
+
+} // namespace tmhls::zynq

@@ -1,0 +1,86 @@
+#include "profiling/profiler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace tmhls::prof {
+
+ProfileEntry* ProfileRegistry::find(const std::string& label) {
+  for (ProfileEntry& e : entries_) {
+    if (e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+const ProfileEntry* ProfileRegistry::find(const std::string& label) const {
+  for (const ProfileEntry& e : entries_) {
+    if (e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+void ProfileRegistry::record(const std::string& label, double seconds) {
+  TMHLS_REQUIRE(seconds >= 0.0, "recorded time must be >= 0");
+  if (ProfileEntry* e = find(label)) {
+    e->calls += 1;
+    e->total_seconds += seconds;
+    return;
+  }
+  entries_.push_back(ProfileEntry{label, 1, seconds});
+}
+
+std::vector<ProfileEntry> ProfileRegistry::entries_by_time() const {
+  std::vector<ProfileEntry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.total_seconds > b.total_seconds;
+            });
+  return sorted;
+}
+
+double ProfileRegistry::total_seconds() const {
+  double total = 0.0;
+  for (const ProfileEntry& e : entries_) total += e.total_seconds;
+  return total;
+}
+
+double ProfileRegistry::fraction(const std::string& label) const {
+  const double total = total_seconds();
+  if (total <= 0.0) return 0.0;
+  const ProfileEntry* e = find(label);
+  return e == nullptr ? 0.0 : e->total_seconds / total;
+}
+
+std::string ProfileRegistry::hotspot() const {
+  const auto sorted = entries_by_time();
+  return sorted.empty() ? std::string() : sorted.front().label;
+}
+
+std::string ProfileRegistry::render() const {
+  TextTable t({"function", "calls", "total (s)", "share"});
+  const double total = total_seconds();
+  for (const ProfileEntry& e : entries_by_time()) {
+    const double pct = total > 0.0 ? 100.0 * e.total_seconds / total : 0.0;
+    t.add_row({e.label, std::to_string(e.calls),
+               format_fixed(e.total_seconds, 4),
+               format_fixed(pct, 1) + " %"});
+  }
+  return t.render();
+}
+
+void ProfileRegistry::clear() { entries_.clear(); }
+
+ScopedTimer::ScopedTimer(ProfileRegistry& registry, std::string label)
+    : registry_(registry), label_(std::move(label)),
+      start_(std::chrono::steady_clock::now()) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+ScopedTimer::~ScopedTimer() { registry_.record(label_, elapsed_seconds()); }
+
+} // namespace tmhls::prof

@@ -1,0 +1,77 @@
+// Function-level profiler.
+//
+// The SDSoC flow starts by profiling the application "to determine the most
+// computationally-intensive functions" (§III.A, Fig 2). This module provides
+// the same capability for this library: scoped wall-clock timers that
+// accumulate per-label totals into a registry, and a hotspot report sorted
+// by inclusive time. Used by the examples and by bench_table1 to reproduce
+// the §III.B conclusion that the Gaussian blur dominates.
+//
+// The registry is not thread-safe; profile single-threaded sections (the
+// whole pipeline is single-threaded, matching the paper's ARM run).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tmhls::prof {
+
+/// Accumulated timing of one label.
+struct ProfileEntry {
+  std::string label;
+  std::int64_t calls = 0;
+  double total_seconds = 0.0;
+};
+
+/// A registry of label -> accumulated time.
+class ProfileRegistry {
+public:
+  /// Add `seconds` to `label`'s total.
+  void record(const std::string& label, double seconds);
+
+  /// Entries sorted by descending total time.
+  std::vector<ProfileEntry> entries_by_time() const;
+
+  /// Fraction of the total recorded time spent in `label`, in [0, 1].
+  double fraction(const std::string& label) const;
+
+  /// The label with the largest total — "the most computationally-
+  /// intensive function", i.e. what gets marked for acceleration.
+  std::string hotspot() const;
+
+  /// Sum of all recorded time.
+  double total_seconds() const;
+
+  /// Render as an aligned table with percentages.
+  std::string render() const;
+
+  /// Forget everything.
+  void clear();
+
+private:
+  std::vector<ProfileEntry> entries_; // small N: linear scan beats a map
+  ProfileEntry* find(const std::string& label);
+  const ProfileEntry* find(const std::string& label) const;
+};
+
+/// RAII wall-clock timer recording into a registry on destruction.
+class ScopedTimer {
+public:
+  ScopedTimer(ProfileRegistry& registry, std::string label);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far.
+  double elapsed_seconds() const;
+
+private:
+  ProfileRegistry& registry_;
+  std::string label_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace tmhls::prof

@@ -1,0 +1,143 @@
+// The SDSoC design flow of Fig 2 as a scriptable API.
+//
+// "Given a specific application running on ARM, the code is profiled to
+// determine the most computationally-intensive functions. Once identified,
+// these functions are selected for hardware acceleration..." (§III.A).
+// This module models that IDE workflow end to end:
+//
+//   SdsocProject project(platform, application);
+//   auto profile = project.profile();               // step 1: profile
+//   project.mark_for_hardware("gaussian_blur");     // step 2: mark
+//   SystemImage image = project.build();            // step 3: HLS + link
+//
+// The build step invokes the HLS scheduler on every marked function,
+// chooses the data mover from the function's access pattern (the
+// data-motion-network knob), verifies device fit, and produces a
+// SystemImage whose placement report mirrors an SDSoC build log.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "accel/design.hpp"
+#include "hls/loop.hpp"
+#include "hls/report.hpp"
+#include "platform/power.hpp"
+#include "platform/zynq.hpp"
+#include "tonemap/op_counts.hpp"
+
+namespace tmhls::sdsoc {
+
+/// One software function of the application.
+struct ApplicationFunction {
+  std::string name;
+  /// Operation counts of the software implementation (profiling input).
+  tonemap::OpCounts software_ops;
+  /// The function's loop description for HLS, if it is synthesizable
+  /// (std::nullopt marks library-bound functions like pow()-heavy stages
+  /// that SDSoC cannot lift without a rewrite).
+  std::optional<hls::Loop> hardware_loop;
+  /// Bytes moved per invocation when the function runs in hardware with a
+  /// streaming mover (0 when the loop itself performs bus accesses).
+  std::int64_t dma_bytes = 0;
+};
+
+/// An application: the ordered list of functions executed per frame.
+class Application {
+public:
+  /// Append a function; names must be unique.
+  void add_function(ApplicationFunction fn);
+
+  const std::vector<ApplicationFunction>& functions() const {
+    return functions_;
+  }
+
+  /// Lookup by name; throws InvalidArgument if absent.
+  const ApplicationFunction& function(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+
+private:
+  std::vector<ApplicationFunction> functions_;
+};
+
+/// Step-1 output: one profiled function.
+struct FunctionProfile {
+  std::string name;
+  double seconds = 0.0;
+  double share = 0.0; ///< fraction of the application's total time
+  bool synthesizable = false;
+};
+
+/// The data mover inferred for a hardware function.
+enum class DataMover {
+  none,            ///< software function: no mover
+  axi_dma_simple,  ///< sequential streaming over the HP port
+  axi_gp_single_beat, ///< per-element bus transactions (random access)
+};
+
+const char* to_string(DataMover m);
+
+/// One function's placement in the built system.
+struct PlacedFunction {
+  std::string name;
+  bool hardware = false;
+  double time_s = 0.0; ///< execution time in its placement (incl. DMA)
+  DataMover mover = DataMover::none;
+  std::optional<hls::HlsReport> hls_report;
+};
+
+/// Step-3 output: the built hardware/software image.
+struct SystemImage {
+  std::vector<PlacedFunction> functions;
+  hls::ResourceEstimate total_resources;
+  double ps_time_s = 0.0;
+  double pl_time_s = 0.0;
+  zynq::EnergyBreakdown energy;
+
+  double total_time_s() const { return ps_time_s + pl_time_s; }
+
+  /// Render an SDSoC-style build report.
+  std::string render() const;
+};
+
+/// The project: platform + application + the set of marked functions.
+class SdsocProject {
+public:
+  SdsocProject(zynq::ZynqPlatform platform, Application application);
+
+  /// Step 1 — profile every function on the PS, sorted by descending time.
+  std::vector<FunctionProfile> profile() const;
+
+  /// Name of the hottest *synthesizable* function (what the flow suggests
+  /// marking). Throws InvalidArgument if nothing is synthesizable.
+  std::string suggest_candidate() const;
+
+  /// Step 2 — mark a function for hardware. Throws InvalidArgument if the
+  /// function does not exist or is not synthesizable.
+  void mark_for_hardware(const std::string& name);
+
+  /// Remove a mark (no-op if not marked).
+  void unmark(const std::string& name);
+
+  /// Functions currently marked.
+  const std::vector<std::string>& marked() const { return marked_; }
+
+  /// Step 3 — run HLS on every marked function, pick data movers, check
+  /// device fit and produce the system image. Throws PlatformError if the
+  /// combined accelerators do not fit the device.
+  SystemImage build() const;
+
+private:
+  zynq::ZynqPlatform platform_;
+  Application application_;
+  std::vector<std::string> marked_;
+};
+
+/// Build the paper's tone-mapping application for a given workload and
+/// blur hardware variant (which Table II design the blur's loop uses).
+Application make_tonemap_application(const accel::Workload& workload,
+                                     accel::Design blur_variant);
+
+} // namespace tmhls::sdsoc

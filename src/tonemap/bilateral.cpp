@@ -1,0 +1,129 @@
+#include "tonemap/bilateral.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::tonemap {
+
+img::ImageF bilateral_filter(const img::ImageF& src,
+                             const BilateralOptions& opt) {
+  TMHLS_REQUIRE(src.channels() == 1, "bilateral_filter expects 1 channel");
+  TMHLS_REQUIRE(opt.spatial_sigma > 0.0 && opt.range_sigma > 0.0,
+                "bilateral sigmas must be positive");
+  const int radius = opt.radius > 0
+                         ? opt.radius
+                         : static_cast<int>(std::ceil(2.0 * opt.spatial_sigma));
+  const int w = src.width();
+  const int h = src.height();
+
+  // Precompute the spatial kernel (separable in distance-squared form).
+  std::vector<float> spatial(static_cast<std::size_t>(2 * radius + 1) *
+                             static_cast<std::size_t>(2 * radius + 1));
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const double d2 = static_cast<double>(dx) * dx +
+                        static_cast<double>(dy) * dy;
+      spatial[static_cast<std::size_t>(dy + radius) *
+                  static_cast<std::size_t>(2 * radius + 1) +
+              static_cast<std::size_t>(dx + radius)] =
+          static_cast<float>(
+              std::exp(-d2 / (2.0 * opt.spatial_sigma * opt.spatial_sigma)));
+    }
+  }
+  const float inv_2r2 =
+      static_cast<float>(1.0 / (2.0 * opt.range_sigma * opt.range_sigma));
+
+  img::ImageF dst(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float centre = src.at_unchecked(x, y);
+      float acc = 0.0f;
+      float norm = 0.0f;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        const int sy = clamp(y + dy, 0, h - 1);
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const int sx = clamp(x + dx, 0, w - 1);
+          const float v = src.at_unchecked(sx, sy);
+          const float dv = v - centre;
+          const float wgt =
+              spatial[static_cast<std::size_t>(dy + radius) *
+                          static_cast<std::size_t>(2 * radius + 1) +
+                      static_cast<std::size_t>(dx + radius)] *
+              std::exp(-dv * dv * inv_2r2);
+          acc += wgt * v;
+          norm += wgt;
+        }
+      }
+      dst.at_unchecked(x, y) = norm > 0.0f ? acc / norm : centre;
+    }
+  }
+  return dst;
+}
+
+img::ImageF durand_local(const img::ImageF& hdr,
+                         const BilateralOptions& filter,
+                         double target_range_decades) {
+  TMHLS_REQUIRE(target_range_decades > 0.0,
+                "target range must be positive");
+  const img::ImageF luma = img::luminance(hdr);
+
+  // Log-luminance plane (log10, with a floor to keep zeros finite).
+  constexpr float kFloor = 1e-8f;
+  img::ImageF log_luma(luma.width(), luma.height(), 1);
+  {
+    auto si = luma.samples();
+    auto so = log_luma.samples();
+    for (std::size_t i = 0; i < si.size(); ++i) {
+      so[i] = std::log10(std::max(si[i], kFloor));
+    }
+  }
+
+  const img::ImageF base = bilateral_filter(log_luma, filter);
+
+  // Base-layer range -> compression factor.
+  float base_min = base.samples()[0];
+  float base_max = base.samples()[0];
+  for (float v : base.samples()) {
+    base_min = std::min(base_min, v);
+    base_max = std::max(base_max, v);
+  }
+  const double base_range = std::max(
+      static_cast<double>(base_max - base_min), 1e-6);
+  const double compression =
+      std::min(1.0, target_range_decades / base_range);
+
+  // Recombine: compressed base + full detail, anchored so the brightest
+  // base maps to 1.0.
+  img::ImageF mapped(luma.width(), luma.height(), 1);
+  {
+    auto sl = log_luma.samples();
+    auto sb = base.samples();
+    auto so = mapped.samples();
+    for (std::size_t i = 0; i < sl.size(); ++i) {
+      const double detail = static_cast<double>(sl[i]) - sb[i];
+      const double out_log =
+          (static_cast<double>(sb[i]) - base_max) * compression + detail;
+      so[i] = static_cast<float>(std::pow(10.0, out_log));
+    }
+  }
+
+  // Apply as a luminance ratio to preserve colour, clamped to [0, 1].
+  img::ImageF out(hdr.width(), hdr.height(), hdr.channels());
+  for (int y = 0; y < hdr.height(); ++y) {
+    for (int x = 0; x < hdr.width(); ++x) {
+      const float lo = luma.at_unchecked(x, y);
+      const float ln = mapped.at_unchecked(x, y);
+      const float ratio = lo > kFloor ? ln / lo : 0.0f;
+      for (int c = 0; c < hdr.channels(); ++c) {
+        out.at_unchecked(x, y, c) =
+            clamp(hdr.at_unchecked(x, y, c) * ratio, 0.0f, 1.0f);
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace tmhls::tonemap

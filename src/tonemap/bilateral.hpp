@@ -1,0 +1,41 @@
+// Bilateral filtering and the Durand-Dorsey-style base/detail local
+// operator — the second *local* tone-mapping family from §II's taxonomy,
+// included as a baseline against the paper's Moroney-style operator.
+//
+// A bilateral filter is an edge-preserving blur: each output pixel
+// averages neighbours weighted by spatial distance AND by intensity
+// difference, so halos around high-contrast edges (the classic artefact of
+// Gaussian-mask operators) are suppressed. Durand & Dorsey (SIGGRAPH 2002)
+// tone-map by compressing the bilateral-filtered "base" layer of the log
+// luminance while preserving the "detail" layer.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tmhls::tonemap {
+
+/// Bilateral filter parameters.
+struct BilateralOptions {
+  double spatial_sigma = 8.0;  ///< Gaussian sigma over pixel distance
+  double range_sigma = 0.4;    ///< Gaussian sigma over value difference
+  /// Kernel radius; 0 selects ceil(2 * spatial_sigma) (the usual
+  /// truncation for the bilateral's spatial kernel).
+  int radius = 0;
+};
+
+/// Edge-preserving bilateral filter of a 1-channel image.
+/// Direct O(pixels * taps^2) evaluation: exact, intended for the moderate
+/// radii tone mapping needs.
+img::ImageF bilateral_filter(const img::ImageF& src,
+                             const BilateralOptions& opt = {});
+
+/// Durand-Dorsey-style local operator:
+///   log-luminance -> bilateral -> base; detail = log - base;
+///   out_log = base * compression + detail;  (compression < 1)
+/// scaled so the base layer spans `target_range` decades, then applied as
+/// a luminance ratio to preserve colour. Returns display-referred [0, 1].
+img::ImageF durand_local(const img::ImageF& hdr,
+                         const BilateralOptions& filter = {},
+                         double target_range_decades = 2.0);
+
+} // namespace tmhls::tonemap

@@ -1,0 +1,254 @@
+#include "tonemap/blur.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::tonemap {
+
+namespace {
+
+int clamp_index(int v, int limit) {
+  return v < 0 ? 0 : (v >= limit ? limit - 1 : v);
+}
+
+} // namespace
+
+img::ImageF blur_separable_float(const img::ImageF& src,
+                                 const GaussianKernel& kernel) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  const int w = src.width();
+  const int h = src.height();
+  const int radius = kernel.radius();
+  const auto& wts = kernel.weights();
+
+  img::ImageF tmp(w, h, 1);
+  // Horizontal pass: neighbours along the row (random access in x).
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += wts[static_cast<std::size_t>(k + radius)] *
+               src.at_unchecked(clamp_index(x + k, w), y);
+      }
+      tmp.at_unchecked(x, y) = acc;
+    }
+  }
+  // Vertical pass: neighbours along the column (strided access in y — the
+  // pattern that defeats the naive hardware offload).
+  img::ImageF dst(w, h, 1);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        acc += wts[static_cast<std::size_t>(k + radius)] *
+               tmp.at_unchecked(x, clamp_index(y + k, h));
+      }
+      dst.at_unchecked(x, y) = acc;
+    }
+  }
+  return dst;
+}
+
+img::ImageF blur_streaming_float(const img::ImageF& src,
+                                 const GaussianKernel& kernel) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  const int w = src.width();
+  const int h = src.height();
+  const int radius = kernel.radius();
+  const int taps = kernel.taps();
+  const auto& wts = kernel.weights();
+
+  // Horizontal pass through a shift register of `taps` pixels. For output
+  // pixel x we need inputs [x-radius, x+radius]; the register holds them
+  // once input pixel x+radius has streamed in. Edge clamping is realised by
+  // pre-loading the register with the row's first pixel and by holding the
+  // last pixel while draining — exactly what the hardware does.
+  img::ImageF tmp(w, h, 1);
+  std::vector<float> shift(static_cast<std::size_t>(taps));
+  for (int y = 0; y < h; ++y) {
+    // Pre-fill: register centred on x = 0 (clamped left neighbours).
+    for (int i = 0; i < taps; ++i) {
+      shift[static_cast<std::size_t>(i)] =
+          src.at_unchecked(clamp_index(i - radius, w), y);
+    }
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = 0; i < taps; ++i) {
+        acc += wts[static_cast<std::size_t>(i)] *
+               shift[static_cast<std::size_t>(i)];
+      }
+      tmp.at_unchecked(x, y) = acc;
+      // Stream in the next pixel (clamped at the right edge).
+      for (int i = 0; i + 1 < taps; ++i) {
+        shift[static_cast<std::size_t>(i)] =
+            shift[static_cast<std::size_t>(i + 1)];
+      }
+      shift[static_cast<std::size_t>(taps - 1)] =
+          src.at_unchecked(clamp_index(x + radius + 1, w), y);
+    }
+  }
+
+  // Vertical pass through a circular line buffer of `taps` rows. Row r of
+  // the buffer holds input row (base + r); output row y reads rows
+  // [y-radius, y+radius] clamped.
+  img::ImageF dst(w, h, 1);
+  std::vector<std::vector<float>> lines(
+      static_cast<std::size_t>(taps),
+      std::vector<float>(static_cast<std::size_t>(w)));
+  // Pre-fill with rows centred on y = 0.
+  for (int i = 0; i < taps; ++i) {
+    const int sy = clamp_index(i - radius, h);
+    auto row = tmp.row(sy);
+    std::copy(row.begin(), row.end(), lines[static_cast<std::size_t>(i)].begin());
+  }
+  int head = 0; // index of the oldest row (y - radius)
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = 0; i < taps; ++i) {
+        const int slot = (head + i) % taps;
+        acc += wts[static_cast<std::size_t>(i)] *
+               lines[static_cast<std::size_t>(slot)][static_cast<std::size_t>(x)];
+      }
+      dst.at_unchecked(x, y) = acc;
+    }
+    // The oldest row is replaced by the next incoming row (clamped bottom).
+    const int next_row = clamp_index(y + radius + 1, h);
+    auto row = tmp.row(next_row);
+    std::copy(row.begin(), row.end(),
+              lines[static_cast<std::size_t>(head)].begin());
+    head = (head + 1) % taps;
+  }
+  return dst;
+}
+
+FixedBlurConfig FixedBlurConfig::paper() {
+  const fixed::FixedFormat fmt(16, 2, fixed::Round::half_up,
+                               fixed::Overflow::saturate);
+  return FixedBlurConfig{fmt, fmt};
+}
+
+img::ImageF blur_streaming_fixed(const img::ImageF& src,
+                                 const GaussianKernel& kernel,
+                                 const FixedBlurConfig& cfg) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  const int w = src.width();
+  const int h = src.height();
+  const int radius = kernel.radius();
+  const int taps = kernel.taps();
+  const fixed::FixedFormat& dfmt = cfg.data;
+  const fixed::FixedFormat& afmt = cfg.accumulator;
+
+  // Kernel ROM: weights quantised to the data format.
+  const std::vector<std::int64_t> wq = kernel.quantised_weights(dfmt);
+
+  // Quantise the whole input once — the float-to-fixed conversion at the
+  // accelerator's AXI boundary.
+  std::vector<std::int64_t> qsrc(src.pixel_count());
+  {
+    auto s = src.samples();
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      qsrc[i] = dfmt.raw_from_double(static_cast<double>(s[i]));
+    }
+  }
+  auto qat = [&](int x, int y) {
+    return qsrc[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+                static_cast<std::size_t>(x)];
+  };
+
+  // One fixed-point MAC: multiply in full precision, requantise the product
+  // into the accumulator format (rounding per format), add, requantise the
+  // sum (overflow per format). This is exactly what an ap_fixed accumulator
+  // of width afmt does in the synthesised datapath.
+  auto mac = [&](std::int64_t acc, std::int64_t wraw,
+                 std::int64_t xraw) {
+    // Product has dfmt.frac + dfmt.frac fraction bits; bring it to the
+    // accumulator's fraction count.
+    const std::int64_t prod = wraw * xraw;
+    const int shift = 2 * dfmt.frac_bits() - afmt.frac_bits();
+    TMHLS_ASSERT(shift >= 0, "accumulator wider than product precision");
+    const std::int64_t prod_q =
+        fixed::shift_right_round(prod, shift, afmt.round());
+    return afmt.apply_overflow(acc + afmt.apply_overflow(prod_q));
+  };
+  // Convert an accumulator value back to the data format (output register).
+  auto acc_to_data = [&](std::int64_t acc) {
+    const int shift = afmt.frac_bits() - dfmt.frac_bits();
+    std::int64_t raw = acc;
+    if (shift > 0) {
+      raw = fixed::shift_right_round(acc, shift, dfmt.round());
+    } else if (shift < 0) {
+      raw = acc << (-shift);
+    }
+    return dfmt.apply_overflow(raw);
+  };
+
+  // Horizontal pass, shift register of raw values.
+  std::vector<std::int64_t> hout(src.pixel_count());
+  std::vector<std::int64_t> shift_reg(static_cast<std::size_t>(taps));
+  for (int y = 0; y < h; ++y) {
+    for (int i = 0; i < taps; ++i) {
+      shift_reg[static_cast<std::size_t>(i)] =
+          qat(clamp_index(i - radius, w), y);
+    }
+    for (int x = 0; x < w; ++x) {
+      std::int64_t acc = 0;
+      for (int i = 0; i < taps; ++i) {
+        acc = mac(acc, wq[static_cast<std::size_t>(i)],
+                  shift_reg[static_cast<std::size_t>(i)]);
+      }
+      hout[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+           static_cast<std::size_t>(x)] = acc_to_data(acc);
+      for (int i = 0; i + 1 < taps; ++i) {
+        shift_reg[static_cast<std::size_t>(i)] =
+            shift_reg[static_cast<std::size_t>(i + 1)];
+      }
+      shift_reg[static_cast<std::size_t>(taps - 1)] =
+          qat(clamp_index(x + radius + 1, w), y);
+    }
+  }
+
+  // Vertical pass, circular line buffer of raw values.
+  img::ImageF dst(w, h, 1);
+  auto hrow = [&](int y) {
+    return hout.data() + static_cast<std::size_t>(clamp_index(y, h)) *
+                             static_cast<std::size_t>(w);
+  };
+  std::vector<std::vector<std::int64_t>> lines(
+      static_cast<std::size_t>(taps),
+      std::vector<std::int64_t>(static_cast<std::size_t>(w)));
+  for (int i = 0; i < taps; ++i) {
+    const std::int64_t* row = hrow(i - radius);
+    std::copy(row, row + w, lines[static_cast<std::size_t>(i)].begin());
+  }
+  int head = 0;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      std::int64_t acc = 0;
+      for (int i = 0; i < taps; ++i) {
+        const int slot = (head + i) % taps;
+        acc = mac(acc, wq[static_cast<std::size_t>(i)],
+                  lines[static_cast<std::size_t>(slot)]
+                       [static_cast<std::size_t>(x)]);
+      }
+      dst.at_unchecked(x, y) =
+          static_cast<float>(dfmt.raw_to_double(acc_to_data(acc)));
+    }
+    const std::int64_t* row = hrow(y + radius + 1);
+    std::copy(row, row + w, lines[static_cast<std::size_t>(head)].begin());
+    head = (head + 1) % taps;
+  }
+  return dst;
+}
+
+std::size_t line_buffer_bytes(int width, int taps, int bits_per_elem) {
+  TMHLS_REQUIRE(width > 0 && taps > 0 && bits_per_elem > 0,
+                "line_buffer_bytes: positive arguments required");
+  const std::size_t bits = static_cast<std::size_t>(width) *
+                           static_cast<std::size_t>(taps) *
+                           static_cast<std::size_t>(bits_per_elem);
+  return (bits + 7) / 8;
+}
+
+} // namespace tmhls::tonemap

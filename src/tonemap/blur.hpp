@@ -1,0 +1,63 @@
+// The three functional forms of the Gaussian blur — the function the paper
+// accelerates (§III.B-C). All three operate on a 1-channel float image
+// (the pipeline blurs the intensity plane) with clamp-to-edge borders.
+//
+// 1. blur_separable_float   — the original "CPU-friendly" form: two passes
+//    with direct neighbour indexing (the random-access pattern that made
+//    the naive hardware offload 176 s in Table II).
+// 2. blur_streaming_float   — the restructured "FPGA-friendly" form (§III.B,
+//    Fig 4): pixels stream in raster order through a shift register
+//    (horizontal pass) and a circular line buffer (vertical pass), exactly
+//    the structure the BRAM accelerator implements. Numerically identical
+//    to form 1 because taps accumulate in the same order.
+// 3. blur_streaming_fixed   — the same streaming structure with every value
+//    (pixels, kernel weights, accumulator) held in a fixed-point format
+//    (§III.C). Bit-accurate model of the ap_fixed datapath: each MAC
+//    requantises into the accumulator format.
+#pragma once
+
+#include "fixed/fixed_format.hpp"
+#include "image/image.hpp"
+#include "tonemap/kernel.hpp"
+
+namespace tmhls::tonemap {
+
+/// Direct separable Gaussian blur (horizontal then vertical pass),
+/// clamp-to-edge. Input must be 1-channel.
+img::ImageF blur_separable_float(const img::ImageF& src,
+                                 const GaussianKernel& kernel);
+
+/// Streaming (line-buffer) Gaussian blur; numerically identical to
+/// blur_separable_float. Input must be 1-channel.
+img::ImageF blur_streaming_float(const img::ImageF& src,
+                                 const GaussianKernel& kernel);
+
+/// Numeric configuration of the fixed-point blur datapath.
+struct FixedBlurConfig {
+  /// Format of pixel data and kernel weights (the paper: 16 bits total).
+  fixed::FixedFormat data;
+  /// Format of the MAC accumulator. The paper keeps everything 16-bit;
+  /// widening this is the classic accuracy/area knob explored in the
+  /// design-space-exploration example.
+  fixed::FixedFormat accumulator;
+
+  /// The paper's configuration: ap_fixed<16,2> everywhere, AP_RND/AP_SAT.
+  static FixedBlurConfig paper();
+};
+
+/// Streaming Gaussian blur computed entirely in fixed point. The input is
+/// quantised to `cfg.data` on entry (modelling the float-to-fixed conversion
+/// at the accelerator boundary) and the output is exact fixed-point values
+/// widened back to float. Input must be 1-channel with values expected in
+/// the data format's range.
+img::ImageF blur_streaming_fixed(const img::ImageF& src,
+                                 const GaussianKernel& kernel,
+                                 const FixedBlurConfig& cfg);
+
+/// BRAM bytes required by the streaming blur's vertical line buffer for a
+/// given image width: taps rows of `width` elements of `bits_per_elem`.
+/// Used by the platform model to check the design fits the device (§III.B:
+/// "local data buffers using memory blocks inside the FPGA").
+std::size_t line_buffer_bytes(int width, int taps, int bits_per_elem);
+
+} // namespace tmhls::tonemap

@@ -1,0 +1,36 @@
+// Global tone-mapping operators — the other family from §II's taxonomy
+// ("the algorithms can be overall classified in two groups: global and
+// local"). They apply one transformation to every pixel regardless of its
+// neighbourhood and serve as baselines against the paper's local operator:
+// simpler, cheaper, but unable to hold local contrast in mixed scenes.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tmhls::tonemap {
+
+/// Simple power-law: out = (in / max)^(1/gamma), clamped to [0, 1].
+img::ImageF global_gamma(const img::ImageF& hdr, float gamma = 2.2f);
+
+/// Logarithmic mapping (Drago-style base curve):
+/// out = log(1 + in) / log(1 + max), computed on luminance and applied as a
+/// per-pixel luminance ratio to preserve colour.
+img::ImageF global_log(const img::ImageF& hdr);
+
+/// Reinhard et al. 2002 global operator with white point:
+///     L' = L * (1 + L / Lwhite^2) / (1 + L)
+/// where L is luminance scaled by key/avg-log-luminance. `key` defaults to
+/// the paper-era standard 0.18.
+img::ImageF reinhard_global(const img::ImageF& hdr, float key = 0.18f,
+                            float lwhite = 0.0f /* 0 -> max luminance */);
+
+/// Ward-style histogram adjustment (simplified): builds a log-luminance
+/// histogram, clamps each bin to a linear ceiling (so empty luminance
+/// ranges do not waste display range while dense ranges cannot exaggerate
+/// contrast), and maps through the cumulative distribution. `bins` controls
+/// histogram resolution; `ceiling_factor` the per-bin clamp as a multiple
+/// of the uniform share.
+img::ImageF histogram_adjustment(const img::ImageF& hdr, int bins = 128,
+                                 double ceiling_factor = 2.5);
+
+} // namespace tmhls::tonemap

@@ -1,0 +1,53 @@
+#include "tonemap/kernel.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tmhls::tonemap {
+
+GaussianKernel::GaussianKernel(double sigma)
+    : GaussianKernel(sigma, static_cast<int>(std::ceil(3.0 * sigma))) {}
+
+GaussianKernel::GaussianKernel(double sigma, int radius)
+    : sigma_(sigma), radius_(radius) {
+  TMHLS_REQUIRE(sigma > 0.0, "kernel sigma must be positive");
+  TMHLS_REQUIRE(radius >= 1, "kernel radius must be >= 1");
+  weights_.resize(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int k = -radius; k <= radius; ++k) {
+    const double v = std::exp(-(static_cast<double>(k) * k) /
+                              (2.0 * sigma * sigma));
+    weights_[static_cast<std::size_t>(k + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& w : weights_) {
+    w = static_cast<float>(static_cast<double>(w) / sum);
+  }
+}
+
+float GaussianKernel::weight(int k) const {
+  TMHLS_REQUIRE(k >= -radius_ && k <= radius_, "kernel offset out of range");
+  return weights_[static_cast<std::size_t>(k + radius_)];
+}
+
+std::vector<std::int64_t> GaussianKernel::quantised_weights(
+    const fixed::FixedFormat& fmt) const {
+  std::vector<std::int64_t> q;
+  q.reserve(weights_.size());
+  for (float w : weights_) {
+    q.push_back(fmt.raw_from_double(static_cast<double>(w)));
+  }
+  return q;
+}
+
+double GaussianKernel::quantised_weight_sum(
+    const fixed::FixedFormat& fmt) const {
+  double sum = 0.0;
+  for (std::int64_t raw : quantised_weights(fmt)) {
+    sum += fmt.raw_to_double(raw);
+  }
+  return sum;
+}
+
+} // namespace tmhls::tonemap

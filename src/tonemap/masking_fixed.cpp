@@ -1,0 +1,50 @@
+#include "tonemap/masking_fixed.hpp"
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::tonemap {
+
+FixedMaskingConfig FixedMaskingConfig::paper() {
+  return FixedMaskingConfig{fixed::FixedFormat(
+      16, 2, fixed::Round::half_up, fixed::Overflow::saturate)};
+}
+
+img::ImageF nonlinear_masking_fixed(const img::ImageF& in,
+                                    const img::ImageF& mask,
+                                    const FixedMaskingConfig& cfg,
+                                    const fixed::FixedMath& math) {
+  TMHLS_REQUIRE(mask.channels() == 1,
+                "nonlinear_masking_fixed: mask must be 1-channel");
+  TMHLS_REQUIRE(in.width() == mask.width() && in.height() == mask.height(),
+                "nonlinear_masking_fixed: size mismatch");
+  const fixed::FixedFormat& fmt = cfg.data;
+  constexpr std::int64_t kOneQ16 = std::int64_t{1} << fixed::FixedMath::kQ;
+
+  img::ImageF out(in.width(), in.height(), in.channels());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      // Mask sample -> per-pixel exponent gamma = 2^(2m - 1), computed in
+      // the Q16 log domain: e = 2m - 1, gamma = exp2(e).
+      const double m_clamped =
+          clamp(static_cast<double>(mask.at_unchecked(x, y)), 0.0, 1.0);
+      const std::int64_t m_q16 = fixed::FixedMath::raw_to_q16(
+          fmt.raw_from_double(m_clamped), fmt);
+      const std::int64_t e_q16 = 2 * m_q16 - kOneQ16;
+      const std::int64_t gamma_q16 = math.exp2_q16(e_q16);
+
+      for (int c = 0; c < in.channels(); ++c) {
+        const double v =
+            std::max(static_cast<double>(in.at_unchecked(x, y, c)), 0.0);
+        const std::int64_t v_raw = fmt.raw_from_double(v);
+        const std::int64_t out_q16 = math.pow_q16(v_raw, fmt, gamma_q16);
+        const std::int64_t out_raw = fixed::FixedMath::q16_to_raw(out_q16, fmt);
+        out.at_unchecked(x, y, c) =
+            static_cast<float>(fmt.raw_to_double(out_raw));
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace tmhls::tonemap

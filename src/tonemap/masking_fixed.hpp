@@ -1,0 +1,36 @@
+// Fixed-point non-linear masking — the "next bottleneck" extension.
+//
+// The paper accelerates only the Gaussian blur; its §V conclusion leaves
+// the rest of the pipeline on the ARM, which is why Table II's totals stay
+// near 19 s. The obvious follow-on (evaluated in bench_ext_masking) is to
+// move Moroney's correction itself into the programmable logic. This file
+// provides the bit-accurate functional model of that datapath: the
+// per-pixel gamma and the per-sample pow computed with the integer-only
+// log2/exp2 construction of fixed::FixedMath.
+#pragma once
+
+#include "fixed/fixed_format.hpp"
+#include "fixed/fixed_math.hpp"
+#include "image/image.hpp"
+
+namespace tmhls::tonemap {
+
+/// Configuration of the fixed-point masking datapath.
+struct FixedMaskingConfig {
+  /// Pixel format at the accelerator boundary (bus-aligned).
+  fixed::FixedFormat data;
+
+  /// The paper-consistent choice: the same ap_fixed<16,2> as the blur.
+  static FixedMaskingConfig paper();
+};
+
+/// Fixed-point equivalent of nonlinear_masking(): inputs and the mask are
+/// quantised to `cfg.data`; gamma = 2^((m - 0.5)/0.5) and out = in^gamma
+/// are evaluated with integer-only LUT math. Output samples are exact
+/// fixed-point values widened to float.
+img::ImageF nonlinear_masking_fixed(const img::ImageF& in,
+                                    const img::ImageF& mask,
+                                    const FixedMaskingConfig& cfg,
+                                    const fixed::FixedMath& math);
+
+} // namespace tmhls::tonemap

@@ -1,0 +1,139 @@
+#include "tonemap/op_counts.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::tonemap {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  loads += o.loads;
+  stores += o.stores;
+  fadd += o.fadd;
+  fmul += o.fmul;
+  fdiv += o.fdiv;
+  fcmp += o.fcmp;
+  pow_calls += o.pow_calls;
+  exp2_calls += o.exp2_calls;
+  log_calls += o.log_calls;
+  loop_iters += o.loop_iters;
+  return *this;
+}
+
+const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::normalization: return "normalization";
+    case Stage::intensity: return "intensity";
+    case Stage::gaussian_blur: return "gaussian_blur";
+    case Stage::nonlinear_masking: return "nonlinear_masking";
+    case Stage::adjustments: return "adjustments";
+  }
+  return "?";
+}
+
+namespace {
+std::int64_t samples_of(int width, int height, int channels) {
+  return static_cast<std::int64_t>(width) * height * channels;
+}
+} // namespace
+
+OpCounts count_normalization(int width, int height, int channels) {
+  const std::int64_t n = samples_of(width, height, channels);
+  OpCounts c;
+  // Pass 1: max reduction (load + compare per sample).
+  c.loads += n;
+  c.fcmp += n;
+  // Pass 2: divide + store per sample.
+  c.loads += n;
+  c.fdiv += n;
+  c.stores += n;
+  // Pass 3: display encoding, pow per sample (Moroney masking operates on
+  // display-referred data).
+  c.loads += n;
+  c.fcmp += n;
+  c.pow_calls += n;
+  c.stores += n;
+  c.loop_iters += 3 * n;
+  return c;
+}
+
+OpCounts count_intensity(int width, int height, int channels) {
+  const std::int64_t px = static_cast<std::int64_t>(width) * height;
+  OpCounts c;
+  if (channels == 1) {
+    // Plain copy.
+    c.loads = px;
+    c.stores = px;
+    c.loop_iters = px;
+    return c;
+  }
+  // 3 loads, 3 muls, 2 adds, 1 store per pixel.
+  c.loads = 3 * px;
+  c.fmul = 3 * px;
+  c.fadd = 2 * px;
+  c.stores = px;
+  c.loop_iters = px;
+  return c;
+}
+
+OpCounts count_gaussian_blur(int width, int height,
+                             const GaussianKernel& kernel) {
+  const std::int64_t px = static_cast<std::int64_t>(width) * height;
+  const std::int64_t taps = kernel.taps();
+  OpCounts c;
+  // Two separable passes over the 1-channel plane.
+  c.loads = 2 * px * taps;
+  c.fmul = 2 * px * taps;
+  c.fadd = 2 * px * (taps - 1);
+  c.stores = 2 * px;
+  c.loop_iters = 2 * px * taps;
+  return c;
+}
+
+OpCounts count_nonlinear_masking(int width, int height, int channels) {
+  const std::int64_t px = static_cast<std::int64_t>(width) * height;
+  const std::int64_t n = samples_of(width, height, channels);
+  OpCounts c;
+  // Per pixel: load mask, clamp, exponent via exp2.
+  c.loads += px;
+  c.fcmp += 2 * px;
+  c.fadd += px;  // (m - 0.5)
+  c.fmul += px;  // / 0.5 as * 2
+  c.exp2_calls += px;
+  // Per sample: load, max(0), pow, store.
+  c.loads += n;
+  c.fcmp += n;
+  c.pow_calls += n;
+  c.stores += n;
+  c.loop_iters += px + n;
+  return c;
+}
+
+OpCounts count_adjustments(int width, int height, int channels) {
+  const std::int64_t n = samples_of(width, height, channels);
+  OpCounts c;
+  c.loads = n;
+  c.fadd = 2 * n; // -0.5, +0.5+brightness
+  c.fmul = n;     // *contrast
+  c.fcmp = 2 * n; // clamp
+  c.stores = n;
+  c.loop_iters = n;
+  return c;
+}
+
+OpCounts count_stage(Stage stage, int width, int height, int channels,
+                     const GaussianKernel& kernel) {
+  switch (stage) {
+    case Stage::normalization:
+      return count_normalization(width, height, channels);
+    case Stage::intensity:
+      return count_intensity(width, height, channels);
+    case Stage::gaussian_blur:
+      return count_gaussian_blur(width, height, kernel);
+    case Stage::nonlinear_masking:
+      return count_nonlinear_masking(width, height, channels);
+    case Stage::adjustments:
+      return count_adjustments(width, height, channels);
+  }
+  throw InvalidArgument("unknown stage");
+}
+
+} // namespace tmhls::tonemap

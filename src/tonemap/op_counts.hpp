@@ -1,0 +1,67 @@
+// Analytic operation counts per pipeline stage.
+//
+// The platform CPU model (src/platform/cpu_model.hpp) computes the PS-side
+// execution time of each stage as (op counts) x (per-op cycle costs). The
+// counts here are derived from the stage loop structure, so the §III.B
+// profiling result — the Gaussian blur dominating the software runtime —
+// is a model *output*, not an assumption.
+#pragma once
+
+#include <cstdint>
+
+#include "tonemap/kernel.hpp"
+
+namespace tmhls::tonemap {
+
+/// Operation counts of one pipeline stage (or any software routine).
+struct OpCounts {
+  std::int64_t loads = 0;       ///< memory reads of pixel data
+  std::int64_t stores = 0;      ///< memory writes of pixel data
+  std::int64_t fadd = 0;        ///< float additions/subtractions
+  std::int64_t fmul = 0;        ///< float multiplications
+  std::int64_t fdiv = 0;        ///< float divisions
+  std::int64_t fcmp = 0;        ///< float comparisons (max/clamp)
+  std::int64_t pow_calls = 0;   ///< calls to pow()
+  std::int64_t exp2_calls = 0;  ///< calls to exp2()
+  std::int64_t log_calls = 0;   ///< calls to log()/log1p()
+  std::int64_t loop_iters = 0;  ///< loop iterations (index/branch overhead)
+
+  OpCounts& operator+=(const OpCounts& o);
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+};
+
+/// The pipeline stages of Fig 1 (and the intensity extraction between
+/// normalization and blur).
+enum class Stage {
+  normalization,
+  intensity,      ///< luminance extraction feeding the blur
+  gaussian_blur,
+  nonlinear_masking,
+  adjustments,
+};
+
+const char* to_string(Stage s);
+
+/// Op counts of the max-reduction + divide normalization stage.
+OpCounts count_normalization(int width, int height, int channels);
+
+/// Op counts of the BT.709 intensity extraction.
+OpCounts count_intensity(int width, int height, int channels);
+
+/// Op counts of the separable Gaussian blur on the 1-channel intensity
+/// plane: 2 passes x (taps muls + (taps-1) adds + taps loads + 1 store).
+OpCounts count_gaussian_blur(int width, int height,
+                             const GaussianKernel& kernel);
+
+/// Op counts of the non-linear masking stage (exp2 per pixel for the
+/// exponent, pow per sample for the correction).
+OpCounts count_nonlinear_masking(int width, int height, int channels);
+
+/// Op counts of the brightness/contrast stage.
+OpCounts count_adjustments(int width, int height, int channels);
+
+/// Counts for a stage by enum (dimensions of the paper workload).
+OpCounts count_stage(Stage stage, int width, int height, int channels,
+                     const GaussianKernel& kernel);
+
+} // namespace tmhls::tonemap

@@ -1,0 +1,67 @@
+#include "tonemap/operators.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::tonemap {
+
+img::ImageF normalize_to_max(const img::ImageF& src, float* max_out) {
+  TMHLS_REQUIRE(!src.empty(), "normalize_to_max: empty image");
+  float max_v = 0.0f;
+  for (float v : src.samples()) max_v = std::max(max_v, v);
+  TMHLS_REQUIRE(max_v > 0.0f, "normalize_to_max: image has no positive sample");
+  img::ImageF out(src.width(), src.height(), src.channels());
+  auto si = src.samples();
+  auto so = out.samples();
+  for (std::size_t i = 0; i < si.size(); ++i) {
+    so[i] = si[i] / max_v;
+  }
+  if (max_out != nullptr) *max_out = max_v;
+  return out;
+}
+
+img::ImageF display_encode(const img::ImageF& in, float gamma) {
+  TMHLS_REQUIRE(gamma > 0.0f, "display_encode: gamma must be positive");
+  img::ImageF out(in.width(), in.height(), in.channels());
+  auto si = in.samples();
+  auto so = out.samples();
+  const float inv_gamma = 1.0f / gamma;
+  for (std::size_t i = 0; i < si.size(); ++i) {
+    so[i] = std::pow(std::max(si[i], 0.0f), inv_gamma);
+  }
+  return out;
+}
+
+img::ImageF nonlinear_masking(const img::ImageF& in, const img::ImageF& mask) {
+  TMHLS_REQUIRE(mask.channels() == 1, "nonlinear_masking: mask must be 1-channel");
+  TMHLS_REQUIRE(in.width() == mask.width() && in.height() == mask.height(),
+                "nonlinear_masking: size mismatch");
+  img::ImageF out(in.width(), in.height(), in.channels());
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      const float m = clamp(mask.at_unchecked(x, y), 0.0f, 1.0f);
+      const float gamma = std::exp2((m - 0.5f) / 0.5f);
+      for (int c = 0; c < in.channels(); ++c) {
+        const float v = std::max(in.at_unchecked(x, y, c), 0.0f);
+        out.at_unchecked(x, y, c) = std::pow(v, gamma);
+      }
+    }
+  }
+  return out;
+}
+
+img::ImageF brightness_contrast(const img::ImageF& in, float brightness,
+                                float contrast) {
+  TMHLS_REQUIRE(contrast > 0.0f, "brightness_contrast: contrast must be > 0");
+  img::ImageF out(in.width(), in.height(), in.channels());
+  auto si = in.samples();
+  auto so = out.samples();
+  for (std::size_t i = 0; i < si.size(); ++i) {
+    so[i] = clamp((si[i] - 0.5f) * contrast + 0.5f + brightness, 0.0f, 1.0f);
+  }
+  return out;
+}
+
+} // namespace tmhls::tonemap

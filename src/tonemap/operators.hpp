@@ -1,0 +1,43 @@
+// The point-wise stages of the paper's tone-mapping pipeline (Fig 1):
+// image normalization, non-linear masking (Moroney, CIC 2000) and the
+// brightness/contrast adjustments. These always run on the processing
+// system (PS) — only the Gaussian blur is accelerated.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tmhls::tonemap {
+
+/// Step 1 — "each pixel inside the input image is normalized with respect
+/// to their maximum value": divide every sample by the global maximum.
+/// Returns the normalised image; `max_out`, when non-null, receives the
+/// maximum found (needed to report the scale). A non-positive maximum
+/// throws InvalidArgument (the image carries no light).
+img::ImageF normalize_to_max(const img::ImageF& src, float* max_out = nullptr);
+
+/// Display encoding: out = in^(1/gamma) with inputs clamped to >= 0.
+/// Part of step 1 in this pipeline: Moroney's non-linear masking (step 3)
+/// is defined on display-referred data, so the normalised linear-light
+/// image is gamma-encoded before the mask is built. gamma = 1 is the
+/// identity.
+img::ImageF display_encode(const img::ImageF& in, float gamma);
+
+/// Step 3 — non-linear masking. Each output sample is the input raised to
+/// a per-pixel exponent driven by the blurred intensity mask:
+///
+///     gamma(x, y) = 2 ^ ((mask(x, y) - 0.5) / 0.5)
+///     out(x, y, c) = in(x, y, c) ^ gamma(x, y)
+///
+/// Dark neighbourhoods (mask < 0.5) get gamma < 1 and brighten; bright
+/// neighbourhoods darken — "dark zones will become brighter while bright
+/// zones will become darker" (§II). This is Moroney's local color
+/// correction with the mask inversion folded into the exponent's sign.
+/// `in` may have 1..4 channels; `mask` must be 1-channel and same size.
+img::ImageF nonlinear_masking(const img::ImageF& in, const img::ImageF& mask);
+
+/// Step 4 — brightness and contrast adjustment "to improve quality":
+///     out = clamp((in - 0.5) * contrast + 0.5 + brightness, 0, 1)
+img::ImageF brightness_contrast(const img::ImageF& in, float brightness,
+                                float contrast);
+
+} // namespace tmhls::tonemap

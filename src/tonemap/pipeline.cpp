@@ -1,0 +1,67 @@
+#include "tonemap/pipeline.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace tmhls::tonemap {
+
+const char* to_string(BlurKind kind) {
+  switch (kind) {
+    case BlurKind::separable_float: return "separable_float";
+    case BlurKind::streaming_float: return "streaming_float";
+    case BlurKind::streaming_fixed: return "streaming_fixed";
+  }
+  return "?";
+}
+
+GaussianKernel PipelineOptions::kernel() const {
+  if (radius > 0) return GaussianKernel(sigma, radius);
+  return GaussianKernel(sigma);
+}
+
+PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt) {
+  TMHLS_REQUIRE(!hdr.empty(), "tone_map: empty image");
+  const GaussianKernel kernel = opt.kernel();
+
+  PipelineResult r;
+  if (opt.normalization_scale > 0.0f) {
+    r.input_max = opt.normalization_scale;
+    r.normalized = img::ImageF(hdr.width(), hdr.height(), hdr.channels());
+    auto si = hdr.samples();
+    auto so = r.normalized.samples();
+    for (std::size_t i = 0; i < si.size(); ++i) {
+      so[i] = clamp(si[i] / opt.normalization_scale, 0.0f, 1.0f);
+    }
+  } else {
+    r.normalized = normalize_to_max(hdr, &r.input_max);
+  }
+  if (opt.display_gamma != 1.0f) {
+    r.normalized = display_encode(r.normalized, opt.display_gamma);
+  }
+  r.intensity = img::luminance(r.normalized);
+
+  switch (opt.blur) {
+    case BlurKind::separable_float:
+      r.mask = blur_separable_float(r.intensity, kernel);
+      break;
+    case BlurKind::streaming_float:
+      r.mask = blur_streaming_float(r.intensity, kernel);
+      break;
+    case BlurKind::streaming_fixed:
+      r.mask = blur_streaming_fixed(r.intensity, kernel, opt.fixed);
+      break;
+  }
+
+  r.masked = nonlinear_masking(r.normalized, r.mask);
+  r.output = brightness_contrast(r.masked, opt.brightness, opt.contrast);
+  return r;
+}
+
+img::ImageF tone_map_image(const img::ImageF& hdr,
+                           const PipelineOptions& opt) {
+  return tone_map(hdr, opt).output;
+}
+
+} // namespace tmhls::tonemap

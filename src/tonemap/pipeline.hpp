@@ -1,0 +1,72 @@
+// The complete tone-mapping pipeline of Fig 1: normalization -> Gaussian
+// blur (of the intensity plane) -> non-linear masking -> brightness &
+// contrast adjustments. This is the *functional* pipeline; the platform/
+// accel layers decide where each stage executes and at what cost.
+#pragma once
+
+#include <optional>
+
+#include "image/image.hpp"
+#include "tonemap/blur.hpp"
+#include "tonemap/kernel.hpp"
+#include "tonemap/operators.hpp"
+
+namespace tmhls::tonemap {
+
+/// Which numeric implementation computes the Gaussian blur stage.
+enum class BlurKind {
+  separable_float, ///< original CPU form (random neighbour access)
+  streaming_float, ///< restructured line-buffer form, float datapath
+  streaming_fixed, ///< restructured line-buffer form, fixed-point datapath
+};
+
+const char* to_string(BlurKind kind);
+
+/// Pipeline configuration. Defaults reproduce the paper's workload.
+struct PipelineOptions {
+  /// Gaussian mask scale. sigma = 16 with radius = 3*sigma = 48 gives the
+  /// 97-tap kernel used by all paper-reproduction experiments.
+  double sigma = 16.0;
+  /// Kernel radius; 0 selects ceil(3 * sigma).
+  int radius = 0;
+  /// Blur implementation to use for the mask.
+  BlurKind blur = BlurKind::separable_float;
+  /// Fixed-point formats (used only when blur == streaming_fixed).
+  FixedBlurConfig fixed = FixedBlurConfig::paper();
+  /// Display gamma applied within step 1 (normalisation): the non-linear
+  /// masking operates on display-referred values (Moroney, CIC 2000).
+  /// 1.0 disables the encoding.
+  float display_gamma = 2.2f;
+  /// External normalisation scale. 0 (default) normalises by the frame's
+  /// own maximum (the paper's single-image behaviour); a positive value
+  /// divides by that scale instead (clamping at 1), which video pipelines
+  /// use to keep the mapping temporally stable across frames.
+  float normalization_scale = 0.0f;
+  /// Step-4 adjustments.
+  float brightness = 0.05f;
+  float contrast = 1.15f;
+
+  /// The kernel implied by sigma/radius.
+  GaussianKernel kernel() const;
+};
+
+/// All intermediate artefacts of one pipeline run, for inspection, tests
+/// and the experiments (e.g. the mask image, or the normalised input that
+/// is the accelerator's actual input).
+struct PipelineResult {
+  img::ImageF normalized;  ///< step-1 output (input scaled into [0, 1])
+  img::ImageF intensity;   ///< luminance plane fed to the blur
+  img::ImageF mask;        ///< blurred intensity (the accelerated function's output)
+  img::ImageF masked;      ///< step-3 output before adjustments
+  img::ImageF output;      ///< final display-referred image in [0, 1]
+  float input_max = 0.0f;  ///< normalisation scale that was applied
+};
+
+/// Run the full pipeline on a linear-light HDR image (1..4 channels).
+PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt = {});
+
+/// Convenience wrapper returning only the final image.
+img::ImageF tone_map_image(const img::ImageF& hdr,
+                           const PipelineOptions& opt = {});
+
+} // namespace tmhls::tonemap

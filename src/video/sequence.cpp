@@ -1,0 +1,54 @@
+#include "video/sequence.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tmhls::video {
+
+SceneSequence::SceneSequence(Config config) : config_(config) {
+  TMHLS_REQUIRE(config.frames >= 1, "sequence needs at least one frame");
+  TMHLS_REQUIRE(config.frame_size >= 8, "frames must be at least 8x8");
+  TMHLS_REQUIRE(config.master_size >= config.frame_size,
+                "master scene must not be smaller than a frame");
+  master_ = io::generate_hdr_scene(config.kind, config.master_size,
+                                   config.master_size, config.seed);
+}
+
+double SceneSequence::exposure(int index) const {
+  TMHLS_REQUIRE(index >= 0 && index < config_.frames, "frame out of range");
+  if (config_.frames == 1) return 1.0;
+  // Sinusoidal drift centred on 1.0 in log space.
+  const double phase = 2.0 * 3.14159265358979323846 *
+                       static_cast<double>(index) /
+                       static_cast<double>(config_.frames);
+  const double log_offset = 0.5 * config_.exposure_drift * std::sin(phase);
+  return std::pow(10.0, log_offset);
+}
+
+img::ImageF SceneSequence::frame(int index) const {
+  TMHLS_REQUIRE(index >= 0 && index < config_.frames, "frame out of range");
+  const int span = config_.master_size - config_.frame_size;
+  // Diagonal pan with a gentle vertical sweep; t in [0, 1].
+  const double t = config_.frames == 1
+                       ? 0.0
+                       : static_cast<double>(index) /
+                             static_cast<double>(config_.frames - 1);
+  const int x0 = static_cast<int>(t * span);
+  const int y0 = static_cast<int>((0.5 - 0.5 * std::cos(t * 3.14159265)) *
+                                  span);
+  const auto gain = static_cast<float>(exposure(index));
+
+  img::ImageF out(config_.frame_size, config_.frame_size, 3);
+  for (int y = 0; y < config_.frame_size; ++y) {
+    for (int x = 0; x < config_.frame_size; ++x) {
+      for (int c = 0; c < 3; ++c) {
+        out.at_unchecked(x, y, c) =
+            master_.at_unchecked(x0 + x, y0 + y, c) * gain;
+      }
+    }
+  }
+  return out;
+}
+
+} // namespace tmhls::video

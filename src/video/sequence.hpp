@@ -1,0 +1,45 @@
+// Synthetic HDR video sequences — the paper's motivating scenario (§I:
+// HDR capture on phones and portable devices) extended from single frames
+// to streams. A virtual camera pans across a larger master scene while the
+// exposure drifts, producing the temporally-correlated frames a video tone
+// mapper has to cope with. Deterministic in the configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "image/image.hpp"
+#include "imageio/synthetic.hpp"
+
+namespace tmhls::video {
+
+/// A deterministic pan-and-drift HDR sequence.
+class SceneSequence {
+public:
+  struct Config {
+    io::SceneKind kind = io::SceneKind::window_interior;
+    int frame_size = 256;  ///< square output frames
+    int frames = 16;       ///< sequence length
+    int master_size = 512; ///< the scene the camera pans across
+    /// Peak-to-peak exposure drift across the sequence, in log10 units
+    /// (0.5 = the brightest frame gathers ~3x the light of the darkest).
+    double exposure_drift = 0.5;
+    std::uint64_t seed = 2018;
+  };
+
+  explicit SceneSequence(Config config);
+
+  int frame_count() const { return config_.frames; }
+  int frame_size() const { return config_.frame_size; }
+
+  /// Render frame `index` (0-based). Deterministic and random-access.
+  img::ImageF frame(int index) const;
+
+  /// The exposure multiplier applied to frame `index`.
+  double exposure(int index) const;
+
+private:
+  Config config_;
+  img::ImageF master_;
+};
+
+} // namespace tmhls::video

@@ -1,0 +1,81 @@
+#include "video/video_tonemapper.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace tmhls::video {
+
+VideoToneMapper::VideoToneMapper(VideoToneMapperOptions options)
+    : options_(options) {
+  TMHLS_REQUIRE(options.adaptation_rate > 0.0 &&
+                    options.adaptation_rate <= 1.0,
+                "adaptation rate must be in (0, 1]");
+}
+
+img::ImageF VideoToneMapper::process(const img::ImageF& frame) {
+  float frame_max = 0.0f;
+  for (float v : frame.samples()) frame_max = std::max(frame_max, v);
+  TMHLS_REQUIRE(frame_max > 0.0f, "frame carries no light");
+
+  if (frames_ == 0) {
+    scale_ = frame_max; // first frame: adapt instantly
+  } else {
+    scale_ = scale_ + static_cast<float>(options_.adaptation_rate) *
+                          (frame_max - scale_);
+  }
+  ++frames_;
+
+  tonemap::PipelineOptions opt = options_.pipeline;
+  opt.normalization_scale = scale_;
+  return tonemap::tone_map_image(frame, opt);
+}
+
+void VideoToneMapper::reset() {
+  scale_ = 0.0f;
+  frames_ = 0;
+}
+
+double mean_luminance(const img::ImageF& frame) {
+  const img::ImageF luma = img::luminance(frame);
+  double acc = 0.0;
+  for (float v : luma.samples()) acc += v;
+  return acc / static_cast<double>(luma.sample_count());
+}
+
+double flicker_metric(const std::vector<double>& mean_luminances) {
+  if (mean_luminances.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < mean_luminances.size(); ++i) {
+    acc += std::abs(mean_luminances[i] - mean_luminances[i - 1]);
+  }
+  return acc / static_cast<double>(mean_luminances.size() - 1);
+}
+
+double peak_flicker(const std::vector<double>& mean_luminances) {
+  double peak = 0.0;
+  for (std::size_t i = 1; i < mean_luminances.size(); ++i) {
+    peak = std::max(peak,
+                    std::abs(mean_luminances[i] - mean_luminances[i - 1]));
+  }
+  return peak;
+}
+
+VideoRunStats analyze_video(const zynq::ZynqPlatform& platform,
+                            const accel::Workload& workload,
+                            accel::Design design, int frames) {
+  TMHLS_REQUIRE(frames >= 1, "need at least one frame");
+  const accel::ToneMappingSystem system(platform, workload);
+  const accel::DesignReport report = system.analyze(design);
+
+  VideoRunStats stats;
+  stats.seconds_per_frame = report.timing.total_s();
+  stats.fps = 1.0 / stats.seconds_per_frame;
+  stats.joules_per_frame = report.energy.total_j();
+  stats.total_seconds = stats.seconds_per_frame * frames;
+  stats.total_joules = stats.joules_per_frame * frames;
+  return stats;
+}
+
+} // namespace tmhls::video

@@ -1,0 +1,494 @@
+// Tests for the accel layer: the five Table II design points, the
+// paper-shape invariants (who wins, by what factor, energy trends), the
+// power timeline consistency, and the design-space explorer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/design.hpp"
+#include "accel/explorer.hpp"
+#include "accel/system.hpp"
+#include "common/error.hpp"
+#include "imageio/synthetic.hpp"
+#include "metrics/quality.hpp"
+
+namespace tmhls::accel {
+namespace {
+
+ToneMappingSystem paper_system() {
+  return ToneMappingSystem(zynq::ZynqPlatform::zc702(), Workload::paper());
+}
+
+TEST(DesignTest, TableOrderAndNames) {
+  const auto& all = all_designs();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_STREQ(display_name(all[0]), "SW source code");
+  EXPECT_STREQ(display_name(all[1]), "Marked HW function");
+  EXPECT_STREQ(display_name(all[2]), "Sequential memory accesses");
+  EXPECT_STREQ(display_name(all[3]), "HLS pragmas");
+  EXPECT_STREQ(display_name(all[4]), "FlP to FxP conversion");
+}
+
+TEST(DesignTest, ChartedDesignsOmitMarkedHw) {
+  // Fig 6: "omitting the Marked HW function which is not relevant".
+  for (Design d : charted_designs()) {
+    EXPECT_NE(d, Design::marked_hw);
+  }
+  EXPECT_EQ(charted_designs().size(), 4u);
+}
+
+TEST(DesignTest, OnlySwSourceRunsOnPs) {
+  EXPECT_FALSE(runs_on_pl(Design::sw_source));
+  EXPECT_TRUE(runs_on_pl(Design::marked_hw));
+  EXPECT_TRUE(runs_on_pl(Design::fixed_point));
+}
+
+TEST(DesignTest, PaperWorkloadGeometry) {
+  const Workload w = Workload::paper();
+  EXPECT_EQ(w.width, 1024);
+  EXPECT_EQ(w.height, 1024);
+  EXPECT_EQ(w.taps(), 79);
+  EXPECT_EQ(w.pixels(), 1024LL * 1024);
+}
+
+TEST(DesignTest, BlurLoopRequiresHardwareDesign) {
+  EXPECT_THROW(build_blur_loop(Design::sw_source, Workload::paper()),
+               InvalidArgument);
+}
+
+TEST(DesignTest, MarkedHwUsesRandomAccessNoBuffers) {
+  const hls::Loop loop =
+      build_blur_loop(Design::marked_hw, Workload::paper());
+  EXPECT_EQ(loop.pragmas.access, hls::AccessPattern::random);
+  EXPECT_TRUE(loop.arrays.empty());
+  bool has_ddr_reads = false;
+  for (const auto& op : loop.ops) {
+    if (op.kind == hls::OpKind::ddr_random_read) has_ddr_reads = true;
+  }
+  EXPECT_TRUE(has_ddr_reads);
+}
+
+TEST(DesignTest, RestructuredDesignsUseLineBuffers) {
+  for (Design d : {Design::sequential_access, Design::hls_pragmas,
+                   Design::fixed_point}) {
+    const hls::Loop loop = build_blur_loop(d, Workload::paper());
+    EXPECT_EQ(loop.pragmas.access, hls::AccessPattern::sequential);
+    ASSERT_EQ(loop.arrays.size(), 1u) << short_name(d);
+    EXPECT_EQ(loop.arrays[0].name, "line_buffer");
+  }
+}
+
+TEST(DesignTest, FixedPointPacksTwoPixelsPerWord) {
+  const hls::Loop loop =
+      build_blur_loop(Design::fixed_point, Workload::paper());
+  EXPECT_EQ(loop.arrays[0].elems_per_word, 2);
+  EXPECT_EQ(loop.arrays[0].element_bits, 16);
+}
+
+TEST(DesignTest, DmaBytesMatchAccessPattern) {
+  const Workload w = Workload::paper();
+  EXPECT_EQ(dma_bytes(Design::sw_source, w), 0);
+  EXPECT_EQ(dma_bytes(Design::marked_hw, w), 0);
+  EXPECT_EQ(dma_bytes(Design::hls_pragmas, w), 4 * w.pixels() * 4);
+  // 16-bit pixels: half the float traffic.
+  EXPECT_EQ(dma_bytes(Design::fixed_point, w),
+            dma_bytes(Design::hls_pragmas, w) / 2);
+}
+
+// ---- Table II shape invariants ------------------------------------------
+
+TEST(TableIITest, MarkedHwIsSlowerThanSoftware) {
+  const ToneMappingSystem sys = paper_system();
+  const DesignReport sw = sys.analyze(Design::sw_source);
+  const DesignReport marked = sys.analyze(Design::marked_hw);
+  // The paper's central cautionary result: naive offload degrades blur
+  // time by >20x (176 s vs 7.29 s).
+  EXPECT_GT(marked.timing.blur_s, 20.0 * sw.timing.blur_s);
+}
+
+TEST(TableIITest, SequentialIsSlowerThanSwButFarBetterThanMarked) {
+  const ToneMappingSystem sys = paper_system();
+  const double sw = sys.analyze(Design::sw_source).timing.blur_s;
+  const double seq = sys.analyze(Design::sequential_access).timing.blur_s;
+  const double marked = sys.analyze(Design::marked_hw).timing.blur_s;
+  EXPECT_GT(seq, sw);          // 17.02 > 7.29 in the paper
+  EXPECT_LT(seq, sw * 4.0);    // but same order of magnitude
+  EXPECT_LT(seq, marked / 5.0);// and far better than the naive offload
+}
+
+TEST(TableIITest, PragmasBeatSoftwareHandily) {
+  const ToneMappingSystem sys = paper_system();
+  const double sw = sys.analyze(Design::sw_source).timing.blur_s;
+  const double pragmas = sys.analyze(Design::hls_pragmas).timing.blur_s;
+  // Paper: 7.29 -> 0.79 s (9.2x).
+  EXPECT_GT(sw / pragmas, 6.0);
+  EXPECT_LT(sw / pragmas, 13.0);
+}
+
+TEST(TableIITest, FixedPointReachesSeventeenFold) {
+  const ToneMappingSystem sys = paper_system();
+  const DesignReport sw = sys.analyze(Design::sw_source);
+  const DesignReport fxp = sys.analyze(Design::fixed_point);
+  const Speedup s = speedup(sw, fxp);
+  // "an execution time improvement of more than 17x has been achieved for
+  // the final hardware accelerated Gaussian blur".
+  EXPECT_GT(s.blur, 15.0);
+  EXPECT_LT(s.blur, 22.0);
+}
+
+TEST(TableIITest, FixedPointRoughlyHalvesThePragmasBlur) {
+  const ToneMappingSystem sys = paper_system();
+  const double pragmas = sys.analyze(Design::hls_pragmas).timing.blur_s;
+  const double fxp = sys.analyze(Design::fixed_point).timing.blur_s;
+  EXPECT_NEAR(pragmas / fxp, 2.0, 0.4); // 0.79/0.42 = 1.88 in the paper
+}
+
+TEST(TableIITest, PsRemainderIsStableAcrossDesigns) {
+  // Total - blur is the PS-side rest of the pipeline (~19 s in the paper)
+  // and must not depend on where the blur runs.
+  const ToneMappingSystem sys = paper_system();
+  const auto reports = sys.analyze_all();
+  const double rest0 =
+      reports[0].timing.total_s() - reports[0].timing.blur_s;
+  for (const DesignReport& r : reports) {
+    EXPECT_NEAR(r.timing.total_s() - r.timing.blur_s, rest0, 1e-9)
+        << short_name(r.design);
+  }
+  EXPECT_GT(rest0, 15.0);
+  EXPECT_LT(rest0, 24.0);
+}
+
+TEST(TableIITest, AbsoluteTimesWithinBandOfPaper) {
+  // Loose bands: the model should land near Table II without chasing
+  // digits. (SW 7.29/26.66; Marked 176/195; Seq 17.0/35.3; Pragmas
+  // 0.79/19.1; FxP 0.42/19.3.)
+  const ToneMappingSystem sys = paper_system();
+  const auto r = sys.analyze_all();
+  EXPECT_NEAR(r[0].timing.blur_s, 7.29, 1.5);
+  EXPECT_NEAR(r[0].timing.total_s(), 26.66, 4.0);
+  EXPECT_NEAR(r[1].timing.blur_s, 176.0, 25.0);
+  EXPECT_NEAR(r[2].timing.blur_s, 17.02, 3.5);
+  EXPECT_NEAR(r[3].timing.blur_s, 0.79, 0.25);
+  EXPECT_NEAR(r[4].timing.blur_s, 0.42, 0.15);
+}
+
+// ---- Fig 6: PS/PL split --------------------------------------------------
+
+TEST(Fig6Test, BlurMovesFromPsToPl) {
+  const ToneMappingSystem sys = paper_system();
+  const DesignReport sw = sys.analyze(Design::sw_source);
+  EXPECT_EQ(sw.timing.pl_busy_s(), 0.0);
+  EXPECT_GT(sw.timing.ps_busy_s(), 20.0);
+  const DesignReport fxp = sys.analyze(Design::fixed_point);
+  EXPECT_GT(fxp.timing.pl_busy_s(), 0.0);
+  EXPECT_NEAR(fxp.timing.pl_busy_s(), fxp.timing.blur_s, 1e-12);
+}
+
+TEST(Fig6Test, TimingComponentsSumToTotal) {
+  const ToneMappingSystem sys = paper_system();
+  for (Design d : all_designs()) {
+    const TimingBreakdown& t = sys.analyze(d).timing;
+    EXPECT_NEAR(t.total_s(), t.ps_busy_s() + t.pl_busy_s(), 1e-12)
+        << short_name(d);
+  }
+}
+
+// ---- Fig 7 / Fig 8: energy -----------------------------------------------
+
+TEST(Fig7Test, FinalDesignSavesroughlyQuarterOfEnergy) {
+  const ToneMappingSystem sys = paper_system();
+  const double sw = sys.analyze(Design::sw_source).energy.total_j();
+  const double fxp = sys.analyze(Design::fixed_point).energy.total_j();
+  // "a 23% energy consumption reduction ... going from 30 J down to 23 J".
+  EXPECT_NEAR(sw, 30.0, 5.0);
+  EXPECT_NEAR(fxp, 23.0, 4.0);
+  const double reduction = (sw - fxp) / sw;
+  EXPECT_GT(reduction, 0.15);
+  EXPECT_LT(reduction, 0.32);
+}
+
+TEST(Fig7Test, SequentialCostsMoreEnergyThanSoftware) {
+  // Longer runtime at higher platform power: the middle step loses energy,
+  // visible in Fig 7's tallest bar.
+  const ToneMappingSystem sys = paper_system();
+  const double sw = sys.analyze(Design::sw_source).energy.total_j();
+  const double seq =
+      sys.analyze(Design::sequential_access).energy.total_j();
+  EXPECT_GT(seq, sw);
+}
+
+TEST(Fig8Test, PlBottomlineRisesWithOptimizationSteps) {
+  // Fig 8b: "the bottomline term ... increases when going from SW source
+  // code to FlP to FxP conversion, due to an increasing amount of
+  // programmable logic being used" — per unit time. (Absolute joules also
+  // depend on runtime, so compare power = bottomline / total.)
+  const ToneMappingSystem sys = paper_system();
+  const auto power_of = [&](Design d) {
+    const DesignReport r = sys.analyze(d);
+    return r.energy.pl.bottomline_j / r.timing.total_s();
+  };
+  const double sw = power_of(Design::sw_source);
+  const double seq = power_of(Design::sequential_access);
+  const double pragmas = power_of(Design::hls_pragmas);
+  EXPECT_LT(sw, seq);
+  EXPECT_LT(seq, pragmas);
+  // FxP uses less logic than the float pragmas design (fewer/narrower
+  // units), so its idle power may dip; it must still exceed the blank
+  // fabric.
+  EXPECT_GT(power_of(Design::fixed_point), sw);
+}
+
+TEST(Fig8Test, PlOverheadShrinksAsBlurGetsFaster) {
+  const ToneMappingSystem sys = paper_system();
+  const double seq =
+      sys.analyze(Design::sequential_access).energy.pl.overhead_j;
+  const double pragmas = sys.analyze(Design::hls_pragmas).energy.pl.overhead_j;
+  const double fxp = sys.analyze(Design::fixed_point).energy.pl.overhead_j;
+  EXPECT_GT(seq, pragmas);
+  EXPECT_GT(pragmas, fxp);
+}
+
+TEST(Fig8Test, SoftwareHasNoPlOverhead) {
+  const ToneMappingSystem sys = paper_system();
+  EXPECT_EQ(sys.analyze(Design::sw_source).energy.pl.overhead_j, 0.0);
+}
+
+TEST(Fig8Test, PsEnergyTracksTotalTime) {
+  const ToneMappingSystem sys = paper_system();
+  const double sw = sys.analyze(Design::sw_source).energy.ps.total_j();
+  const double fxp = sys.analyze(Design::fixed_point).energy.ps.total_j();
+  EXPECT_LT(fxp, sw); // shorter run -> less PS energy, Fig 8a
+}
+
+// ---- HLS report & resources ----------------------------------------------
+
+TEST(HlsReportTest, HardwareDesignsCarryReports) {
+  const ToneMappingSystem sys = paper_system();
+  EXPECT_FALSE(sys.analyze(Design::sw_source).hls_report.has_value());
+  for (Design d : {Design::marked_hw, Design::sequential_access,
+                   Design::hls_pragmas, Design::fixed_point}) {
+    const DesignReport r = sys.analyze(d);
+    ASSERT_TRUE(r.hls_report.has_value()) << short_name(d);
+    EXPECT_TRUE(hls::fits(r.resources, sys.platform().device()));
+  }
+}
+
+TEST(HlsReportTest, PragmasDesignIsPortLimited) {
+  const ToneMappingSystem sys = paper_system();
+  const DesignReport r = sys.analyze(Design::hls_pragmas);
+  EXPECT_EQ(r.hls_report->schedule.limiting_factor, "memory ports");
+  EXPECT_EQ(r.hls_report->schedule.ii, 40);
+}
+
+TEST(HlsReportTest, FixedPointHalvesTheII) {
+  const ToneMappingSystem sys = paper_system();
+  EXPECT_EQ(sys.analyze(Design::fixed_point).hls_report->schedule.ii, 20);
+}
+
+TEST(HlsReportTest, FixedPointUsesLessBramAndDsp) {
+  const ToneMappingSystem sys = paper_system();
+  const auto pragmas = sys.analyze(Design::hls_pragmas).resources;
+  const auto fxp = sys.analyze(Design::fixed_point).resources;
+  EXPECT_LT(fxp.bram36, pragmas.bram36);
+  EXPECT_LT(fxp.dsps, pragmas.dsps);
+}
+
+TEST(HlsReportTest, OversizedWorkloadRejectedByBramCheck) {
+  // An 8k-wide image's float line buffer (79 x 8192 x 4 B = 2.6 MB)
+  // exceeds the Zynq-7020's 140 BRAM36 (630 KB).
+  Workload w = Workload::paper();
+  w.width = 8192;
+  w.height = 128;
+  const ToneMappingSystem sys(zynq::ZynqPlatform::zc702(), w);
+  EXPECT_THROW(sys.analyze(Design::hls_pragmas), PlatformError);
+}
+
+// ---- Power timeline -------------------------------------------------------
+
+TEST(TimelineTest, EnergyMatchesAccountingModel) {
+  // The PMBus integral and the closed-form accounting must agree — the
+  // "average power x execution time" identity of §IV.C.
+  const ToneMappingSystem sys = paper_system();
+  for (Design d : all_designs()) {
+    const DesignReport r = sys.analyze(d);
+    const zynq::PmbusMonitor mon = sys.power_timeline(d);
+    const zynq::RailPowers e = mon.energy_j();
+    EXPECT_NEAR(e.ps_w, r.energy.ps.total_j(), 1e-6) << short_name(d);
+    EXPECT_NEAR(e.pl_w, r.energy.pl.total_j(), 1e-6) << short_name(d);
+    EXPECT_NEAR(e.ddr_w, r.energy.ddr.total_j(), 1e-6) << short_name(d);
+    EXPECT_NEAR(e.bram_w, r.energy.bram.total_j(), 1e-6) << short_name(d);
+  }
+}
+
+TEST(TimelineTest, TimelineDurationEqualsTotalTime) {
+  const ToneMappingSystem sys = paper_system();
+  for (Design d : all_designs()) {
+    EXPECT_NEAR(sys.power_timeline(d).total_duration_s(),
+                sys.analyze(d).timing.total_s(), 1e-9);
+  }
+}
+
+TEST(TimelineTest, BlurPhaseLabelsFollowPlacement) {
+  const ToneMappingSystem sys = paper_system();
+  const zynq::PmbusMonitor sw_mon = sys.power_timeline(Design::sw_source);
+  const zynq::PmbusMonitor hw_mon = sys.power_timeline(Design::fixed_point);
+  const auto& sw_phases = sw_mon.phases();
+  const auto& hw_phases = hw_mon.phases();
+  auto has_label = [](const std::vector<zynq::PowerPhase>& phases,
+                      const std::string& label) {
+    for (const auto& p : phases) {
+      if (p.label == label) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_label(sw_phases, "gaussian_blur (PS)"));
+  EXPECT_TRUE(has_label(hw_phases, "gaussian_blur (PL)"));
+}
+
+// ---- Functional runs -------------------------------------------------------
+
+TEST(RunTest, FunctionalRunMatchesWorkloadAndProducesImages) {
+  Workload w = Workload::paper();
+  w.width = 96;
+  w.height = 96;
+  w.sigma = 6.0;
+  w.radius = 18;
+  const ToneMappingSystem sys(zynq::ZynqPlatform::zc702(), w);
+  const img::ImageF hdr = io::paper_test_image(96);
+  const RunResult r = sys.run(hdr, Design::fixed_point);
+  EXPECT_EQ(r.images.output.width(), 96);
+  EXPECT_EQ(r.report.design, Design::fixed_point);
+  for (float v : r.images.output.samples()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(RunTest, GeometryMismatchRejected) {
+  const ToneMappingSystem sys = paper_system();
+  EXPECT_THROW(sys.run(img::ImageF(64, 64, 3), Design::sw_source),
+               InvalidArgument);
+}
+
+TEST(RunTest, AllFloatDesignsProduceIdenticalPixels) {
+  Workload w = Workload::paper();
+  w.width = 64;
+  w.height = 64;
+  w.sigma = 4.0;
+  w.radius = 12;
+  const ToneMappingSystem sys(zynq::ZynqPlatform::zc702(), w);
+  const img::ImageF hdr = io::paper_test_image(64);
+  const img::ImageF sw = sys.run(hdr, Design::sw_source).images.output;
+  for (Design d : {Design::marked_hw, Design::sequential_access,
+                   Design::hls_pragmas}) {
+    const img::ImageF out = sys.run(hdr, d).images.output;
+    auto sa = sw.samples();
+    auto sb = out.samples();
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      ASSERT_EQ(sa[i], sb[i]) << short_name(d);
+    }
+  }
+}
+
+// ---- Explorer ---------------------------------------------------------------
+
+TEST(ExplorerTest, SweepCoversAllRequestedPoints) {
+  ExplorationConfig cfg;
+  cfg.partition_factors = {1, 2};
+  cfg.data_widths = {8, 16};
+  const auto points =
+      explore(zynq::ZynqPlatform::zc702(), Workload::paper(), cfg);
+  // Per factor: 1 float + 2 fixed = 3 points.
+  EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(ExplorerTest, NonAlignedWidthsAreInfeasible) {
+  ExplorationConfig cfg;
+  cfg.partition_factors = {2};
+  cfg.data_widths = {12, 16, 24};
+  const auto points =
+      explore(zynq::ZynqPlatform::zc702(), Workload::paper(), cfg);
+  int infeasible = 0;
+  for (const auto& p : points) {
+    if (!p.feasible) {
+      ++infeasible;
+      EXPECT_NE(p.rejection_reason.find("bus-aligned"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(infeasible, 2); // 12 and 24 bits
+}
+
+TEST(ExplorerTest, MorePartitionsNeverSlower) {
+  ExplorationConfig cfg;
+  cfg.partition_factors = {1, 2, 4};
+  cfg.data_widths = {16};
+  const auto points =
+      explore(zynq::ZynqPlatform::zc702(), Workload::paper(), cfg);
+  double prev_float = 1e30;
+  for (const auto& p : points) {
+    if (!p.data_bits.has_value() && p.feasible) {
+      EXPECT_LE(p.blur_s, prev_float);
+      prev_float = p.blur_s;
+    }
+  }
+}
+
+TEST(ExplorerTest, ParetoFrontIsNonDominatedAndSorted) {
+  ExplorationConfig cfg;
+  cfg.partition_factors = {1, 2, 4};
+  cfg.data_widths = {8, 16, 32};
+  const auto points =
+      explore(zynq::ZynqPlatform::zc702(), Workload::paper(), cfg);
+  const auto front = pareto_front(points);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GE(front[i].blur_s, front[i - 1].blur_s);
+  }
+  // No front point is strictly dominated on (time, energy, quality); with
+  // no quality measured here, missing PSNR counts as reference quality.
+  auto quality = [](const ExplorationPoint& p) {
+    return p.psnr_db.value_or(1e9);
+  };
+  for (const auto& f : front) {
+    for (const auto& p : points) {
+      if (!p.feasible) continue;
+      EXPECT_FALSE(p.blur_s < f.blur_s && p.energy_j < f.energy_j &&
+                   quality(p) > quality(f));
+    }
+  }
+}
+
+TEST(ExplorerTest, PaperPointSurvivesQualityAwareFront) {
+  // With quality measured, the 16-bit point must not be wiped off the
+  // front by the faster-but-lossy 8-bit points.
+  const img::ImageF hdr = io::paper_test_image(96);
+  Workload w = Workload::paper();
+  w.width = w.height = 96;
+  w.sigma = 6.0;
+  w.radius = 18;
+  ExplorationConfig cfg;
+  cfg.partition_factors = {2};
+  cfg.data_widths = {8, 16};
+  cfg.quality_image = &hdr;
+  const auto points = explore(zynq::ZynqPlatform::zc702(), w, cfg);
+  const auto front = pareto_front(points);
+  bool has_16bit = false;
+  for (const auto& p : front) {
+    if (p.data_bits.has_value() && *p.data_bits == 16) has_16bit = true;
+  }
+  EXPECT_TRUE(has_16bit);
+}
+
+TEST(ExplorerTest, RenderListsEveryPoint) {
+  ExplorationConfig cfg;
+  cfg.partition_factors = {2};
+  cfg.data_widths = {16};
+  const auto points =
+      explore(zynq::ZynqPlatform::zc702(), Workload::paper(), cfg);
+  const std::string table = render(points);
+  EXPECT_NE(table.find("float/p2"), std::string::npos);
+  EXPECT_NE(table.find("fxp16/p2"), std::string::npos);
+}
+
+} // namespace
+} // namespace tmhls::accel

@@ -1,0 +1,153 @@
+// Tests for the additional tone-mapping baselines: the bilateral filter /
+// Durand-style local operator and Ward-style histogram adjustment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "image/stats.hpp"
+#include "imageio/synthetic.hpp"
+#include "tonemap/bilateral.hpp"
+#include "tonemap/global_operators.hpp"
+
+namespace tmhls::tonemap {
+namespace {
+
+TEST(BilateralTest, ConstantImageIsInvariant) {
+  img::ImageF im(24, 24, 1);
+  im.fill(0.4f);
+  BilateralOptions opt;
+  opt.spatial_sigma = 2.0;
+  const img::ImageF out = bilateral_filter(im, opt);
+  for (float v : out.samples()) EXPECT_NEAR(v, 0.4f, 1e-6f);
+}
+
+TEST(BilateralTest, SmoothsWithinRegions) {
+  Rng rng(5);
+  img::ImageF im(32, 32, 1);
+  for (float& v : im.samples()) {
+    v = 0.5f + static_cast<float>(rng.uniform(-0.05, 0.05));
+  }
+  BilateralOptions opt;
+  opt.spatial_sigma = 2.0;
+  opt.range_sigma = 0.5; // noise well within range sigma -> behaves as blur
+  const img::ImageF out = bilateral_filter(im, opt);
+  auto variance = [](const img::ImageF& p) {
+    double mean = 0.0;
+    for (float v : p.samples()) mean += v;
+    mean /= static_cast<double>(p.sample_count());
+    double var = 0.0;
+    for (float v : p.samples()) var += (v - mean) * (v - mean);
+    return var / static_cast<double>(p.sample_count());
+  };
+  EXPECT_LT(variance(out), variance(im) * 0.3);
+}
+
+TEST(BilateralTest, PreservesStrongEdges) {
+  // A step edge of height 1.0 with range_sigma 0.1: the Gaussian blur
+  // would smear it; the bilateral must keep the two plateaus apart.
+  img::ImageF im(32, 16, 1);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      im.at(x, y) = x < 16 ? 0.1f : 1.1f;
+    }
+  }
+  BilateralOptions opt;
+  opt.spatial_sigma = 4.0;
+  opt.range_sigma = 0.1;
+  const img::ImageF out = bilateral_filter(im, opt);
+  EXPECT_NEAR(out.at(2, 8), 0.1f, 0.02f);   // left plateau intact
+  EXPECT_NEAR(out.at(29, 8), 1.1f, 0.02f);  // right plateau intact
+  // Pixel adjacent to the edge stays on its own side.
+  EXPECT_LT(out.at(15, 8), 0.35f);
+  EXPECT_GT(out.at(16, 8), 0.85f);
+}
+
+TEST(BilateralTest, RejectsBadArguments) {
+  EXPECT_THROW(bilateral_filter(img::ImageF(8, 8, 3), {}), InvalidArgument);
+  BilateralOptions opt;
+  opt.spatial_sigma = 0.0;
+  EXPECT_THROW(bilateral_filter(img::ImageF(8, 8, 1), opt), InvalidArgument);
+}
+
+TEST(DurandTest, OutputInDisplayRange) {
+  const img::ImageF hdr = io::paper_test_image(64);
+  BilateralOptions opt;
+  opt.spatial_sigma = 3.0;
+  const img::ImageF out = durand_local(hdr, opt);
+  for (float v : out.samples()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(DurandTest, CompressesDynamicRange) {
+  const img::ImageF hdr = io::paper_test_image(64);
+  BilateralOptions opt;
+  opt.spatial_sigma = 3.0;
+  const img::ImageF out = durand_local(hdr, opt, 2.0);
+  const double in_decades =
+      img::compute_dynamic_range(img::luminance(hdr)).decades;
+  const double out_decades =
+      img::compute_dynamic_range(img::luminance(out), 1e-6f).decades;
+  EXPECT_GT(in_decades, 4.0);
+  EXPECT_LT(out_decades, in_decades);
+}
+
+TEST(DurandTest, RejectsNonPositiveTargetRange) {
+  EXPECT_THROW(durand_local(io::paper_test_image(16), {}, 0.0),
+               InvalidArgument);
+}
+
+TEST(HistogramAdjustmentTest, OutputInDisplayRange) {
+  const img::ImageF hdr = io::paper_test_image(64);
+  const img::ImageF out = histogram_adjustment(hdr);
+  for (float v : out.samples()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(HistogramAdjustmentTest, MonotoneInLuminance) {
+  // The cumulative mapping must preserve luminance order.
+  img::ImageF im(4, 1, 1);
+  im.at(0, 0) = 0.001f;
+  im.at(1, 0) = 0.1f;
+  im.at(2, 0) = 10.0f;
+  im.at(3, 0) = 1000.0f;
+  const img::ImageF out = histogram_adjustment(im);
+  EXPECT_LE(out.at(0, 0), out.at(1, 0));
+  EXPECT_LE(out.at(1, 0), out.at(2, 0));
+  EXPECT_LE(out.at(2, 0), out.at(3, 0));
+}
+
+TEST(HistogramAdjustmentTest, UsesMoreDisplayRangeThanGammaOnBimodalScene) {
+  // A scene with two luminance clusters: histogram adjustment should
+  // spread them across the display range better than plain gamma.
+  const img::ImageF hdr =
+      io::generate_hdr_scene_square(io::SceneKind::window_interior, 96, 3);
+  const img::ImageF histo = histogram_adjustment(hdr);
+  const img::ImageF gamma = global_gamma(hdr, 2.2f);
+  const img::Stats hs = img::compute_stats(img::luminance(histo));
+  const img::Stats gs = img::compute_stats(img::luminance(gamma));
+  EXPECT_GT(hs.stddev, gs.stddev);
+}
+
+TEST(HistogramAdjustmentTest, ZeroLuminancePixelsStayBlack) {
+  img::ImageF im(2, 1, 1);
+  im.at(0, 0) = 0.0f;
+  im.at(1, 0) = 1.0f;
+  const img::ImageF out = histogram_adjustment(im);
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+}
+
+TEST(HistogramAdjustmentTest, RejectsBadParameters) {
+  const img::ImageF hdr = io::paper_test_image(16);
+  EXPECT_THROW(histogram_adjustment(hdr, 1), InvalidArgument);
+  EXPECT_THROW(histogram_adjustment(hdr, 64, 1.0), InvalidArgument);
+  EXPECT_THROW(histogram_adjustment(img::ImageF(4, 4, 1)), InvalidArgument);
+}
+
+} // namespace
+} // namespace tmhls::tonemap

@@ -1,0 +1,132 @@
+// Tests for the dataflow-region model: bottleneck selection, latency
+// composition, resource summation and FIFO sizing.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hls/dataflow.hpp"
+#include "platform/battery.hpp"
+
+namespace tmhls::hls {
+namespace {
+
+Loop simple_loop(const char* name, std::int64_t trips, int ops_per_iter,
+                 bool pipelined) {
+  Loop loop;
+  loop.name = name;
+  loop.trip_count = trips;
+  loop.ops = {{OpKind::fixed_mul, ops_per_iter},
+              {OpKind::fixed_add, ops_per_iter}};
+  loop.pragmas.pipeline = {pipelined, 1};
+  return loop;
+}
+
+TEST(DataflowTest, SingleProcessMatchesItsOwnSchedule) {
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  DataflowProcess p{"only", simple_loop("only", 1000, 2, true), 0};
+  const DataflowSchedule region = schedule_dataflow({p}, sched);
+  ASSERT_EQ(region.processes.size(), 1u);
+  EXPECT_EQ(region.total_cycles, region.processes[0].total_cycles);
+  EXPECT_EQ(region.bottleneck, "only");
+  EXPECT_TRUE(region.fifo_depths.empty());
+}
+
+TEST(DataflowTest, BottleneckIsTheSlowestProcess) {
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  DataflowProcess fast{"fast", simple_loop("fast", 1000, 1, true), 0};
+  DataflowProcess slow{"slow", simple_loop("slow", 1000, 1, false), 0};
+  const DataflowSchedule region = schedule_dataflow({fast, slow}, sched);
+  EXPECT_EQ(region.bottleneck, "slow");
+  EXPECT_GE(region.total_cycles, region.processes[1].total_cycles);
+}
+
+TEST(DataflowTest, ConcurrentProcessesBeatSequentialExecution) {
+  // Two equal pipelined stages run concurrently: the region finishes in
+  // roughly one stage's time, not two.
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  DataflowProcess a{"a", simple_loop("a", 100000, 2, true), 0};
+  DataflowProcess b{"b", simple_loop("b", 100000, 2, true), 0};
+  const DataflowSchedule region = schedule_dataflow({a, b}, sched);
+  const std::int64_t sequential =
+      region.processes[0].total_cycles + region.processes[1].total_cycles;
+  EXPECT_LT(region.total_cycles, sequential * 6 / 10);
+}
+
+TEST(DataflowTest, ResourcesAreSummed) {
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  DataflowProcess a{"a", simple_loop("a", 1000, 2, true), 0};
+  const DataflowSchedule one = schedule_dataflow({a}, sched);
+  const DataflowSchedule two = schedule_dataflow({a, a}, sched);
+  EXPECT_EQ(two.resources.dsps, 2 * one.resources.dsps);
+}
+
+TEST(DataflowTest, FifoDepthsAreAtLeastPingPong) {
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  DataflowProcess a{"a", simple_loop("a", 1000, 2, true), 0};
+  DataflowProcess b{"b", simple_loop("b", 1000, 2, true), 0};
+  DataflowProcess c{"c", simple_loop("c", 1000, 2, true), 0};
+  const DataflowSchedule region = schedule_dataflow({a, b, c}, sched);
+  ASSERT_EQ(region.fifo_depths.size(), 2u);
+  for (std::int64_t depth : region.fifo_depths) {
+    EXPECT_GE(depth, 2);
+  }
+}
+
+TEST(DataflowTest, EmptyChainRejected) {
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  EXPECT_THROW(schedule_dataflow({}, sched), InvalidArgument);
+}
+
+TEST(DataflowTest, ExplicitTokenCountsRespected) {
+  const Scheduler sched(OperatorLibrary::artix7_100mhz());
+  DataflowProcess p{"p", simple_loop("p", 1000, 2, true), 500};
+  EXPECT_NO_THROW(schedule_dataflow({p}, sched));
+  DataflowProcess bad{"bad", simple_loop("bad", 1000, 2, true), 0};
+  bad.loop.trip_count = 1000;
+  EXPECT_NO_THROW(schedule_dataflow({bad}, sched));
+}
+
+} // namespace
+} // namespace tmhls::hls
+
+namespace tmhls::zynq {
+namespace {
+
+TEST(BatteryTest, UsableEnergyFormula) {
+  // 3000 mAh x 3.8 V x 3.6 = 41040 J, x 0.9 efficiency = 36936 J.
+  const Battery phone = Battery::phone();
+  EXPECT_NEAR(phone.usable_joules(), 36936.0, 1.0);
+}
+
+TEST(BatteryTest, ImagesPerChargeScalesInversely) {
+  const Battery phone = Battery::phone();
+  EXPECT_NEAR(phone.images_per_charge(30.0) * 30.0,
+              phone.images_per_charge(23.0) * 23.0, 1e-6);
+  EXPECT_GT(phone.images_per_charge(23.0), phone.images_per_charge(30.0));
+}
+
+TEST(BatteryTest, PaperEnergySavingsInImagesPerCharge) {
+  // The 23% energy reduction buys ~30% more images per charge.
+  const Battery phone = Battery::phone();
+  const double sw_images = phone.images_per_charge(30.6);
+  const double fxp_images = phone.images_per_charge(23.4);
+  EXPECT_NEAR(fxp_images / sw_images, 30.6 / 23.4, 1e-9);
+  EXPECT_GT(fxp_images, sw_images * 1.25);
+}
+
+TEST(BatteryTest, HoursAtConstantPower) {
+  const Battery b(1000.0, 3.6, 1.0); // 12960 J
+  EXPECT_NEAR(b.hours_at(3.6), 1.0, 1e-9);
+}
+
+TEST(BatteryTest, RejectsBadParameters) {
+  EXPECT_THROW(Battery(0.0, 3.8), InvalidArgument);
+  EXPECT_THROW(Battery(1000.0, 0.0), InvalidArgument);
+  EXPECT_THROW(Battery(1000.0, 3.8, 0.0), InvalidArgument);
+  EXPECT_THROW(Battery(1000.0, 3.8, 1.1), InvalidArgument);
+  const Battery b = Battery::phone();
+  EXPECT_THROW(b.images_per_charge(0.0), InvalidArgument);
+  EXPECT_THROW(b.hours_at(0.0), InvalidArgument);
+}
+
+} // namespace
+} // namespace tmhls::zynq

@@ -1,0 +1,140 @@
+// Tests for the extension design points (dataflow fusion, masking
+// accelerator): timing/energy relationships vs the paper's final design,
+// loop structure, and device fit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "accel/extensions.hpp"
+#include "common/error.hpp"
+#include "hls/dataflow.hpp"
+#include "hls/scheduler.hpp"
+#include "platform/zynq.hpp"
+
+namespace tmhls::accel {
+namespace {
+
+const zynq::ZynqPlatform& platform() {
+  static const zynq::ZynqPlatform p = zynq::ZynqPlatform::zc702();
+  return p;
+}
+
+TEST(FusedBlurTest, LoopCoversImageOnceWithDoubledBody) {
+  const Workload w = Workload::paper();
+  const hls::Loop single = build_blur_loop(Design::fixed_point, w);
+  const hls::Loop fused = build_fused_blur_loop(w);
+  EXPECT_EQ(fused.trip_count, single.trip_count / 2);
+  EXPECT_EQ(fused.arrays.size(), 2u); // one line buffer per process
+  ASSERT_EQ(fused.ops.size(), single.ops.size());
+  for (std::size_t i = 0; i < fused.ops.size(); ++i) {
+    EXPECT_EQ(fused.ops[i].count, 2 * single.ops[i].count);
+  }
+}
+
+TEST(FusedBlurTest, RoughlyHalvesTheBlurTime) {
+  const Workload w = Workload::paper();
+  const ExtensionResult baseline = paper_final_design(platform(), w);
+  const ExtensionResult fused = analyze_dataflow_fused(platform(), w);
+  EXPECT_NEAR(fused.timing.blur_s, baseline.timing.blur_s / 2.0,
+              baseline.timing.blur_s * 0.15);
+  EXPECT_LT(fused.timing.blur_s, baseline.timing.blur_s);
+}
+
+TEST(FusedBlurTest, UsesMoreResourcesThanSinglePass) {
+  const Workload w = Workload::paper();
+  const ExtensionResult baseline = paper_final_design(platform(), w);
+  const ExtensionResult fused = analyze_dataflow_fused(platform(), w);
+  // Two concurrent processes: both buffers live at once, arithmetic
+  // replicated.
+  EXPECT_GT(fused.resources.bram36, baseline.resources.bram36);
+  EXPECT_GE(fused.resources.dsps, baseline.resources.dsps);
+  EXPECT_TRUE(hls::fits(fused.resources, platform().device()));
+}
+
+TEST(FusedBlurTest, AgreesWithExplicitDataflowComposition) {
+  // Cross-model check: the fused loop (one traversal, doubled body) and an
+  // explicit dataflow region of the two passes (each traversing the image
+  // once, running concurrently) must give the same cycle count to within
+  // fill effects.
+  const Workload w = Workload::paper();
+  const hls::Scheduler sched(platform().operator_library());
+
+  hls::Loop pass = build_blur_loop(Design::fixed_point, w);
+  pass.trip_count = w.pixels(); // one pass = one traversal
+  hls::DataflowProcess h{"h_pass", pass, 0};
+  hls::DataflowProcess v{"v_pass", pass, 0};
+  const hls::DataflowSchedule region =
+      hls::schedule_dataflow({h, v}, sched);
+
+  const hls::ScheduleResult fused =
+      sched.schedule(build_fused_blur_loop(w));
+  const double rel =
+      std::abs(static_cast<double>(region.total_cycles) -
+               static_cast<double>(fused.total_cycles)) /
+      static_cast<double>(fused.total_cycles);
+  EXPECT_LT(rel, 0.01);
+  // And both concurrent line buffers are accounted in resources.
+  EXPECT_GE(region.resources.bram36, 2 * 36 - 4);
+}
+
+TEST(MaskingLoopTest, StructureIsFeedForwardRomDatapath) {
+  const hls::Loop loop = build_masking_loop(Workload::paper());
+  EXPECT_EQ(loop.recurrence_length, 0);
+  EXPECT_TRUE(loop.pragmas.pipeline.enabled);
+  ASSERT_EQ(loop.arrays.size(), 1u);
+  EXPECT_EQ(loop.arrays[0].writes_per_iter, 0); // ROMs are read-only
+}
+
+TEST(MaskingAcceleratorTest, RemovesThePsMaskingTime) {
+  const Workload w = Workload::paper();
+  const ExtensionResult ext = analyze_masking_accelerator(platform(), w);
+  EXPECT_EQ(ext.timing.masking_s, 0.0);
+  EXPECT_TRUE(ext.masking_report.has_value());
+}
+
+TEST(MaskingAcceleratorTest, DeliversLargeTotalSpeedup) {
+  // The paper's final design is Amdahl-limited by ~20 s of PS stages; the
+  // masking accelerator removes the dominant one. Total time should drop
+  // by at least 1.8x vs the paper's final design.
+  const Workload w = Workload::paper();
+  const ExtensionResult baseline = paper_final_design(platform(), w);
+  const ExtensionResult ext = analyze_masking_accelerator(platform(), w);
+  EXPECT_LT(ext.timing.total_s(), baseline.timing.total_s() / 1.8);
+}
+
+TEST(MaskingAcceleratorTest, SavesEnergyOverPaperFinal) {
+  const Workload w = Workload::paper();
+  const ExtensionResult baseline = paper_final_design(platform(), w);
+  const ExtensionResult ext = analyze_masking_accelerator(platform(), w);
+  EXPECT_LT(ext.energy.total_j(), baseline.energy.total_j());
+}
+
+TEST(MaskingAcceleratorTest, StillFitsTheDevice) {
+  const Workload w = Workload::paper();
+  const ExtensionResult ext = analyze_masking_accelerator(platform(), w);
+  EXPECT_TRUE(hls::fits(ext.resources, platform().device()));
+}
+
+TEST(ExtensionsTest, PresentationOrderBaselineFirst) {
+  const auto all = analyze_extensions(platform(), Workload::paper());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_NE(all[0].name.find("paper final"), std::string::npos);
+  // Each step improves total time.
+  EXPECT_LT(all[1].timing.total_s(), all[0].timing.total_s());
+  EXPECT_LT(all[2].timing.total_s(), all[1].timing.total_s());
+}
+
+TEST(ExtensionsTest, EnergyAccountingStaysConsistent) {
+  for (const ExtensionResult& e :
+       analyze_extensions(platform(), Workload::paper())) {
+    EXPECT_NEAR(e.energy.total_j(),
+                e.energy.ps.total_j() + e.energy.pl.total_j() +
+                    e.energy.ddr.total_j() + e.energy.bram.total_j(),
+                1e-9)
+        << e.name;
+    EXPECT_GT(e.timing.total_s(), 0.0);
+  }
+}
+
+} // namespace
+} // namespace tmhls::accel

@@ -1,0 +1,230 @@
+// Tests for the integer-only log2/exp2/pow datapath: accuracy against
+// double-precision references, monotonicity, round-trip identities, and
+// the fixed-point masking stage built on top of it.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fixed/fixed_math.hpp"
+#include "imageio/synthetic.hpp"
+#include "metrics/quality.hpp"
+#include "metrics/ssim.hpp"
+#include "tonemap/masking_fixed.hpp"
+#include "tonemap/operators.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::fixed {
+namespace {
+
+const FixedMath& math() {
+  static const FixedMath m;
+  return m;
+}
+
+double q16_to_double(std::int64_t q16) {
+  return std::ldexp(static_cast<double>(q16), -FixedMath::kQ);
+}
+
+TEST(FixedMathTest, Log2ExactAtPowersOfTwo) {
+  const FixedFormat fmt(16, 2);
+  // 0.5 -> -1, 0.25 -> -2, 1.0 -> 0.
+  EXPECT_EQ(math().log2_q16(fmt.raw_from_double(1.0), fmt), 0);
+  EXPECT_EQ(math().log2_q16(fmt.raw_from_double(0.5), fmt),
+            -(std::int64_t{1} << FixedMath::kQ));
+  EXPECT_EQ(math().log2_q16(fmt.raw_from_double(0.25), fmt),
+            -2 * (std::int64_t{1} << FixedMath::kQ));
+}
+
+TEST(FixedMathTest, Log2TracksReferenceAcrossRange) {
+  const FixedFormat fmt(16, 2);
+  for (double v = 0.001; v < 1.9; v += 0.0137) {
+    const std::int64_t raw = fmt.raw_from_double(v);
+    if (raw <= 0) continue;
+    const double exact = std::log2(fmt.raw_to_double(raw));
+    const double got = q16_to_double(math().log2_q16(raw, fmt));
+    EXPECT_NEAR(got, exact, 5e-5) << "v=" << v;
+  }
+}
+
+TEST(FixedMathTest, Log2RejectsNonPositive) {
+  const FixedFormat fmt(16, 2);
+  EXPECT_THROW(math().log2_q16(0, fmt), InvalidArgument);
+  EXPECT_THROW(math().log2_q16(-5, fmt), InvalidArgument);
+}
+
+TEST(FixedMathTest, Exp2ExactAtIntegers) {
+  constexpr std::int64_t kOne = std::int64_t{1} << FixedMath::kQ;
+  EXPECT_EQ(math().exp2_q16(0), kOne);
+  EXPECT_EQ(math().exp2_q16(kOne), 2 * kOne);
+  EXPECT_EQ(math().exp2_q16(-kOne), kOne / 2);
+  EXPECT_EQ(math().exp2_q16(3 * kOne), 8 * kOne);
+}
+
+TEST(FixedMathTest, Exp2TracksReferenceAcrossRange) {
+  for (double x = -8.0; x < 8.0; x += 0.0173) {
+    const auto x_q16 = static_cast<std::int64_t>(
+        std::llround(x * (1 << FixedMath::kQ)));
+    const double exact = std::exp2(q16_to_double(x_q16));
+    const double got = q16_to_double(math().exp2_q16(x_q16));
+    EXPECT_NEAR(got, exact, std::max(exact * 2e-4, 2e-5)) << "x=" << x;
+  }
+}
+
+TEST(FixedMathTest, Exp2DeepUnderflowIsZero) {
+  EXPECT_EQ(math().exp2_q16(-100 * (std::int64_t{1} << FixedMath::kQ)), 0);
+}
+
+TEST(FixedMathTest, Exp2LargeInputSaturates) {
+  const std::int64_t huge =
+      math().exp2_q16(60 * (std::int64_t{1} << FixedMath::kQ));
+  EXPECT_GT(huge, std::int64_t{1} << 50); // saturated, not wrapped
+}
+
+TEST(FixedMathTest, Exp2IsMonotone) {
+  std::int64_t prev = -1;
+  for (std::int64_t x = -5 * (1 << 16); x <= 5 * (1 << 16); x += 997) {
+    const std::int64_t v = math().exp2_q16(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(FixedMathTest, PowIdentityExponent) {
+  const FixedFormat fmt(16, 2);
+  constexpr std::int64_t kOne = std::int64_t{1} << FixedMath::kQ;
+  for (double v : {0.1, 0.3, 0.5, 0.9, 1.5}) {
+    const std::int64_t raw = fmt.raw_from_double(v);
+    const double got = q16_to_double(math().pow_q16(raw, fmt, kOne));
+    EXPECT_NEAR(got, fmt.raw_to_double(raw), 5e-4) << "v=" << v;
+  }
+}
+
+TEST(FixedMathTest, PowZeroBaseIsZero) {
+  const FixedFormat fmt(16, 2);
+  EXPECT_EQ(math().pow_q16(0, fmt, 1 << 15), 0);
+}
+
+TEST(FixedMathTest, PowTracksReference) {
+  const FixedFormat fmt(16, 2);
+  for (double v = 0.01; v < 1.0; v += 0.031) {
+    for (double g : {0.5, 0.7, 1.3, 2.0}) {
+      const std::int64_t raw = fmt.raw_from_double(v);
+      const auto g_q16 = static_cast<std::int64_t>(
+          std::llround(g * (1 << FixedMath::kQ)));
+      const double exact = std::pow(fmt.raw_to_double(raw), g);
+      const double got = q16_to_double(math().pow_q16(raw, fmt, g_q16));
+      EXPECT_NEAR(got, exact, std::max(exact * 1e-3, 2e-4))
+          << "v=" << v << " g=" << g;
+    }
+  }
+}
+
+TEST(FixedMathTest, PowRejectsNegativeBase) {
+  const FixedFormat fmt(16, 2);
+  EXPECT_THROW(math().pow_q16(-1, fmt, 1 << 16), InvalidArgument);
+}
+
+TEST(FixedMathTest, ExpLogRoundTrip) {
+  const FixedFormat fmt(16, 2);
+  for (double v = 0.01; v < 1.9; v += 0.0313) {
+    const std::int64_t raw = fmt.raw_from_double(v);
+    if (raw <= 0) continue;
+    const std::int64_t back = math().exp2_q16(math().log2_q16(raw, fmt));
+    EXPECT_NEAR(q16_to_double(back), fmt.raw_to_double(raw),
+                fmt.raw_to_double(raw) * 5e-4 + 1e-4);
+  }
+}
+
+TEST(FixedMathTest, Q16RawConversionsRoundTrip) {
+  const FixedFormat fmt(16, 2); // 14 frac bits < 16
+  for (std::int64_t raw : {std::int64_t{1}, std::int64_t{100},
+                           std::int64_t{-555}, fmt.max_raw()}) {
+    const std::int64_t q = FixedMath::raw_to_q16(raw, fmt);
+    EXPECT_EQ(FixedMath::q16_to_raw(q, fmt), raw);
+  }
+}
+
+TEST(FixedMathTest, Q16ToRawSaturatesOnOverflow) {
+  const FixedFormat fmt(8, 2);
+  const std::int64_t huge = std::int64_t{1} << 40; // way above max_value
+  EXPECT_EQ(FixedMath::q16_to_raw(huge, fmt), fmt.max_raw());
+}
+
+} // namespace
+} // namespace tmhls::fixed
+
+namespace tmhls::tonemap {
+namespace {
+
+TEST(FixedMaskingTest, MatchesFloatMaskingClosely) {
+  const fixed::FixedMath math;
+  Rng rng(31);
+  img::ImageF in(64, 64, 3);
+  img::ImageF mask(64, 64, 1);
+  for (float& v : in.samples()) v = static_cast<float>(rng.uniform(0.01, 1.0));
+  for (float& v : mask.samples()) v = static_cast<float>(rng.uniform());
+
+  const img::ImageF ref = nonlinear_masking(in, mask);
+  const img::ImageF fxp =
+      nonlinear_masking_fixed(in, mask, FixedMaskingConfig::paper(), math);
+  // The 16-bit LUT datapath holds the correction within lossy-image grade.
+  EXPECT_GT(metrics::psnr(ref, fxp), 40.0);
+  EXPECT_GT(metrics::ssim(ref, fxp), 0.99);
+}
+
+TEST(FixedMaskingTest, MidGreyMaskIsNearIdentity) {
+  const fixed::FixedMath math;
+  img::ImageF in(4, 4, 1);
+  in.fill(0.42f);
+  img::ImageF mask(4, 4, 1);
+  mask.fill(0.5f); // gamma = 1
+  const img::ImageF out =
+      nonlinear_masking_fixed(in, mask, FixedMaskingConfig::paper(), math);
+  for (float v : out.samples()) EXPECT_NEAR(v, 0.42f, 1e-3f);
+}
+
+TEST(FixedMaskingTest, DirectionOfCorrectionPreserved) {
+  const fixed::FixedMath math;
+  img::ImageF in(2, 1, 1);
+  in.at(0, 0) = 0.2f;
+  in.at(1, 0) = 0.8f;
+  img::ImageF mask(2, 1, 1);
+  mask.at(0, 0) = 0.1f; // dark surround -> brighten
+  mask.at(1, 0) = 0.9f; // bright surround -> darken
+  const img::ImageF out =
+      nonlinear_masking_fixed(in, mask, FixedMaskingConfig::paper(), math);
+  EXPECT_GT(out.at(0, 0), 0.2f);
+  EXPECT_LT(out.at(1, 0), 0.8f);
+}
+
+TEST(FixedMaskingTest, ZeroStaysZero) {
+  const fixed::FixedMath math;
+  img::ImageF in(1, 1, 1);
+  img::ImageF mask(1, 1, 1);
+  mask.at(0, 0) = 0.3f;
+  const img::ImageF out =
+      nonlinear_masking_fixed(in, mask, FixedMaskingConfig::paper(), math);
+  EXPECT_EQ(out.at(0, 0), 0.0f);
+}
+
+TEST(FixedMaskingTest, FullPipelineQualityWithFixedMasking) {
+  // End-to-end: replace the float masking stage with the fixed datapath on
+  // a real scene; the final image must stay visually identical.
+  const img::ImageF hdr = io::paper_test_image(96);
+  PipelineOptions opt;
+  opt.sigma = 6.0;
+  const PipelineResult flp = tone_map(hdr, opt);
+
+  const fixed::FixedMath math;
+  const img::ImageF masked_fixed = nonlinear_masking_fixed(
+      flp.normalized, flp.mask, FixedMaskingConfig::paper(), math);
+  const img::ImageF out_fixed =
+      brightness_contrast(masked_fixed, opt.brightness, opt.contrast);
+  EXPECT_GT(metrics::psnr(flp.output, out_fixed), 40.0);
+  EXPECT_GT(metrics::ssim(flp.output, out_fixed), 0.995);
+}
+
+} // namespace
+} // namespace tmhls::tonemap

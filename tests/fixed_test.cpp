@@ -1,0 +1,330 @@
+// Unit and property tests for the ap_fixed-equivalent fixed-point library:
+// rounding modes, overflow modes, arithmetic requantisation, and the
+// SDSoC bus-alignment constraint from §III.C.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "fixed/fixed.hpp"
+#include "fixed/fixed_format.hpp"
+
+namespace tmhls::fixed {
+namespace {
+
+using F16_2 = Fixed<16, 2, Round::half_up, Overflow::saturate>;
+
+TEST(FixedFormatTest, RangeAndLsb) {
+  const FixedFormat f(16, 2);
+  EXPECT_EQ(f.frac_bits(), 14);
+  EXPECT_EQ(f.max_raw(), 32767);
+  EXPECT_EQ(f.min_raw(), -32768);
+  EXPECT_DOUBLE_EQ(f.lsb(), std::ldexp(1.0, -14));
+  EXPECT_DOUBLE_EQ(f.max_value(), 32767.0 / 16384.0);
+  EXPECT_DOUBLE_EQ(f.min_value(), -2.0);
+}
+
+TEST(FixedFormatTest, ConstructorValidatesArguments) {
+  EXPECT_THROW(FixedFormat(0, 0), InvalidArgument);
+  EXPECT_THROW(FixedFormat(33, 1), InvalidArgument);
+  EXPECT_THROW(FixedFormat(8, 0), InvalidArgument);
+  EXPECT_THROW(FixedFormat(8, 9), InvalidArgument);
+  EXPECT_NO_THROW(FixedFormat(1, 1));
+  EXPECT_NO_THROW(FixedFormat(32, 32));
+}
+
+TEST(FixedFormatTest, QuantizeExactValuesAreExact) {
+  const FixedFormat f(16, 2);
+  EXPECT_DOUBLE_EQ(f.quantize(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.quantize(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(f.quantize(-1.0), -1.0);
+  EXPECT_DOUBLE_EQ(f.quantize(0.0), 0.0);
+}
+
+TEST(FixedFormatTest, QuantizationErrorBoundedByLsb) {
+  const FixedFormat f(16, 2, Round::half_up);
+  for (double v = -1.9; v < 1.9; v += 0.00137) {
+    const double q = f.quantize(v);
+    EXPECT_LE(std::abs(q - v), f.lsb() / 2 + 1e-15) << "v=" << v;
+  }
+}
+
+TEST(FixedFormatTest, TruncateRoundsTowardNegativeInfinity) {
+  const FixedFormat f(16, 2, Round::truncate);
+  const double lsb = f.lsb();
+  EXPECT_DOUBLE_EQ(f.quantize(0.3 * lsb), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantize(0.9 * lsb), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantize(-0.3 * lsb), -lsb);
+  EXPECT_DOUBLE_EQ(f.quantize(-0.9 * lsb), -lsb);
+}
+
+TEST(FixedFormatTest, TowardZeroRoundsTowardZero) {
+  const FixedFormat f(16, 2, Round::toward_zero);
+  const double lsb = f.lsb();
+  EXPECT_DOUBLE_EQ(f.quantize(0.9 * lsb), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantize(-0.9 * lsb), 0.0);
+}
+
+TEST(FixedFormatTest, HalfUpRoundsHalfAwayFromFloor) {
+  const FixedFormat f(16, 2, Round::half_up);
+  const double lsb = f.lsb();
+  EXPECT_DOUBLE_EQ(f.quantize(0.5 * lsb), lsb);
+  EXPECT_DOUBLE_EQ(f.quantize(0.49 * lsb), 0.0);
+  EXPECT_DOUBLE_EQ(f.quantize(1.5 * lsb), 2 * lsb);
+}
+
+TEST(FixedFormatTest, HalfEvenBreaksTiesToEven) {
+  const FixedFormat f(16, 2, Round::half_even);
+  const double lsb = f.lsb();
+  EXPECT_DOUBLE_EQ(f.quantize(0.5 * lsb), 0.0);      // 0 is even
+  EXPECT_DOUBLE_EQ(f.quantize(1.5 * lsb), 2 * lsb);  // 2 is even
+  EXPECT_DOUBLE_EQ(f.quantize(2.5 * lsb), 2 * lsb);  // 2 is even
+  EXPECT_DOUBLE_EQ(f.quantize(3.5 * lsb), 4 * lsb);  // 4 is even
+}
+
+TEST(FixedFormatTest, SaturationClampsToRange) {
+  const FixedFormat f(8, 2, Round::half_up, Overflow::saturate);
+  EXPECT_DOUBLE_EQ(f.quantize(100.0), f.max_value());
+  EXPECT_DOUBLE_EQ(f.quantize(-100.0), f.min_value());
+}
+
+TEST(FixedFormatTest, WrapIsCongruentModuloRange) {
+  const FixedFormat f(8, 8, Round::truncate, Overflow::wrap);
+  // 8 integer bits: raw == value. 130 wraps to 130 - 256 = -126.
+  EXPECT_DOUBLE_EQ(f.quantize(130.0), -126.0);
+  EXPECT_DOUBLE_EQ(f.quantize(-130.0), 126.0);
+  EXPECT_DOUBLE_EQ(f.quantize(256.0), 0.0);
+}
+
+TEST(FixedFormatTest, InfinitySaturates) {
+  const FixedFormat f(16, 2);
+  EXPECT_DOUBLE_EQ(f.quantize(INFINITY), f.max_value());
+  EXPECT_DOUBLE_EQ(f.quantize(-INFINITY), f.min_value());
+}
+
+TEST(FixedFormatTest, NanQuantisesToZero) {
+  const FixedFormat f(16, 2);
+  EXPECT_DOUBLE_EQ(f.quantize(NAN), 0.0);
+}
+
+TEST(FixedFormatTest, BusAlignmentMatchesSdsocRule) {
+  EXPECT_TRUE(FixedFormat(8, 2).is_bus_aligned());
+  EXPECT_TRUE(FixedFormat(16, 2).is_bus_aligned());
+  EXPECT_TRUE(FixedFormat(32, 2).is_bus_aligned());
+  EXPECT_FALSE(FixedFormat(12, 2).is_bus_aligned());
+  EXPECT_FALSE(FixedFormat(24, 2).is_bus_aligned());
+  EXPECT_FALSE(FixedFormat(17, 2).is_bus_aligned());
+}
+
+TEST(FixedFormatTest, ToStringNamesModes) {
+  const FixedFormat f(16, 2, Round::half_up, Overflow::saturate);
+  const std::string s = f.to_string();
+  EXPECT_NE(s.find("16"), std::string::npos);
+  EXPECT_NE(s.find("AP_RND"), std::string::npos);
+  EXPECT_NE(s.find("AP_SAT"), std::string::npos);
+}
+
+TEST(ShiftRightRoundTest, ZeroShiftIsIdentity) {
+  EXPECT_EQ(shift_right_round(12345, 0, Round::half_up), 12345);
+  EXPECT_EQ(shift_right_round(-99, 0, Round::truncate), -99);
+}
+
+TEST(ShiftRightRoundTest, ExactShiftsLoseNothing) {
+  EXPECT_EQ(shift_right_round(16, 2, Round::truncate), 4);
+  EXPECT_EQ(shift_right_round(-16, 2, Round::half_even), -4);
+}
+
+TEST(ShiftRightRoundTest, ModesDisagreeOnNegativeHalves) {
+  // -3 / 2 = -1.5
+  EXPECT_EQ(shift_right_round(-3, 1, Round::truncate), -2);    // floor
+  EXPECT_EQ(shift_right_round(-3, 1, Round::toward_zero), -1); // toward 0
+  EXPECT_EQ(shift_right_round(-3, 1, Round::half_up), -1);     // -1.5+0.5
+  EXPECT_EQ(shift_right_round(-3, 1, Round::half_even), -2);   // to even
+}
+
+// Property sweep: for every mode, result is within 1 of the real quotient
+// and exact when remainder is zero.
+class ShiftRoundProperty : public ::testing::TestWithParam<Round> {};
+
+TEST_P(ShiftRoundProperty, WithinOneOfRealQuotient) {
+  const Round mode = GetParam();
+  for (std::int64_t v = -4100; v <= 4100; v += 7) {
+    for (int shift : {1, 3, 7}) {
+      const double real = std::ldexp(static_cast<double>(v), -shift);
+      const std::int64_t r = shift_right_round(v, shift, mode);
+      EXPECT_LE(std::abs(static_cast<double>(r) - real), 1.0)
+          << "v=" << v << " shift=" << shift;
+      if ((v & ((std::int64_t{1} << shift) - 1)) == 0) {
+        EXPECT_EQ(static_cast<double>(r), real);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, ShiftRoundProperty,
+                         ::testing::Values(Round::truncate,
+                                           Round::toward_zero,
+                                           Round::half_up,
+                                           Round::half_even));
+
+TEST(FixedTest, DefaultIsZero) {
+  F16_2 f;
+  EXPECT_EQ(f.raw(), 0);
+  EXPECT_DOUBLE_EQ(f.to_double(), 0.0);
+}
+
+TEST(FixedTest, ConstructFromDoubleQuantises) {
+  F16_2 f(0.5);
+  EXPECT_DOUBLE_EQ(f.to_double(), 0.5);
+  EXPECT_EQ(f.raw(), 8192);
+}
+
+TEST(FixedTest, AdditionIsExactWhenRepresentable) {
+  F16_2 a(0.25);
+  F16_2 b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 0.75);
+}
+
+TEST(FixedTest, AdditionSaturatesAtMax) {
+  F16_2 a = F16_2::max();
+  F16_2 b(1.0);
+  EXPECT_EQ(a + b, F16_2::max());
+}
+
+TEST(FixedTest, SubtractionSaturatesAtMin) {
+  F16_2 a = F16_2::min();
+  F16_2 b(1.0);
+  EXPECT_EQ(a - b, F16_2::min());
+}
+
+TEST(FixedTest, MultiplicationMatchesRealWithinLsb) {
+  F16_2 a(0.3);
+  F16_2 b(0.7);
+  const double expected = a.to_double() * b.to_double();
+  EXPECT_NEAR((a * b).to_double(), expected, F16_2::format().lsb());
+}
+
+TEST(FixedTest, MultiplicationByOneIsIdentityWithinRounding) {
+  F16_2 one(1.0);
+  for (double v : {0.1, 0.5, -0.25, 1.5, -1.99}) {
+    F16_2 x(v);
+    EXPECT_NEAR((x * one).to_double(), x.to_double(),
+                F16_2::format().lsb());
+  }
+}
+
+TEST(FixedTest, DivisionRecoveryWithinLsb) {
+  F16_2 a(0.75);
+  F16_2 b(0.5);
+  EXPECT_NEAR((a / b).to_double(), 1.5, F16_2::format().lsb());
+}
+
+TEST(FixedTest, DivisionByZeroThrows) {
+  F16_2 a(1.0);
+  F16_2 zero;
+  EXPECT_THROW(a / zero, InvalidArgument);
+}
+
+TEST(FixedTest, ComparisonsAgreeWithRealOrder) {
+  F16_2 a(0.25);
+  F16_2 b(0.5);
+  EXPECT_LT(a, b);
+  EXPECT_LE(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_GE(b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, F16_2(0.25));
+}
+
+TEST(FixedTest, NegationOfMinSaturates) {
+  // -(-2.0) = 2.0 is out of range for Fixed<16,2>; must saturate to max.
+  F16_2 m = F16_2::min();
+  EXPECT_EQ(-m, F16_2::max());
+}
+
+TEST(FixedTest, EpsilonIsOneLsb) {
+  EXPECT_DOUBLE_EQ(F16_2::epsilon().to_double(), F16_2::format().lsb());
+}
+
+TEST(FixedTest, CompoundOperatorsMatchBinary) {
+  F16_2 a(0.5);
+  F16_2 b(0.25);
+  F16_2 c = a;
+  c += b;
+  EXPECT_EQ(c, a + b);
+  c = a;
+  c *= b;
+  EXPECT_EQ(c, a * b);
+}
+
+TEST(FixedTest, WrapModeAccumulatorWrapsAround) {
+  using W8 = Fixed<8, 8, Round::truncate, Overflow::wrap>;
+  W8 acc(120);
+  acc += W8(10); // 130 wraps to -126
+  EXPECT_DOUBLE_EQ(acc.to_double(), -126.0);
+}
+
+TEST(FixedTest, PaperFixedIsBusAligned16Bit) {
+  EXPECT_EQ(PaperFixed::total_bits, 16);
+  EXPECT_TRUE(PaperFixed::format().is_bus_aligned());
+}
+
+// Round-trip property over formats: |quantize(v) - v| <= lsb for all modes,
+// and quantize is idempotent.
+class FormatProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, Round>> {};
+
+TEST_P(FormatProperty, QuantizeIdempotentAndBounded) {
+  const auto [width, int_bits, mode] = GetParam();
+  const FixedFormat f(width, int_bits, mode);
+  for (double v = -0.95; v < 0.95; v += 0.0173) {
+    const double scaled = v * f.max_value();
+    const double q = f.quantize(scaled);
+    EXPECT_LE(std::abs(q - scaled), f.lsb()) << f.to_string();
+    EXPECT_DOUBLE_EQ(f.quantize(q), q) << "idempotence " << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FormatProperty,
+    ::testing::Combine(::testing::Values(8, 12, 16, 24, 32),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(Round::truncate, Round::half_up,
+                                         Round::half_even)));
+
+// Arithmetic property sweep: fixed-point add/mul track real arithmetic
+// within the requantisation error bound.
+class ArithmeticProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithmeticProperty, AddTracksRealWithinOneLsb) {
+  const int width = GetParam();
+  const FixedFormat f(width, 2, Round::half_up, Overflow::saturate);
+  for (double a = -0.9; a < 0.9; a += 0.31) {
+    for (double b = -0.9; b < 0.9; b += 0.37) {
+      const double qa = f.quantize(a);
+      const double qb = f.quantize(b);
+      const std::int64_t raw =
+          f.apply_overflow(f.raw_from_double(qa) + f.raw_from_double(qb));
+      EXPECT_NEAR(f.raw_to_double(raw), qa + qb, f.lsb());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ArithmeticProperty,
+                         ::testing::Values(8, 10, 16, 20, 32));
+
+TEST(DivScaledTest, MatchesRealDivision) {
+  for (std::int64_t a : {100, -100, 37, -37, 0}) {
+    for (std::int64_t b : {3, -3, 7, 16}) {
+      const double real = std::ldexp(static_cast<double>(a), 8) /
+                          static_cast<double>(b);
+      const std::int64_t q = div_scaled(a, b, 8, Round::half_up);
+      EXPECT_LE(std::abs(static_cast<double>(q) - real), 1.0)
+          << a << "/" << b;
+    }
+  }
+}
+
+} // namespace
+} // namespace tmhls::fixed

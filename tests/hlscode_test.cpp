@@ -1,0 +1,208 @@
+// Tests for the synthesizable-style kernels: stream/shift-register/line-
+// buffer primitives, and the bit-exact equivalence of the HLS-style blur
+// with the golden models in src/tonemap — the property that lets golden-
+// model measurements stand in for the synthesizable source.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hlscode/blur_kernels.hpp"
+#include "hlscode/stream.hpp"
+#include "imageio/synthetic.hpp"
+#include "tonemap/blur.hpp"
+
+namespace tmhls::hlscode {
+namespace {
+
+img::ImageF random_plane(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 1);
+  for (float& v : im.samples()) v = static_cast<float>(rng.uniform());
+  return im;
+}
+
+TEST(StreamTest, FifoOrderPreserved) {
+  Stream<int> s;
+  s.write(1);
+  s.write(2);
+  s.write(3);
+  EXPECT_EQ(s.read(), 1);
+  EXPECT_EQ(s.read(), 2);
+  EXPECT_EQ(s.read(), 3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StreamTest, SizeAndEmptyTrackContents) {
+  Stream<float> s;
+  EXPECT_TRUE(s.empty());
+  s.write(1.0f);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.empty());
+  s.read();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(StreamTest, BoundedStreamReportsFull) {
+  Stream<int> s(2);
+  s.write(1);
+  EXPECT_FALSE(s.full());
+  s.write(2);
+  EXPECT_TRUE(s.full());
+  s.read();
+  EXPECT_FALSE(s.full());
+}
+
+TEST(ShiftRegTest, ShiftMovesSamplesDown) {
+  ShiftReg<int, 3> reg;
+  reg.shift(1);
+  reg.shift(2);
+  reg.shift(3);
+  EXPECT_EQ(reg[0], 1);
+  EXPECT_EQ(reg[1], 2);
+  EXPECT_EQ(reg[2], 3);
+  reg.shift(4);
+  EXPECT_EQ(reg[0], 2);
+  EXPECT_EQ(reg[2], 4);
+}
+
+TEST(ShiftRegTest, FillPreloadsEveryStage) {
+  ShiftReg<float, 4> reg;
+  reg.fill(0.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(reg[i], 0.5f);
+}
+
+TEST(LineBufferTest, SlotAddressedReadWrite) {
+  LineBuffer<int> lines(3, 4);
+  lines.write(2, 1, 42);
+  EXPECT_EQ(lines.at(2, 1), 42);
+  EXPECT_EQ(lines.at(0, 0), 0);
+  EXPECT_EQ(lines.rows(), 3);
+  EXPECT_EQ(lines.width(), 4);
+}
+
+TEST(LineBufferTest, RejectsBadGeometry) {
+  EXPECT_THROW(LineBuffer<int>(0, 4), InvalidArgument);
+  EXPECT_THROW(LineBuffer<int>(4, 0), InvalidArgument);
+}
+
+// The central equivalence: the synthesizable-style float kernel is
+// bit-identical to the golden streaming model (and hence to the original
+// separable form) across geometries, including radius > image size.
+class FloatKernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(FloatKernelEquivalence, MatchesGoldenModelBitExactly) {
+  const auto [w, h, sigma] = GetParam();
+  const img::ImageF im = random_plane(w, h, 11);
+  const tonemap::GaussianKernel k(sigma);
+  const img::ImageF golden = tonemap::blur_streaming_float(im, k);
+  const img::ImageF hls = run_blur_float(im, k);
+  ASSERT_TRUE(golden.same_shape(hls));
+  auto sg = golden.samples();
+  auto sh = hls.samples();
+  for (std::size_t i = 0; i < sg.size(); ++i) {
+    ASSERT_EQ(sg[i], sh[i]) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FloatKernelEquivalence,
+    ::testing::Values(std::make_tuple(16, 16, 1.5),
+                      std::make_tuple(64, 32, 3.0),
+                      std::make_tuple(33, 47, 5.0),
+                      std::make_tuple(8, 64, 2.0),
+                      std::make_tuple(64, 8, 2.0),
+                      std::make_tuple(1, 16, 2.0),  // single column
+                      std::make_tuple(16, 1, 2.0),  // single row
+                      std::make_tuple(31, 31, 12.0)));
+
+// Same equivalence for the 16-bit fixed-point kernel against the golden
+// ap_fixed model with the paper's configuration.
+class FixedKernelEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(FixedKernelEquivalence, MatchesGoldenModelBitExactly) {
+  const auto [w, h, sigma] = GetParam();
+  const img::ImageF im = random_plane(w, h, 12);
+  const tonemap::GaussianKernel k(sigma);
+  const img::ImageF golden =
+      tonemap::blur_streaming_fixed(im, k, tonemap::FixedBlurConfig::paper());
+  const img::ImageF hls = run_blur_fixed(im, k);
+  ASSERT_TRUE(golden.same_shape(hls));
+  auto sg = golden.samples();
+  auto sh = hls.samples();
+  for (std::size_t i = 0; i < sg.size(); ++i) {
+    ASSERT_EQ(sg[i], sh[i]) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, FixedKernelEquivalence,
+    ::testing::Values(std::make_tuple(16, 16, 1.5),
+                      std::make_tuple(48, 24, 4.0),
+                      std::make_tuple(33, 47, 5.0),
+                      std::make_tuple(31, 31, 12.0)));
+
+TEST(KernelInterfaceTest, SinglePassesComposeToTop) {
+  const img::ImageF im = random_plane(32, 32, 13);
+  const tonemap::GaussianKernel k(3.0);
+  const auto& wts = k.weights();
+  const std::span<const float> wspan(wts.data(), wts.size());
+
+  Stream<float> in;
+  Stream<float> mid;
+  Stream<float> out;
+  for (float v : im.samples()) in.write(v);
+  blur_pass_horizontal_float(in, mid, 32, 32, wspan);
+  blur_pass_vertical_float(mid, out, 32, 32, wspan);
+
+  const img::ImageF golden = run_blur_float(im, k);
+  for (float expected : golden.samples()) {
+    ASSERT_EQ(out.read(), expected);
+  }
+}
+
+TEST(KernelInterfaceTest, RejectsEvenTapCounts) {
+  Stream<float> in;
+  Stream<float> out;
+  const float wts[4] = {0.25f, 0.25f, 0.25f, 0.25f};
+  EXPECT_THROW(blur_pass_horizontal_float(in, out, 8, 8,
+                                          std::span<const float>(wts, 4)),
+               InvalidArgument);
+}
+
+TEST(KernelInterfaceTest, RejectsOversizedKernels) {
+  Stream<float> in;
+  Stream<float> out;
+  std::vector<float> wts(static_cast<std::size_t>(kMaxTaps) + 2, 0.0f);
+  EXPECT_THROW(blur_pass_horizontal_float(
+                   in, out, 8, 8,
+                   std::span<const float>(wts.data(), wts.size())),
+               InvalidArgument);
+}
+
+TEST(KernelInterfaceTest, PaperWorkloadKernelFitsStaticBound) {
+  // The 79-tap paper kernel must fit the synthesizable static array bound.
+  const tonemap::GaussianKernel k(13.0, 39);
+  EXPECT_LE(k.taps(), kMaxTaps);
+}
+
+TEST(KernelInterfaceTest, EveryInputPixelConsumedExactlyOnce) {
+  // The sequential-access property: the kernel never re-reads the stream
+  // (edge clamping happens inside the window), so input length == w*h.
+  const img::ImageF im = random_plane(24, 17, 14);
+  const tonemap::GaussianKernel k(4.0);
+  Stream<float> in;
+  Stream<float> out;
+  for (float v : im.samples()) in.write(v);
+  const auto& wts = k.weights();
+  gaussian_blur_top_float(in, out, 24, 17,
+                          std::span<const float>(wts.data(), wts.size()));
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(out.size(), im.pixel_count());
+}
+
+} // namespace
+} // namespace tmhls::hlscode

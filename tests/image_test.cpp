@@ -1,0 +1,192 @@
+// Unit tests for the image containers, conversions and statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "image/image.hpp"
+#include "image/stats.hpp"
+
+namespace tmhls::img {
+namespace {
+
+TEST(ImageTest, ConstructionInitialisesToZero) {
+  ImageF im(4, 3, 2);
+  EXPECT_EQ(im.width(), 4);
+  EXPECT_EQ(im.height(), 3);
+  EXPECT_EQ(im.channels(), 2);
+  EXPECT_EQ(im.sample_count(), 24u);
+  EXPECT_EQ(im.pixel_count(), 12u);
+  for (float v : im.samples()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(ImageTest, DefaultImageIsEmpty) {
+  ImageF im;
+  EXPECT_TRUE(im.empty());
+  EXPECT_EQ(im.sample_count(), 0u);
+}
+
+TEST(ImageTest, InvalidDimensionsThrow) {
+  EXPECT_THROW(ImageF(0, 4), InvalidArgument);
+  EXPECT_THROW(ImageF(4, 0), InvalidArgument);
+  EXPECT_THROW(ImageF(4, 4, 0), InvalidArgument);
+  EXPECT_THROW(ImageF(4, 4, 5), InvalidArgument);
+}
+
+TEST(ImageTest, AtReadsWhatWasWritten) {
+  ImageF im(5, 5, 3);
+  im.at(2, 3, 1) = 7.5f;
+  EXPECT_FLOAT_EQ(im.at(2, 3, 1), 7.5f);
+  EXPECT_FLOAT_EQ(im.at(2, 3, 0), 0.0f);
+}
+
+TEST(ImageTest, RowSpanViewsTheRightSamples) {
+  ImageF im(3, 2, 2);
+  im.at(0, 1, 0) = 1.0f;
+  im.at(2, 1, 1) = 2.0f;
+  auto row = im.row(1);
+  ASSERT_EQ(row.size(), 6u);
+  EXPECT_FLOAT_EQ(row[0], 1.0f);
+  EXPECT_FLOAT_EQ(row[5], 2.0f);
+}
+
+TEST(ImageTest, FillSetsEverySample) {
+  ImageF im(4, 4, 1);
+  im.fill(3.25f);
+  for (float v : im.samples()) EXPECT_FLOAT_EQ(v, 3.25f);
+}
+
+TEST(ImageTest, SameShapeComparesAllAxes) {
+  ImageF a(4, 3, 2);
+  EXPECT_TRUE(a.same_shape(ImageF(4, 3, 2)));
+  EXPECT_FALSE(a.same_shape(ImageF(3, 4, 2)));
+  EXPECT_FALSE(a.same_shape(ImageF(4, 3, 1)));
+}
+
+TEST(LuminanceTest, Bt709Weights) {
+  ImageF rgb(1, 1, 3);
+  rgb.at(0, 0, 0) = 1.0f;
+  rgb.at(0, 0, 1) = 1.0f;
+  rgb.at(0, 0, 2) = 1.0f;
+  const ImageF y = luminance(rgb);
+  EXPECT_NEAR(y.at(0, 0), 1.0f, 1e-6f); // weights sum to 1
+}
+
+TEST(LuminanceTest, PureChannelsHaveExpectedWeights) {
+  ImageF rgb(3, 1, 3);
+  rgb.at(0, 0, 0) = 1.0f; // pure red
+  rgb.at(1, 0, 1) = 1.0f; // pure green
+  rgb.at(2, 0, 2) = 1.0f; // pure blue
+  const ImageF y = luminance(rgb);
+  EXPECT_NEAR(y.at(0, 0), 0.2126f, 1e-6f);
+  EXPECT_NEAR(y.at(1, 0), 0.7152f, 1e-6f);
+  EXPECT_NEAR(y.at(2, 0), 0.0722f, 1e-6f);
+}
+
+TEST(LuminanceTest, SingleChannelPassesThrough) {
+  ImageF g(2, 2, 1);
+  g.at(1, 1) = 0.5f;
+  const ImageF y = luminance(g);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 0.5f);
+}
+
+TEST(ExtractChannelTest, PicksTheRightPlane) {
+  ImageF rgb(2, 1, 3);
+  rgb.at(0, 0, 2) = 9.0f;
+  const ImageF b = extract_channel(rgb, 2);
+  EXPECT_EQ(b.channels(), 1);
+  EXPECT_FLOAT_EQ(b.at(0, 0), 9.0f);
+  EXPECT_THROW(extract_channel(rgb, 3), InvalidArgument);
+}
+
+TEST(AbsoluteDifferenceTest, ComputesPerSample) {
+  ImageF a(2, 1, 1);
+  ImageF b(2, 1, 1);
+  a.at(0, 0) = 1.0f;
+  b.at(0, 0) = 3.5f;
+  const ImageF d = absolute_difference(a, b);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(d.at(1, 0), 0.0f);
+}
+
+TEST(AbsoluteDifferenceTest, ShapeMismatchThrows) {
+  EXPECT_THROW(absolute_difference(ImageF(2, 2), ImageF(3, 2)),
+               InvalidArgument);
+}
+
+TEST(ConversionTest, ToU8RoundsAndClamps) {
+  ImageF f(4, 1, 1);
+  f.at(0, 0) = 0.0f;
+  f.at(1, 0) = 1.0f;
+  f.at(2, 0) = 0.5f;
+  f.at(3, 0) = 2.0f; // clamps to 255
+  const ImageU8 u = to_u8(f);
+  EXPECT_EQ(u.at(0, 0), 0);
+  EXPECT_EQ(u.at(1, 0), 255);
+  EXPECT_EQ(u.at(2, 0), 128); // round(127.5)
+  EXPECT_EQ(u.at(3, 0), 255);
+}
+
+TEST(ConversionTest, U8RoundTripWithinHalfStep) {
+  ImageF f(256, 1, 1);
+  for (int i = 0; i < 256; ++i) {
+    f.at(i, 0) = static_cast<float>(i) / 255.0f;
+  }
+  const ImageF back = to_float(to_u8(f));
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_NEAR(back.at(i, 0), f.at(i, 0), 0.5f / 255.0f);
+  }
+}
+
+TEST(StatsTest, KnownDistribution) {
+  ImageF im(4, 1, 1);
+  im.at(0, 0) = 1.0f;
+  im.at(1, 0) = 2.0f;
+  im.at(2, 0) = 3.0f;
+  im.at(3, 0) = 4.0f;
+  const Stats s = compute_stats(im);
+  EXPECT_FLOAT_EQ(s.min, 1.0f);
+  EXPECT_FLOAT_EQ(s.max, 4.0f);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-9);
+}
+
+TEST(StatsTest, PercentilesBracketTheRange) {
+  ImageF im(100, 1, 1);
+  for (int i = 0; i < 100; ++i) im.at(i, 0) = static_cast<float>(i);
+  const Stats s = compute_stats(im);
+  EXPECT_NEAR(s.percentile_1, 0.99f, 0.02f);
+  EXPECT_NEAR(s.percentile_99, 98.01f, 0.02f);
+}
+
+TEST(StatsTest, EmptyImageThrows) {
+  EXPECT_THROW(compute_stats(ImageF()), InvalidArgument);
+}
+
+TEST(DynamicRangeTest, RatioAndLogs) {
+  ImageF im(2, 1, 1);
+  im.at(0, 0) = 0.001f;
+  im.at(1, 0) = 1000.0f;
+  const DynamicRange dr = compute_dynamic_range(im);
+  EXPECT_NEAR(dr.ratio, 1e6, 1e6 * 1e-4);
+  EXPECT_NEAR(dr.decades, 6.0, 0.001);
+  EXPECT_NEAR(dr.stops, std::log2(1e6), 0.01);
+}
+
+TEST(DynamicRangeTest, IgnoresNonPositiveSamples) {
+  ImageF im(3, 1, 1);
+  im.at(0, 0) = 0.0f;   // ignored
+  im.at(1, 0) = 1.0f;
+  im.at(2, 0) = 10.0f;
+  const DynamicRange dr = compute_dynamic_range(im);
+  EXPECT_NEAR(dr.ratio, 10.0, 1e-6);
+}
+
+TEST(DynamicRangeTest, AllDarkImageHasZeroRatio) {
+  ImageF im(2, 2, 1); // all zeros
+  const DynamicRange dr = compute_dynamic_range(im);
+  EXPECT_EQ(dr.ratio, 0.0);
+}
+
+} // namespace
+} // namespace tmhls::img

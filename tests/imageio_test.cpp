@@ -1,0 +1,263 @@
+// Tests for HDR image I/O (RGBE, PFM, PNM) and the synthetic scene
+// generator that substitutes for the paper's photograph.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "image/stats.hpp"
+#include "imageio/pfm.hpp"
+#include "imageio/pnm.hpp"
+#include "imageio/rgbe.hpp"
+#include "imageio/synthetic.hpp"
+
+namespace tmhls::io {
+namespace {
+
+img::ImageF make_test_hdr(int w, int h) {
+  img::ImageF im(w, h, 3);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float base = std::pow(10.0f, -2.0f + 5.0f * static_cast<float>(x) /
+                                                     static_cast<float>(w));
+      im.at(x, y, 0) = base;
+      im.at(x, y, 1) = base * 0.5f;
+      im.at(x, y, 2) = base * 0.25f + static_cast<float>(y) * 0.01f;
+    }
+  }
+  return im;
+}
+
+TEST(RgbeCodecTest, PackUnpackRelativeError) {
+  // RGBE has an 8-bit mantissa: ~0.4% worst-case relative error on the
+  // dominant channel.
+  for (float v : {1e-4f, 0.01f, 0.5f, 1.0f, 100.0f, 5000.0f}) {
+    unsigned char rgbe[4];
+    float_to_rgbe(v, v * 0.5f, v * 0.25f, rgbe);
+    float r = 0.0f;
+    float g = 0.0f;
+    float b = 0.0f;
+    rgbe_to_float(rgbe, r, g, b);
+    EXPECT_NEAR(r, v, v * 0.01f);
+    EXPECT_NEAR(g, v * 0.5f, v * 0.01f);
+    EXPECT_NEAR(b, v * 0.25f, v * 0.01f);
+  }
+}
+
+TEST(RgbeCodecTest, ZeroMapsToZeroBytes) {
+  unsigned char rgbe[4];
+  float_to_rgbe(0.0f, 0.0f, 0.0f, rgbe);
+  EXPECT_EQ(rgbe[0], 0);
+  EXPECT_EQ(rgbe[3], 0);
+  float r = 1.0f;
+  float g = 1.0f;
+  float b = 1.0f;
+  rgbe_to_float(rgbe, r, g, b);
+  EXPECT_EQ(r, 0.0f);
+  EXPECT_EQ(g, 0.0f);
+  EXPECT_EQ(b, 0.0f);
+}
+
+TEST(RgbeStreamTest, RoundTripPreservesPixelsWithinMantissa) {
+  const img::ImageF original = make_test_hdr(64, 32);
+  std::stringstream buf;
+  write_rgbe(buf, original);
+  const img::ImageF loaded = read_rgbe(buf);
+  ASSERT_TRUE(loaded.same_shape(original));
+  for (int y = 0; y < original.height(); ++y) {
+    for (int x = 0; x < original.width(); ++x) {
+      for (int c = 0; c < 3; ++c) {
+        const float o = original.at(x, y, c);
+        const float l = loaded.at(x, y, c);
+        // Error relative to the pixel's dominant channel.
+        const float dominant = std::max(
+            {original.at(x, y, 0), original.at(x, y, 1), original.at(x, y, 2)});
+        EXPECT_NEAR(l, o, dominant * 0.01f + 1e-6f);
+      }
+    }
+  }
+}
+
+TEST(RgbeStreamTest, NarrowImageUsesFlatScanlines) {
+  // Width < 8 cannot be RLE-compressed; the flat path must round-trip too.
+  const img::ImageF original = make_test_hdr(4, 4);
+  std::stringstream buf;
+  write_rgbe(buf, original);
+  const img::ImageF loaded = read_rgbe(buf);
+  EXPECT_TRUE(loaded.same_shape(original));
+}
+
+TEST(RgbeStreamTest, ConstantImageCompressesWithRuns) {
+  img::ImageF flat(256, 4, 3);
+  flat.fill(0.5f);
+  std::stringstream buf;
+  write_rgbe(buf, flat);
+  // RLE should beat the flat encoding (4 bytes/pixel) by a wide margin.
+  EXPECT_LT(buf.str().size(), 256u * 4u * 4u / 4u);
+  const img::ImageF loaded = read_rgbe(buf);
+  EXPECT_NEAR(loaded.at(128, 2, 1), 0.5f, 0.01f);
+}
+
+TEST(RgbeStreamTest, RejectsMissingHeader) {
+  std::stringstream buf("not radiance data");
+  EXPECT_THROW(read_rgbe(buf), IoError);
+}
+
+TEST(RgbeStreamTest, RejectsTruncatedPixels) {
+  const img::ImageF original = make_test_hdr(16, 16);
+  std::stringstream buf;
+  write_rgbe(buf, original);
+  std::string data = buf.str();
+  data.resize(data.size() / 2);
+  std::stringstream cut(data);
+  EXPECT_THROW(read_rgbe(cut), IoError);
+}
+
+TEST(RgbeStreamTest, RejectsNonRgbImages) {
+  std::stringstream buf;
+  EXPECT_THROW(write_rgbe(buf, img::ImageF(4, 4, 1)), InvalidArgument);
+}
+
+TEST(PfmStreamTest, RoundTripIsLossless) {
+  const img::ImageF original = make_test_hdr(33, 17);
+  std::stringstream buf;
+  write_pfm(buf, original);
+  const img::ImageF loaded = read_pfm(buf);
+  ASSERT_TRUE(loaded.same_shape(original));
+  auto so = original.samples();
+  auto sl = loaded.samples();
+  for (std::size_t i = 0; i < so.size(); ++i) {
+    EXPECT_EQ(sl[i], so[i]); // bit-exact
+  }
+}
+
+TEST(PfmStreamTest, GrayscaleRoundTrip) {
+  img::ImageF gray(8, 8, 1);
+  gray.at(3, 4) = 123.456f;
+  std::stringstream buf;
+  write_pfm(buf, gray);
+  const img::ImageF loaded = read_pfm(buf);
+  EXPECT_EQ(loaded.channels(), 1);
+  EXPECT_FLOAT_EQ(loaded.at(3, 4), 123.456f);
+}
+
+TEST(PfmStreamTest, RejectsBadMagic) {
+  std::stringstream buf("P9\n2 2\n-1.0\nxxxx");
+  EXPECT_THROW(read_pfm(buf), IoError);
+}
+
+TEST(PfmStreamTest, RejectsTwoChannelImages) {
+  std::stringstream buf;
+  EXPECT_THROW(write_pfm(buf, img::ImageF(4, 4, 2)), InvalidArgument);
+}
+
+TEST(PnmStreamTest, PpmRoundTrip) {
+  img::ImageU8 im(16, 8, 3);
+  im.at(5, 3, 0) = 200;
+  im.at(5, 3, 1) = 100;
+  im.at(5, 3, 2) = 50;
+  std::stringstream buf;
+  write_pnm(buf, im);
+  const img::ImageU8 loaded = read_pnm(buf);
+  ASSERT_TRUE(loaded.same_shape(im));
+  EXPECT_EQ(loaded.at(5, 3, 0), 200);
+  EXPECT_EQ(loaded.at(5, 3, 1), 100);
+  EXPECT_EQ(loaded.at(5, 3, 2), 50);
+}
+
+TEST(PnmStreamTest, PgmRoundTrip) {
+  img::ImageU8 im(4, 4, 1);
+  im.at(2, 2) = 77;
+  std::stringstream buf;
+  write_pnm(buf, im);
+  const img::ImageU8 loaded = read_pnm(buf);
+  EXPECT_EQ(loaded.channels(), 1);
+  EXPECT_EQ(loaded.at(2, 2), 77);
+}
+
+TEST(PnmStreamTest, SkipsComments) {
+  std::stringstream buf;
+  buf << "P5\n# a comment\n2 2\n255\n";
+  buf.write("\x01\x02\x03\x04", 4);
+  const img::ImageU8 loaded = read_pnm(buf);
+  EXPECT_EQ(loaded.at(1, 1), 4);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const img::ImageF a = generate_hdr_scene_square(SceneKind::window_interior, 64, 7);
+  const img::ImageF b = generate_hdr_scene_square(SceneKind::window_interior, 64, 7);
+  auto sa = a.samples();
+  auto sb = b.samples();
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+TEST(SyntheticTest, DifferentSeedsProduceDifferentScenes) {
+  const img::ImageF a = generate_hdr_scene_square(SceneKind::window_interior, 64, 1);
+  const img::ImageF b = generate_hdr_scene_square(SceneKind::window_interior, 64, 2);
+  auto sa = a.samples();
+  auto sb = b.samples();
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i] != sb[i]) ++differing;
+  }
+  EXPECT_GT(differing, sa.size() / 10);
+}
+
+// Every scene kind must be a genuine HDR workload: several decades of
+// dynamic range and strictly positive peak.
+class SceneProperty : public ::testing::TestWithParam<SceneKind> {};
+
+TEST_P(SceneProperty, HasHighDynamicRangeAndNoNegatives) {
+  const img::ImageF scene = generate_hdr_scene_square(GetParam(), 128, 3);
+  EXPECT_EQ(scene.channels(), 3);
+  float min_v = 1e30f;
+  float max_v = 0.0f;
+  for (float v : scene.samples()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_TRUE(std::isfinite(v));
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_GT(max_v, 0.0f);
+  const img::DynamicRange dr =
+      compute_dynamic_range(img::luminance(scene));
+  EXPECT_GT(dr.decades, 3.0) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SceneProperty,
+                         ::testing::Values(SceneKind::window_interior,
+                                           SceneKind::light_probe,
+                                           SceneKind::gradient_bars,
+                                           SceneKind::night_street));
+
+TEST(SceneKindTest, NameRoundTrip) {
+  for (SceneKind k :
+       {SceneKind::window_interior, SceneKind::light_probe,
+        SceneKind::gradient_bars, SceneKind::night_street}) {
+    EXPECT_EQ(scene_kind_from_string(to_string(k)), k);
+  }
+  EXPECT_THROW(scene_kind_from_string("nope"), InvalidArgument);
+}
+
+TEST(SyntheticTest, PaperTestImageGeometry) {
+  const img::ImageF im = paper_test_image(128);
+  EXPECT_EQ(im.width(), 128);
+  EXPECT_EQ(im.height(), 128);
+  EXPECT_EQ(im.channels(), 3);
+}
+
+TEST(SyntheticTest, RejectsNonPositiveSize) {
+  EXPECT_THROW(generate_hdr_scene_square(SceneKind::light_probe, 0, 1),
+               InvalidArgument);
+}
+
+TEST(SyntheticTest, NonSquareScenesWork) {
+  const img::ImageF im =
+      generate_hdr_scene(SceneKind::gradient_bars, 64, 32, 1);
+  EXPECT_EQ(im.width(), 64);
+  EXPECT_EQ(im.height(), 32);
+}
+
+} // namespace
+} // namespace tmhls::io

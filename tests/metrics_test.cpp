@@ -1,0 +1,188 @@
+// Tests for the quality metrics: MSE/PSNR identities and SSIM behaviour
+// per Wang et al. 2004 (symmetry, bounds, unity on identical images).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "metrics/quality.hpp"
+#include "metrics/ssim.hpp"
+
+namespace tmhls::metrics {
+namespace {
+
+img::ImageF noise_image(int w, int h, std::uint64_t seed, float lo = 0.0f,
+                        float hi = 1.0f) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 1);
+  for (float& v : im.samples()) {
+    v = static_cast<float>(rng.uniform(lo, hi));
+  }
+  return im;
+}
+
+TEST(MseTest, IdenticalImagesHaveZeroError) {
+  const img::ImageF a = noise_image(16, 16, 1);
+  EXPECT_EQ(mse(a, a), 0.0);
+}
+
+TEST(MseTest, KnownConstantOffset) {
+  img::ImageF a(8, 8, 1);
+  img::ImageF b(8, 8, 1);
+  b.fill(0.25f);
+  EXPECT_NEAR(mse(a, b), 0.0625, 1e-12);
+}
+
+TEST(MseTest, IsSymmetric) {
+  const img::ImageF a = noise_image(16, 16, 2);
+  const img::ImageF b = noise_image(16, 16, 3);
+  EXPECT_DOUBLE_EQ(mse(a, b), mse(b, a));
+}
+
+TEST(MseTest, ShapeMismatchThrows) {
+  EXPECT_THROW(mse(img::ImageF(4, 4), img::ImageF(4, 5)), InvalidArgument);
+}
+
+TEST(PsnrTest, IdenticalImagesAreInfinite) {
+  const img::ImageF a = noise_image(16, 16, 4);
+  EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(PsnrTest, KnownValueForUniformError) {
+  img::ImageF a(8, 8, 1);
+  img::ImageF b(8, 8, 1);
+  b.fill(0.1f); // MSE = 0.01 -> PSNR = 20 dB at peak 1.0
+  EXPECT_NEAR(psnr(a, b), 20.0, 1e-6); // 0.1f is not exact in binary
+}
+
+TEST(PsnrTest, ScalesWithPeak) {
+  img::ImageF a(8, 8, 1);
+  img::ImageF b(8, 8, 1);
+  b.fill(0.1f);
+  // peak 255 adds 20*log10(255) ~ 48.13 dB over peak 1.
+  EXPECT_NEAR(psnr(a, b, 255.0) - psnr(a, b, 1.0), 20.0 * std::log10(255.0),
+              1e-9);
+}
+
+TEST(PsnrTest, SmallerErrorGivesHigherPsnr) {
+  img::ImageF ref(8, 8, 1);
+  img::ImageF near_img(8, 8, 1);
+  img::ImageF far_img(8, 8, 1);
+  near_img.fill(0.01f);
+  far_img.fill(0.1f);
+  EXPECT_GT(psnr(ref, near_img), psnr(ref, far_img));
+}
+
+TEST(PsnrTest, RejectsNonPositivePeak) {
+  const img::ImageF a = noise_image(4, 4, 5);
+  EXPECT_THROW(psnr(a, a, 0.0), InvalidArgument);
+}
+
+TEST(ErrorNormsTest, MaxAndMeanAbsError) {
+  img::ImageF a(2, 1, 1);
+  img::ImageF b(2, 1, 1);
+  b.at(0, 0) = 0.5f;
+  b.at(1, 0) = 0.1f;
+  EXPECT_NEAR(max_abs_error(a, b), 0.5, 1e-7);
+  EXPECT_NEAR(mean_abs_error(a, b), 0.3, 1e-7);
+}
+
+TEST(SsimTest, IdenticalImagesScoreOne) {
+  const img::ImageF a = noise_image(32, 32, 6);
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-12);
+}
+
+TEST(SsimTest, IsSymmetric) {
+  const img::ImageF a = noise_image(32, 32, 7);
+  const img::ImageF b = noise_image(32, 32, 8);
+  EXPECT_NEAR(ssim(a, b), ssim(b, a), 1e-12);
+}
+
+TEST(SsimTest, BoundedByOne) {
+  const img::ImageF a = noise_image(32, 32, 9);
+  const img::ImageF b = noise_image(32, 32, 10);
+  const double s = ssim(a, b);
+  EXPECT_LE(s, 1.0);
+  EXPECT_GE(s, -1.0);
+}
+
+TEST(SsimTest, UncorrelatedNoiseScoresLow) {
+  const img::ImageF a = noise_image(64, 64, 11);
+  const img::ImageF b = noise_image(64, 64, 12);
+  EXPECT_LT(ssim(a, b), 0.2);
+}
+
+TEST(SsimTest, TinyPerturbationScoresNearOne) {
+  const img::ImageF a = noise_image(64, 64, 13, 0.3f, 0.7f);
+  img::ImageF b = a;
+  Rng rng(14);
+  for (float& v : b.samples()) {
+    v += static_cast<float>(rng.uniform(-1e-4, 1e-4));
+  }
+  EXPECT_GT(ssim(a, b), 0.9999);
+}
+
+TEST(SsimTest, ContrastChangeScoresBelowLuminancePreservingCopy) {
+  const img::ImageF a = noise_image(64, 64, 15, 0.2f, 0.8f);
+  img::ImageF contrast = a;
+  for (float& v : contrast.samples()) {
+    v = 0.5f + (v - 0.5f) * 0.5f; // halve the contrast
+  }
+  EXPECT_LT(ssim(a, contrast), 0.95);
+}
+
+TEST(SsimTest, MeanShiftPenalised) {
+  img::ImageF a = noise_image(64, 64, 16, 0.2f, 0.5f);
+  img::ImageF shifted = a;
+  for (float& v : shifted.samples()) v += 0.3f;
+  EXPECT_LT(ssim(a, shifted), 0.9);
+}
+
+TEST(SsimTest, MapHasSameGeometry) {
+  const img::ImageF a = noise_image(32, 16, 17);
+  const img::ImageF b = noise_image(32, 16, 18);
+  const img::ImageF map = ssim_map(a, b);
+  EXPECT_EQ(map.width(), 32);
+  EXPECT_EQ(map.height(), 16);
+  EXPECT_EQ(map.channels(), 1);
+}
+
+TEST(SsimTest, MapAverageMatchesScalarSsim) {
+  const img::ImageF a = noise_image(32, 32, 19);
+  const img::ImageF b = noise_image(32, 32, 20);
+  const img::ImageF map = ssim_map(a, b);
+  double acc = 0.0;
+  for (float v : map.samples()) acc += v;
+  EXPECT_NEAR(acc / static_cast<double>(map.sample_count()), ssim(a, b),
+              1e-12);
+}
+
+TEST(SsimTest, MultiChannelUsesLuminance) {
+  img::ImageF rgb_a(32, 32, 3);
+  img::ImageF rgb_b(32, 32, 3);
+  Rng rng(21);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const float v = static_cast<float>(rng.uniform());
+      for (int c = 0; c < 3; ++c) {
+        rgb_a.at(x, y, c) = v;
+        rgb_b.at(x, y, c) = v;
+      }
+    }
+  }
+  EXPECT_NEAR(ssim(rgb_a, rgb_b), 1.0, 1e-12);
+}
+
+TEST(SsimTest, OptionValidation) {
+  const img::ImageF a = noise_image(8, 8, 22);
+  SsimOptions bad;
+  bad.window_radius = 0;
+  EXPECT_THROW(ssim(a, a, bad), InvalidArgument);
+  bad = SsimOptions{};
+  bad.dynamic_range = 0.0;
+  EXPECT_THROW(ssim(a, a, bad), InvalidArgument);
+}
+
+} // namespace
+} // namespace tmhls::metrics

@@ -1,0 +1,233 @@
+// Tests for the platform model: CPU cost model, DMA/BRAM models, power
+// accounting identities (Fig 7/8 structure) and the PMBus monitor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "platform/cpu_model.hpp"
+#include "platform/memory.hpp"
+#include "platform/pmbus.hpp"
+#include "platform/power.hpp"
+#include "platform/zynq.hpp"
+#include "tonemap/kernel.hpp"
+#include "tonemap/op_counts.hpp"
+
+namespace tmhls::zynq {
+namespace {
+
+TEST(CpuModelTest, CyclesAreLinearInCounts) {
+  const CpuModel cpu = CpuModel::cortex_a9_667mhz();
+  tonemap::OpCounts ops;
+  ops.fmul = 10;
+  const double base = cpu.cycles_for(ops);
+  ops.fmul = 20;
+  EXPECT_DOUBLE_EQ(cpu.cycles_for(ops), 2.0 * base);
+}
+
+TEST(CpuModelTest, SecondsScaleWithClock) {
+  tonemap::OpCounts ops;
+  ops.fadd = 1000;
+  const CpuModel fast(1000e6, CpuCosts{});
+  const CpuModel slow(500e6, CpuCosts{});
+  EXPECT_NEAR(slow.seconds_for(ops), 2.0 * fast.seconds_for(ops), 1e-15);
+}
+
+TEST(CpuModelTest, PowDominatesTheMaskingStage) {
+  // The §III.B profiling precondition: transcendental-heavy masking is
+  // expensive per sample, but the blur's sheer op count dominates.
+  const CpuModel cpu = CpuModel::cortex_a9_667mhz();
+  const tonemap::OpCounts masking =
+      tonemap::count_nonlinear_masking(1024, 1024, 3);
+  tonemap::OpCounts pow_only;
+  pow_only.pow_calls = masking.pow_calls;
+  EXPECT_GT(cpu.cycles_for(pow_only), 0.8 * cpu.cycles_for(masking));
+}
+
+TEST(CpuModelTest, RejectsNonPositiveClock) {
+  EXPECT_THROW(CpuModel(0.0, CpuCosts{}), InvalidArgument);
+}
+
+TEST(DmaTest, TransferCyclesIncludeSetupAndBeats) {
+  DdrConfig cfg;
+  cfg.burst_bytes_per_cycle = 8.0;
+  cfg.dma_setup_cycles = 220;
+  const DmaModel dma(cfg);
+  EXPECT_EQ(dma.transfer_cycles(0), 0);
+  EXPECT_EQ(dma.transfer_cycles(8), 220 + 1);
+  EXPECT_EQ(dma.transfer_cycles(4 * 1024 * 1024), 220 + 524288);
+}
+
+TEST(DmaTest, PartialBeatRoundsUp) {
+  DdrConfig cfg;
+  cfg.burst_bytes_per_cycle = 8.0;
+  cfg.dma_setup_cycles = 0;
+  const DmaModel dma(cfg);
+  EXPECT_EQ(dma.transfer_cycles(9), 2);
+}
+
+TEST(DmaTest, RejectsNegativeBytes) {
+  const DmaModel dma(DdrConfig{});
+  EXPECT_THROW(dma.transfer_cycles(-1), InvalidArgument);
+}
+
+TEST(BramTest, BlocksRoundUp) {
+  BramConfig cfg; // 4608 bytes per BRAM36
+  EXPECT_EQ(bram36_blocks_for(0, cfg), 0);
+  EXPECT_EQ(bram36_blocks_for(1, cfg), 1);
+  EXPECT_EQ(bram36_blocks_for(4608, cfg), 1);
+  EXPECT_EQ(bram36_blocks_for(4609, cfg), 2);
+}
+
+TEST(BramTest, PaperLineBufferFitsZynq7020) {
+  // 79 rows x 1024 px x 4 B = 323584 B -> 71 BRAM36 <= 140.
+  BramConfig cfg;
+  EXPECT_TRUE(buffer_fits_bram(79 * 1024 * 4, cfg));
+  // A 4k-wide float buffer would not fit (79 * 4096 * 4 = 1.29 MB).
+  EXPECT_FALSE(buffer_fits_bram(79LL * 4096 * 4, cfg));
+}
+
+TEST(PowerModelTest, PlIdleGrowsWithResources) {
+  const PowerModel power{PowerConfig{}};
+  hls::ResourceEstimate none;
+  hls::ResourceEstimate some{5000, 6000, 10, 70};
+  hls::ResourceEstimate more{20000, 24000, 40, 140};
+  EXPECT_LT(power.pl_idle_w(none), power.pl_idle_w(some));
+  EXPECT_LT(power.pl_idle_w(some), power.pl_idle_w(more));
+}
+
+TEST(PowerModelTest, BlankFabricIdleEqualsStatic) {
+  const PowerConfig cfg;
+  const PowerModel power{cfg};
+  EXPECT_DOUBLE_EQ(power.pl_idle_w(hls::ResourceEstimate{}), cfg.pl_static_w);
+}
+
+TEST(PowerModelTest, AccountSplitsBottomlineAndOverhead) {
+  const PowerConfig cfg;
+  const PowerModel power{cfg};
+  hls::ResourceEstimate res{1000, 1000, 4, 36};
+  const EnergyBreakdown e = power.account(20.0, 19.0, 1.0, res);
+  EXPECT_NEAR(e.ps.bottomline_j, cfg.ps_idle_w * 20.0, 1e-12);
+  EXPECT_NEAR(e.ps.overhead_j, cfg.ps_active_w * 19.0, 1e-12);
+  EXPECT_NEAR(e.pl.bottomline_j, power.pl_idle_w(res) * 20.0, 1e-12);
+  EXPECT_NEAR(e.pl.overhead_j, cfg.pl_active_w * 1.0, 1e-12);
+}
+
+TEST(PowerModelTest, DdrAndBramHaveNoExecutionOverhead) {
+  // §IV.C: "the energy consumption for the DDR and the BRAM ... does not
+  // vary when moving from idle to execution".
+  const PowerModel power{PowerConfig{}};
+  const EnergyBreakdown e =
+      power.account(10.0, 10.0, 0.0, hls::ResourceEstimate{});
+  EXPECT_EQ(e.ddr.overhead_j, 0.0);
+  EXPECT_EQ(e.bram.overhead_j, 0.0);
+  EXPECT_GT(e.ddr.bottomline_j, 0.0);
+  EXPECT_GT(e.bram.bottomline_j, 0.0);
+}
+
+TEST(PowerModelTest, TotalIsSumOfRails) {
+  const PowerModel power{PowerConfig{}};
+  hls::ResourceEstimate res{2000, 2000, 8, 40};
+  const EnergyBreakdown e = power.account(15.0, 14.0, 1.0, res);
+  EXPECT_NEAR(e.total_j(),
+              e.ps.total_j() + e.pl.total_j() + e.ddr.total_j() +
+                  e.bram.total_j(),
+              1e-12);
+}
+
+TEST(PowerModelTest, BusyTimeBeyondTotalRejected) {
+  const PowerModel power{PowerConfig{}};
+  EXPECT_THROW(power.account(5.0, 6.0, 0.0, hls::ResourceEstimate{}),
+               InvalidArgument);
+  EXPECT_THROW(power.account(5.0, 0.0, 6.0, hls::ResourceEstimate{}),
+               InvalidArgument);
+}
+
+TEST(PmbusTest, AveragePowerIsTimeWeighted) {
+  PmbusMonitor mon;
+  mon.add_phase({"a", 1.0, {1.0, 0.0, 0.0, 0.0}});
+  mon.add_phase({"b", 3.0, {5.0, 0.0, 0.0, 0.0}});
+  EXPECT_NEAR(mon.average_power().ps_w, (1.0 + 15.0) / 4.0, 1e-12);
+}
+
+TEST(PmbusTest, EnergyIntegratesPhases) {
+  PmbusMonitor mon;
+  mon.add_phase({"a", 2.0, {1.0, 0.5, 0.38, 0.015}});
+  mon.add_phase({"b", 3.0, {2.0, 0.1, 0.38, 0.015}});
+  const RailPowers e = mon.energy_j();
+  EXPECT_NEAR(e.ps_w, 2.0 + 6.0, 1e-12);
+  EXPECT_NEAR(e.pl_w, 1.0 + 0.3, 1e-12);
+  EXPECT_NEAR(e.ddr_w, 0.38 * 5.0, 1e-12);
+}
+
+TEST(PmbusTest, SamplesCoverWholeTimeline) {
+  PmbusMonitor mon;
+  mon.add_phase({"a", 0.5, {1.0, 0.0, 0.0, 0.0}});
+  mon.add_phase({"b", 0.5, {2.0, 0.0, 0.0, 0.0}});
+  const auto samples = mon.sample(0.1);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_DOUBLE_EQ(samples.front().time_s, 0.0);
+  EXPECT_NEAR(samples.back().time_s, 1.0, 1e-9);
+  // Samples in the first phase read phase-a power.
+  EXPECT_DOUBLE_EQ(samples[1].powers.ps_w, 1.0);
+  EXPECT_EQ(samples[1].phase_label, "a");
+  // Samples in the second phase read phase-b power.
+  EXPECT_DOUBLE_EQ(samples[samples.size() - 2].powers.ps_w, 2.0);
+}
+
+TEST(PmbusTest, EmptyTimelineYieldsNoSamples) {
+  PmbusMonitor mon;
+  EXPECT_TRUE(mon.sample(0.1).empty());
+  EXPECT_DOUBLE_EQ(mon.average_power().total_w(), 0.0);
+}
+
+TEST(PmbusTest, RejectsBadInputs) {
+  PmbusMonitor mon;
+  EXPECT_THROW(mon.add_phase({"x", -1.0, {}}), InvalidArgument);
+  mon.add_phase({"a", 1.0, {}});
+  EXPECT_THROW(mon.sample(0.0), InvalidArgument);
+}
+
+TEST(PmbusTest, TraceRendersPhaseLabels) {
+  PmbusMonitor mon;
+  mon.add_phase({"normalization (PS)", 0.2, {0.62, 0.06, 0.38, 0.015}});
+  mon.add_phase({"gaussian_blur (PL)", 0.4, {0.40, 0.34, 0.38, 0.015}});
+  const std::string trace = mon.render_trace(0.1);
+  EXPECT_NE(trace.find("normalization (PS)"), std::string::npos);
+  EXPECT_NE(trace.find("gaussian_blur (PL)"), std::string::npos);
+}
+
+TEST(ZynqPlatformTest, Zc702Configuration) {
+  const ZynqPlatform p = ZynqPlatform::zc702();
+  EXPECT_DOUBLE_EQ(p.ps_clock().freq_hz(), 667e6);
+  EXPECT_DOUBLE_EQ(p.pl_clock().freq_hz(), 100e6);
+  EXPECT_EQ(p.device().bram36, 140);
+  EXPECT_EQ(p.device().dsps, 220);
+}
+
+TEST(ZynqPlatformTest, OperatorLibraryInjectsDdrLatency) {
+  const ZynqPlatform p = ZynqPlatform::zc702();
+  const hls::OperatorLibrary lib = p.operator_library();
+  EXPECT_EQ(lib.info(hls::OpKind::ddr_random_read).latency,
+            p.ddr().random_read_latency);
+}
+
+TEST(ZynqPlatformTest, ClockDomainConversion) {
+  const ClockDomain clk(100e6);
+  EXPECT_DOUBLE_EQ(clk.seconds_for_cycles(100e6), 1.0);
+  EXPECT_THROW(ClockDomain(0.0), InvalidArgument);
+}
+
+TEST(ZynqPlatformTest, SoftwareBlurTimeLandsNearPaper) {
+  // The calibration anchor: the SW blur on the paper workload must be in
+  // the right band (Table II: 7.29 s).
+  const ZynqPlatform p = ZynqPlatform::zc702();
+  const tonemap::GaussianKernel k(13.0, 39);
+  const double blur_s =
+      p.cpu().seconds_for(tonemap::count_gaussian_blur(1024, 1024, k));
+  EXPECT_GT(blur_s, 6.0);
+  EXPECT_LT(blur_s, 9.0);
+}
+
+} // namespace
+} // namespace tmhls::zynq

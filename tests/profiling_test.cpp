@@ -1,0 +1,104 @@
+// Tests for the profiler: accumulation, hotspot identification (the §III.B
+// workflow step) and report rendering.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/error.hpp"
+#include "profiling/profiler.hpp"
+
+namespace tmhls::prof {
+namespace {
+
+TEST(RegistryTest, RecordsAndAccumulates) {
+  ProfileRegistry reg;
+  reg.record("f", 1.0);
+  reg.record("f", 2.0);
+  reg.record("g", 0.5);
+  const auto entries = reg.entries_by_time();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].label, "f");
+  EXPECT_EQ(entries[0].calls, 2);
+  EXPECT_DOUBLE_EQ(entries[0].total_seconds, 3.0);
+  EXPECT_EQ(entries[1].label, "g");
+}
+
+TEST(RegistryTest, HotspotIsLargestTotal) {
+  ProfileRegistry reg;
+  reg.record("normalization", 0.31);
+  reg.record("gaussian_blur", 7.29);
+  reg.record("nonlinear_masking", 19.05);
+  reg.record("adjustments", 0.23);
+  // Note: in the full software pipeline, masking is the hotspot only if it
+  // exceeds the blur; the §III.B identification is exercised end-to-end in
+  // accel_test with the CPU model's own stage times.
+  EXPECT_EQ(reg.hotspot(), "nonlinear_masking");
+}
+
+TEST(RegistryTest, FractionSumsToOne) {
+  ProfileRegistry reg;
+  reg.record("a", 1.0);
+  reg.record("b", 3.0);
+  EXPECT_DOUBLE_EQ(reg.fraction("a") + reg.fraction("b"), 1.0);
+  EXPECT_DOUBLE_EQ(reg.fraction("a"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.fraction("missing"), 0.0);
+}
+
+TEST(RegistryTest, EmptyRegistryBehaviour) {
+  ProfileRegistry reg;
+  EXPECT_EQ(reg.hotspot(), "");
+  EXPECT_DOUBLE_EQ(reg.total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.fraction("x"), 0.0);
+}
+
+TEST(RegistryTest, ClearForgetsEverything) {
+  ProfileRegistry reg;
+  reg.record("a", 1.0);
+  reg.clear();
+  EXPECT_TRUE(reg.entries_by_time().empty());
+}
+
+TEST(RegistryTest, NegativeTimeRejected) {
+  ProfileRegistry reg;
+  EXPECT_THROW(reg.record("a", -1.0), InvalidArgument);
+}
+
+TEST(RegistryTest, RenderShowsLabelsAndShares) {
+  ProfileRegistry reg;
+  reg.record("gaussian_blur", 3.0);
+  reg.record("rest", 1.0);
+  const std::string s = reg.render();
+  EXPECT_NE(s.find("gaussian_blur"), std::string::npos);
+  EXPECT_NE(s.find("75.0 %"), std::string::npos);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedWallClock) {
+  ProfileRegistry reg;
+  {
+    ScopedTimer timer(reg, "sleepy");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(timer.elapsed_seconds(), 0.015);
+  }
+  const auto entries = reg.entries_by_time();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_GE(entries[0].total_seconds, 0.015);
+  EXPECT_LT(entries[0].total_seconds, 5.0);
+}
+
+TEST(ScopedTimerTest, NestedTimersRecordSeparately) {
+  ProfileRegistry reg;
+  {
+    ScopedTimer outer(reg, "outer");
+    {
+      ScopedTimer inner(reg, "inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_EQ(reg.entries_by_time().size(), 2u);
+  // Outer includes inner's time.
+  EXPECT_GE(reg.entries_by_time()[0].total_seconds,
+            reg.entries_by_time()[1].total_seconds);
+}
+
+} // namespace
+} // namespace tmhls::prof

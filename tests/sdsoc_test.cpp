@@ -1,0 +1,168 @@
+// Tests for the SDSoC flow model: profiling, marking, data-mover
+// inference, build reports, and the reproduction of the paper's workflow
+// (including the naive-marking regression).
+#include <gtest/gtest.h>
+
+#include "accel/design.hpp"
+#include "accel/system.hpp"
+#include "common/error.hpp"
+#include "platform/zynq.hpp"
+#include "sdsoc/project.hpp"
+
+namespace tmhls::sdsoc {
+namespace {
+
+SdsocProject paper_project(accel::Design blur_variant) {
+  return SdsocProject(
+      zynq::ZynqPlatform::zc702(),
+      make_tonemap_application(accel::Workload::paper(), blur_variant));
+}
+
+TEST(ApplicationTest, FunctionsKeepInsertionOrder) {
+  const Application app = make_tonemap_application(
+      accel::Workload::paper(), accel::Design::fixed_point);
+  ASSERT_EQ(app.functions().size(), 5u);
+  EXPECT_EQ(app.functions()[0].name, "normalization");
+  EXPECT_EQ(app.functions()[2].name, "gaussian_blur");
+  EXPECT_EQ(app.functions()[4].name, "adjustments");
+}
+
+TEST(ApplicationTest, DuplicateNamesRejected) {
+  Application app;
+  ApplicationFunction f;
+  f.name = "f";
+  app.add_function(f);
+  EXPECT_THROW(app.add_function(f), InvalidArgument);
+}
+
+TEST(ApplicationTest, LookupByName) {
+  const Application app = make_tonemap_application(
+      accel::Workload::paper(), accel::Design::fixed_point);
+  EXPECT_TRUE(app.contains("gaussian_blur"));
+  EXPECT_FALSE(app.contains("unknown"));
+  EXPECT_THROW(app.function("unknown"), InvalidArgument);
+}
+
+TEST(ProfileTest, SharesSumToOneAndSortDescending) {
+  const SdsocProject project = paper_project(accel::Design::fixed_point);
+  const auto profiles = project.profile();
+  ASSERT_EQ(profiles.size(), 5u);
+  double total_share = 0.0;
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_GE(profiles[i - 1].seconds, profiles[i].seconds);
+  }
+  for (const auto& p : profiles) total_share += p.share;
+  EXPECT_NEAR(total_share, 1.0, 1e-12);
+}
+
+TEST(ProfileTest, BlurIsTheSuggestedCandidate) {
+  // §III.B: the Gaussian blur is the hot synthesizable function. The
+  // masking stage burns more raw seconds but is pow()-bound library code,
+  // so the flow cannot lift it.
+  const SdsocProject project = paper_project(accel::Design::fixed_point);
+  EXPECT_EQ(project.suggest_candidate(), "gaussian_blur");
+}
+
+TEST(MarkTest, OnlySynthesizableFunctionsAccepted) {
+  SdsocProject project = paper_project(accel::Design::fixed_point);
+  EXPECT_THROW(project.mark_for_hardware("nonlinear_masking"),
+               InvalidArgument);
+  EXPECT_THROW(project.mark_for_hardware("nope"), InvalidArgument);
+  project.mark_for_hardware("gaussian_blur");
+  ASSERT_EQ(project.marked().size(), 1u);
+  // Idempotent.
+  project.mark_for_hardware("gaussian_blur");
+  EXPECT_EQ(project.marked().size(), 1u);
+  project.unmark("gaussian_blur");
+  EXPECT_TRUE(project.marked().empty());
+}
+
+TEST(BuildTest, AllSoftwareBuildHasNoPlTime) {
+  const SdsocProject project = paper_project(accel::Design::sw_source);
+  const SystemImage image = project.build();
+  EXPECT_EQ(image.pl_time_s, 0.0);
+  EXPECT_GT(image.ps_time_s, 20.0);
+  EXPECT_EQ(image.total_resources.dsps, 0);
+  for (const PlacedFunction& fn : image.functions) {
+    EXPECT_FALSE(fn.hardware);
+  }
+}
+
+TEST(BuildTest, MarkedBlurMovesToPl) {
+  SdsocProject project = paper_project(accel::Design::fixed_point);
+  project.mark_for_hardware("gaussian_blur");
+  const SystemImage image = project.build();
+  EXPECT_GT(image.pl_time_s, 0.0);
+  bool found = false;
+  for (const PlacedFunction& fn : image.functions) {
+    if (fn.name == "gaussian_blur") {
+      found = true;
+      EXPECT_TRUE(fn.hardware);
+      EXPECT_EQ(fn.mover, DataMover::axi_dma_simple);
+      ASSERT_TRUE(fn.hls_report.has_value());
+      EXPECT_EQ(fn.hls_report->schedule.ii, 20);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BuildTest, NaiveMarkingReproducesTheRegression) {
+  // The paper's cautionary tale: marking the hot function without
+  // restructuring makes the system dramatically slower than software.
+  const SdsocProject sw = paper_project(accel::Design::sw_source);
+  const double sw_total = sw.build().total_time_s();
+
+  SdsocProject naive = paper_project(accel::Design::marked_hw);
+  naive.mark_for_hardware("gaussian_blur");
+  const SystemImage image = naive.build();
+
+  EXPECT_GT(image.total_time_s(), 5.0 * sw_total);
+  // And the mover is per-element bus transactions, not DMA.
+  for (const PlacedFunction& fn : image.functions) {
+    if (fn.name == "gaussian_blur") {
+      EXPECT_EQ(fn.mover, DataMover::axi_gp_single_beat);
+    }
+  }
+}
+
+TEST(BuildTest, MatchesToneMappingSystemTimings) {
+  // The flow model and the accel-layer system must agree: same platform,
+  // same loops, same numbers.
+  const accel::Workload w = accel::Workload::paper();
+  const accel::ToneMappingSystem system(zynq::ZynqPlatform::zc702(), w);
+  const accel::DesignReport direct =
+      system.analyze(accel::Design::fixed_point);
+
+  SdsocProject project = paper_project(accel::Design::fixed_point);
+  project.mark_for_hardware("gaussian_blur");
+  const SystemImage image = project.build();
+
+  EXPECT_NEAR(image.total_time_s(), direct.timing.total_s(), 1e-9);
+  EXPECT_NEAR(image.pl_time_s, direct.timing.pl_busy_s(), 1e-9);
+  EXPECT_NEAR(image.energy.total_j(), direct.energy.total_j(), 1e-9);
+}
+
+TEST(BuildTest, RenderContainsPlacementTable) {
+  SdsocProject project = paper_project(accel::Design::fixed_point);
+  project.mark_for_hardware("gaussian_blur");
+  const std::string report = project.build().render();
+  EXPECT_NE(report.find("SDSoC build report"), std::string::npos);
+  EXPECT_NE(report.find("PL (hardware)"), std::string::npos);
+  EXPECT_NE(report.find("axi_dma_simple"), std::string::npos);
+  EXPECT_NE(report.find("PS (software)"), std::string::npos);
+}
+
+TEST(BuildTest, EmptyApplicationRejected) {
+  EXPECT_THROW(SdsocProject(zynq::ZynqPlatform::zc702(), Application{}),
+               InvalidArgument);
+}
+
+TEST(DataMoverTest, NamesRender) {
+  EXPECT_STREQ(to_string(DataMover::none), "none");
+  EXPECT_STREQ(to_string(DataMover::axi_dma_simple), "axi_dma_simple");
+  EXPECT_STREQ(to_string(DataMover::axi_gp_single_beat),
+               "axi_gp_single_beat");
+}
+
+} // namespace
+} // namespace tmhls::sdsoc

@@ -1,0 +1,191 @@
+// tmhls command-line tool: tone-map images, generate synthetic HDR scenes,
+// compare operators and evaluate design points without writing code.
+//
+// Subcommands:
+//   tonemap <in> <out.ppm>  [--operator moroney|reinhard|log|gamma|
+//                            histogram|durand] [--sigma S] [--radius R]
+//                            [--fixed] [--brightness B] [--contrast C]
+//   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
+//                            gradient_bars|night_street] [--size N]
+//                            [--seed N]
+//   analyze                 [--design sw_source|marked_hw|
+//                            sequential_access|hls_pragmas|fixed_point]
+//   compare <in>            (PSNR/SSIM of every operator vs moroney-float)
+//
+// Inputs: Radiance .hdr or .pfm (by extension). Outputs: .ppm (8-bit),
+// .hdr, or .pfm.
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "accel/system.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "image/stats.hpp"
+#include "imageio/pfm.hpp"
+#include "imageio/pnm.hpp"
+#include "imageio/rgbe.hpp"
+#include "imageio/synthetic.hpp"
+#include "metrics/quality.hpp"
+#include "metrics/ssim.hpp"
+#include "platform/zynq.hpp"
+#include "tonemap/bilateral.hpp"
+#include "tonemap/global_operators.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+img::ImageF load_image(const std::string& path) {
+  if (ends_with(path, ".pfm")) return io::read_pfm(path);
+  return io::read_rgbe(path);
+}
+
+void save_image(const std::string& path, const img::ImageF& image) {
+  if (ends_with(path, ".ppm") || ends_with(path, ".pgm")) {
+    io::write_pnm(path, img::to_u8(image));
+  } else if (ends_with(path, ".pfm")) {
+    io::write_pfm(path, image);
+  } else {
+    io::write_rgbe(path, image);
+  }
+}
+
+tonemap::PipelineOptions pipeline_options_from(const Args& args) {
+  tonemap::PipelineOptions opt;
+  opt.sigma = args.get_double("sigma", opt.sigma);
+  opt.radius = args.get_int("radius", opt.radius);
+  opt.brightness =
+      static_cast<float>(args.get_double("brightness", opt.brightness));
+  opt.contrast =
+      static_cast<float>(args.get_double("contrast", opt.contrast));
+  if (args.has("fixed")) opt.blur = tonemap::BlurKind::streaming_fixed;
+  return opt;
+}
+
+img::ImageF apply_operator(const std::string& name, const img::ImageF& hdr,
+                           const Args& args) {
+  if (name == "moroney") {
+    return tonemap::tone_map_image(hdr, pipeline_options_from(args));
+  }
+  if (name == "reinhard") return tonemap::reinhard_global(hdr);
+  if (name == "log") return tonemap::global_log(hdr);
+  if (name == "gamma") {
+    return tonemap::global_gamma(
+        hdr, static_cast<float>(args.get_double("gamma", 2.2)));
+  }
+  if (name == "histogram") return tonemap::histogram_adjustment(hdr);
+  if (name == "durand") {
+    tonemap::BilateralOptions bopt;
+    bopt.spatial_sigma = args.get_double("spatial-sigma", 4.0);
+    return tonemap::durand_local(hdr, bopt);
+  }
+  throw InvalidArgument("unknown operator: " + name);
+}
+
+int cmd_tonemap(const Args& args) {
+  TMHLS_REQUIRE(args.positional().size() == 3,
+                "usage: tmhls_cli tonemap <in> <out>");
+  const img::ImageF hdr = load_image(args.positional()[1]);
+  const img::DynamicRange dr =
+      img::compute_dynamic_range(img::luminance(hdr));
+  std::cout << "input " << hdr.width() << "x" << hdr.height() << ", "
+            << format_fixed(dr.decades, 1) << " decades of range\n";
+  const std::string op = args.get_or("operator", "moroney");
+  const img::ImageF out = apply_operator(op, hdr, args);
+  save_image(args.positional()[2], out);
+  std::cout << "wrote " << args.positional()[2] << " (" << op << ")\n";
+  return 0;
+}
+
+int cmd_scene(const Args& args) {
+  TMHLS_REQUIRE(args.positional().size() == 2,
+                "usage: tmhls_cli scene <out>");
+  const io::SceneKind kind =
+      io::scene_kind_from_string(args.get_or("kind", "window_interior"));
+  const int size = args.get_int("size", 512);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+  const img::ImageF scene = io::generate_hdr_scene(kind, size, size, seed);
+  save_image(args.positional()[1], scene);
+  std::cout << "wrote " << args.positional()[1] << " (" << to_string(kind)
+            << ", " << size << "x" << size << ", seed " << seed << ")\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const accel::ToneMappingSystem system(zynq::ZynqPlatform::zc702(),
+                                        accel::Workload::paper());
+  const std::string wanted = args.get_or("design", "");
+  TextTable t({"design", "blur (s)", "total (s)", "energy (J)"});
+  for (accel::Design d : accel::all_designs()) {
+    if (!wanted.empty() && wanted != accel::short_name(d)) continue;
+    const accel::DesignReport r = system.analyze(d);
+    t.add_row({accel::display_name(d), format_fixed(r.timing.blur_s, 2),
+               format_fixed(r.timing.total_s(), 2),
+               format_fixed(r.energy.total_j(), 2)});
+    if (!wanted.empty() && r.hls_report.has_value()) {
+      std::cout << r.hls_report->render() << '\n';
+    }
+  }
+  TMHLS_REQUIRE(t.row_count() > 0, "unknown design: " + wanted);
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  TMHLS_REQUIRE(args.positional().size() == 2,
+                "usage: tmhls_cli compare <in>");
+  const img::ImageF hdr = load_image(args.positional()[1]);
+  const img::ImageF reference =
+      tonemap::tone_map_image(hdr, pipeline_options_from(args));
+  TextTable t({"operator", "PSNR vs moroney (dB)", "SSIM vs moroney"});
+  for (const char* op :
+       {"reinhard", "log", "gamma", "histogram", "durand"}) {
+    const img::ImageF out = apply_operator(op, hdr, args);
+    const double p = metrics::psnr(reference, out);
+    t.add_row({std::string(op),
+               std::isinf(p) ? std::string("inf") : format_fixed(p, 1),
+               format_fixed(metrics::ssim(reference, out), 3)});
+  }
+  std::cout << t.render();
+  std::cout << "\n(low scores are expected: different operators render the\n"
+               "same scene differently; the table quantifies how far apart)\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: tmhls_cli <command> [options]\n"
+      "  tonemap <in> <out>   tone-map an HDR image\n"
+      "  scene <out>          generate a synthetic HDR scene\n"
+      "  analyze              evaluate the Table II design points\n"
+      "  compare <in>         compare operators against moroney\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv, {"fixed"});
+    if (args.positional().empty()) {
+      usage();
+      return 1;
+    }
+    const std::string cmd = args.positional()[0];
+    if (cmd == "tonemap") return cmd_tonemap(args);
+    if (cmd == "scene") return cmd_scene(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "compare") return cmd_compare(args);
+    usage();
+    return 1;
+  } catch (const tmhls::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
