@@ -1,0 +1,104 @@
+// Frames/sec of every registered execution backend, swept over thread
+// counts for backends with the tiled multi-threaded capability, on the
+// paper's 97-tap workload (sigma 16 -> radius 48). Emits one
+// benchkit::JsonRecord line per measurement (JSONL on stdout) so the perf
+// trajectory accumulates machine-readably across PRs, plus a human table.
+//
+//   bench_backend_throughput [--size N] [--reps R] [--max-threads T]
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "exec/executor.hpp"
+#include "exec/registry.hpp"
+#include "imageio/synthetic.hpp"
+#include "tonemap/kernel.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+double seconds_per_blur(const exec::PipelineExecutor& executor,
+                        const img::ImageF& plane,
+                        const tonemap::GaussianKernel& kernel, int reps) {
+  using clock = std::chrono::steady_clock;
+  executor.blur(plane, kernel); // warm-up
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    const img::ImageF out = executor.blur(plane, kernel);
+    const auto t1 = clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    // Touch the result so the blur cannot be elided.
+    if (out.at_unchecked(0, 0) < -1.0f) std::cout << "";
+    if (best == 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    const int size = args.get_int("size", 512);
+    const int reps = args.get_int("reps", 3);
+    const int max_threads = args.get_int("max-threads", 8);
+    TMHLS_REQUIRE(size > 0 && reps > 0 && max_threads >= 1,
+                  "size, reps and max-threads must be positive");
+
+    // The paper-reproduction pipeline's 97-tap mask kernel.
+    const tonemap::GaussianKernel kernel(16.0, 48);
+    const img::ImageF plane =
+        img::luminance(io::paper_test_image(size));
+
+    // Human-readable output goes to stderr: stdout carries only the JSONL
+    // records, so `bench_backend_throughput >> perf.jsonl` stays parseable.
+    benchkit::print_header("Backend throughput, " + std::to_string(size) +
+                               "x" + std::to_string(size) + ", " +
+                               std::to_string(kernel.taps()) + " taps",
+                           std::cerr);
+
+    TextTable table({"backend", "threads", "ms/frame", "fps", "speedup"});
+    const exec::BackendRegistry& registry = exec::BackendRegistry::global();
+    for (const std::string& name : registry.names()) {
+      const auto backend = registry.resolve(name);
+      std::vector<int> thread_counts = {1};
+      if (backend->capabilities().tiled_threads) {
+        for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+      }
+      double single_thread_s = 0.0;
+      for (int threads : thread_counts) {
+        exec::ExecutorOptions opts;
+        opts.threads = threads;
+        const exec::PipelineExecutor executor(backend, opts);
+        const double s = seconds_per_blur(executor, plane, kernel, reps);
+        if (threads == 1) single_thread_s = s;
+        const double speedup = single_thread_s > 0.0 ? single_thread_s / s
+                                                     : 0.0;
+        table.add_row({name, std::to_string(threads),
+                       format_fixed(s * 1e3, 2), format_fixed(1.0 / s, 2),
+                       format_fixed(speedup, 2)});
+        benchkit::JsonRecord record("backend_throughput");
+        record.field("backend", name)
+            .field("threads", threads)
+            .field("width", size)
+            .field("height", size)
+            .field("taps", kernel.taps())
+            .field("seconds_per_frame", s)
+            .field("fps", 1.0 / s)
+            .field("speedup_vs_single_thread", speedup)
+            .emit();
+      }
+    }
+    std::cerr << '\n' << table.render();
+    return 0;
+  } catch (const tmhls::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

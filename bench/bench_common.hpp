@@ -1,9 +1,12 @@
 // Shared helpers for the paper-reproduction benches: the canonical system
 // (ZC702 platform + paper workload), paper reference values from Table II /
-// §IV, and consistent table printing.
+// §IV, consistent table printing, and the one-record-per-line JSON format
+// the perf trajectory accumulates in.
 #pragma once
 
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
 
 #include "accel/design.hpp"
@@ -12,6 +15,70 @@
 #include "platform/zynq.hpp"
 
 namespace tmhls::benchkit {
+
+/// One flat JSON measurement record, emitted as a single line (JSONL) so
+/// runs of different benches concatenate into one machine-readable stream:
+///   {"bench":"backend_throughput","backend":"streaming_float",...}
+/// Keys appear in insertion order; string values are escaped minimally
+/// (quotes and backslashes — bench names and backend names need no more).
+class JsonRecord {
+public:
+  explicit JsonRecord(const std::string& bench) { field("bench", bench); }
+
+  JsonRecord& field(const std::string& key, const std::string& value) {
+    separator();
+    out_ << '"' << escape(key) << "\":\"" << escape(value) << '"';
+    return *this;
+  }
+  JsonRecord& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonRecord& field(const std::string& key, double value) {
+    separator();
+    // Full round-trip precision: these records feed cross-PR regression
+    // analysis, where the default 6 significant digits silently truncate.
+    const auto old_precision = out_.precision(
+        std::numeric_limits<double>::max_digits10);
+    out_ << '"' << escape(key) << "\":" << value;
+    out_.precision(old_precision);
+    return *this;
+  }
+  JsonRecord& field(const std::string& key, int value) {
+    separator();
+    out_ << '"' << escape(key) << "\":" << value;
+    return *this;
+  }
+
+  /// The complete record, one line, no trailing newline.
+  std::string str() const {
+    // Step-wise concatenation: the one-expression form trips a GCC 12
+    // -Wrestrict false positive (PR105651).
+    std::string out = "{";
+    out += out_.str();
+    out += '}';
+    return out;
+  }
+
+  /// Write the record line to `os` (stdout by default).
+  void emit(std::ostream& os = std::cout) const { os << str() << '\n'; }
+
+private:
+  void separator() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+  std::ostringstream out_;
+  bool first_ = true;
+};
 
 /// The system every paper bench evaluates: ZC702-class Zynq platform and
 /// the 1024x1024 / 79-tap workload.
@@ -46,18 +113,25 @@ inline double paper_total_energy(accel::Design d) {
   }
 }
 
-/// Print a section header.
-inline void print_header(const std::string& title) {
-  std::cout << '\n' << std::string(72, '=') << '\n'
-            << title << '\n'
-            << std::string(72, '=') << "\n\n";
+/// Print a section header. Benches that emit JSONL records on stdout pass
+/// std::cerr so the record stream stays machine-parseable.
+inline void print_header(const std::string& title,
+                         std::ostream& os = std::cout) {
+  os << '\n' << std::string(72, '=') << '\n'
+     << title << '\n'
+     << std::string(72, '=') << "\n\n";
 }
 
 /// Percentage deviation of measured from paper, rendered as e.g. "+3.1 %".
 inline std::string deviation(double measured, double paper) {
   if (paper == 0.0) return "-";
   const double pct = 100.0 * (measured - paper) / paper;
-  return (pct >= 0 ? "+" : "") + format_fixed(pct, 1) + " %";
+  // Built up step-wise: the one-expression concatenation trips a GCC 12
+  // -Wrestrict false positive (PR105651).
+  std::string out = pct >= 0 ? "+" : "";
+  out += format_fixed(pct, 1);
+  out += " %";
+  return out;
 }
 
 } // namespace tmhls::benchkit

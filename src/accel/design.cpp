@@ -1,8 +1,20 @@
 #include "accel/design.hpp"
 
 #include "common/error.hpp"
+#include "exec/registry.hpp"
 
 namespace tmhls::accel {
+
+namespace {
+
+/// Capabilities of the backend functionally realising a design; how the
+/// accel layer learns datapath widths without switching on BlurKind.
+exec::BackendCapabilities design_capabilities(Design d) {
+  return exec::BackendRegistry::global().resolve(backend_name(d))
+      ->capabilities();
+}
+
+} // namespace
 
 const std::vector<Design>& all_designs() {
   static const std::vector<Design> kAll = {
@@ -42,6 +54,23 @@ const char* short_name(Design d) {
 
 bool runs_on_pl(Design d) { return d != Design::sw_source; }
 
+const char* backend_name(Design d) {
+  switch (d) {
+    case Design::sw_source:
+      // The original CPU form with direct neighbour indexing.
+      return "separable_float";
+    case Design::marked_hw:
+    case Design::sequential_access:
+    case Design::hls_pragmas:
+      // Float datapath; the streaming form is numerically identical to the
+      // direct form, so all float designs produce the same pixels.
+      return "streaming_float";
+    case Design::fixed_point:
+      return "streaming_fixed";
+  }
+  return "?";
+}
+
 Workload Workload::paper() { return Workload{}; }
 
 tonemap::PipelineOptions Workload::pipeline_options(Design design) const {
@@ -51,22 +80,11 @@ tonemap::PipelineOptions Workload::pipeline_options(Design design) const {
   opt.brightness = brightness;
   opt.contrast = contrast;
   opt.fixed = fixed;
-  switch (design) {
-    case Design::sw_source:
-      // The original CPU form with direct neighbour indexing.
-      opt.blur = tonemap::BlurKind::separable_float;
-      break;
-    case Design::marked_hw:
-    case Design::sequential_access:
-    case Design::hls_pragmas:
-      // Float datapath; the streaming form is numerically identical to the
-      // direct form, so all float designs produce the same pixels.
-      opt.blur = tonemap::BlurKind::streaming_float;
-      break;
-    case Design::fixed_point:
-      opt.blur = tonemap::BlurKind::streaming_fixed;
-      break;
-  }
+  opt.backend = backend_name(design);
+  const exec::BackendCapabilities caps = design_capabilities(design);
+  opt.blur = caps.fixed_datapath ? tonemap::BlurKind::streaming_fixed
+             : caps.streaming    ? tonemap::BlurKind::streaming_float
+                                 : tonemap::BlurKind::separable_float;
   return opt;
 }
 
@@ -105,7 +123,7 @@ hls::Loop build_blur_loop(Design design, const Workload& w) {
       hls::ArraySpec buf;
       buf.name = "line_buffer";
       buf.elements = static_cast<std::int64_t>(taps) * w.width;
-      buf.element_bits = 32;
+      buf.element_bits = design_capabilities(design).data_bits;
       buf.read_ports = 1; // second BRAM port reserved for the line writer
       buf.elems_per_word = 1;
       buf.partitions = 1;
@@ -130,7 +148,7 @@ hls::Loop build_blur_loop(Design design, const Workload& w) {
       hls::ArraySpec buf;
       buf.name = "line_buffer";
       buf.elements = static_cast<std::int64_t>(taps) * w.width;
-      buf.element_bits = 32;
+      buf.element_bits = design_capabilities(design).data_bits;
       buf.read_ports = 1;
       buf.elems_per_word = 1;
       buf.partitions = w.partition_factor;
@@ -186,13 +204,16 @@ std::int64_t dma_bytes(Design design, const Workload& w) {
     case Design::marked_hw:
       return 0; // no DMA mover involved
     case Design::sequential_access:
-    case Design::hls_pragmas: {
-      // Two passes, each streaming the full plane in and out, 4 B/pixel.
-      return 2 * 2 * w.pixels() * 4;
-    }
+    case Design::hls_pragmas:
     case Design::fixed_point: {
-      // 16-bit pixels halve the streamed traffic.
-      const std::int64_t bytes_per_elem = (w.fixed.data.width() + 7) / 8;
+      // Two passes, each streaming the full plane in and out. The backend's
+      // capabilities say *which* datapath the design uses; fixed-point
+      // designs take the element width from the workload's configured
+      // format (matching build_blur_loop), float designs from the backend.
+      const exec::BackendCapabilities caps = design_capabilities(design);
+      const int elem_bits =
+          caps.fixed_datapath ? w.fixed.data.width() : caps.data_bits;
+      const std::int64_t bytes_per_elem = (elem_bits + 7) / 8;
       return 2 * 2 * w.pixels() * bytes_per_elem;
     }
   }

@@ -50,6 +50,10 @@ const char* short_name(Design d);
 /// True for designs whose blur runs in the programmable logic.
 bool runs_on_pl(Design d);
 
+/// Registry name of the exec-layer backend that functionally realises the
+/// design's datapath on the host (the golden model the hardware must match).
+const char* backend_name(Design d);
+
 /// The workload every experiment runs: image geometry + kernel + pipeline
 /// settings. Defaults reproduce the paper's setup (1024x1024 RGB HDR,
 /// 79-tap Gaussian).

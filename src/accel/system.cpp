@@ -32,7 +32,7 @@ DesignReport ToneMappingSystem::analyze(Design design) const {
   t.adjustments_s = cpu.seconds_for(
       tonemap::count_adjustments(w.width, w.height, w.channels));
 
-  if (design == Design::sw_source) {
+  if (!runs_on_pl(design)) {
     t.blur_on_pl = false;
     t.blur_s =
         cpu.seconds_for(tonemap::count_gaussian_blur(w.width, w.height, kernel));

@@ -1,0 +1,115 @@
+#include "exec/backends.hpp"
+
+#include "common/error.hpp"
+#include "exec/registry.hpp"
+#include "exec/tiled.hpp"
+#include "hlscode/blur_kernels.hpp"
+
+namespace tmhls::exec {
+
+namespace {
+
+void require_single_thread(const Backend& backend, const BlurContext& ctx) {
+  TMHLS_REQUIRE(ctx.threads == 1,
+                std::string(backend.name()) +
+                    " backend does not support tiled multi-threading");
+}
+
+} // namespace
+
+BackendCapabilities SeparableFloatBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.float_datapath = true;
+  caps.tiled_threads = true;
+  caps.data_bits = 32;
+  return caps;
+}
+
+img::ImageF SeparableFloatBackend::run_blur(
+    const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
+    const BlurContext& ctx) const {
+  if (ctx.threads > 1) return blur_tiled_float(intensity, kernel, ctx.threads);
+  return tonemap::blur_separable_float(intensity, kernel);
+}
+
+BackendCapabilities StreamingFloatBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.float_datapath = true;
+  caps.streaming = true;
+  caps.tiled_threads = true;
+  caps.data_bits = 32;
+  return caps;
+}
+
+img::ImageF StreamingFloatBackend::run_blur(
+    const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
+    const BlurContext& ctx) const {
+  // The tiled form accumulates taps in the same order as the streaming
+  // form, which is itself bit-identical to the separable form (§III.B).
+  if (ctx.threads > 1) return blur_tiled_float(intensity, kernel, ctx.threads);
+  return tonemap::blur_streaming_float(intensity, kernel);
+}
+
+BackendCapabilities StreamingFixedBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.fixed_datapath = true;
+  caps.streaming = true;
+  caps.tiled_threads = true;
+  caps.data_bits = tonemap::FixedBlurConfig::paper().data.width();
+  return caps;
+}
+
+img::ImageF StreamingFixedBackend::run_blur(
+    const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
+    const BlurContext& ctx) const {
+  if (ctx.threads > 1) {
+    return blur_tiled_fixed(intensity, kernel, ctx.fixed, ctx.threads);
+  }
+  return tonemap::blur_streaming_fixed(intensity, kernel, ctx.fixed);
+}
+
+BackendCapabilities HlsCodeBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.float_datapath = true;
+  caps.fixed_datapath = true;
+  caps.streaming = true;
+  caps.synthesizable = true;
+  caps.data_bits = 32; // the float datapath
+  caps.dual_fixed_data_bits =
+      tonemap::FixedBlurConfig::paper().data.width(); // the Pixel16 one
+  return caps;
+}
+
+img::ImageF HlsCodeBackend::run_blur(const img::ImageF& intensity,
+                                     const tonemap::GaussianKernel& kernel,
+                                     const BlurContext& ctx) const {
+  require_single_thread(*this, ctx);
+  TMHLS_REQUIRE(kernel.taps() <= hlscode::kMaxTaps,
+                "hlscode backend: kernel exceeds the synthesizable static "
+                "bound kMaxTaps");
+  if (ctx.use_fixed) {
+    // The synthesizable fixed datapath is the paper's Pixel16 format.
+    TMHLS_REQUIRE(ctx.fixed.data == tonemap::FixedBlurConfig::paper().data &&
+                      ctx.fixed.accumulator ==
+                          tonemap::FixedBlurConfig::paper().accumulator,
+                  "hlscode backend: fixed datapath is ap_fixed<16,2> only");
+    return hlscode::run_blur_fixed(intensity, kernel);
+  }
+  return hlscode::run_blur_float(intensity, kernel);
+}
+
+void register_builtin_backends(BackendRegistry& registry) {
+  registry.register_backend("separable_float", [] {
+    return std::make_shared<const SeparableFloatBackend>();
+  });
+  registry.register_backend("streaming_float", [] {
+    return std::make_shared<const StreamingFloatBackend>();
+  });
+  registry.register_backend("streaming_fixed", [] {
+    return std::make_shared<const StreamingFixedBackend>();
+  });
+  registry.register_backend(
+      "hlscode", [] { return std::make_shared<const HlsCodeBackend>(); });
+}
+
+} // namespace tmhls::exec

@@ -1,0 +1,59 @@
+// The four built-in execution backends:
+//
+//   SeparableFloatBackend — the original CPU form (direct neighbour
+//       indexing), the paper's "SW source code" baseline.
+//   StreamingFloatBackend — the §III.B restructured line-buffer form,
+//       float datapath; numerically identical to the separable form.
+//   StreamingFixedBackend — the §III.C restructured form with the
+//       ap_fixed-modelled datapath.
+//   HlsCodeBackend        — routes through the synthesizable hlscode
+//       streaming kernels (blur_pass_* / gaussian_blur_top_*), so the
+//       sources Vivado HLS would compile are exercised by the real
+//       pipeline, in either datapath.
+//
+// The CPU backends support the tiled multi-threaded mode (bit-identical
+// to single-threaded); the hlscode kernels are inherently sequential
+// stream processes, so HlsCodeBackend does not.
+#pragma once
+
+#include "exec/backend.hpp"
+
+namespace tmhls::exec {
+
+class SeparableFloatBackend final : public Backend {
+public:
+  const char* name() const override { return "separable_float"; }
+  BackendCapabilities capabilities() const override;
+  img::ImageF run_blur(const img::ImageF& intensity,
+                       const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const override;
+};
+
+class StreamingFloatBackend final : public Backend {
+public:
+  const char* name() const override { return "streaming_float"; }
+  BackendCapabilities capabilities() const override;
+  img::ImageF run_blur(const img::ImageF& intensity,
+                       const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const override;
+};
+
+class StreamingFixedBackend final : public Backend {
+public:
+  const char* name() const override { return "streaming_fixed"; }
+  BackendCapabilities capabilities() const override;
+  img::ImageF run_blur(const img::ImageF& intensity,
+                       const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const override;
+};
+
+class HlsCodeBackend final : public Backend {
+public:
+  const char* name() const override { return "hlscode"; }
+  BackendCapabilities capabilities() const override;
+  img::ImageF run_blur(const img::ImageF& intensity,
+                       const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const override;
+};
+
+} // namespace tmhls::exec

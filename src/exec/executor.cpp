@@ -1,0 +1,41 @@
+#include "exec/executor.hpp"
+
+#include "common/error.hpp"
+
+namespace tmhls::exec {
+
+PipelineExecutor::PipelineExecutor(std::shared_ptr<const Backend> backend,
+                                   ExecutorOptions options)
+    : backend_(std::move(backend)), options_(options) {
+  TMHLS_REQUIRE(backend_ != nullptr, "executor needs a backend");
+  TMHLS_REQUIRE(options_.threads >= 1, "executor threads must be >= 1");
+}
+
+PipelineExecutor::PipelineExecutor(const std::string& backend_name,
+                                   ExecutorOptions options,
+                                   const BackendRegistry& registry)
+    : PipelineExecutor(registry.resolve(backend_name), options) {}
+
+int PipelineExecutor::effective_threads() const {
+  return backend_->capabilities().tiled_threads ? options_.threads : 1;
+}
+
+img::ImageF PipelineExecutor::blur(const img::ImageF& intensity,
+                                   const tonemap::GaussianKernel& kernel) const {
+  return backend_->run_blur(intensity, kernel, context());
+}
+
+BlurCost PipelineExecutor::estimate_cost(
+    int width, int height, const tonemap::GaussianKernel& kernel) const {
+  return backend_->estimate_cost(width, height, kernel, context());
+}
+
+BlurContext PipelineExecutor::context() const {
+  BlurContext ctx;
+  ctx.fixed = options_.fixed;
+  ctx.threads = effective_threads();
+  ctx.use_fixed = options_.use_fixed;
+  return ctx;
+}
+
+} // namespace tmhls::exec

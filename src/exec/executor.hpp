@@ -1,0 +1,64 @@
+// PipelineExecutor: the pipeline's handle to one selected backend plus its
+// execution parameters (thread count, fixed-point formats). Constructed
+// once and reused across frames — video and serving paths keep a
+// persistent executor instead of re-resolving the backend per frame —
+// and the seam future scaling work (async batching, frame sharding,
+// result caching) plugs into.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "exec/backend.hpp"
+#include "exec/registry.hpp"
+
+namespace tmhls::exec {
+
+/// Executor-level execution parameters.
+struct ExecutorOptions {
+  /// Worker threads for the tiled mode; clamped to 1 for backends without
+  /// tiled_threads capability.
+  int threads = 1;
+  /// Select the fixed datapath of dual-datapath backends (hlscode).
+  bool use_fixed = false;
+  /// Fixed-point formats for fixed-datapath backends.
+  tonemap::FixedBlurConfig fixed = tonemap::FixedBlurConfig::paper();
+};
+
+class PipelineExecutor {
+public:
+  /// Wrap an already-resolved backend.
+  explicit PipelineExecutor(std::shared_ptr<const Backend> backend,
+                            ExecutorOptions options = {});
+
+  /// Resolve `backend_name` through `registry` (default: the global one).
+  explicit PipelineExecutor(const std::string& backend_name,
+                            ExecutorOptions options = {},
+                            const BackendRegistry& registry =
+                                BackendRegistry::global());
+
+  const Backend& backend() const { return *backend_; }
+  const ExecutorOptions& options() const { return options_; }
+
+  /// The thread count actually used: options().threads, clamped to 1 when
+  /// the backend lacks the tiled_threads capability.
+  int effective_threads() const;
+
+  /// Execute the mask blur on a 1-channel intensity plane.
+  img::ImageF blur(const img::ImageF& intensity,
+                   const tonemap::GaussianKernel& kernel) const;
+
+  /// Analytic cost of one blur at this executor's configuration (datapath
+  /// selection and fixed formats are taken from the options).
+  BlurCost estimate_cost(int width, int height,
+                         const tonemap::GaussianKernel& kernel) const;
+
+private:
+  /// The per-call context this executor hands its backend.
+  BlurContext context() const;
+
+  std::shared_ptr<const Backend> backend_;
+  ExecutorOptions options_;
+};
+
+} // namespace tmhls::exec

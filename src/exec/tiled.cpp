@@ -1,0 +1,146 @@
+#include "exec/tiled.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tonemap/blur_passes.hpp"
+
+namespace tmhls::exec {
+
+namespace {
+
+/// Upper bound on worker threads per blur, independent of what the caller
+/// asks for: beyond this, bands are thinner than a cache line is worth and
+/// thread-spawn resource exhaustion becomes a real failure mode.
+constexpr int kMaxBands = 64;
+
+/// Run `work(band_index, barrier)` on `bands` worker threads; the barrier
+/// is the inter-pass halo exchange. Returns false if thread spawning was
+/// cut short by resource exhaustion — the computation's outputs are then
+/// invalid and the caller must redo the work (e.g. single-threaded).
+/// Otherwise the first exception thrown by any worker is rethrown here.
+template <typename Work>
+bool run_banded(int bands, Work&& work) {
+  std::barrier<> sync(bands);
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  auto guarded = [&](int band) {
+    try {
+      work(band, sync);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+      }
+      // Keep the barrier protocol alive so sibling workers do not deadlock
+      // waiting for this band's arrival; drop (never blocks) because the
+      // failure may already be past the barrier.
+      sync.arrive_and_drop();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(bands));
+  try {
+    for (int b = 0; b < bands; ++b) {
+      workers.emplace_back(guarded, b);
+    }
+  } catch (const std::system_error&) {
+    // Substitute an arrival for every band that never spawned so the
+    // spawned workers can pass the barrier (reading zero-initialised halo
+    // rows — harmless, the result is discarded) and exit.
+    for (int b = static_cast<int>(workers.size()); b < bands; ++b) {
+      sync.arrive_and_drop();
+    }
+    for (std::thread& t : workers) t.join();
+    return false;
+  }
+  for (std::thread& t : workers) t.join();
+  if (failure) std::rethrow_exception(failure);
+  return true;
+}
+
+int clamp_bands(int threads, int rows) {
+  TMHLS_REQUIRE(threads >= 1, "tiled blur: threads must be >= 1");
+  return std::min({threads, rows, kMaxBands});
+}
+
+} // namespace
+
+RowBand row_band(int rows, int bands, int band) {
+  TMHLS_REQUIRE(rows >= 0 && bands >= 1 && band >= 0 && band < bands,
+                "row_band: invalid decomposition");
+  const int base = rows / bands;
+  const int extra = rows % bands;
+  RowBand r;
+  r.begin = band * base + std::min(band, extra);
+  r.end = r.begin + base + (band < extra ? 1 : 0);
+  return r;
+}
+
+img::ImageF blur_tiled_float(const img::ImageF& src,
+                             const tonemap::GaussianKernel& kernel,
+                             int threads) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  const int h = src.height();
+  const int bands = clamp_bands(threads, h);
+
+  img::ImageF tmp(src.width(), h, 1);
+  img::ImageF dst(src.width(), h, 1);
+  const bool parallel_ok =
+      bands > 1 && run_banded(bands, [&](int band, std::barrier<>& sync) {
+        const RowBand r = row_band(h, bands, band);
+        tonemap::blur_hpass_float_rows(src, tmp, kernel, r.begin, r.end);
+        // Halo exchange: the vertical pass reads up to `radius` rows of
+        // `tmp` owned by neighbouring bands; the barrier publishes them.
+        sync.arrive_and_wait();
+        tonemap::blur_vpass_float_rows(tmp, dst, kernel, r.begin, r.end);
+      });
+  if (!parallel_ok) {
+    // bands == 1, or thread spawning was cut short (partial results in
+    // tmp/dst are fully overwritten here).
+    tonemap::blur_hpass_float_rows(src, tmp, kernel, 0, h);
+    tonemap::blur_vpass_float_rows(tmp, dst, kernel, 0, h);
+  }
+  return dst;
+}
+
+img::ImageF blur_tiled_fixed(const img::ImageF& src,
+                             const tonemap::GaussianKernel& kernel,
+                             const tonemap::FixedBlurConfig& cfg,
+                             int threads) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  const int w = src.width();
+  const int h = src.height();
+  const int bands = clamp_bands(threads, h);
+  const tonemap::FixedBlurPlan plan(kernel, cfg);
+
+  std::vector<std::int64_t> qsrc(src.pixel_count());
+  std::vector<std::int64_t> hout(src.pixel_count());
+  img::ImageF dst(w, h, 1);
+  const bool parallel_ok =
+      bands > 1 && run_banded(bands, [&](int band, std::barrier<>& sync) {
+        const RowBand r = row_band(h, bands, band);
+        // Quantisation and the horizontal pass are row-local to the band.
+        plan.quantise_rows(src, qsrc, r.begin, r.end);
+        tonemap::blur_hpass_fixed_rows(qsrc, hout, w, h, plan, r.begin,
+                                       r.end);
+        sync.arrive_and_wait();
+        tonemap::blur_vpass_fixed_rows(hout, dst, w, h, plan, r.begin,
+                                       r.end);
+      });
+  if (!parallel_ok) {
+    plan.quantise_rows(src, qsrc, 0, h);
+    tonemap::blur_hpass_fixed_rows(qsrc, hout, w, h, plan, 0, h);
+    tonemap::blur_vpass_fixed_rows(hout, dst, w, h, plan, 0, h);
+  }
+  return dst;
+}
+
+} // namespace tmhls::exec

@@ -1,0 +1,43 @@
+// Multi-threaded tiled execution of the separable blur: row-band
+// decomposition with a halo sized by the kernel radius — the same
+// restructuring discipline §III.B applies to the FPGA (decompose the 2D
+// problem so every worker touches a bounded local window) applied to the
+// host CPU.
+//
+// Each worker owns a contiguous band of output rows. The horizontal pass
+// is row-local, so bands are independent; the vertical pass reads up to
+// `radius` rows of the intermediate plane beyond the band's edges (the
+// halo), which neighbouring workers produce — a std::barrier between the
+// passes is the halo exchange. Taps accumulate in the same order as the
+// single-threaded golden models, so output is bit-identical for every
+// thread count.
+#pragma once
+
+#include "image/image.hpp"
+#include "tonemap/blur.hpp"
+#include "tonemap/kernel.hpp"
+
+namespace tmhls::exec {
+
+/// Tiled float blur; bit-identical to blur_separable_float and
+/// blur_streaming_float for any `threads` >= 1. The worker count is
+/// clamped to the row count and to an internal cap (64); thread-spawn
+/// resource exhaustion falls back to single-threaded execution.
+img::ImageF blur_tiled_float(const img::ImageF& src,
+                             const tonemap::GaussianKernel& kernel,
+                             int threads);
+
+/// Tiled fixed-point blur; bit-identical to blur_streaming_fixed.
+img::ImageF blur_tiled_fixed(const img::ImageF& src,
+                             const tonemap::GaussianKernel& kernel,
+                             const tonemap::FixedBlurConfig& cfg, int threads);
+
+/// Row range [begin, end) of band `band` out of `bands` over `rows` rows:
+/// contiguous, balanced to within one row. Exposed for tests.
+struct RowBand {
+  int begin = 0;
+  int end = 0;
+};
+RowBand row_band(int rows, int bands, int band);
+
+} // namespace tmhls::exec

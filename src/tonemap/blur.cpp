@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "tonemap/blur_passes.hpp"
 
 namespace tmhls::tonemap {
 
@@ -17,36 +18,14 @@ int clamp_index(int v, int limit) {
 img::ImageF blur_separable_float(const img::ImageF& src,
                                  const GaussianKernel& kernel) {
   TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
-  const int w = src.width();
   const int h = src.height();
-  const int radius = kernel.radius();
-  const auto& wts = kernel.weights();
-
-  img::ImageF tmp(w, h, 1);
-  // Horizontal pass: neighbours along the row (random access in x).
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0.0f;
-      for (int k = -radius; k <= radius; ++k) {
-        acc += wts[static_cast<std::size_t>(k + radius)] *
-               src.at_unchecked(clamp_index(x + k, w), y);
-      }
-      tmp.at_unchecked(x, y) = acc;
-    }
-  }
-  // Vertical pass: neighbours along the column (strided access in y — the
-  // pattern that defeats the naive hardware offload).
-  img::ImageF dst(w, h, 1);
-  for (int y = 0; y < h; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0.0f;
-      for (int k = -radius; k <= radius; ++k) {
-        acc += wts[static_cast<std::size_t>(k + radius)] *
-               tmp.at_unchecked(x, clamp_index(y + k, h));
-      }
-      dst.at_unchecked(x, y) = acc;
-    }
-  }
+  // The direct form is the row-range primitives over the full image:
+  // horizontal pass (random access in x), then vertical pass (strided
+  // access in y — the pattern that defeats the naive hardware offload).
+  img::ImageF tmp(src.width(), h, 1);
+  img::ImageF dst(src.width(), h, 1);
+  blur_hpass_float_rows(src, tmp, kernel, 0, h);
+  blur_vpass_float_rows(tmp, dst, kernel, 0, h);
   return dst;
 }
 
@@ -137,51 +116,21 @@ img::ImageF blur_streaming_fixed(const img::ImageF& src,
   const int h = src.height();
   const int radius = kernel.radius();
   const int taps = kernel.taps();
-  const fixed::FixedFormat& dfmt = cfg.data;
-  const fixed::FixedFormat& afmt = cfg.accumulator;
 
-  // Kernel ROM: weights quantised to the data format.
-  const std::vector<std::int64_t> wq = kernel.quantised_weights(dfmt);
+  // The datapath arithmetic (kernel ROM, the ap_fixed-accumulator MAC,
+  // the output requantisation) lives in FixedBlurPlan — one source of
+  // truth shared with the exec layer's tiled mode. This function keeps
+  // the *streaming structure*: shift register and circular line buffer.
+  const FixedBlurPlan plan(kernel, cfg);
+  const std::vector<std::int64_t>& wq = plan.weights();
 
   // Quantise the whole input once — the float-to-fixed conversion at the
   // accelerator's AXI boundary.
   std::vector<std::int64_t> qsrc(src.pixel_count());
-  {
-    auto s = src.samples();
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      qsrc[i] = dfmt.raw_from_double(static_cast<double>(s[i]));
-    }
-  }
+  plan.quantise_rows(src, qsrc, 0, h);
   auto qat = [&](int x, int y) {
     return qsrc[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
                 static_cast<std::size_t>(x)];
-  };
-
-  // One fixed-point MAC: multiply in full precision, requantise the product
-  // into the accumulator format (rounding per format), add, requantise the
-  // sum (overflow per format). This is exactly what an ap_fixed accumulator
-  // of width afmt does in the synthesised datapath.
-  auto mac = [&](std::int64_t acc, std::int64_t wraw,
-                 std::int64_t xraw) {
-    // Product has dfmt.frac + dfmt.frac fraction bits; bring it to the
-    // accumulator's fraction count.
-    const std::int64_t prod = wraw * xraw;
-    const int shift = 2 * dfmt.frac_bits() - afmt.frac_bits();
-    TMHLS_ASSERT(shift >= 0, "accumulator wider than product precision");
-    const std::int64_t prod_q =
-        fixed::shift_right_round(prod, shift, afmt.round());
-    return afmt.apply_overflow(acc + afmt.apply_overflow(prod_q));
-  };
-  // Convert an accumulator value back to the data format (output register).
-  auto acc_to_data = [&](std::int64_t acc) {
-    const int shift = afmt.frac_bits() - dfmt.frac_bits();
-    std::int64_t raw = acc;
-    if (shift > 0) {
-      raw = fixed::shift_right_round(acc, shift, dfmt.round());
-    } else if (shift < 0) {
-      raw = acc << (-shift);
-    }
-    return dfmt.apply_overflow(raw);
   };
 
   // Horizontal pass, shift register of raw values.
@@ -195,11 +144,11 @@ img::ImageF blur_streaming_fixed(const img::ImageF& src,
     for (int x = 0; x < w; ++x) {
       std::int64_t acc = 0;
       for (int i = 0; i < taps; ++i) {
-        acc = mac(acc, wq[static_cast<std::size_t>(i)],
-                  shift_reg[static_cast<std::size_t>(i)]);
+        acc = plan.mac(acc, wq[static_cast<std::size_t>(i)],
+                       shift_reg[static_cast<std::size_t>(i)]);
       }
       hout[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
-           static_cast<std::size_t>(x)] = acc_to_data(acc);
+           static_cast<std::size_t>(x)] = plan.acc_to_data(acc);
       for (int i = 0; i + 1 < taps; ++i) {
         shift_reg[static_cast<std::size_t>(i)] =
             shift_reg[static_cast<std::size_t>(i + 1)];
@@ -228,12 +177,11 @@ img::ImageF blur_streaming_fixed(const img::ImageF& src,
       std::int64_t acc = 0;
       for (int i = 0; i < taps; ++i) {
         const int slot = (head + i) % taps;
-        acc = mac(acc, wq[static_cast<std::size_t>(i)],
-                  lines[static_cast<std::size_t>(slot)]
-                       [static_cast<std::size_t>(x)]);
+        acc = plan.mac(acc, wq[static_cast<std::size_t>(i)],
+                       lines[static_cast<std::size_t>(slot)]
+                            [static_cast<std::size_t>(x)]);
       }
-      dst.at_unchecked(x, y) =
-          static_cast<float>(dfmt.raw_to_double(acc_to_data(acc)));
+      dst.at_unchecked(x, y) = plan.to_float(plan.acc_to_data(acc));
     }
     const std::int64_t* row = hrow(y + radius + 1);
     std::copy(row, row + w, lines[static_cast<std::size_t>(head)].begin());

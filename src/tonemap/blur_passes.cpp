@@ -1,0 +1,178 @@
+#include "tonemap/blur_passes.hpp"
+
+#include "common/error.hpp"
+#include "fixed/fixed_format.hpp"
+
+namespace tmhls::tonemap {
+
+namespace {
+
+int clamp_index(int v, int limit) {
+  return v < 0 ? 0 : (v >= limit ? limit - 1 : v);
+}
+
+void check_range(int y_begin, int y_end, int height) {
+  TMHLS_REQUIRE(y_begin >= 0 && y_begin <= y_end && y_end <= height,
+                "blur pass: row range out of bounds");
+}
+
+} // namespace
+
+void blur_hpass_float_rows(const img::ImageF& src, img::ImageF& dst,
+                           const GaussianKernel& kernel, int y_begin,
+                           int y_end) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  TMHLS_REQUIRE(src.same_shape(dst), "blur pass: shape mismatch");
+  check_range(y_begin, y_end, src.height());
+  const int w = src.width();
+  const int radius = kernel.radius();
+  const int taps = kernel.taps();
+  const auto& wts = kernel.weights();
+
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = 0; i < taps; ++i) {
+        acc += wts[static_cast<std::size_t>(i)] *
+               src.at_unchecked(clamp_index(x - radius + i, w), y);
+      }
+      dst.at_unchecked(x, y) = acc;
+    }
+  }
+}
+
+void blur_vpass_float_rows(const img::ImageF& tmp, img::ImageF& dst,
+                           const GaussianKernel& kernel, int y_begin,
+                           int y_end) {
+  TMHLS_REQUIRE(tmp.channels() == 1, "blur expects a 1-channel image");
+  TMHLS_REQUIRE(tmp.same_shape(dst), "blur pass: shape mismatch");
+  check_range(y_begin, y_end, tmp.height());
+  const int w = tmp.width();
+  const int h = tmp.height();
+  const int radius = kernel.radius();
+  const int taps = kernel.taps();
+  const auto& wts = kernel.weights();
+
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int i = 0; i < taps; ++i) {
+        acc += wts[static_cast<std::size_t>(i)] *
+               tmp.at_unchecked(x, clamp_index(y - radius + i, h));
+      }
+      dst.at_unchecked(x, y) = acc;
+    }
+  }
+}
+
+FixedBlurPlan::FixedBlurPlan(const GaussianKernel& kernel,
+                             const FixedBlurConfig& cfg)
+    : cfg_(cfg), radius_(kernel.radius()),
+      prod_shift_(2 * cfg.data.frac_bits() - cfg.accumulator.frac_bits()),
+      weights_(kernel.quantised_weights(cfg.data)) {
+  TMHLS_ASSERT(prod_shift_ >= 0, "accumulator wider than product precision");
+}
+
+std::int64_t FixedBlurPlan::mac(std::int64_t acc, std::int64_t wraw,
+                                std::int64_t xraw) const {
+  const fixed::FixedFormat& afmt = cfg_.accumulator;
+  const std::int64_t prod = wraw * xraw;
+  const std::int64_t prod_q =
+      fixed::shift_right_round(prod, prod_shift_, afmt.round());
+  return afmt.apply_overflow(acc + afmt.apply_overflow(prod_q));
+}
+
+std::int64_t FixedBlurPlan::acc_to_data(std::int64_t acc) const {
+  const fixed::FixedFormat& dfmt = cfg_.data;
+  const int shift = cfg_.accumulator.frac_bits() - dfmt.frac_bits();
+  std::int64_t raw = acc;
+  if (shift > 0) {
+    raw = fixed::shift_right_round(acc, shift, dfmt.round());
+  } else if (shift < 0) {
+    raw = acc << (-shift);
+  }
+  return dfmt.apply_overflow(raw);
+}
+
+void FixedBlurPlan::quantise_rows(const img::ImageF& src,
+                                  std::vector<std::int64_t>& dst, int y_begin,
+                                  int y_end) const {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  TMHLS_REQUIRE(dst.size() == src.pixel_count(),
+                "quantise_rows: destination size mismatch");
+  check_range(y_begin, y_end, src.height());
+  const int w = src.width();
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int x = 0; x < w; ++x) {
+      dst[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+          static_cast<std::size_t>(x)] =
+          cfg_.data.raw_from_double(
+              static_cast<double>(src.at_unchecked(x, y)));
+    }
+  }
+}
+
+float FixedBlurPlan::to_float(std::int64_t raw) const {
+  return static_cast<float>(cfg_.data.raw_to_double(raw));
+}
+
+void blur_hpass_fixed_rows(const std::vector<std::int64_t>& qsrc,
+                           std::vector<std::int64_t>& dst, int width,
+                           int height, const FixedBlurPlan& plan, int y_begin,
+                           int y_end) {
+  TMHLS_REQUIRE(qsrc.size() == static_cast<std::size_t>(width) *
+                                   static_cast<std::size_t>(height) &&
+                    dst.size() == qsrc.size(),
+                "blur_hpass_fixed_rows: plane size mismatch");
+  check_range(y_begin, y_end, height);
+  const int radius = plan.radius();
+  const int taps = plan.taps();
+  const auto& wq = plan.weights();
+
+  for (int y = y_begin; y < y_end; ++y) {
+    const std::int64_t* row =
+        qsrc.data() +
+        static_cast<std::size_t>(y) * static_cast<std::size_t>(width);
+    for (int x = 0; x < width; ++x) {
+      std::int64_t acc = 0;
+      for (int i = 0; i < taps; ++i) {
+        acc = plan.mac(acc, wq[static_cast<std::size_t>(i)],
+                       row[clamp_index(x - radius + i, width)]);
+      }
+      dst[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+          static_cast<std::size_t>(x)] = plan.acc_to_data(acc);
+    }
+  }
+}
+
+void blur_vpass_fixed_rows(const std::vector<std::int64_t>& hout,
+                           img::ImageF& dst, int width, int height,
+                           const FixedBlurPlan& plan, int y_begin, int y_end) {
+  TMHLS_REQUIRE(hout.size() == static_cast<std::size_t>(width) *
+                                   static_cast<std::size_t>(height),
+                "blur_vpass_fixed_rows: plane size mismatch");
+  TMHLS_REQUIRE(dst.width() == width && dst.height() == height &&
+                    dst.channels() == 1,
+                "blur_vpass_fixed_rows: destination shape mismatch");
+  check_range(y_begin, y_end, height);
+  const int radius = plan.radius();
+  const int taps = plan.taps();
+  const auto& wq = plan.weights();
+
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int x = 0; x < width; ++x) {
+      std::int64_t acc = 0;
+      for (int i = 0; i < taps; ++i) {
+        const int sy = clamp_index(y - radius + i, height);
+        acc = plan.mac(
+            acc, wq[static_cast<std::size_t>(i)],
+            hout[static_cast<std::size_t>(sy) *
+                     static_cast<std::size_t>(width) +
+                 static_cast<std::size_t>(x)]);
+      }
+      dst.at_unchecked(x, y) = plan.to_float(plan.acc_to_data(acc));
+    }
+  }
+}
+
+} // namespace tmhls::tonemap

@@ -1,0 +1,81 @@
+// Row-range primitives of the separable Gaussian blur, used by the exec
+// layer's tiled multi-threaded mode (row-band decomposition).
+//
+// Each pass processes output rows [y_begin, y_end) with clamp-to-edge
+// borders and accumulates taps in ascending order (i = 0..taps-1) — the
+// identical floating-point / fixed-point operation sequence of the golden
+// models in blur.cpp, which is what makes band-parallel execution
+// bit-identical to the single-threaded forms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "tonemap/blur.hpp"
+#include "tonemap/kernel.hpp"
+
+namespace tmhls::tonemap {
+
+/// Horizontal pass over rows [y_begin, y_end): dst(x, y) = sum of taps over
+/// src(clamp(x - radius + i), y). Reads only rows in the range (row-local).
+void blur_hpass_float_rows(const img::ImageF& src, img::ImageF& dst,
+                           const GaussianKernel& kernel, int y_begin,
+                           int y_end);
+
+/// Vertical pass over rows [y_begin, y_end): dst(x, y) = sum of taps over
+/// tmp(x, clamp(y - radius + i)). Reads up to `radius` halo rows of `tmp`
+/// beyond the range on each side — the band's halo exchange.
+void blur_vpass_float_rows(const img::ImageF& tmp, img::ImageF& dst,
+                           const GaussianKernel& kernel, int y_begin,
+                           int y_end);
+
+/// Precomputed state of one fixed-point blur invocation: quantised kernel
+/// ROM plus the datapath's MAC/requantisation rules, matching the
+/// ap_fixed-accumulator model of blur_streaming_fixed exactly.
+class FixedBlurPlan {
+public:
+  FixedBlurPlan(const GaussianKernel& kernel, const FixedBlurConfig& cfg);
+
+  const FixedBlurConfig& config() const { return cfg_; }
+  int taps() const { return static_cast<int>(weights_.size()); }
+  int radius() const { return radius_; }
+  const std::vector<std::int64_t>& weights() const { return weights_; }
+
+  /// One MAC: full-precision product, requantised into the accumulator
+  /// format, added with the accumulator's overflow rule.
+  std::int64_t mac(std::int64_t acc, std::int64_t wraw,
+                   std::int64_t xraw) const;
+
+  /// Accumulator -> data-format output register.
+  std::int64_t acc_to_data(std::int64_t acc) const;
+
+  /// Quantise samples of rows [y_begin, y_end) of a 1-channel image into
+  /// `dst` (sized width * height), the float-to-fixed boundary conversion.
+  void quantise_rows(const img::ImageF& src, std::vector<std::int64_t>& dst,
+                     int y_begin, int y_end) const;
+
+  /// Exact float value of a data-format raw pattern.
+  float to_float(std::int64_t raw) const;
+
+private:
+  FixedBlurConfig cfg_;
+  int radius_;
+  int prod_shift_;
+  std::vector<std::int64_t> weights_;
+};
+
+/// Fixed-point horizontal pass over rows [y_begin, y_end) of the quantised
+/// plane `qsrc` (width * height raw values); writes data-format raw values.
+void blur_hpass_fixed_rows(const std::vector<std::int64_t>& qsrc,
+                           std::vector<std::int64_t>& dst, int width,
+                           int height, const FixedBlurPlan& plan, int y_begin,
+                           int y_end);
+
+/// Fixed-point vertical pass over rows [y_begin, y_end) of `hout`; widens
+/// the data-format results back to float in `dst`.
+void blur_vpass_fixed_rows(const std::vector<std::int64_t>& hout,
+                           img::ImageF& dst, int width, int height,
+                           const FixedBlurPlan& plan, int y_begin, int y_end);
+
+} // namespace tmhls::tonemap

@@ -16,12 +16,41 @@ const char* to_string(BlurKind kind) {
   return "?";
 }
 
+const char* backend_name(BlurKind kind) {
+  // The three golden datapaths are registered under their enum names.
+  return to_string(kind);
+}
+
 GaussianKernel PipelineOptions::kernel() const {
   if (radius > 0) return GaussianKernel(sigma, radius);
   return GaussianKernel(sigma);
 }
 
+exec::PipelineExecutor PipelineOptions::make_executor() const {
+  exec::ExecutorOptions eo;
+  eo.threads = threads;
+  eo.fixed = fixed;
+  // With an explicit backend name, `blur` still carries the datapath
+  // choice for dual-datapath backends (e.g. "hlscode" + streaming_fixed
+  // runs the synthesizable fixed kernels).
+  eo.use_fixed = (blur == BlurKind::streaming_fixed);
+  const std::string name = backend.empty() ? backend_name(blur) : backend;
+  const auto resolved = exec::BackendRegistry::global().resolve(name);
+  // Asking a float-only backend for the fixed datapath would otherwise be
+  // silently ignored (e.g. `--fixed --backend streaming_float`).
+  TMHLS_REQUIRE(!eo.use_fixed || resolved->capabilities().fixed_datapath,
+                "backend " + name +
+                    " has no fixed-point datapath; drop the fixed-point "
+                    "request or choose streaming_fixed / hlscode");
+  return exec::PipelineExecutor(resolved, eo);
+}
+
 PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt) {
+  return tone_map(hdr, opt, opt.make_executor());
+}
+
+PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt,
+                        const exec::PipelineExecutor& executor) {
   TMHLS_REQUIRE(!hdr.empty(), "tone_map: empty image");
   const GaussianKernel kernel = opt.kernel();
 
@@ -42,17 +71,7 @@ PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt) {
   }
   r.intensity = img::luminance(r.normalized);
 
-  switch (opt.blur) {
-    case BlurKind::separable_float:
-      r.mask = blur_separable_float(r.intensity, kernel);
-      break;
-    case BlurKind::streaming_float:
-      r.mask = blur_streaming_float(r.intensity, kernel);
-      break;
-    case BlurKind::streaming_fixed:
-      r.mask = blur_streaming_fixed(r.intensity, kernel, opt.fixed);
-      break;
-  }
+  r.mask = executor.blur(r.intensity, kernel);
 
   r.masked = nonlinear_masking(r.normalized, r.mask);
   r.output = brightness_contrast(r.masked, opt.brightness, opt.contrast);

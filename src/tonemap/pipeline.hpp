@@ -5,7 +5,9 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
+#include "exec/executor.hpp"
 #include "image/image.hpp"
 #include "tonemap/blur.hpp"
 #include "tonemap/kernel.hpp"
@@ -13,7 +15,10 @@
 
 namespace tmhls::tonemap {
 
-/// Which numeric implementation computes the Gaussian blur stage.
+/// Which numeric implementation computes the Gaussian blur stage. Kept as
+/// the enum shorthand for the three golden datapaths; each value maps onto
+/// an exec-layer backend of the same name (see backend_name), and
+/// PipelineOptions::backend selects any registered backend by name.
 enum class BlurKind {
   separable_float, ///< original CPU form (random neighbour access)
   streaming_float, ///< restructured line-buffer form, float datapath
@@ -21,6 +26,9 @@ enum class BlurKind {
 };
 
 const char* to_string(BlurKind kind);
+
+/// The exec-registry backend name realising a BlurKind.
+const char* backend_name(BlurKind kind);
 
 /// Pipeline configuration. Defaults reproduce the paper's workload.
 struct PipelineOptions {
@@ -31,7 +39,14 @@ struct PipelineOptions {
   int radius = 0;
   /// Blur implementation to use for the mask.
   BlurKind blur = BlurKind::separable_float;
-  /// Fixed-point formats (used only when blur == streaming_fixed).
+  /// Execution backend by registry name (e.g. "hlscode"); overrides `blur`
+  /// when non-empty. `blur` then still selects the datapath of
+  /// dual-datapath backends (streaming_fixed -> fixed).
+  std::string backend;
+  /// Worker threads for the mask stage's tiled execution mode (backends
+  /// without the capability run single-threaded).
+  int threads = 1;
+  /// Fixed-point formats (used only by fixed-datapath backends).
   FixedBlurConfig fixed = FixedBlurConfig::paper();
   /// Display gamma applied within step 1 (normalisation): the non-linear
   /// masking operates on display-referred values (Moroney, CIC 2000).
@@ -48,6 +63,10 @@ struct PipelineOptions {
 
   /// The kernel implied by sigma/radius.
   GaussianKernel kernel() const;
+
+  /// Resolve these options into an executor (registry lookup + thread /
+  /// datapath configuration). Callers running many frames build this once.
+  exec::PipelineExecutor make_executor() const;
 };
 
 /// All intermediate artefacts of one pipeline run, for inspection, tests
@@ -63,7 +82,13 @@ struct PipelineResult {
 };
 
 /// Run the full pipeline on a linear-light HDR image (1..4 channels).
+/// The mask stage is delegated to the executor implied by `opt`.
 PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt = {});
+
+/// As above but with a caller-owned executor (persistent across frames);
+/// `opt`'s backend/threads fields are ignored in favour of `executor`.
+PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt,
+                        const exec::PipelineExecutor& executor);
 
 /// Convenience wrapper returning only the final image.
 img::ImageF tone_map_image(const img::ImageF& hdr,

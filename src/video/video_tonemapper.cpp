@@ -8,7 +8,7 @@
 namespace tmhls::video {
 
 VideoToneMapper::VideoToneMapper(VideoToneMapperOptions options)
-    : options_(options) {
+    : options_(options), executor_(options.pipeline.make_executor()) {
   TMHLS_REQUIRE(options.adaptation_rate > 0.0 &&
                     options.adaptation_rate <= 1.0,
                 "adaptation rate must be in (0, 1]");
@@ -29,7 +29,7 @@ img::ImageF VideoToneMapper::process(const img::ImageF& frame) {
 
   tonemap::PipelineOptions opt = options_.pipeline;
   opt.normalization_scale = scale_;
-  return tonemap::tone_map_image(frame, opt);
+  return tonemap::tone_map(frame, opt, executor_).output;
 }
 
 void VideoToneMapper::reset() {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "accel/system.hpp"
+#include "exec/executor.hpp"
 #include "image/image.hpp"
 #include "tonemap/pipeline.hpp"
 
@@ -22,7 +23,9 @@ struct VideoToneMapperOptions {
   double adaptation_rate = 0.25;
 };
 
-/// Stateful per-frame tone mapper with temporal scale adaptation.
+/// Stateful per-frame tone mapper with temporal scale adaptation. Resolves
+/// its execution backend once at construction and reuses the executor for
+/// every frame — no per-frame registry lookup or backend re-setup.
 class VideoToneMapper {
 public:
   explicit VideoToneMapper(VideoToneMapperOptions options);
@@ -30,17 +33,21 @@ public:
   /// Tone-map the next frame; updates the adapted scale.
   img::ImageF process(const img::ImageF& frame);
 
+  /// The executor running the mask stage of every frame.
+  const exec::PipelineExecutor& executor() const { return executor_; }
+
   /// The normalisation scale currently adapted to (0 before any frame).
   float current_scale() const { return scale_; }
 
   /// Frames processed so far.
   int frames_processed() const { return frames_; }
 
-  /// Forget the adaptation state.
+  /// Forget the adaptation state (the executor is kept).
   void reset();
 
 private:
   VideoToneMapperOptions options_;
+  exec::PipelineExecutor executor_;
   float scale_ = 0.0f;
   int frames_ = 0;
 };

@@ -1,0 +1,332 @@
+// Tests for the execution-backend layer: registry resolution of the four
+// built-in backends, bit-identity of the tiled multi-threaded mode with
+// the single-threaded golden paths (the host-side analogue of the §III.B
+// claim that restructuring changes the schedule, not the pixels), the
+// HlsCodeBackend's bit-exact equivalence with the golden models, and the
+// executor plumbing the pipeline and CLI ride on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/backends.hpp"
+#include "exec/executor.hpp"
+#include "exec/registry.hpp"
+#include "exec/tiled.hpp"
+#include "tonemap/blur.hpp"
+#include "tonemap/kernel.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::exec {
+namespace {
+
+img::ImageF random_plane(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 1);
+  for (float& v : im.samples()) v = static_cast<float>(rng.uniform());
+  return im;
+}
+
+img::ImageF random_hdr(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  for (float& v : im.samples()) {
+    v = static_cast<float>(rng.uniform() * 100.0 + 1e-3);
+  }
+  return im;
+}
+
+::testing::AssertionResult bit_identical(const img::ImageF& a,
+                                         const img::ImageF& b) {
+  if (!a.same_shape(b)) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  auto sa = a.samples();
+  auto sb = b.samples();
+  if (std::memcmp(sa.data(), sb.data(), sa.size_bytes()) != 0) {
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i] != sb[i]) {
+        return ::testing::AssertionFailure()
+               << "first difference at sample " << i << ": " << sa[i]
+               << " vs " << sb[i];
+      }
+    }
+    return ::testing::AssertionFailure() << "bit pattern difference (NaN?)";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// --- Registry ------------------------------------------------------------
+
+TEST(RegistryTest, AllFourBuiltinsRegisteredAndResolvable) {
+  const BackendRegistry& registry = BackendRegistry::global();
+  for (const char* name :
+       {"separable_float", "streaming_float", "streaming_fixed", "hlscode"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+    const auto backend = registry.resolve(name);
+    ASSERT_NE(backend, nullptr);
+    EXPECT_STREQ(backend->name(), name);
+  }
+  EXPECT_EQ(registry.names().size(), 4u);
+}
+
+TEST(RegistryTest, ResolveReturnsSharedInstance) {
+  const BackendRegistry& registry = BackendRegistry::global();
+  EXPECT_EQ(registry.resolve("hlscode"), registry.resolve("hlscode"));
+}
+
+TEST(RegistryTest, UnknownNameThrowsListingKnownNames) {
+  try {
+    BackendRegistry::global().resolve("gpu");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("streaming_fixed"),
+              std::string::npos);
+  }
+}
+
+TEST(RegistryTest, DuplicateRegistrationThrows) {
+  BackendRegistry registry;
+  register_builtin_backends(registry);
+  EXPECT_THROW(register_builtin_backends(registry), InvalidArgument);
+}
+
+TEST(RegistryTest, CapabilitiesMatchBackendContracts) {
+  const BackendRegistry& registry = BackendRegistry::global();
+  EXPECT_FALSE(
+      registry.resolve("separable_float")->capabilities().streaming);
+  EXPECT_TRUE(registry.resolve("streaming_float")->capabilities().streaming);
+  EXPECT_TRUE(
+      registry.resolve("streaming_fixed")->capabilities().fixed_datapath);
+  EXPECT_EQ(registry.resolve("streaming_fixed")->capabilities().data_bits,
+            16);
+  const BackendCapabilities hls = registry.resolve("hlscode")->capabilities();
+  EXPECT_TRUE(hls.synthesizable);
+  EXPECT_TRUE(hls.float_datapath);
+  EXPECT_TRUE(hls.fixed_datapath);
+  EXPECT_FALSE(hls.tiled_threads);
+  // Dual datapath: 32-bit float plus the 16-bit Pixel16 fixed path.
+  EXPECT_EQ(hls.data_bits, 32);
+  EXPECT_EQ(hls.dual_fixed_data_bits, 16);
+}
+
+// --- Row-band decomposition ----------------------------------------------
+
+TEST(TiledTest, RowBandsPartitionContiguously) {
+  for (int rows : {1, 7, 17, 33}) {
+    for (int bands : {1, 2, 4, 7}) {
+      if (bands > rows) continue;
+      int covered = 0;
+      for (int b = 0; b < bands; ++b) {
+        const RowBand r = row_band(rows, bands, b);
+        EXPECT_EQ(r.begin, covered);
+        EXPECT_GE(r.end - r.begin, rows / bands);
+        EXPECT_LE(r.end - r.begin, rows / bands + 1);
+        covered = r.end;
+      }
+      EXPECT_EQ(covered, rows);
+    }
+  }
+}
+
+// --- Tiled bit-identity --------------------------------------------------
+
+class TiledBitIdentityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TiledBitIdentityTest, FloatMatchesSingleThreadOnOddSizes) {
+  const int threads = GetParam();
+  for (const auto& [w, h] : {std::pair{33, 17}, std::pair{61, 45}}) {
+    const img::ImageF src = random_plane(w, h, 7);
+    const tonemap::GaussianKernel kernel(2.5, 7);
+    const img::ImageF golden = tonemap::blur_separable_float(src, kernel);
+    EXPECT_TRUE(bit_identical(blur_tiled_float(src, kernel, threads), golden))
+        << w << "x" << h << " threads=" << threads;
+  }
+}
+
+TEST_P(TiledBitIdentityTest, FixedMatchesStreamingFixedOnOddSizes) {
+  const int threads = GetParam();
+  const tonemap::FixedBlurConfig cfg = tonemap::FixedBlurConfig::paper();
+  for (const auto& [w, h] : {std::pair{33, 17}, std::pair{61, 45}}) {
+    const img::ImageF src = random_plane(w, h, 11);
+    const tonemap::GaussianKernel kernel(2.5, 7);
+    const img::ImageF golden = tonemap::blur_streaming_fixed(src, kernel, cfg);
+    EXPECT_TRUE(
+        bit_identical(blur_tiled_fixed(src, kernel, cfg, threads), golden))
+        << w << "x" << h << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TiledBitIdentityTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(TiledTest, MoreThreadsThanRowsClampsToRows) {
+  const img::ImageF src = random_plane(9, 3, 3);
+  const tonemap::GaussianKernel kernel(1.5, 4); // radius > band height
+  EXPECT_TRUE(bit_identical(blur_tiled_float(src, kernel, 16),
+                            tonemap::blur_separable_float(src, kernel)));
+}
+
+TEST(TiledTest, BackendsRouteThreadsThroughTiledMode) {
+  const img::ImageF src = random_plane(41, 29, 5);
+  const tonemap::GaussianKernel kernel(3.0, 9);
+  for (const char* name :
+       {"separable_float", "streaming_float", "streaming_fixed"}) {
+    const auto backend = BackendRegistry::global().resolve(name);
+    BlurContext single;
+    BlurContext tiled;
+    tiled.threads = 4;
+    EXPECT_TRUE(bit_identical(backend->run_blur(src, kernel, tiled),
+                              backend->run_blur(src, kernel, single)))
+        << name;
+  }
+}
+
+// --- HlsCodeBackend golden equivalence -----------------------------------
+
+TEST(HlsCodeBackendTest, FloatDatapathMatchesStreamingFloatGolden) {
+  const img::ImageF src = random_plane(37, 23, 13);
+  const tonemap::GaussianKernel kernel(2.0, 6);
+  const HlsCodeBackend backend;
+  EXPECT_TRUE(bit_identical(backend.run_blur(src, kernel, BlurContext{}),
+                            tonemap::blur_streaming_float(src, kernel)));
+}
+
+TEST(HlsCodeBackendTest, FixedDatapathMatchesStreamingFixedGolden) {
+  const img::ImageF src = random_plane(37, 23, 17);
+  const tonemap::GaussianKernel kernel(2.0, 6);
+  const HlsCodeBackend backend;
+  BlurContext ctx;
+  ctx.use_fixed = true;
+  EXPECT_TRUE(bit_identical(
+      backend.run_blur(src, kernel, ctx),
+      tonemap::blur_streaming_fixed(src, kernel,
+                                    tonemap::FixedBlurConfig::paper())));
+}
+
+TEST(HlsCodeBackendTest, RejectsKernelsBeyondStaticBound) {
+  const img::ImageF src = random_plane(8, 8, 1);
+  const tonemap::GaussianKernel kernel(40.0, 120); // 241 taps > kMaxTaps
+  EXPECT_THROW(HlsCodeBackend().run_blur(src, kernel, BlurContext{}),
+               InvalidArgument);
+}
+
+TEST(HlsCodeBackendTest, RejectsNonPaperFixedFormats) {
+  const img::ImageF src = random_plane(8, 8, 1);
+  const tonemap::GaussianKernel kernel(1.0, 3);
+  BlurContext ctx;
+  ctx.use_fixed = true;
+  ctx.fixed.data = fixed::FixedFormat(24, 4);
+  EXPECT_THROW(HlsCodeBackend().run_blur(src, kernel, ctx), InvalidArgument);
+}
+
+// --- Executor ------------------------------------------------------------
+
+TEST(ExecutorTest, ClampsThreadsForBackendsWithoutTiledCapability) {
+  ExecutorOptions opts;
+  opts.threads = 8;
+  EXPECT_EQ(PipelineExecutor("hlscode", opts).effective_threads(), 1);
+  EXPECT_EQ(PipelineExecutor("streaming_float", opts).effective_threads(), 8);
+}
+
+TEST(ExecutorTest, CostHookScalesWithGeometryAndDatapath) {
+  const tonemap::GaussianKernel kernel(2.0, 6);
+  const PipelineExecutor fixed("streaming_fixed");
+  const PipelineExecutor sep("separable_float");
+  const BlurCost fc = fixed.estimate_cost(64, 32, kernel);
+  EXPECT_DOUBLE_EQ(fc.macs, 2.0 * 13 * 64 * 32);
+  // Streaming working set is the 16-bit line buffer; the direct form keeps
+  // a full 32-bit plane.
+  EXPECT_EQ(fc.buffer_bytes, tonemap::line_buffer_bytes(64, 13, 16));
+  EXPECT_EQ(sep.estimate_cost(64, 32, kernel).buffer_bytes,
+            static_cast<std::size_t>(64) * 32 * 4);
+}
+
+// --- Pipeline integration (what the CLI's --backend/--threads hit) --------
+
+TEST(PipelineBackendTest, HlscodeBackendBitIdenticalToStreamingFloat) {
+  const img::ImageF hdr = random_hdr(31, 19, 23);
+  tonemap::PipelineOptions golden;
+  golden.sigma = 2.0;
+  golden.radius = 6;
+  golden.blur = tonemap::BlurKind::streaming_float;
+  tonemap::PipelineOptions hls = golden;
+  hls.backend = "hlscode";
+  EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, hls).output,
+                            tonemap::tone_map(hdr, golden).output));
+}
+
+TEST(PipelineBackendTest, HlscodeFixedBitIdenticalToStreamingFixed) {
+  const img::ImageF hdr = random_hdr(31, 19, 29);
+  tonemap::PipelineOptions golden;
+  golden.sigma = 2.0;
+  golden.radius = 6;
+  golden.blur = tonemap::BlurKind::streaming_fixed;
+  tonemap::PipelineOptions hls = golden;
+  hls.backend = "hlscode";
+  EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, hls).output,
+                            tonemap::tone_map(hdr, golden).output));
+}
+
+TEST(PipelineBackendTest, ThreadedStreamingFixedBitIdenticalToSingle) {
+  const img::ImageF hdr = random_hdr(45, 33, 31);
+  tonemap::PipelineOptions opt;
+  opt.sigma = 2.0;
+  opt.radius = 6;
+  opt.backend = "streaming_fixed";
+  opt.blur = tonemap::BlurKind::streaming_fixed;
+  tonemap::PipelineOptions threaded = opt;
+  threaded.threads = 4;
+  EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, threaded).output,
+                            tonemap::tone_map(hdr, opt).output));
+}
+
+TEST(PipelineBackendTest, ThreadedFloatBackendsBitIdenticalToSingle) {
+  const img::ImageF hdr = random_hdr(45, 33, 37);
+  for (const char* name : {"separable_float", "streaming_float"}) {
+    tonemap::PipelineOptions opt;
+    opt.sigma = 2.0;
+    opt.radius = 6;
+    opt.backend = name;
+    tonemap::PipelineOptions threaded = opt;
+    threaded.threads = 7;
+    EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, threaded).output,
+                              tonemap::tone_map(hdr, opt).output))
+        << name;
+  }
+}
+
+TEST(PipelineBackendTest, PersistentExecutorMatchesPerCallExecutor) {
+  const img::ImageF hdr = random_hdr(21, 21, 41);
+  tonemap::PipelineOptions opt;
+  opt.sigma = 1.5;
+  opt.radius = 4;
+  opt.backend = "streaming_float";
+  opt.threads = 2;
+  const exec::PipelineExecutor executor = opt.make_executor();
+  EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, opt, executor).output,
+                            tonemap::tone_map(hdr, opt).output));
+}
+
+TEST(PipelineBackendTest, UnknownBackendNameThrows) {
+  const img::ImageF hdr = random_hdr(8, 8, 43);
+  tonemap::PipelineOptions opt;
+  opt.backend = "quantum";
+  EXPECT_THROW(tonemap::tone_map(hdr, opt), InvalidArgument);
+}
+
+TEST(PipelineBackendTest, FixedDatapathOnFloatOnlyBackendThrows) {
+  // `--fixed --backend streaming_float` must fail loudly, not silently
+  // produce float output.
+  tonemap::PipelineOptions opt;
+  opt.blur = tonemap::BlurKind::streaming_fixed;
+  opt.backend = "streaming_float";
+  EXPECT_THROW(opt.make_executor(), InvalidArgument);
+  opt.backend = "hlscode"; // dual datapath: fine
+  EXPECT_NO_THROW(opt.make_executor());
+}
+
+} // namespace
+} // namespace tmhls::exec

@@ -5,6 +5,8 @@
 //   tonemap <in> <out.ppm>  [--operator moroney|reinhard|log|gamma|
 //                            histogram|durand] [--sigma S] [--radius R]
 //                            [--fixed] [--brightness B] [--contrast C]
+//                            [--backend separable_float|streaming_float|
+//                             streaming_fixed|hlscode] [--threads N]
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -21,6 +23,7 @@
 #include "accel/system.hpp"
 #include "common/args.hpp"
 #include "common/table.hpp"
+#include "exec/registry.hpp"
 #include "image/stats.hpp"
 #include "imageio/pfm.hpp"
 #include "imageio/pnm.hpp"
@@ -66,6 +69,11 @@ tonemap::PipelineOptions pipeline_options_from(const Args& args) {
   opt.contrast =
       static_cast<float>(args.get_double("contrast", opt.contrast));
   if (args.has("fixed")) opt.blur = tonemap::BlurKind::streaming_fixed;
+  // Execution-backend selection: any registered backend by name, plus the
+  // tiled multi-threaded mode of the CPU backends.
+  opt.backend = args.get_or("backend", "");
+  opt.threads = args.get_int("threads", opt.threads);
+  TMHLS_REQUIRE(opt.threads >= 1, "--threads must be >= 1");
   return opt;
 }
 
@@ -138,6 +146,31 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+int cmd_backends(const Args&) {
+  const exec::BackendRegistry& registry = exec::BackendRegistry::global();
+  TextTable t({"backend", "datapath", "streaming", "synthesizable",
+               "tiled threads", "data bits"});
+  for (const std::string& name : registry.names()) {
+    const auto backend = registry.resolve(name);
+    const exec::BackendCapabilities caps = backend->capabilities();
+    std::string datapath;
+    if (caps.float_datapath) datapath += "float";
+    if (caps.fixed_datapath) datapath += datapath.empty() ? "fixed" : "+fixed";
+    std::string bits = std::to_string(caps.data_bits);
+    if (caps.dual_fixed_data_bits > 0) {
+      // Appended in two steps: the `"/" + to_string(...)` temporary trips
+      // a GCC 12 -Wrestrict false positive (PR105651).
+      bits += '/';
+      bits += std::to_string(caps.dual_fixed_data_bits);
+    }
+    t.add_row({name, datapath, caps.streaming ? "yes" : "no",
+               caps.synthesizable ? "yes" : "no",
+               caps.tiled_threads ? "yes" : "no", bits});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
 int cmd_compare(const Args& args) {
   TMHLS_REQUIRE(args.positional().size() == 2,
                 "usage: tmhls_cli compare <in>");
@@ -163,8 +196,11 @@ void usage() {
   std::cout <<
       "usage: tmhls_cli <command> [options]\n"
       "  tonemap <in> <out>   tone-map an HDR image\n"
+      "                       (--backend <name> selects the execution\n"
+      "                        backend, --threads N the tiled CPU mode)\n"
       "  scene <out>          generate a synthetic HDR scene\n"
       "  analyze              evaluate the Table II design points\n"
+      "  backends             list the registered execution backends\n"
       "  compare <in>         compare operators against moroney\n";
 }
 
@@ -181,6 +217,7 @@ int main(int argc, char** argv) {
     if (cmd == "tonemap") return cmd_tonemap(args);
     if (cmd == "scene") return cmd_scene(args);
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "backends") return cmd_backends(args);
     if (cmd == "compare") return cmd_compare(args);
     usage();
     return 1;
