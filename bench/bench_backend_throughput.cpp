@@ -2,9 +2,22 @@
 // counts for backends with the tiled multi-threaded capability, on the
 // paper's 97-tap workload (sigma 16 -> radius 48). Emits one
 // benchkit::JsonRecord line per measurement (JSONL on stdout) so the perf
-// trajectory accumulates machine-readably across PRs, plus a human table.
+// trajectory accumulates machine-readably across PRs — and feeds back into
+// exec::CostModel::calibrate_from_jsonl — plus a human table.
 //
-//   bench_backend_throughput [--size N] [--reps R] [--max-threads T]
+// Every record carries speedup_vs_separable_float: the single-thread
+// separable_float baseline of the same geometry divided by this
+// measurement, i.e. the host-side analogue of the paper's Table II
+// "speedup over SW source code" column.
+//
+//   bench_backend_throughput [--size N] [--height N] [--reps R]
+//                            [--max-threads T] [--sweep]
+//
+// The main workload is size x height (default 3*size/4 — the paper's 4:3
+// frame, 1024x768 at --size 1024). --sweep adds lane-eligibility width
+// sweeps w in {31, 32, 33, 512, 1024} at height 96: widths below, at and
+// just past the SIMD lane/radius boundaries, where the vector path's
+// border handling and scalar tails dominate.
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -40,59 +53,88 @@ double seconds_per_blur(const exec::PipelineExecutor& executor,
   return best;
 }
 
+struct Geometry {
+  int width = 0;
+  int height = 0;
+};
+
 } // namespace
 
 int main(int argc, char** argv) {
   try {
-    const Args args(argc, argv);
+    const Args args(argc, argv, {"sweep"});
     const int size = args.get_int("size", 512);
+    const int height = args.get_int("height", std::max(1, 3 * size / 4));
     const int reps = args.get_int("reps", 3);
     const int max_threads = args.get_int("max-threads", 8);
-    TMHLS_REQUIRE(size > 0 && reps > 0 && max_threads >= 1,
-                  "size, reps and max-threads must be positive");
+    TMHLS_REQUIRE(size > 0 && height > 0 && reps > 0 && max_threads >= 1,
+                  "size, height, reps and max-threads must be positive");
 
     // The paper-reproduction pipeline's 97-tap mask kernel.
     const tonemap::GaussianKernel kernel(16.0, 48);
-    const img::ImageF plane =
-        img::luminance(io::paper_test_image(size));
+
+    std::vector<Geometry> geometries = {{size, height}};
+    if (args.has("sweep")) {
+      for (int w : {31, 32, 33, 512, 1024}) {
+        geometries.push_back({w, 96});
+      }
+    }
 
     // Human-readable output goes to stderr: stdout carries only the JSONL
     // records, so `bench_backend_throughput >> perf.jsonl` stays parseable.
-    benchkit::print_header("Backend throughput, " + std::to_string(size) +
-                               "x" + std::to_string(size) + ", " +
-                               std::to_string(kernel.taps()) + " taps",
-                           std::cerr);
+    benchkit::print_header(
+        "Backend throughput, " + std::to_string(kernel.taps()) + " taps",
+        std::cerr);
 
-    TextTable table({"backend", "threads", "ms/frame", "fps", "speedup"});
+    TextTable table({"backend", "width", "height", "threads", "ms/frame",
+                     "fps", "speedup", "vs sep_float"});
     const exec::BackendRegistry& registry = exec::BackendRegistry::global();
-    for (const std::string& name : registry.names()) {
-      const auto backend = registry.resolve(name);
-      std::vector<int> thread_counts = {1};
-      if (backend->capabilities().tiled_threads) {
-        for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
-      }
-      double single_thread_s = 0.0;
-      for (int threads : thread_counts) {
-        exec::ExecutorOptions opts;
-        opts.threads = threads;
-        const exec::PipelineExecutor executor(backend, opts);
-        const double s = seconds_per_blur(executor, plane, kernel, reps);
-        if (threads == 1) single_thread_s = s;
-        const double speedup = single_thread_s > 0.0 ? single_thread_s / s
-                                                     : 0.0;
-        table.add_row({name, std::to_string(threads),
-                       format_fixed(s * 1e3, 2), format_fixed(1.0 / s, 2),
-                       format_fixed(speedup, 2)});
-        benchkit::JsonRecord record("backend_throughput");
-        record.field("backend", name)
-            .field("threads", threads)
-            .field("width", size)
-            .field("height", size)
-            .field("taps", kernel.taps())
-            .field("seconds_per_frame", s)
-            .field("fps", 1.0 / s)
-            .field("speedup_vs_single_thread", speedup)
-            .emit();
+    for (const Geometry& g : geometries) {
+      const img::ImageF plane = img::luminance(io::generate_hdr_scene(
+          io::SceneKind::window_interior, g.width, g.height, 2018));
+
+      // The single-thread separable_float baseline every record of this
+      // geometry is normalised against.
+      const double baseline_s = seconds_per_blur(
+          exec::PipelineExecutor("separable_float"), plane, kernel, reps);
+
+      for (const std::string& name : registry.names()) {
+        const auto backend = registry.resolve(name);
+        const exec::BackendCapabilities caps = backend->capabilities();
+        if (caps.max_taps > 0 && kernel.taps() > caps.max_taps) continue;
+        std::vector<int> thread_counts = {1};
+        if (caps.tiled_threads) {
+          for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
+        }
+        double single_thread_s = 0.0;
+        for (int threads : thread_counts) {
+          exec::ExecutorOptions opts;
+          opts.threads = threads;
+          const exec::PipelineExecutor executor(backend, opts);
+          const double s =
+              name == "separable_float" && threads == 1
+                  ? baseline_s
+                  : seconds_per_blur(executor, plane, kernel, reps);
+          if (threads == 1) single_thread_s = s;
+          const double speedup = single_thread_s > 0.0 ? single_thread_s / s
+                                                       : 0.0;
+          const double vs_sep = s > 0.0 ? baseline_s / s : 0.0;
+          table.add_row({name, std::to_string(g.width),
+                         std::to_string(g.height), std::to_string(threads),
+                         format_fixed(s * 1e3, 2), format_fixed(1.0 / s, 2),
+                         format_fixed(speedup, 2), format_fixed(vs_sep, 2)});
+          benchkit::JsonRecord record("backend_throughput");
+          record.field("backend", name)
+              .field("threads", threads)
+              .field("width", g.width)
+              .field("height", g.height)
+              .field("taps", kernel.taps())
+              .field("seconds_per_frame", s)
+              .field("fps", 1.0 / s)
+              .field("speedup_vs_single_thread", speedup)
+              .field("speedup_vs_separable_float", vs_sep)
+              .emit();
+        }
       }
     }
     std::cerr << '\n' << table.render();

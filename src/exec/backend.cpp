@@ -1,6 +1,9 @@
 #include "exec/backend.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "exec/cost_model.hpp"
 
 namespace tmhls::exec {
 
@@ -31,7 +34,25 @@ BlurCost Backend::estimate_cost(int width, int height,
                         static_cast<std::size_t>(height) *
                         (static_cast<std::size_t>(elem_bits) / 8u);
   }
+  // Wall-time term from the measured per-MAC throughput; linear scaling
+  // over the tiled worker count is an optimistic bound, but a consistent
+  // one across backends, which is all ranking needs.
+  const double mps = CostModel::global().macs_per_second(name());
+  if (mps > 0.0) {
+    const int threads =
+        caps.tiled_threads ? std::max(1, ctx.threads) : 1;
+    cost.seconds = cost.macs / (mps * static_cast<double>(threads));
+  }
   return cost;
+}
+
+bool Backend::can_run(const tonemap::GaussianKernel& kernel,
+                      const BlurContext& ctx) const {
+  const BackendCapabilities caps = capabilities();
+  if (ctx.use_fixed ? !caps.fixed_datapath : !caps.float_datapath) {
+    return false;
+  }
+  return caps.max_taps == 0 || kernel.taps() <= caps.max_taps;
 }
 
 } // namespace tmhls::exec

@@ -43,6 +43,12 @@ struct BackendCapabilities {
   /// (data_bits then describes the float one); 0 when not applicable or
   /// when data_bits already describes the fixed datapath.
   int dual_fixed_data_bits = 0;
+  /// Output pixels computed per SIMD vector by the implementation's inner
+  /// loops; 1 for scalar implementations.
+  int simd_lanes = 1;
+  /// Largest kernel tap count the implementation supports (a static bound
+  /// such as the synthesizable kernels' kMaxTaps); 0 means unbounded.
+  int max_taps = 0;
 };
 
 /// Per-call execution parameters handed to Backend::run_blur.
@@ -66,6 +72,12 @@ struct BlurCost {
   /// Working-set bytes of the implementation's intermediate storage (line
   /// buffer for streaming backends, full temporary plane otherwise).
   std::size_t buffer_bytes = 0;
+  /// Estimated wall time of the invocation at the context's thread count,
+  /// from the backend's measured per-MAC throughput (CostModel: priors
+  /// overridable by bench_backend_throughput JSONL calibration). 0 when no
+  /// throughput figure is known for the backend. Thread scaling is assumed
+  /// linear — an optimistic bound, good enough for ranking backends.
+  double seconds = 0.0;
 };
 
 /// One execution strategy for the Gaussian mask blur.
@@ -86,12 +98,22 @@ public:
 
   /// Cost hook with a capability-derived default: 2 passes x taps MACs per
   /// pixel; line-buffer storage for streaming backends, a full temporary
-  /// plane otherwise. `ctx` selects the datapath the estimate is for:
-  /// fixed-datapath backends size elements from ctx.fixed, dual-datapath
-  /// backends from ctx.use_fixed.
+  /// plane otherwise; wall time from the CostModel's per-MAC throughput.
+  /// `ctx` selects the datapath the estimate is for: fixed-datapath
+  /// backends size elements from ctx.fixed, dual-datapath backends from
+  /// ctx.use_fixed.
   virtual BlurCost estimate_cost(int width, int height,
                                  const tonemap::GaussianKernel& kernel,
                                  const BlurContext& ctx = {}) const;
+
+  /// Whether this backend can execute a blur of `kernel` under `ctx`. The
+  /// default checks the datapath the context selects and the kernel against
+  /// the capability struct (fixed/float datapath, max_taps); backends with
+  /// restrictions the struct cannot express (e.g. hlscode's paper-format-
+  /// only fixed datapath) override. Automatic backend selection filters
+  /// candidates through this hook.
+  virtual bool can_run(const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const;
 };
 
 } // namespace tmhls::exec

@@ -4,6 +4,7 @@
 #include "exec/registry.hpp"
 #include "exec/tiled.hpp"
 #include "hlscode/blur_kernels.hpp"
+#include "tonemap/blur_passes.hpp"
 
 namespace tmhls::exec {
 
@@ -30,6 +31,23 @@ img::ImageF SeparableFloatBackend::run_blur(
     const BlurContext& ctx) const {
   if (ctx.threads > 1) return blur_tiled_float(intensity, kernel, ctx.threads);
   return tonemap::blur_separable_float(intensity, kernel);
+}
+
+BackendCapabilities SeparableSimdBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.float_datapath = true;
+  caps.tiled_threads = true;
+  caps.data_bits = 32;
+  caps.simd_lanes = tonemap::kSimdDefaultLanes;
+  return caps;
+}
+
+img::ImageF SeparableSimdBackend::run_blur(
+    const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
+    const BlurContext& ctx) const {
+  // Single source for both modes: blur_tiled_simd runs the SIMD pass
+  // primitives over one band (threads == 1) or the banded decomposition.
+  return blur_tiled_simd(intensity, kernel, ctx.threads);
 }
 
 BackendCapabilities StreamingFloatBackend::capabilities() const {
@@ -77,7 +95,17 @@ BackendCapabilities HlsCodeBackend::capabilities() const {
   caps.data_bits = 32; // the float datapath
   caps.dual_fixed_data_bits =
       tonemap::FixedBlurConfig::paper().data.width(); // the Pixel16 one
+  caps.max_taps = hlscode::kMaxTaps; // the synthesizable static bound
   return caps;
+}
+
+bool HlsCodeBackend::can_run(const tonemap::GaussianKernel& kernel,
+                             const BlurContext& ctx) const {
+  if (!Backend::can_run(kernel, ctx)) return false;
+  if (!ctx.use_fixed) return true;
+  const tonemap::FixedBlurConfig paper = tonemap::FixedBlurConfig::paper();
+  return ctx.fixed.data == paper.data &&
+         ctx.fixed.accumulator == paper.accumulator;
 }
 
 img::ImageF HlsCodeBackend::run_blur(const img::ImageF& intensity,
@@ -101,6 +129,9 @@ img::ImageF HlsCodeBackend::run_blur(const img::ImageF& intensity,
 void register_builtin_backends(BackendRegistry& registry) {
   registry.register_backend("separable_float", [] {
     return std::make_shared<const SeparableFloatBackend>();
+  });
+  registry.register_backend("separable_simd", [] {
+    return std::make_shared<const SeparableSimdBackend>();
   });
   registry.register_backend("streaming_float", [] {
     return std::make_shared<const StreamingFloatBackend>();

@@ -1,7 +1,13 @@
-// The four built-in execution backends:
+// The five built-in execution backends:
 //
 //   SeparableFloatBackend — the original CPU form (direct neighbour
 //       indexing), the paper's "SW source code" baseline.
+//   SeparableSimdBackend  — the separable form with interior/border-split
+//       rows and the interior vectorized across pixels (GCC/Clang vector
+//       extensions); bit-identical to the separable form because every
+//       vector lane runs one pixel's scalar tap sequence unchanged. The
+//       vectorize-don't-rewrite move is the same algorithm/schedule split
+//       the paper's HLS pragmas apply on the FPGA, applied to the host.
 //   StreamingFloatBackend — the §III.B restructured line-buffer form,
 //       float datapath; numerically identical to the separable form.
 //   StreamingFixedBackend — the §III.C restructured form with the
@@ -23,6 +29,15 @@ namespace tmhls::exec {
 class SeparableFloatBackend final : public Backend {
 public:
   const char* name() const override { return "separable_float"; }
+  BackendCapabilities capabilities() const override;
+  img::ImageF run_blur(const img::ImageF& intensity,
+                       const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const override;
+};
+
+class SeparableSimdBackend final : public Backend {
+public:
+  const char* name() const override { return "separable_simd"; }
   BackendCapabilities capabilities() const override;
   img::ImageF run_blur(const img::ImageF& intensity,
                        const tonemap::GaussianKernel& kernel,
@@ -54,6 +69,11 @@ public:
   img::ImageF run_blur(const img::ImageF& intensity,
                        const tonemap::GaussianKernel& kernel,
                        const BlurContext& ctx) const override;
+  /// Adds the synthesizable restriction the capability struct cannot
+  /// express: the fixed datapath exists only in the paper's ap_fixed<16,2>
+  /// formats.
+  bool can_run(const tonemap::GaussianKernel& kernel,
+               const BlurContext& ctx) const override;
 };
 
 } // namespace tmhls::exec

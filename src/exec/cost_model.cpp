@@ -1,0 +1,139 @@
+#include "exec/cost_model.hpp"
+
+#include <cstdlib>
+#include <istream>
+
+#include "common/error.hpp"
+
+namespace tmhls::exec {
+
+namespace {
+
+/// Locate `"key":` in a JSONL line and return the offset just past the
+/// colon, or npos. Keys are emitted unescaped by bench_common's
+/// JsonRecord, so a plain substring search is exact.
+std::size_t value_offset(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+bool parse_string_field(const std::string& line, const std::string& key,
+                        std::string& out) {
+  std::size_t pos = value_offset(line, key);
+  if (pos == std::string::npos || pos >= line.size() || line[pos] != '"') {
+    return false;
+  }
+  const std::size_t end = line.find('"', pos + 1);
+  if (end == std::string::npos) return false;
+  out = line.substr(pos + 1, end - pos - 1);
+  return true;
+}
+
+bool parse_number_field(const std::string& line, const std::string& key,
+                        double& out) {
+  const std::size_t pos = value_offset(line, key);
+  if (pos == std::string::npos) return false;
+  const char* begin = line.c_str() + pos;
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin) return false;
+  out = v;
+  return true;
+}
+
+} // namespace
+
+std::vector<ThroughputRecord> parse_throughput_jsonl(std::istream& in) {
+  std::vector<ThroughputRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string bench;
+    if (!parse_string_field(line, "bench", bench) ||
+        bench != "backend_throughput") {
+      continue;
+    }
+    ThroughputRecord r;
+    double threads = 0.0;
+    double width = 0.0;
+    double height = 0.0;
+    double taps = 0.0;
+    if (!parse_string_field(line, "backend", r.backend) ||
+        !parse_number_field(line, "threads", threads) ||
+        !parse_number_field(line, "width", width) ||
+        !parse_number_field(line, "height", height) ||
+        !parse_number_field(line, "taps", taps) ||
+        !parse_number_field(line, "seconds_per_frame",
+                            r.seconds_per_frame)) {
+      continue;
+    }
+    r.threads = static_cast<int>(threads);
+    r.width = static_cast<int>(width);
+    r.height = static_cast<int>(height);
+    r.taps = static_cast<int>(taps);
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+CostModel::CostModel() {
+  // Single-thread MACs/second priors, measured with bench_backend_throughput
+  // (1024x768, 97 taps, best of 3) on the reference container. They exist so
+  // estimate_cost and automatic selection work out of the box; any real
+  // calibration run replaces them.
+  macs_per_second_ = {
+      {"separable_float", 1.50e9},
+      {"separable_simd", 8.56e9},
+      {"streaming_float", 0.79e9},
+      {"streaming_fixed", 0.23e9},
+      {"hlscode", 0.81e9},
+  };
+}
+
+double CostModel::macs_per_second(const std::string& backend) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = macs_per_second_.find(backend);
+  return it == macs_per_second_.end() ? 0.0 : it->second;
+}
+
+void CostModel::set_macs_per_second(const std::string& backend,
+                                    double macs_per_s) {
+  TMHLS_REQUIRE(macs_per_s > 0.0,
+                "cost model: throughput must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  macs_per_second_[backend] = macs_per_s;
+}
+
+int CostModel::calibrate(const std::vector<ThroughputRecord>& records) {
+  // Best observed single-thread throughput per backend in this batch.
+  std::map<std::string, double> best;
+  for (const ThroughputRecord& r : records) {
+    if (r.threads != 1 || r.seconds_per_frame <= 0.0 || r.width <= 0 ||
+        r.height <= 0 || r.taps <= 0) {
+      continue;
+    }
+    const double macs = 2.0 * static_cast<double>(r.taps) *
+                        static_cast<double>(r.width) *
+                        static_cast<double>(r.height);
+    const double mps = macs / r.seconds_per_frame;
+    auto [it, inserted] = best.emplace(r.backend, mps);
+    if (!inserted && mps > it->second) it->second = mps;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [backend, mps] : best) {
+    macs_per_second_[backend] = mps;
+  }
+  return static_cast<int>(best.size());
+}
+
+int CostModel::calibrate_from_jsonl(std::istream& in) {
+  return calibrate(parse_throughput_jsonl(in));
+}
+
+CostModel& CostModel::global() {
+  static CostModel* model = new CostModel();
+  return *model;
+}
+
+} // namespace tmhls::exec

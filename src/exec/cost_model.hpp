@@ -1,0 +1,70 @@
+// Measured per-backend MAC throughput — the calibration term behind
+// Backend::estimate_cost's wall-time estimate and the seed of the ROADMAP's
+// backend autotuner.
+//
+// The model is deliberately one number per backend: sustained single-thread
+// MACs/second on the separable blur. It ships with priors measured once on
+// the reference dev container, and is re-calibrated from the JSONL records
+// bench_backend_throughput emits (run the bench on the deployment machine,
+// feed the records back in — e.g. `tmhls_cli backends --calibration
+// perf.jsonl`), so estimates track the hardware actually serving traffic.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tmhls::exec {
+
+/// One bench_backend_throughput measurement, as parsed from its JSONL
+/// record stream.
+struct ThroughputRecord {
+  std::string backend;
+  int threads = 1;
+  int width = 0;
+  int height = 0;
+  int taps = 0;
+  double seconds_per_frame = 0.0;
+};
+
+/// Parse a bench_backend_throughput JSONL stream (one record per line).
+/// Lines of other benches and malformed lines are skipped, so a mixed
+/// perf-trajectory file feeds in directly.
+std::vector<ThroughputRecord> parse_throughput_jsonl(std::istream& in);
+
+/// Per-backend sustained MAC throughput, thread-safe. Unknown backends
+/// report 0 (no estimate) rather than a guess.
+class CostModel {
+public:
+  /// Seeded with single-thread priors for the built-in backends, measured
+  /// on the reference container (GCC 12, -O3, x86-64). Calibration
+  /// replaces them with real measurements.
+  CostModel();
+
+  /// Sustained single-thread MACs/second of `backend`; 0 when unknown.
+  double macs_per_second(const std::string& backend) const;
+
+  /// Set or override one backend's throughput figure directly.
+  void set_macs_per_second(const std::string& backend, double macs_per_s);
+
+  /// Fold measured records in: each single-thread record yields
+  /// 2 * taps * width * height / seconds_per_frame MACs/s, and a backend's
+  /// entry becomes its best observed figure (capability, not average).
+  /// Multi-thread records are ignored (the model is per-thread). Returns
+  /// the number of backends updated.
+  int calibrate(const std::vector<ThroughputRecord>& records);
+
+  /// parse_throughput_jsonl + calibrate in one call.
+  int calibrate_from_jsonl(std::istream& in);
+
+  /// The process-wide model estimate_cost consults.
+  static CostModel& global();
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> macs_per_second_;
+};
+
+} // namespace tmhls::exec

@@ -38,4 +38,36 @@ BlurContext PipelineExecutor::context() const {
   return ctx;
 }
 
+std::shared_ptr<const Backend> select_auto_backend(
+    int width, int height, const tonemap::GaussianKernel& kernel,
+    const ExecutorOptions& options, const BackendRegistry& registry) {
+  std::shared_ptr<const Backend> best;
+  bool best_has_time = false;
+  double best_key = 0.0;
+  for (const std::string& name : registry.names()) {
+    const auto backend = registry.resolve(name);
+    BlurContext ctx;
+    ctx.fixed = options.fixed;
+    ctx.use_fixed = options.use_fixed;
+    ctx.threads =
+        backend->capabilities().tiled_threads ? options.threads : 1;
+    if (!backend->can_run(kernel, ctx)) continue;
+    const BlurCost cost = backend->estimate_cost(width, height, kernel, ctx);
+    // Rank by estimated wall time; uncalibrated backends (seconds == 0)
+    // fall back to the MAC count and sort after every timed candidate.
+    const bool has_time = cost.seconds > 0.0;
+    const double key = has_time ? cost.seconds : cost.macs;
+    if (!best || (has_time && !best_has_time) ||
+        (has_time == best_has_time && key < best_key)) {
+      best = backend;
+      best_has_time = has_time;
+      best_key = key;
+    }
+  }
+  TMHLS_REQUIRE(best != nullptr,
+                "auto backend selection: no registered backend can run "
+                "this request (datapath or kernel size unsupported)");
+  return best;
+}
+
 } // namespace tmhls::exec

@@ -61,4 +61,17 @@ private:
   ExecutorOptions options_;
 };
 
+/// The cheapest capable backend for a blur request — what `--backend auto`
+/// resolves to. Candidates are the registry's backends whose can_run hook
+/// accepts the request (datapath, tap bounds, format restrictions), ranked
+/// by estimate_cost's calibrated wall-time term at the options' thread
+/// count; backends without a throughput figure rank after every backend
+/// with one. Ties break by name (the registry's sorted order), keeping the
+/// choice deterministic. Throws InvalidArgument when no registered backend
+/// can run the request.
+std::shared_ptr<const Backend> select_auto_backend(
+    int width, int height, const tonemap::GaussianKernel& kernel,
+    const ExecutorOptions& options = {},
+    const BackendRegistry& registry = BackendRegistry::global());
+
 } // namespace tmhls::exec

@@ -10,6 +10,8 @@ namespace tmhls::exec {
 void BackendRegistry::register_backend(const std::string& name,
                                        Factory factory) {
   TMHLS_REQUIRE(!name.empty(), "backend name must not be empty");
+  TMHLS_REQUIRE(name != "auto",
+                "backend name 'auto' is reserved for automatic selection");
   TMHLS_REQUIRE(factory != nullptr, "backend factory must not be null");
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [existing, entry] : entries_) {

@@ -1,7 +1,9 @@
 // Name-indexed registry of execution backends. The global() registry is
-// pre-seeded with the four built-in implementations; tools resolve the
+// pre-seeded with the five built-in implementations; tools resolve the
 // user's --backend string through it, and future PRs plug new strategies
-// (GPU, remote, cached) in by registering a factory.
+// (GPU, remote, cached) in by registering a factory. The name "auto" is
+// reserved: it selects the cheapest capable backend via
+// exec::select_auto_backend instead of naming one.
 #pragma once
 
 #include <functional>
@@ -34,7 +36,8 @@ public:
   std::vector<std::string> names() const;
 
   /// The process-wide registry, pre-seeded with the built-in backends:
-  /// separable_float, streaming_float, streaming_fixed, hlscode.
+  /// separable_float, separable_simd, streaming_float, streaming_fixed,
+  /// hlscode.
   static BackendRegistry& global();
 
 private:
@@ -46,7 +49,7 @@ private:
   std::vector<std::pair<std::string, Entry>> entries_;
 };
 
-/// Register the four built-in backends into `registry` (idempotent on the
+/// Register the five built-in backends into `registry` (idempotent on the
 /// names: throws if one is already present). global() calls this once.
 void register_builtin_backends(BackendRegistry& registry);
 

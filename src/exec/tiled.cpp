@@ -71,6 +71,54 @@ int clamp_bands(int threads, int rows) {
   return std::min({threads, rows, kMaxBands});
 }
 
+/// One horizontal or vertical float row-range pass (scalar or SIMD form).
+using FloatRowPass = void (*)(const img::ImageF&, img::ImageF&,
+                              const tonemap::GaussianKernel&, int, int);
+
+/// The shared band scaffolding of the float blur: both the scalar and the
+/// SIMD backends run the identical decomposition, halo exchange and
+/// fallback, differing only in which pass primitives process the bands.
+img::ImageF blur_tiled_float_with(const img::ImageF& src,
+                                  const tonemap::GaussianKernel& kernel,
+                                  int threads, FloatRowPass hpass,
+                                  FloatRowPass vpass) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  const int h = src.height();
+  const int bands = clamp_bands(threads, h);
+
+  img::ImageF tmp(src.width(), h, 1);
+  img::ImageF dst(src.width(), h, 1);
+  const bool parallel_ok =
+      bands > 1 && run_banded(bands, [&](int band, std::barrier<>& sync) {
+        const RowBand r = row_band(h, bands, band);
+        hpass(src, tmp, kernel, r.begin, r.end);
+        // Halo exchange: the vertical pass reads up to `radius` rows of
+        // `tmp` owned by neighbouring bands; the barrier publishes them.
+        sync.arrive_and_wait();
+        vpass(tmp, dst, kernel, r.begin, r.end);
+      });
+  if (!parallel_ok) {
+    // bands == 1, or thread spawning was cut short (partial results in
+    // tmp/dst are fully overwritten here).
+    hpass(src, tmp, kernel, 0, h);
+    vpass(tmp, dst, kernel, 0, h);
+  }
+  return dst;
+}
+
+// Default-lane-width adapters matching the FloatRowPass signature.
+void hpass_simd_default(const img::ImageF& src, img::ImageF& dst,
+                        const tonemap::GaussianKernel& kernel, int y_begin,
+                        int y_end) {
+  tonemap::blur_hpass_float_rows_simd(src, dst, kernel, y_begin, y_end);
+}
+
+void vpass_simd_default(const img::ImageF& tmp, img::ImageF& dst,
+                        const tonemap::GaussianKernel& kernel, int y_begin,
+                        int y_end) {
+  tonemap::blur_vpass_float_rows_simd(tmp, dst, kernel, y_begin, y_end);
+}
+
 } // namespace
 
 RowBand row_band(int rows, int bands, int band) {
@@ -87,28 +135,16 @@ RowBand row_band(int rows, int bands, int band) {
 img::ImageF blur_tiled_float(const img::ImageF& src,
                              const tonemap::GaussianKernel& kernel,
                              int threads) {
-  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
-  const int h = src.height();
-  const int bands = clamp_bands(threads, h);
+  return blur_tiled_float_with(src, kernel, threads,
+                               &tonemap::blur_hpass_float_rows,
+                               &tonemap::blur_vpass_float_rows);
+}
 
-  img::ImageF tmp(src.width(), h, 1);
-  img::ImageF dst(src.width(), h, 1);
-  const bool parallel_ok =
-      bands > 1 && run_banded(bands, [&](int band, std::barrier<>& sync) {
-        const RowBand r = row_band(h, bands, band);
-        tonemap::blur_hpass_float_rows(src, tmp, kernel, r.begin, r.end);
-        // Halo exchange: the vertical pass reads up to `radius` rows of
-        // `tmp` owned by neighbouring bands; the barrier publishes them.
-        sync.arrive_and_wait();
-        tonemap::blur_vpass_float_rows(tmp, dst, kernel, r.begin, r.end);
-      });
-  if (!parallel_ok) {
-    // bands == 1, or thread spawning was cut short (partial results in
-    // tmp/dst are fully overwritten here).
-    tonemap::blur_hpass_float_rows(src, tmp, kernel, 0, h);
-    tonemap::blur_vpass_float_rows(tmp, dst, kernel, 0, h);
-  }
-  return dst;
+img::ImageF blur_tiled_simd(const img::ImageF& src,
+                            const tonemap::GaussianKernel& kernel,
+                            int threads) {
+  return blur_tiled_float_with(src, kernel, threads, &hpass_simd_default,
+                               &vpass_simd_default);
 }
 
 img::ImageF blur_tiled_fixed(const img::ImageF& src,

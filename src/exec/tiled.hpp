@@ -27,6 +27,13 @@ img::ImageF blur_tiled_float(const img::ImageF& src,
                              const tonemap::GaussianKernel& kernel,
                              int threads);
 
+/// Tiled float blur through the SIMD pass primitives (vectorized across
+/// pixels); bit-identical to blur_separable_float and blur_tiled_float for
+/// any `threads` >= 1, with the same clamping and fallback behaviour.
+img::ImageF blur_tiled_simd(const img::ImageF& src,
+                            const tonemap::GaussianKernel& kernel,
+                            int threads);
+
 /// Tiled fixed-point blur; bit-identical to blur_streaming_fixed.
 img::ImageF blur_tiled_fixed(const img::ImageF& src,
                              const tonemap::GaussianKernel& kernel,

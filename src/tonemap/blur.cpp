@@ -7,13 +7,7 @@
 
 namespace tmhls::tonemap {
 
-namespace {
-
-int clamp_index(int v, int limit) {
-  return v < 0 ? 0 : (v >= limit ? limit - 1 : v);
-}
-
-} // namespace
+using detail::clamp_index;
 
 img::ImageF blur_separable_float(const img::ImageF& src,
                                  const GaussianKernel& kernel) {

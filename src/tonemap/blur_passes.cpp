@@ -1,43 +1,94 @@
 #include "tonemap/blur_passes.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "fixed/fixed_format.hpp"
 
 namespace tmhls::tonemap {
 
-namespace {
-
-int clamp_index(int v, int limit) {
-  return v < 0 ? 0 : (v >= limit ? limit - 1 : v);
-}
+namespace detail {
 
 void check_range(int y_begin, int y_end, int height) {
   TMHLS_REQUIRE(y_begin >= 0 && y_begin <= y_end && y_end <= height,
                 "blur pass: row range out of bounds");
 }
 
-} // namespace
+ColumnRange interior_columns(int width, int radius) {
+  ColumnRange r;
+  r.begin = std::min(radius, width);
+  r.end = std::max(r.begin, width - radius);
+  return r;
+}
+
+void hpass_float_border(const float* row, float* out, const float* wts,
+                        int taps, int radius, int width, int x0, int x1) {
+  for (int x = x0; x < x1; ++x) {
+    float acc = 0.0f;
+    for (int i = 0; i < taps; ++i) {
+      acc += wts[i] * row[clamp_index(x - radius + i, width)];
+    }
+    out[x] = acc;
+  }
+}
+
+void hpass_float_interior(const float* row, float* out, const float* wts,
+                          int taps, int radius, int x0, int x1) {
+  for (int x = x0; x < x1; ++x) {
+    const float* base = row + (x - radius);
+    float acc = 0.0f;
+    for (int i = 0; i < taps; ++i) acc += wts[i] * base[i];
+    out[x] = acc;
+  }
+}
+
+void vpass_float_columns(const float* const* rows, float* out,
+                         const float* wts, int taps, int x0, int x1) {
+  for (int x = x0; x < x1; ++x) {
+    float acc = 0.0f;
+    for (int i = 0; i < taps; ++i) acc += wts[i] * rows[i][x];
+    out[x] = acc;
+  }
+}
+
+void hpass_fixed_border(const std::int64_t* row, std::int64_t* out,
+                        const FixedBlurPlan& plan, int width, int x0,
+                        int x1) {
+  const int radius = plan.radius();
+  const int taps = plan.taps();
+  const std::int64_t* wq = plan.weights().data();
+  for (int x = x0; x < x1; ++x) {
+    std::int64_t acc = 0;
+    for (int i = 0; i < taps; ++i) {
+      acc = plan.mac(acc, wq[i], row[clamp_index(x - radius + i, width)]);
+    }
+    out[x] = plan.acc_to_data(acc);
+  }
+}
+
+} // namespace detail
 
 void blur_hpass_float_rows(const img::ImageF& src, img::ImageF& dst,
                            const GaussianKernel& kernel, int y_begin,
                            int y_end) {
   TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
   TMHLS_REQUIRE(src.same_shape(dst), "blur pass: shape mismatch");
-  check_range(y_begin, y_end, src.height());
+  detail::check_range(y_begin, y_end, src.height());
   const int w = src.width();
   const int radius = kernel.radius();
   const int taps = kernel.taps();
-  const auto& wts = kernel.weights();
+  const float* wts = kernel.weights().data();
+  const detail::ColumnRange in = detail::interior_columns(w, radius);
 
   for (int y = y_begin; y < y_end; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0.0f;
-      for (int i = 0; i < taps; ++i) {
-        acc += wts[static_cast<std::size_t>(i)] *
-               src.at_unchecked(clamp_index(x - radius + i, w), y);
-      }
-      dst.at_unchecked(x, y) = acc;
-    }
+    const float* row = &src.at_unchecked(0, y);
+    float* out = &dst.at_unchecked(0, y);
+    detail::hpass_float_border(row, out, wts, taps, radius, w, 0, in.begin);
+    // Interior: the tap window never leaves the row, so the taps read a
+    // contiguous window with no clamp branch.
+    detail::hpass_float_interior(row, out, wts, taps, radius, in.begin,
+                                 in.end);
+    detail::hpass_float_border(row, out, wts, taps, radius, w, in.end, w);
   }
 }
 
@@ -46,22 +97,23 @@ void blur_vpass_float_rows(const img::ImageF& tmp, img::ImageF& dst,
                            int y_end) {
   TMHLS_REQUIRE(tmp.channels() == 1, "blur expects a 1-channel image");
   TMHLS_REQUIRE(tmp.same_shape(dst), "blur pass: shape mismatch");
-  check_range(y_begin, y_end, tmp.height());
+  detail::check_range(y_begin, y_end, tmp.height());
   const int w = tmp.width();
   const int h = tmp.height();
   const int radius = kernel.radius();
   const int taps = kernel.taps();
-  const auto& wts = kernel.weights();
+  const float* wts = kernel.weights().data();
 
+  // The vertical clamp depends only on (y, i), never on x: hoist it out of
+  // the pixel loop as per-tap source-row pointers.
+  std::vector<const float*> rows(static_cast<std::size_t>(taps));
   for (int y = y_begin; y < y_end; ++y) {
-    for (int x = 0; x < w; ++x) {
-      float acc = 0.0f;
-      for (int i = 0; i < taps; ++i) {
-        acc += wts[static_cast<std::size_t>(i)] *
-               tmp.at_unchecked(x, clamp_index(y - radius + i, h));
-      }
-      dst.at_unchecked(x, y) = acc;
+    for (int i = 0; i < taps; ++i) {
+      rows[static_cast<std::size_t>(i)] =
+          &tmp.at_unchecked(0, detail::clamp_index(y - radius + i, h));
     }
+    float* out = &dst.at_unchecked(0, y);
+    detail::vpass_float_columns(rows.data(), out, wts, taps, 0, w);
   }
 }
 
@@ -100,7 +152,7 @@ void FixedBlurPlan::quantise_rows(const img::ImageF& src,
   TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
   TMHLS_REQUIRE(dst.size() == src.pixel_count(),
                 "quantise_rows: destination size mismatch");
-  check_range(y_begin, y_end, src.height());
+  detail::check_range(y_begin, y_end, src.height());
   const int w = src.width();
   for (int y = y_begin; y < y_end; ++y) {
     for (int x = 0; x < w; ++x) {
@@ -124,24 +176,49 @@ void blur_hpass_fixed_rows(const std::vector<std::int64_t>& qsrc,
                                    static_cast<std::size_t>(height) &&
                     dst.size() == qsrc.size(),
                 "blur_hpass_fixed_rows: plane size mismatch");
-  check_range(y_begin, y_end, height);
+  detail::check_range(y_begin, y_end, height);
   const int radius = plan.radius();
   const int taps = plan.taps();
-  const auto& wq = plan.weights();
+  const std::int64_t* wq = plan.weights().data();
+  const detail::ColumnRange in = detail::interior_columns(width, radius);
 
   for (int y = y_begin; y < y_end; ++y) {
     const std::int64_t* row =
         qsrc.data() +
         static_cast<std::size_t>(y) * static_cast<std::size_t>(width);
-    for (int x = 0; x < width; ++x) {
-      std::int64_t acc = 0;
+    std::int64_t* out =
+        dst.data() +
+        static_cast<std::size_t>(y) * static_cast<std::size_t>(width);
+    detail::hpass_fixed_border(row, out, plan, width, 0, in.begin);
+    // Interior: no clamp branch; four independent accumulators walk the
+    // shared tap window to overlap the serialized MAC chains (each pixel's
+    // own accumulation sequence is untouched, so output is unchanged).
+    int x = in.begin;
+    for (; x + 4 <= in.end; x += 4) {
+      const std::int64_t* base = row + (x - radius);
+      std::int64_t a0 = 0;
+      std::int64_t a1 = 0;
+      std::int64_t a2 = 0;
+      std::int64_t a3 = 0;
       for (int i = 0; i < taps; ++i) {
-        acc = plan.mac(acc, wq[static_cast<std::size_t>(i)],
-                       row[clamp_index(x - radius + i, width)]);
+        const std::int64_t wi = wq[i];
+        a0 = plan.mac(a0, wi, base[i]);
+        a1 = plan.mac(a1, wi, base[i + 1]);
+        a2 = plan.mac(a2, wi, base[i + 2]);
+        a3 = plan.mac(a3, wi, base[i + 3]);
       }
-      dst[static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
-          static_cast<std::size_t>(x)] = plan.acc_to_data(acc);
+      out[x] = plan.acc_to_data(a0);
+      out[x + 1] = plan.acc_to_data(a1);
+      out[x + 2] = plan.acc_to_data(a2);
+      out[x + 3] = plan.acc_to_data(a3);
     }
+    for (; x < in.end; ++x) {
+      const std::int64_t* base = row + (x - radius);
+      std::int64_t acc = 0;
+      for (int i = 0; i < taps; ++i) acc = plan.mac(acc, wq[i], base[i]);
+      out[x] = plan.acc_to_data(acc);
+    }
+    detail::hpass_fixed_border(row, out, plan, width, in.end, width);
   }
 }
 
@@ -154,21 +231,45 @@ void blur_vpass_fixed_rows(const std::vector<std::int64_t>& hout,
   TMHLS_REQUIRE(dst.width() == width && dst.height() == height &&
                     dst.channels() == 1,
                 "blur_vpass_fixed_rows: destination shape mismatch");
-  check_range(y_begin, y_end, height);
+  detail::check_range(y_begin, y_end, height);
   const int radius = plan.radius();
   const int taps = plan.taps();
-  const auto& wq = plan.weights();
+  const std::int64_t* wq = plan.weights().data();
 
+  // As in the float pass, the vertical clamp is per (y, i): hoisted to
+  // per-tap row pointers; the pixel loop is clamp-free with the same
+  // four-accumulator treatment as the horizontal interior.
+  std::vector<const std::int64_t*> rows(static_cast<std::size_t>(taps));
   for (int y = y_begin; y < y_end; ++y) {
-    for (int x = 0; x < width; ++x) {
+    for (int i = 0; i < taps; ++i) {
+      rows[static_cast<std::size_t>(i)] =
+          hout.data() +
+          static_cast<std::size_t>(detail::clamp_index(y - radius + i, height)) *
+              static_cast<std::size_t>(width);
+    }
+    int x = 0;
+    for (; x + 4 <= width; x += 4) {
+      std::int64_t a0 = 0;
+      std::int64_t a1 = 0;
+      std::int64_t a2 = 0;
+      std::int64_t a3 = 0;
+      for (int i = 0; i < taps; ++i) {
+        const std::int64_t* r = rows[static_cast<std::size_t>(i)];
+        const std::int64_t wi = wq[i];
+        a0 = plan.mac(a0, wi, r[x]);
+        a1 = plan.mac(a1, wi, r[x + 1]);
+        a2 = plan.mac(a2, wi, r[x + 2]);
+        a3 = plan.mac(a3, wi, r[x + 3]);
+      }
+      dst.at_unchecked(x, y) = plan.to_float(plan.acc_to_data(a0));
+      dst.at_unchecked(x + 1, y) = plan.to_float(plan.acc_to_data(a1));
+      dst.at_unchecked(x + 2, y) = plan.to_float(plan.acc_to_data(a2));
+      dst.at_unchecked(x + 3, y) = plan.to_float(plan.acc_to_data(a3));
+    }
+    for (; x < width; ++x) {
       std::int64_t acc = 0;
       for (int i = 0; i < taps; ++i) {
-        const int sy = clamp_index(y - radius + i, height);
-        acc = plan.mac(
-            acc, wq[static_cast<std::size_t>(i)],
-            hout[static_cast<std::size_t>(sy) *
-                     static_cast<std::size_t>(width) +
-                 static_cast<std::size_t>(x)]);
+        acc = plan.mac(acc, wq[i], rows[static_cast<std::size_t>(i)][x]);
       }
       dst.at_unchecked(x, y) = plan.to_float(plan.acc_to_data(acc));
     }

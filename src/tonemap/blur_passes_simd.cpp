@@ -1,0 +1,253 @@
+// SIMD variants of the float row-range pass primitives, vectorized across
+// output pixels with GCC/Clang vector extensions (portable: the compiler
+// lowers the generic vector ops to whatever the target ISA provides, or to
+// scalar code on targets without SIMD).
+//
+// Why this stays bit-identical to the scalar passes: vector lane l carries
+// output pixel x+l, and the tap loop accumulates
+//   acc[l] += wts[i] * src[x + l - radius + i]
+// for i = 0..taps-1 — exactly the scalar form's ascending-tap sequence for
+// that pixel. Vectorizing across *pixels* needs no reassociation of any
+// pixel's sum (unlike vectorizing across *taps*, which would split one
+// pixel's accumulation into partial sums), and IEEE-754 arithmetic is
+// deterministic per lane, so the result is the scalar result bit for bit.
+// The build sets -ffp-contract=off so neither form is FMA-contracted
+// behind the other's back on FMA-capable targets.
+//
+// Vectors never cross a function boundary (locals only) to keep the code
+// free of per-target vector ABI concerns (-Wpsabi).
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tonemap/blur_passes.hpp"
+
+namespace tmhls::tonemap {
+
+namespace {
+
+typedef float v4f __attribute__((vector_size(4 * sizeof(float))));
+typedef float v8f __attribute__((vector_size(8 * sizeof(float))));
+
+int check_lanes(int lanes) {
+  TMHLS_REQUIRE(lanes == kSimdLanes4 || lanes == kSimdLanes8,
+                "simd blur pass: lanes must be 4 or 8");
+  return lanes;
+}
+
+/// Vectorized interior of one horizontal-pass row: full vector blocks of
+/// columns in [x_begin, x_end). Returns the first unprocessed column (the
+/// caller finishes the scalar tail). always_inline so the x86 ISA-targeted
+/// wrappers below compile this body with their wider instruction set (the
+/// operation sequence — and hence the result — is the same either way).
+template <typename V>
+__attribute__((always_inline)) inline int hpass_interior_vec(
+    const float* row, float* out, const float* wts, int taps, int radius,
+    int x_begin, int x_end) {
+  constexpr int kLanes = static_cast<int>(sizeof(V) / sizeof(float));
+  int x = x_begin;
+  // Four independent accumulator vectors (4 * kLanes pixels) per tap
+  // iteration: a single accumulator serializes the tap loop on the
+  // vector-add latency; four chains keep the FP units saturated. Each
+  // pixel still owns exactly one lane of one accumulator, so its
+  // operation sequence — and the result — is unchanged.
+  for (; x + 4 * kLanes <= x_end; x += 4 * kLanes) {
+    const float* base = row + (x - radius);
+    V a0 = {};
+    V a1 = {};
+    V a2 = {};
+    V a3 = {};
+    for (int i = 0; i < taps; ++i) {
+      V wv;
+      for (int l = 0; l < kLanes; ++l) wv[l] = wts[i];
+      V v0;
+      V v1;
+      V v2;
+      V v3;
+      std::memcpy(&v0, base + i, sizeof(V));
+      std::memcpy(&v1, base + i + kLanes, sizeof(V));
+      std::memcpy(&v2, base + i + 2 * kLanes, sizeof(V));
+      std::memcpy(&v3, base + i + 3 * kLanes, sizeof(V));
+      a0 += wv * v0;
+      a1 += wv * v1;
+      a2 += wv * v2;
+      a3 += wv * v3;
+    }
+    std::memcpy(out + x, &a0, sizeof(V));
+    std::memcpy(out + x + kLanes, &a1, sizeof(V));
+    std::memcpy(out + x + 2 * kLanes, &a2, sizeof(V));
+    std::memcpy(out + x + 3 * kLanes, &a3, sizeof(V));
+  }
+  for (; x + kLanes <= x_end; x += kLanes) {
+    const float* base = row + (x - radius);
+    V acc = {};
+    for (int i = 0; i < taps; ++i) {
+      V v;
+      std::memcpy(&v, base + i, sizeof(V));
+      V wv;
+      for (int l = 0; l < kLanes; ++l) wv[l] = wts[i];
+      acc += wv * v;
+    }
+    std::memcpy(out + x, &acc, sizeof(V));
+  }
+  return x;
+}
+
+/// Vectorized vertical-pass row over per-tap source-row pointers (the
+/// clamp hoisted by the caller). Returns the first unprocessed column.
+template <typename V>
+__attribute__((always_inline)) inline int vpass_row_vec(
+    const float* const* rows, float* out, const float* wts, int taps,
+    int width) {
+  constexpr int kLanes = static_cast<int>(sizeof(V) / sizeof(float));
+  int x = 0;
+  // Same four-accumulator treatment as the horizontal interior.
+  for (; x + 4 * kLanes <= width; x += 4 * kLanes) {
+    V a0 = {};
+    V a1 = {};
+    V a2 = {};
+    V a3 = {};
+    for (int i = 0; i < taps; ++i) {
+      const float* r = rows[i] + x;
+      V wv;
+      for (int l = 0; l < kLanes; ++l) wv[l] = wts[i];
+      V v0;
+      V v1;
+      V v2;
+      V v3;
+      std::memcpy(&v0, r, sizeof(V));
+      std::memcpy(&v1, r + kLanes, sizeof(V));
+      std::memcpy(&v2, r + 2 * kLanes, sizeof(V));
+      std::memcpy(&v3, r + 3 * kLanes, sizeof(V));
+      a0 += wv * v0;
+      a1 += wv * v1;
+      a2 += wv * v2;
+      a3 += wv * v3;
+    }
+    std::memcpy(out + x, &a0, sizeof(V));
+    std::memcpy(out + x + kLanes, &a1, sizeof(V));
+    std::memcpy(out + x + 2 * kLanes, &a2, sizeof(V));
+    std::memcpy(out + x + 3 * kLanes, &a3, sizeof(V));
+  }
+  for (; x + kLanes <= width; x += kLanes) {
+    V acc = {};
+    for (int i = 0; i < taps; ++i) {
+      V v;
+      std::memcpy(&v, rows[i] + x, sizeof(V));
+      V wv;
+      for (int l = 0; l < kLanes; ++l) wv[l] = wts[i];
+      acc += wv * v;
+    }
+    std::memcpy(out + x, &acc, sizeof(V));
+  }
+  return x;
+}
+
+// On x86-64 the portable build targets baseline SSE2, which splits an
+// 8-lane vector into two 4-wide halves. When the CPU has AVX2, a copy of
+// the same kernels compiled with 256-bit instructions runs the identical
+// mul-then-add sequence (target("avx2") does not enable FMA, and the
+// build sets -ffp-contract=off besides) — so dispatching on cpuid changes
+// the instruction encoding, never the arithmetic.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define TMHLS_SIMD_X86_DISPATCH 1
+
+__attribute__((target("avx2"))) int hpass_interior_v8_avx2(
+    const float* row, float* out, const float* wts, int taps, int radius,
+    int x_begin, int x_end) {
+  return hpass_interior_vec<v8f>(row, out, wts, taps, radius, x_begin,
+                                 x_end);
+}
+
+__attribute__((target("avx2"))) int vpass_row_v8_avx2(
+    const float* const* rows, float* out, const float* wts, int taps,
+    int width) {
+  return vpass_row_vec<v8f>(rows, out, wts, taps, width);
+}
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+#endif
+
+int hpass_interior(const float* row, float* out, const float* wts, int taps,
+                   int radius, int x_begin, int x_end, int lanes) {
+  if (lanes == kSimdLanes8) {
+#ifdef TMHLS_SIMD_X86_DISPATCH
+    if (cpu_has_avx2()) {
+      return hpass_interior_v8_avx2(row, out, wts, taps, radius, x_begin,
+                                    x_end);
+    }
+#endif
+    return hpass_interior_vec<v8f>(row, out, wts, taps, radius, x_begin,
+                                   x_end);
+  }
+  return hpass_interior_vec<v4f>(row, out, wts, taps, radius, x_begin,
+                                 x_end);
+}
+
+int vpass_row(const float* const* rows, float* out, const float* wts,
+              int taps, int width, int lanes) {
+  if (lanes == kSimdLanes8) {
+#ifdef TMHLS_SIMD_X86_DISPATCH
+    if (cpu_has_avx2()) return vpass_row_v8_avx2(rows, out, wts, taps, width);
+#endif
+    return vpass_row_vec<v8f>(rows, out, wts, taps, width);
+  }
+  return vpass_row_vec<v4f>(rows, out, wts, taps, width);
+}
+
+} // namespace
+
+void blur_hpass_float_rows_simd(const img::ImageF& src, img::ImageF& dst,
+                                const GaussianKernel& kernel, int y_begin,
+                                int y_end, int lanes) {
+  TMHLS_REQUIRE(src.channels() == 1, "blur expects a 1-channel image");
+  TMHLS_REQUIRE(src.same_shape(dst), "blur pass: shape mismatch");
+  detail::check_range(y_begin, y_end, src.height());
+  check_lanes(lanes);
+  const int w = src.width();
+  const int radius = kernel.radius();
+  const int taps = kernel.taps();
+  const float* wts = kernel.weights().data();
+  const detail::ColumnRange in = detail::interior_columns(w, radius);
+
+  for (int y = y_begin; y < y_end; ++y) {
+    const float* row = &src.at_unchecked(0, y);
+    float* out = &dst.at_unchecked(0, y);
+    detail::hpass_float_border(row, out, wts, taps, radius, w, 0, in.begin);
+    const int x = hpass_interior(row, out, wts, taps, radius, in.begin,
+                                 in.end, lanes);
+    // Scalar tail of the interior (fewer than `lanes` columns left).
+    detail::hpass_float_interior(row, out, wts, taps, radius, x, in.end);
+    detail::hpass_float_border(row, out, wts, taps, radius, w, in.end, w);
+  }
+}
+
+void blur_vpass_float_rows_simd(const img::ImageF& tmp, img::ImageF& dst,
+                                const GaussianKernel& kernel, int y_begin,
+                                int y_end, int lanes) {
+  TMHLS_REQUIRE(tmp.channels() == 1, "blur expects a 1-channel image");
+  TMHLS_REQUIRE(tmp.same_shape(dst), "blur pass: shape mismatch");
+  detail::check_range(y_begin, y_end, tmp.height());
+  check_lanes(lanes);
+  const int w = tmp.width();
+  const int h = tmp.height();
+  const int radius = kernel.radius();
+  const int taps = kernel.taps();
+  const float* wts = kernel.weights().data();
+
+  std::vector<const float*> rows(static_cast<std::size_t>(taps));
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int i = 0; i < taps; ++i) {
+      rows[static_cast<std::size_t>(i)] =
+          &tmp.at_unchecked(0, detail::clamp_index(y - radius + i, h));
+    }
+    float* out = &dst.at_unchecked(0, y);
+    const int x = vpass_row(rows.data(), out, wts, taps, w, lanes);
+    detail::vpass_float_columns(rows.data(), out, wts, taps, x, w);
+  }
+}
+
+} // namespace tmhls::tonemap

@@ -26,7 +26,8 @@ GaussianKernel PipelineOptions::kernel() const {
   return GaussianKernel(sigma);
 }
 
-exec::PipelineExecutor PipelineOptions::make_executor() const {
+exec::PipelineExecutor PipelineOptions::make_executor(int width,
+                                                      int height) const {
   exec::ExecutorOptions eo;
   eo.threads = threads;
   eo.fixed = fixed;
@@ -34,6 +35,10 @@ exec::PipelineExecutor PipelineOptions::make_executor() const {
   // choice for dual-datapath backends (e.g. "hlscode" + streaming_fixed
   // runs the synthesizable fixed kernels).
   eo.use_fixed = (blur == BlurKind::streaming_fixed);
+  if (backend == "auto") {
+    return exec::PipelineExecutor(
+        exec::select_auto_backend(width, height, kernel(), eo), eo);
+  }
   const std::string name = backend.empty() ? backend_name(blur) : backend;
   const auto resolved = exec::BackendRegistry::global().resolve(name);
   // Asking a float-only backend for the fixed datapath would otherwise be
@@ -45,8 +50,13 @@ exec::PipelineExecutor PipelineOptions::make_executor() const {
   return exec::PipelineExecutor(resolved, eo);
 }
 
+exec::PipelineExecutor PipelineOptions::make_executor() const {
+  return make_executor(1024, 768);
+}
+
 PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt) {
-  return tone_map(hdr, opt, opt.make_executor());
+  TMHLS_REQUIRE(!hdr.empty(), "tone_map: empty image");
+  return tone_map(hdr, opt, opt.make_executor(hdr.width(), hdr.height()));
 }
 
 PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt,

@@ -41,7 +41,9 @@ struct PipelineOptions {
   BlurKind blur = BlurKind::separable_float;
   /// Execution backend by registry name (e.g. "hlscode"); overrides `blur`
   /// when non-empty. `blur` then still selects the datapath of
-  /// dual-datapath backends (streaming_fixed -> fixed).
+  /// dual-datapath backends (streaming_fixed -> fixed). The reserved name
+  /// "auto" picks the cheapest capable backend for the frame geometry via
+  /// the calibrated cost hooks (exec::select_auto_backend).
   std::string backend;
   /// Worker threads for the mask stage's tiled execution mode (backends
   /// without the capability run single-threaded).
@@ -65,7 +67,13 @@ struct PipelineOptions {
   GaussianKernel kernel() const;
 
   /// Resolve these options into an executor (registry lookup + thread /
-  /// datapath configuration). Callers running many frames build this once.
+  /// datapath configuration) for a frame of the given geometry — which
+  /// backend == "auto" selects on. Callers running many frames build this
+  /// once.
+  exec::PipelineExecutor make_executor(int width, int height) const;
+
+  /// Geometry-free overload: as above, assuming the paper's 1024x768
+  /// frame when backend == "auto".
   exec::PipelineExecutor make_executor() const;
 };
 

@@ -5,8 +5,9 @@
 //   tonemap <in> <out.ppm>  [--operator moroney|reinhard|log|gamma|
 //                            histogram|durand] [--sigma S] [--radius R]
 //                            [--fixed] [--brightness B] [--contrast C]
-//                            [--backend separable_float|streaming_float|
-//                             streaming_fixed|hlscode] [--threads N]
+//                            [--backend separable_float|separable_simd|
+//                             streaming_float|streaming_fixed|hlscode|auto]
+//                            [--threads N]
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -17,12 +18,15 @@
 // Inputs: Radiance .hdr or .pfm (by extension). Outputs: .ppm (8-bit),
 // .hdr, or .pfm.
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "accel/system.hpp"
 #include "common/args.hpp"
 #include "common/table.hpp"
+#include "exec/cost_model.hpp"
+#include "exec/executor.hpp"
 #include "exec/registry.hpp"
 #include "image/stats.hpp"
 #include "imageio/pfm.hpp"
@@ -146,10 +150,37 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-int cmd_backends(const Args&) {
+int cmd_backends(const Args& args) {
+  // Geometry and execution parameters the cost columns are estimated for
+  // (defaults: the paper's 1024x768 frame and 97-tap kernel).
+  const int width = args.get_int("width", 1024);
+  const int height = args.get_int("height", 768);
+  TMHLS_REQUIRE(width > 0 && height > 0,
+                "--width and --height must be positive");
+  tonemap::PipelineOptions popt;
+  popt.sigma = args.get_double("sigma", popt.sigma);
+  popt.radius = args.get_int("radius", popt.radius);
+  const tonemap::GaussianKernel kernel = popt.kernel();
+  exec::ExecutorOptions eopts;
+  eopts.threads = args.get_int("threads", 1);
+  eopts.use_fixed = args.has("fixed");
+  TMHLS_REQUIRE(eopts.threads >= 1, "--threads must be >= 1");
+
+  // Optional re-calibration of the cost model from measured JSONL records.
+  const std::string calibration = args.get_or("calibration", "");
+  if (!calibration.empty()) {
+    std::ifstream in(calibration);
+    TMHLS_REQUIRE(in.good(),
+                  "cannot open calibration file: " + calibration);
+    const int updated = exec::CostModel::global().calibrate_from_jsonl(in);
+    std::cout << "calibrated " << updated << " backend(s) from "
+              << calibration << "\n\n";
+  }
+
   const exec::BackendRegistry& registry = exec::BackendRegistry::global();
   TextTable t({"backend", "datapath", "streaming", "synthesizable",
-               "tiled threads", "data bits"});
+               "tiled threads", "data bits", "simd lanes", "est ms",
+               "buffer KiB"});
   for (const std::string& name : registry.names()) {
     const auto backend = registry.resolve(name);
     const exec::BackendCapabilities caps = backend->capabilities();
@@ -163,11 +194,30 @@ int cmd_backends(const Args&) {
       bits += '/';
       bits += std::to_string(caps.dual_fixed_data_bits);
     }
+    exec::BlurContext ctx;
+    ctx.use_fixed = eopts.use_fixed;
+    ctx.threads = caps.tiled_threads ? eopts.threads : 1;
+    std::string est = "-";
+    std::string buffer = "-";
+    if (backend->can_run(kernel, ctx)) {
+      const exec::BlurCost cost =
+          backend->estimate_cost(width, height, kernel, ctx);
+      if (cost.seconds > 0.0) est = format_fixed(cost.seconds * 1e3, 2);
+      buffer = format_fixed(static_cast<double>(cost.buffer_bytes) / 1024.0,
+                            1);
+    }
     t.add_row({name, datapath, caps.streaming ? "yes" : "no",
                caps.synthesizable ? "yes" : "no",
-               caps.tiled_threads ? "yes" : "no", bits});
+               caps.tiled_threads ? "yes" : "no", bits,
+               std::to_string(caps.simd_lanes), est, buffer});
   }
   std::cout << t.render();
+  const auto choice =
+      exec::select_auto_backend(width, height, kernel, eopts);
+  std::cout << "\nestimates for " << width << "x" << height << ", "
+            << kernel.taps() << " taps, " << eopts.threads
+            << " thread(s); '--backend auto' would pick: " << choice->name()
+            << "\n";
   return 0;
 }
 
@@ -196,11 +246,14 @@ void usage() {
   std::cout <<
       "usage: tmhls_cli <command> [options]\n"
       "  tonemap <in> <out>   tone-map an HDR image\n"
-      "                       (--backend <name> selects the execution\n"
+      "                       (--backend <name|auto> selects the execution\n"
       "                        backend, --threads N the tiled CPU mode)\n"
       "  scene <out>          generate a synthetic HDR scene\n"
       "  analyze              evaluate the Table II design points\n"
-      "  backends             list the registered execution backends\n"
+      "  backends             list the registered execution backends with\n"
+      "                       cost estimates for a geometry (--width,\n"
+      "                       --height, --sigma, --radius, --threads,\n"
+      "                       --fixed, --calibration <perf.jsonl>)\n"
       "  compare <in>         compare operators against moroney\n";
 }
 
