@@ -1,0 +1,121 @@
+// Frames/sec of the pipelined frame scheduler at depths 1, 2 and 4: how
+// much the DMA-style overlap (frame N's mask blur on the async worker,
+// frame N+1's point-wise stages on the submitting thread) buys over the
+// blocking one-call-per-frame path. Emits one benchkit::JsonRecord line
+// per (backend, depth) on stdout — each carrying speedup_vs_depth1 — plus
+// a human table on stderr.
+//
+//   bench_frame_pipeline [--size N] [--frames N] [--reps R]
+//                        [--backend NAME] [--threads T] [--sigma S]
+//
+// NB: on a single-core host depth > 1 cannot overlap anything (the worker
+// and the submitter share the core) — expect speedup_vs_depth1 ~1.0 there;
+// the interesting numbers come from multi-core CI runners.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/args.hpp"
+#include "common/table.hpp"
+#include "tonemap/frame_pipeline.hpp"
+#include "video/sequence.hpp"
+
+namespace {
+
+using namespace tmhls;
+
+double seconds_for_sequence(const tonemap::FramePipelineOptions& options,
+                            const std::vector<img::ImageF>& frames,
+                            int reps) {
+  using clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    tonemap::FramePipeline pipeline(options);
+    const auto t0 = clock::now();
+    for (const img::ImageF& frame : frames) {
+      pipeline.submit(frame);
+      while (pipeline.has_ready()) {
+        const tonemap::PipelineResult result = pipeline.next_result();
+        // Touch the output so the pipeline cannot be elided.
+        if (result.output.at_unchecked(0, 0) < -1.0f) std::cout << "";
+      }
+    }
+    while (pipeline.pending() > 0) pipeline.next_result();
+    const auto t1 = clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (best == 0.0 || s < best) best = s;
+  }
+  return best;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    const int size = args.get_int("size", 512);
+    const int frame_count = args.get_int("frames", 8);
+    const int reps = args.get_int("reps", 3);
+    const std::string backend = args.get_or("backend", "separable_simd");
+    TMHLS_REQUIRE(size > 0 && frame_count > 0 && reps > 0,
+                  "size, frames and reps must be positive");
+
+    tonemap::FramePipelineOptions options;
+    options.pipeline.sigma = args.get_double("sigma", 16.0);
+    options.pipeline.backend = backend;
+    options.pipeline.threads = args.get_int("threads", 1);
+    // Resolve --backend auto against the benchmarked geometry, not the
+    // default 1024x768.
+    options.width = size;
+    options.height = size;
+
+    // Pre-rendered pan-and-drift frames: the timed loop measures the
+    // pipeline, not scene synthesis.
+    video::SceneSequence::Config cfg;
+    cfg.frame_size = size;
+    cfg.frames = frame_count;
+    cfg.master_size = 2 * size;
+    const video::SceneSequence sequence(cfg);
+    std::vector<img::ImageF> frames;
+    frames.reserve(static_cast<std::size_t>(frame_count));
+    for (int i = 0; i < frame_count; ++i) frames.push_back(sequence.frame(i));
+
+    benchkit::print_header(
+        "Frame pipeline throughput, backend " + backend, std::cerr);
+
+    TextTable table({"backend", "threads", "depth", "frames", "total (s)",
+                     "fps", "vs depth 1"});
+    double depth1_s = 0.0;
+    for (int depth : {1, 2, 4}) {
+      options.depth = depth;
+      const double s = seconds_for_sequence(options, frames, reps);
+      if (depth == 1) depth1_s = s;
+      const double speedup = s > 0.0 ? depth1_s / s : 0.0;
+      const double fps = frame_count / s;
+      table.add_row({backend, std::to_string(options.pipeline.threads),
+                     std::to_string(depth), std::to_string(frame_count),
+                     format_fixed(s, 4), format_fixed(fps, 2),
+                     format_fixed(speedup, 2)});
+      benchkit::JsonRecord record("frame_pipeline");
+      record.field("backend", backend)
+          .field("threads", options.pipeline.threads)
+          .field("depth", depth)
+          .field("frames", frame_count)
+          .field("width", size)
+          .field("height", size)
+          .field("taps", options.pipeline.kernel().taps())
+          .field("seconds_total", s)
+          .field("seconds_per_frame", s / frame_count)
+          .field("fps", fps)
+          .field("speedup_vs_depth1", speedup)
+          .emit();
+    }
+    std::cerr << '\n' << table.render();
+    return 0;
+  } catch (const tmhls::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

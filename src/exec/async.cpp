@@ -1,0 +1,141 @@
+#include "exec/async.hpp"
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tmhls::exec {
+
+void validate(const AsyncExecutorOptions& options) {
+  TMHLS_REQUIRE(options.workers >= 1,
+                "AsyncExecutorOptions::workers must be >= 1, got " +
+                    std::to_string(options.workers));
+  TMHLS_REQUIRE(options.queue_capacity >= 1,
+                "AsyncExecutorOptions::queue_capacity must be >= 1, got " +
+                    std::to_string(options.queue_capacity));
+}
+
+AsyncExecutor::AsyncExecutor(PipelineExecutor executor,
+                             AsyncExecutorOptions options)
+    : executor_(std::move(executor)), options_(options) {
+  validate(options_);
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  try {
+    for (int i = 0; i < options_.workers; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // Thread spawn failure: release the workers already running, then
+    // rethrow — a half-built pool must not leak threads.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    queue_not_empty_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+AsyncExecutor::~AsyncExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<img::ImageF> AsyncExecutor::submit(BlurRequest request) {
+  std::future<img::ImageF> future;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    TMHLS_REQUIRE(!stopping_, "AsyncExecutor::submit after shutdown");
+    queue_not_full_.wait(lock, [this] {
+      return stopping_ ||
+             queue_.size() <
+                 static_cast<std::size_t>(options_.queue_capacity);
+    });
+    TMHLS_REQUIRE(!stopping_, "AsyncExecutor::submit after shutdown");
+    Task task{std::move(request), std::promise<img::ImageF>{}};
+    future = task.promise.get_future();
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+std::size_t AsyncExecutor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + running_;
+}
+
+void AsyncExecutor::worker_loop() {
+  for (;;) {
+    std::optional<Task> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      // Shutdown drains the queue: every accepted request completes, so
+      // futures handed out by submit() never dangle unresolved.
+      if (queue_.empty()) return;
+      task.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+      ++running_;
+    }
+    queue_not_full_.notify_one();
+    try {
+      task->promise.set_value(
+          executor_.blur(task->request.intensity, task->request.kernel));
+    } catch (...) {
+      task->promise.set_exception(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+  }
+}
+
+void validate(const ExecutorPoolOptions& options) {
+  TMHLS_REQUIRE(options.executors >= 1,
+                "ExecutorPoolOptions::executors must be >= 1, got " +
+                    std::to_string(options.executors));
+  validate(options.per_executor);
+}
+
+ExecutorPool::ExecutorPool(const PipelineExecutor& prototype,
+                           ExecutorPoolOptions options)
+    : options_(options) {
+  validate(options_);
+  shards_.reserve(static_cast<std::size_t>(options_.executors));
+  for (int i = 0; i < options_.executors; ++i) {
+    shards_.push_back(
+        std::make_unique<AsyncExecutor>(prototype, options_.per_executor));
+  }
+}
+
+std::future<img::ImageF> ExecutorPool::submit(BlurRequest request) {
+  const std::size_t shard =
+      next_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  return shards_[shard]->submit(std::move(request));
+}
+
+AsyncExecutor& ExecutorPool::shard(int index) {
+  TMHLS_REQUIRE(index >= 0 && index < shards(),
+                "ExecutorPool::shard index out of range: " +
+                    std::to_string(index));
+  return *shards_[static_cast<std::size_t>(index)];
+}
+
+std::size_t ExecutorPool::in_flight() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->in_flight();
+  return total;
+}
+
+} // namespace tmhls::exec

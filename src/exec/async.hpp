@@ -1,0 +1,140 @@
+// Asynchronous request/future execution on top of PipelineExecutor — the
+// host-side analogue of the paper's DMA/PL overlap: a submit() hands the
+// mask blur to an owned worker pool and returns immediately, so the
+// caller's thread can run the point-wise PS stages of the next frame while
+// the blur of the previous one is in flight (tonemap::FramePipeline), and
+// a serving front can keep many requests moving at once (ExecutorPool).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace tmhls::exec {
+
+/// One asynchronous blur request: the 1-channel intensity plane to blur
+/// and the Gaussian kernel to blur it with.
+struct BlurRequest {
+  img::ImageF intensity;
+  tonemap::GaussianKernel kernel;
+};
+
+/// Configuration of an AsyncExecutor's worker pool and admission queue.
+struct AsyncExecutorOptions {
+  /// Worker threads draining the queue. 1 (the default) serialises blurs
+  /// in submission order — the model of the paper's single accelerator;
+  /// each blur may still be internally multi-threaded via
+  /// ExecutorOptions::threads.
+  int workers = 1;
+  /// Bound on requests waiting in the queue (not yet picked up by a
+  /// worker). submit() blocks when the queue is full — backpressure
+  /// instead of unbounded buffering.
+  int queue_capacity = 8;
+};
+
+/// Validation of AsyncExecutorOptions: throws InvalidArgument naming the
+/// offending field unless workers >= 1 and queue_capacity >= 1.
+void validate(const AsyncExecutorOptions& options);
+
+/// An executor with an asynchronous submit/future interface: requests are
+/// queued (bounded) and executed by owned worker threads on the wrapped
+/// PipelineExecutor. Every future obtained from submit() becomes ready
+/// eventually — the destructor completes all accepted requests before
+/// returning, so destroying an AsyncExecutor with work in flight is safe.
+///
+/// Thread safety: submit() may be called from any number of threads
+/// concurrently. The wrapped PipelineExecutor is used concurrently by the
+/// workers; executors are immutable after construction, and the backends'
+/// run_blur is const and stateless, so this is safe by construction.
+class AsyncExecutor {
+public:
+  explicit AsyncExecutor(PipelineExecutor executor,
+                         AsyncExecutorOptions options = {});
+  /// Completes every accepted request (workers drain the queue), then
+  /// joins the pool.
+  ~AsyncExecutor();
+
+  AsyncExecutor(const AsyncExecutor&) = delete;
+  AsyncExecutor& operator=(const AsyncExecutor&) = delete;
+
+  /// Enqueue a blur; returns the future of its result. Blocks while the
+  /// queue is at capacity. An error thrown by the backend (e.g. a kernel
+  /// beyond its static bound) is delivered through the future.
+  std::future<img::ImageF> submit(BlurRequest request);
+
+  /// The synchronous executor the workers run requests on.
+  const PipelineExecutor& executor() const { return executor_; }
+  const AsyncExecutorOptions& options() const { return options_; }
+
+  /// Requests accepted but not yet completed (queued + running).
+  std::size_t in_flight() const;
+
+private:
+  struct Task {
+    BlurRequest request;
+    std::promise<img::ImageF> promise;
+  };
+
+  void worker_loop();
+
+  PipelineExecutor executor_;
+  AsyncExecutorOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Task> queue_;
+  std::size_t running_ = 0; ///< tasks popped by a worker, not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Configuration of an ExecutorPool.
+struct ExecutorPoolOptions {
+  /// Number of AsyncExecutor shards. Each shard owns its worker pool and
+  /// queue, so `executors * per_executor.workers` blurs can run at once.
+  int executors = 2;
+  /// Options applied to every shard.
+  AsyncExecutorOptions per_executor;
+};
+
+/// Validation of ExecutorPoolOptions: throws InvalidArgument naming the
+/// offending field unless executors >= 1 (per_executor is validated too).
+void validate(const ExecutorPoolOptions& options);
+
+/// The serving-front seam: shards concurrent blur requests round-robin
+/// across several AsyncExecutors, each a copy of one prototype
+/// PipelineExecutor. Callers that tone-map many independent requests
+/// (batch servers, request fan-in) submit here and collect futures;
+/// completion order across shards is unordered — order, when needed, is
+/// the caller's (or FramePipeline's) concern.
+class ExecutorPool {
+public:
+  explicit ExecutorPool(const PipelineExecutor& prototype,
+                        ExecutorPoolOptions options = {});
+
+  /// Enqueue a blur on the next shard (round-robin). Thread-safe.
+  std::future<img::ImageF> submit(BlurRequest request);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  AsyncExecutor& shard(int index);
+  const ExecutorPoolOptions& options() const { return options_; }
+
+  /// Requests accepted but not yet completed, summed over all shards.
+  std::size_t in_flight() const;
+
+private:
+  ExecutorPoolOptions options_;
+  std::vector<std::unique_ptr<AsyncExecutor>> shards_;
+  std::atomic<std::size_t> next_{0};
+};
+
+} // namespace tmhls::exec

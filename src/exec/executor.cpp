@@ -4,11 +4,17 @@
 
 namespace tmhls::exec {
 
+void validate(const ExecutorOptions& options) {
+  TMHLS_REQUIRE(options.threads >= 1,
+                "ExecutorOptions::threads must be >= 1, got " +
+                    std::to_string(options.threads));
+}
+
 PipelineExecutor::PipelineExecutor(std::shared_ptr<const Backend> backend,
                                    ExecutorOptions options)
     : backend_(std::move(backend)), options_(options) {
   TMHLS_REQUIRE(backend_ != nullptr, "executor needs a backend");
-  TMHLS_REQUIRE(options_.threads >= 1, "executor threads must be >= 1");
+  validate(options_);
 }
 
 PipelineExecutor::PipelineExecutor(const std::string& backend_name,
@@ -23,6 +29,10 @@ int PipelineExecutor::effective_threads() const {
 img::ImageF PipelineExecutor::blur(const img::ImageF& intensity,
                                    const tonemap::GaussianKernel& kernel) const {
   return backend_->run_blur(intensity, kernel, context());
+}
+
+bool PipelineExecutor::can_run(const tonemap::GaussianKernel& kernel) const {
+  return backend_->can_run(kernel, context());
 }
 
 BlurCost PipelineExecutor::estimate_cost(
@@ -41,6 +51,7 @@ BlurContext PipelineExecutor::context() const {
 std::shared_ptr<const Backend> select_auto_backend(
     int width, int height, const tonemap::GaussianKernel& kernel,
     const ExecutorOptions& options, const BackendRegistry& registry) {
+  validate(options);
   std::shared_ptr<const Backend> best;
   bool best_has_time = false;
   double best_key = 0.0;

@@ -17,13 +17,19 @@ namespace tmhls::exec {
 /// Executor-level execution parameters.
 struct ExecutorOptions {
   /// Worker threads for the tiled mode; clamped to 1 for backends without
-  /// tiled_threads capability.
+  /// tiled_threads capability. Must be >= 1 (see validate).
   int threads = 1;
   /// Select the fixed datapath of dual-datapath backends (hlscode).
   bool use_fixed = false;
   /// Fixed-point formats for fixed-datapath backends.
   tonemap::FixedBlurConfig fixed = tonemap::FixedBlurConfig::paper();
 };
+
+/// The one validation point for ExecutorOptions: throws InvalidArgument
+/// naming the offending field and value unless threads >= 1. Every
+/// consumer (PipelineExecutor, select_auto_backend, the async layer) calls
+/// this instead of clamping or re-checking at its own call site.
+void validate(const ExecutorOptions& options);
 
 class PipelineExecutor {
 public:
@@ -47,6 +53,12 @@ public:
   /// Execute the mask blur on a 1-channel intensity plane.
   img::ImageF blur(const img::ImageF& intensity,
                    const tonemap::GaussianKernel& kernel) const;
+
+  /// Whether the backend accepts `kernel` at this executor's configuration
+  /// (datapath, tap bounds, fixed formats) — Backend::can_run with this
+  /// executor's context. Session objects (FramePipeline) gate on this at
+  /// construction so capability errors fail fast instead of mid-stream.
+  bool can_run(const tonemap::GaussianKernel& kernel) const;
 
   /// Analytic cost of one blur at this executor's configuration (datapath
   /// selection and fixed formats are taken from the options).

@@ -1,0 +1,134 @@
+#include "tonemap/frame_pipeline.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace tmhls::tonemap {
+
+void validate(const FramePipelineOptions& options) {
+  TMHLS_REQUIRE(options.depth >= 1,
+                "FramePipelineOptions::depth must be >= 1, got " +
+                    std::to_string(options.depth));
+  TMHLS_REQUIRE(options.width >= 1 && options.height >= 1,
+                "FramePipelineOptions::width/height must be >= 1, got " +
+                    std::to_string(options.width) + "x" +
+                    std::to_string(options.height));
+}
+
+FramePipeline::FramePipeline(FramePipelineOptions options)
+    // Validate before the other members resolve a kernel/executor from
+    // the (possibly nonsense) fields.
+    : options_((validate(options), std::move(options))),
+      kernel_(options_.pipeline.kernel()),
+      executor_(options_.pipeline.make_executor(options_.width,
+                                                options_.height)) {
+  // Fail fast on capability mismatches (tap bounds, fixed formats): the
+  // kernel and executor are fixed for the session, so an incapable pair
+  // must reject here, not from some later submit() mid-stream.
+  if (!executor_.can_run(kernel_)) {
+    std::string msg = "FramePipeline: backend ";
+    msg += executor_.backend().name();
+    msg += " cannot run the session configuration (";
+    msg += std::to_string(kernel_.taps());
+    msg += " taps, ";
+    msg += executor_.options().use_fixed ? "fixed" : "float";
+    msg += " datapath)";
+    throw InvalidArgument(msg);
+  }
+  if (options_.depth > 1) {
+    // One worker serialises the blurs in submission order (the model of
+    // the paper's single accelerator); the queue holds one slot per
+    // pipeline stage so submit() never blocks on its own backpressure.
+    exec::AsyncExecutorOptions ao;
+    ao.workers = 1;
+    ao.queue_capacity = options_.depth;
+    async_ = std::make_unique<exec::AsyncExecutor>(executor_, ao);
+  }
+}
+
+FramePipeline::~FramePipeline() = default;
+
+void FramePipeline::submit(const img::ImageF& frame) {
+  submit_with_scale(frame, options_.pipeline.normalization_scale);
+}
+
+void FramePipeline::submit(const img::ImageF& frame,
+                           float normalization_scale) {
+  TMHLS_REQUIRE(normalization_scale > 0.0f,
+                "FramePipeline::submit: per-frame normalization scale "
+                "must be positive");
+  submit_with_scale(frame, normalization_scale);
+}
+
+void FramePipeline::submit_with_scale(const img::ImageF& frame,
+                                      float scale) {
+  TMHLS_REQUIRE(!frame.empty(), "FramePipeline::submit: empty frame");
+  PipelineOptions opt = options_.pipeline;
+  opt.normalization_scale = scale;
+
+  if (options_.depth == 1) {
+    // Fully synchronous: literally the blocking form — one composition of
+    // the stage functions to diverge from, not two.
+    PipelineResult r = tone_map(frame, opt, executor_);
+    release_intermediates(r);
+    ready_.push_back(std::move(r));
+    return;
+  }
+
+  // Keep at most `depth` frames in flight: retiring the oldest runs its
+  // back stages here, on the caller's thread, while newer blurs proceed
+  // on the worker.
+  while (in_flight_.size() >= static_cast<std::size_t>(options_.depth)) {
+    retire_oldest();
+  }
+
+  // Front (point-wise) stages of the new frame — this is the work that
+  // overlaps the in-flight mask blur of the previous frame.
+  InFlight entry;
+  entry.result.normalized = stages::normalize(frame, opt,
+                                              &entry.result.input_max);
+  entry.result.intensity = stages::intensity(entry.result.normalized);
+  // The request takes its own copy of the plane: the worker must never
+  // alias caller-owned storage, and one plane copy is noise next to the
+  // blur itself (~2*taps MACs per pixel).
+  entry.mask = async_->submit(
+      exec::BlurRequest{entry.result.intensity, kernel_});
+  in_flight_.push_back(std::move(entry));
+}
+
+PipelineResult FramePipeline::next_result() {
+  if (ready_.empty()) {
+    TMHLS_REQUIRE(!in_flight_.empty(),
+                  "FramePipeline::next_result: no frame pending");
+    retire_oldest();
+  }
+  PipelineResult r = std::move(ready_.front());
+  ready_.pop_front();
+  return r;
+}
+
+void FramePipeline::retire_oldest() {
+  InFlight entry = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  // Propagates a worker-side error; the frame is dropped (see the
+  // next_result error contract) and later frames stay in order.
+  entry.result.mask = entry.mask.get();
+  entry.result.masked =
+      stages::masking(entry.result.normalized, entry.result.mask);
+  entry.result.output = stages::adjust(entry.result.masked,
+                                       options_.pipeline);
+  release_intermediates(entry.result);
+  ready_.push_back(std::move(entry.result));
+}
+
+void FramePipeline::release_intermediates(PipelineResult& r) const {
+  if (options_.keep_intermediates) return;
+  r.normalized = img::ImageF();
+  r.intensity = img::ImageF();
+  r.mask = img::ImageF();
+  r.masked = img::ImageF();
+}
+
+} // namespace tmhls::tonemap

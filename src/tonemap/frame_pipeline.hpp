@@ -1,0 +1,137 @@
+// FramePipeline: the pipelined frame scheduler — the host-side analogue of
+// the paper's DMA/compute overlap. A session object whose submit(frame) /
+// next_result() API runs the point-wise PS stages (normalize, intensity,
+// masking, adjust) of frame N+1 on the caller's thread while frame N's
+// mask blur is in flight on an exec::AsyncExecutor worker:
+//
+//   frame N   |--norm+int--|--------- mask blur ---------|--mask+adj--|
+//   frame N+1              |--norm+int--|   (caller)     ...
+//                           ^ overlaps the blur of frame N
+//
+// Output is bit-identical to the blocking tone_map() at every depth (the
+// same stage functions run in the same per-frame order; only frames
+// interleave), and results come back in submission order. Depth 1 runs
+// every stage synchronously in submit() — exactly today's behaviour, no
+// worker thread at all.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+
+#include "exec/async.hpp"
+#include "exec/executor.hpp"
+#include "image/image.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::tonemap {
+
+/// Configuration of a FramePipeline session.
+struct FramePipelineOptions {
+  /// Per-frame pipeline configuration; backend/threads resolve the
+  /// executor once at construction (geometry-free, like VideoToneMapper).
+  PipelineOptions pipeline;
+  /// Maximum frames in flight. 1 == fully synchronous (the blocking
+  /// tone_map() behaviour); 2 (the default) overlaps frame N's blur with
+  /// frame N+1's point-wise stages. Deeper only pays when the blur
+  /// backend leaves cores idle. Must be >= 1.
+  int depth = 2;
+  /// Frame geometry the executor is resolved for — what backend == "auto"
+  /// ranks the cost model on. Callers that know their frame size should
+  /// set it (the CLI does), so the auto choice — and therefore the output
+  /// bits — cannot differ between the blocking and the pipelined path.
+  int width = 1024;
+  int height = 768;
+  /// Retain every PipelineResult plane in results. Off (the default) the
+  /// session clears the intermediate artefacts (normalized, intensity,
+  /// mask, masked) when a frame retires, so queued results hold only the
+  /// output plane — a streaming consumer at depth D would otherwise pin
+  /// ~4x the memory per pending frame. Turn on to inspect artefacts.
+  bool keep_intermediates = false;
+};
+
+/// Validation of FramePipelineOptions: throws InvalidArgument naming the
+/// offending field unless depth >= 1.
+void validate(const FramePipelineOptions& options);
+
+/// A stateful frame-pipelining session over the tone-mapping stages.
+///
+/// Usage (streaming, depth D):
+///   FramePipeline pipe(options);
+///   for (frame : frames) {
+///     pipe.submit(frame);            // point-wise stages run here
+///     while (pipe.has_ready()) consume(pipe.next_result());
+///   }
+///   while (pipe.pending() > 0) consume(pipe.next_result());
+///
+/// Alternating submit()/next_result() is also valid at any depth and
+/// yields the blocking behaviour frame by frame. Not thread-safe: one
+/// session serves one producer/consumer thread (shard sessions across an
+/// exec::ExecutorPool for concurrent producers).
+class FramePipeline {
+public:
+  explicit FramePipeline(FramePipelineOptions options);
+  /// Completes any in-flight blur work (results are discarded).
+  ~FramePipeline();
+
+  FramePipeline(const FramePipeline&) = delete;
+  FramePipeline& operator=(const FramePipeline&) = delete;
+
+  /// Enqueue a frame. Runs the point-wise front stages on the calling
+  /// thread, hands the mask blur to the async executor, and — when
+  /// `depth` frames are already in flight — first retires the oldest one
+  /// (its back stages also run here, overlapping the in-flight blurs).
+  void submit(const img::ImageF& frame);
+
+  /// As above with a per-frame normalisation scale overriding
+  /// options.pipeline.normalization_scale — the hook VideoToneMapper's
+  /// temporal adaptation feeds.
+  void submit(const img::ImageF& frame, float normalization_scale);
+
+  /// The oldest unconsumed frame's result, in submission order. Blocks on
+  /// its mask blur if still in flight; throws InvalidArgument when no
+  /// frame is pending.
+  ///
+  /// Error contract: if a frame's blur fails at runtime (capability
+  /// errors are already rejected at construction), its exception is
+  /// rethrown from whichever call retires it — this one, or a submit()
+  /// that had to retire it to respect the depth bound. The failed frame
+  /// is dropped; subsequent frames continue in submission order.
+  PipelineResult next_result();
+
+  /// Frames submitted but not yet consumed through next_result().
+  std::size_t pending() const { return ready_.size() + in_flight_.size(); }
+
+  /// True when a result can be consumed without blocking on a blur.
+  bool has_ready() const { return !ready_.empty(); }
+
+  int depth() const { return options_.depth; }
+  const FramePipelineOptions& options() const { return options_; }
+
+  /// The synchronous executor configuration the mask stage runs on (the
+  /// async worker holds its own copy of it at depth > 1).
+  const exec::PipelineExecutor& executor() const { return executor_; }
+
+private:
+  struct InFlight {
+    PipelineResult result; ///< front stages filled; mask pending
+    std::future<img::ImageF> mask;
+  };
+
+  void submit_with_scale(const img::ImageF& frame, float scale);
+  /// Wait for the oldest in-flight frame's mask, run its back stages,
+  /// move it to the ready queue.
+  void retire_oldest();
+  /// Drop the non-output planes unless keep_intermediates is set.
+  void release_intermediates(PipelineResult& r) const;
+
+  FramePipelineOptions options_;
+  GaussianKernel kernel_;
+  exec::PipelineExecutor executor_;
+  std::unique_ptr<exec::AsyncExecutor> async_; ///< null at depth 1
+  std::deque<InFlight> in_flight_;
+  std::deque<PipelineResult> ready_;
+};
+
+} // namespace tmhls::tonemap

@@ -21,38 +21,121 @@ const char* backend_name(BlurKind kind) {
   return to_string(kind);
 }
 
+const char* to_string(Datapath datapath) {
+  switch (datapath) {
+    case Datapath::from_blur_kind: return "from_blur_kind";
+    case Datapath::float32: return "float";
+    case Datapath::fixed_point: return "fixed";
+  }
+  return "?";
+}
+
+Datapath datapath_from_string(const std::string& name) {
+  if (name == "float" || name == "float32") return Datapath::float32;
+  if (name == "fixed" || name == "fixed_point") return Datapath::fixed_point;
+  throw InvalidArgument("unknown datapath: " + name +
+                        " (expected float or fixed)");
+}
+
 GaussianKernel PipelineOptions::kernel() const {
   if (radius > 0) return GaussianKernel(sigma, radius);
   return GaussianKernel(sigma);
 }
 
+ExecutionSelection PipelineOptions::execution() const {
+  ExecutionSelection s;
+  s.backend = backend.empty() ? backend_name(blur) : backend;
+  switch (datapath) {
+    case Datapath::float32: s.use_fixed = false; break;
+    case Datapath::fixed_point: s.use_fixed = true; break;
+    case Datapath::from_blur_kind:
+      s.use_fixed = (blur == BlurKind::streaming_fixed);
+      break;
+  }
+  return s;
+}
+
 exec::PipelineExecutor PipelineOptions::make_executor(int width,
                                                       int height) const {
+  const ExecutionSelection selection = execution();
   exec::ExecutorOptions eo;
   eo.threads = threads;
   eo.fixed = fixed;
-  // With an explicit backend name, `blur` still carries the datapath
-  // choice for dual-datapath backends (e.g. "hlscode" + streaming_fixed
-  // runs the synthesizable fixed kernels).
-  eo.use_fixed = (blur == BlurKind::streaming_fixed);
-  if (backend == "auto") {
+  eo.use_fixed = selection.use_fixed;
+  if (selection.backend == "auto") {
     return exec::PipelineExecutor(
         exec::select_auto_backend(width, height, kernel(), eo), eo);
   }
-  const std::string name = backend.empty() ? backend_name(blur) : backend;
-  const auto resolved = exec::BackendRegistry::global().resolve(name);
+  const auto resolved =
+      exec::BackendRegistry::global().resolve(selection.backend);
+  const exec::BackendCapabilities caps = resolved->capabilities();
   // Asking a float-only backend for the fixed datapath would otherwise be
   // silently ignored (e.g. `--fixed --backend streaming_float`).
-  TMHLS_REQUIRE(!eo.use_fixed || resolved->capabilities().fixed_datapath,
-                "backend " + name +
+  TMHLS_REQUIRE(!eo.use_fixed || caps.fixed_datapath,
+                "backend " + selection.backend +
                     " has no fixed-point datapath; drop the fixed-point "
                     "request or choose streaming_fixed / hlscode");
+  if (!eo.use_fixed && !caps.float_datapath) {
+    // Fixed-only backend named explicitly: an unspecified datapath
+    // follows the backend's only datapath (so `--backend streaming_fixed`
+    // alone just works, at any pipeline depth), while an explicit float
+    // request is a contradiction — quantised output for a float ask.
+    TMHLS_REQUIRE(datapath != Datapath::float32,
+                  "backend " + selection.backend +
+                      " has no float datapath; drop the float request or "
+                      "choose a float-capable backend");
+    eo.use_fixed = true;
+  }
   return exec::PipelineExecutor(resolved, eo);
 }
 
 exec::PipelineExecutor PipelineOptions::make_executor() const {
   return make_executor(1024, 768);
 }
+
+namespace stages {
+
+img::ImageF normalize(const img::ImageF& hdr, const PipelineOptions& opt,
+                      float* applied_scale) {
+  TMHLS_REQUIRE(!hdr.empty(), "normalize: empty image");
+  img::ImageF normalized;
+  float scale = 0.0f;
+  if (opt.normalization_scale > 0.0f) {
+    scale = opt.normalization_scale;
+    normalized = img::ImageF(hdr.width(), hdr.height(), hdr.channels());
+    auto si = hdr.samples();
+    auto so = normalized.samples();
+    for (std::size_t i = 0; i < si.size(); ++i) {
+      so[i] = clamp(si[i] / opt.normalization_scale, 0.0f, 1.0f);
+    }
+  } else {
+    normalized = normalize_to_max(hdr, &scale);
+  }
+  if (opt.display_gamma != 1.0f) {
+    normalized = display_encode(normalized, opt.display_gamma);
+  }
+  if (applied_scale != nullptr) *applied_scale = scale;
+  return normalized;
+}
+
+img::ImageF intensity(const img::ImageF& normalized) {
+  return img::luminance(normalized);
+}
+
+img::ImageF mask(const img::ImageF& intensity, const GaussianKernel& kernel,
+                 const exec::PipelineExecutor& executor) {
+  return executor.blur(intensity, kernel);
+}
+
+img::ImageF masking(const img::ImageF& normalized, const img::ImageF& mask) {
+  return nonlinear_masking(normalized, mask);
+}
+
+img::ImageF adjust(const img::ImageF& masked, const PipelineOptions& opt) {
+  return brightness_contrast(masked, opt.brightness, opt.contrast);
+}
+
+} // namespace stages
 
 PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt) {
   TMHLS_REQUIRE(!hdr.empty(), "tone_map: empty image");
@@ -65,26 +148,11 @@ PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt,
   const GaussianKernel kernel = opt.kernel();
 
   PipelineResult r;
-  if (opt.normalization_scale > 0.0f) {
-    r.input_max = opt.normalization_scale;
-    r.normalized = img::ImageF(hdr.width(), hdr.height(), hdr.channels());
-    auto si = hdr.samples();
-    auto so = r.normalized.samples();
-    for (std::size_t i = 0; i < si.size(); ++i) {
-      so[i] = clamp(si[i] / opt.normalization_scale, 0.0f, 1.0f);
-    }
-  } else {
-    r.normalized = normalize_to_max(hdr, &r.input_max);
-  }
-  if (opt.display_gamma != 1.0f) {
-    r.normalized = display_encode(r.normalized, opt.display_gamma);
-  }
-  r.intensity = img::luminance(r.normalized);
-
-  r.mask = executor.blur(r.intensity, kernel);
-
-  r.masked = nonlinear_masking(r.normalized, r.mask);
-  r.output = brightness_contrast(r.masked, opt.brightness, opt.contrast);
+  r.normalized = stages::normalize(hdr, opt, &r.input_max);
+  r.intensity = stages::intensity(r.normalized);
+  r.mask = stages::mask(r.intensity, kernel, executor);
+  r.masked = stages::masking(r.normalized, r.mask);
+  r.output = stages::adjust(r.masked, opt);
   return r;
 }
 

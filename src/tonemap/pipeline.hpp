@@ -2,6 +2,12 @@
 // blur (of the intensity plane) -> non-linear masking -> brightness &
 // contrast adjustments. This is the *functional* pipeline; the platform/
 // accel layers decide where each stage executes and at what cost.
+//
+// The pipeline is exposed at two granularities:
+//   * tone_map() — the blocking one-call-per-frame form (a thin wrapper);
+//   * stages::*  — the five explicit stage functions, so schedulers
+//     (tonemap::FramePipeline) can run the point-wise PS stages of frame
+//     N+1 while frame N's mask blur is in flight on an exec::AsyncExecutor.
 #pragma once
 
 #include <optional>
@@ -15,10 +21,12 @@
 
 namespace tmhls::tonemap {
 
-/// Which numeric implementation computes the Gaussian blur stage. Kept as
-/// the enum shorthand for the three golden datapaths; each value maps onto
-/// an exec-layer backend of the same name (see backend_name), and
-/// PipelineOptions::backend selects any registered backend by name.
+/// DEPRECATED shorthand for the three golden datapaths. Kept as a
+/// source-compatible alias: each value maps onto an exec-layer backend of
+/// the same name plus a datapath (see PipelineOptions::execution, the one
+/// place the mapping lives). New code selects the backend by name through
+/// PipelineOptions::backend and the datapath through
+/// PipelineOptions::datapath.
 enum class BlurKind {
   separable_float, ///< original CPU form (random neighbour access)
   streaming_float, ///< restructured line-buffer form, float datapath
@@ -30,6 +38,33 @@ const char* to_string(BlurKind kind);
 /// The exec-registry backend name realising a BlurKind.
 const char* backend_name(BlurKind kind);
 
+/// Which numeric datapath of the selected backend executes the blur.
+enum class Datapath {
+  /// Derive from the deprecated BlurKind alias: fixed iff
+  /// blur == BlurKind::streaming_fixed. The default, so legacy callers
+  /// that only set `blur` keep working unchanged.
+  from_blur_kind,
+  float32,     ///< the 32-bit float datapath
+  fixed_point, ///< the fixed-point datapath (formats from `fixed`)
+};
+
+const char* to_string(Datapath datapath);
+
+/// Parse "float" / "fixed" (also accepts "float32" / "fixed_point");
+/// throws InvalidArgument otherwise.
+Datapath datapath_from_string(const std::string& name);
+
+/// The execution selection of a PipelineOptions with the deprecated
+/// BlurKind alias folded in. This is the registry-free resolution;
+/// make_executor() additionally snaps use_fixed to a fixed-only backend's
+/// single datapath (a capability-dependent step that needs the registry).
+struct ExecutionSelection {
+  /// Registry backend name, or the reserved "auto".
+  std::string backend;
+  /// Run the fixed-point datapath of the selected backend.
+  bool use_fixed = false;
+};
+
 /// Pipeline configuration. Defaults reproduce the paper's workload.
 struct PipelineOptions {
   /// Gaussian mask scale. sigma = 16 with radius = 3*sigma = 48 gives the
@@ -37,14 +72,20 @@ struct PipelineOptions {
   double sigma = 16.0;
   /// Kernel radius; 0 selects ceil(3 * sigma).
   int radius = 0;
-  /// Blur implementation to use for the mask.
+  /// DEPRECATED alias for backend + datapath (see BlurKind). Consulted
+  /// only where `backend` / `datapath` leave the choice open.
   BlurKind blur = BlurKind::separable_float;
-  /// Execution backend by registry name (e.g. "hlscode"); overrides `blur`
-  /// when non-empty. `blur` then still selects the datapath of
-  /// dual-datapath backends (streaming_fixed -> fixed). The reserved name
-  /// "auto" picks the cheapest capable backend for the frame geometry via
-  /// the calibrated cost hooks (exec::select_auto_backend).
+  /// Execution backend by registry name (e.g. "hlscode"); authoritative
+  /// when non-empty (empty falls back to the `blur` alias). The reserved
+  /// name "auto" picks the cheapest capable backend for the frame
+  /// geometry via the calibrated cost hooks (exec::select_auto_backend).
   std::string backend;
+  /// Datapath of the selected backend; authoritative when not
+  /// from_blur_kind. The blur alias folds into backend/datapath in
+  /// execution(), and nowhere else; make_executor() then snaps an
+  /// unspecified datapath to the backend's only one for fixed-only
+  /// backends (and rejects explicit contradictions).
+  Datapath datapath = Datapath::from_blur_kind;
   /// Worker threads for the mask stage's tiled execution mode (backends
   /// without the capability run single-threaded).
   int threads = 1;
@@ -65,6 +106,14 @@ struct PipelineOptions {
 
   /// The kernel implied by sigma/radius.
   GaussianKernel kernel() const;
+
+  /// The resolved backend + datapath request — the ONE place the
+  /// deprecated BlurKind alias maps onto the authoritative fields:
+  /// backend falls back to backend_name(blur) when empty, and
+  /// Datapath::from_blur_kind resolves to fixed iff blur is
+  /// streaming_fixed. Registry-free; see ExecutionSelection for the
+  /// capability-dependent refinement make_executor() applies on top.
+  ExecutionSelection execution() const;
 
   /// Resolve these options into an executor (registry lookup + thread /
   /// datapath configuration) for a frame of the given geometry — which
@@ -89,8 +138,41 @@ struct PipelineResult {
   float input_max = 0.0f;  ///< normalisation scale that was applied
 };
 
+/// The pipeline's five stages as explicit functions. tone_map() is the
+/// composition normalize -> intensity -> mask -> masking -> adjust; frame
+/// schedulers call the same functions but interleave the mask stage of
+/// frame N with the point-wise stages of neighbouring frames. Splitting
+/// tone_map() this way (rather than duplicating its body) is what keeps
+/// the pipelined and blocking paths bit-identical by construction.
+namespace stages {
+
+/// Stage 1 — normalisation (+ display encoding). A positive
+/// opt.normalization_scale divides by that scale (clamping at 1);
+/// otherwise the frame's own maximum is used. `applied_scale`, when
+/// non-null, receives the scale that was applied. Then the display gamma
+/// encoding (opt.display_gamma; 1 = identity).
+img::ImageF normalize(const img::ImageF& hdr, const PipelineOptions& opt,
+                      float* applied_scale = nullptr);
+
+/// Stage 2 — the luminance plane the mask blur consumes.
+img::ImageF intensity(const img::ImageF& normalized);
+
+/// Stage 3 — the mask: the Gaussian blur of the intensity plane, delegated
+/// to `executor` (the accelerated stage; the only non-point-wise one).
+img::ImageF mask(const img::ImageF& intensity, const GaussianKernel& kernel,
+                 const exec::PipelineExecutor& executor);
+
+/// Stage 4 — non-linear masking of the normalised image by the mask.
+img::ImageF masking(const img::ImageF& normalized, const img::ImageF& mask);
+
+/// Stage 5 — brightness/contrast adjustment (opt.brightness, opt.contrast).
+img::ImageF adjust(const img::ImageF& masked, const PipelineOptions& opt);
+
+} // namespace stages
+
 /// Run the full pipeline on a linear-light HDR image (1..4 channels).
-/// The mask stage is delegated to the executor implied by `opt`.
+/// The mask stage is delegated to the executor implied by `opt`. A thin
+/// wrapper over the stage functions above.
 PipelineResult tone_map(const img::ImageF& hdr, const PipelineOptions& opt = {});
 
 /// As above but with a caller-owned executor (persistent across frames);

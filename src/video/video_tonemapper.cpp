@@ -7,32 +7,67 @@
 
 namespace tmhls::video {
 
+namespace {
+
+tonemap::FramePipelineOptions frame_pipeline_options(
+    const VideoToneMapperOptions& options) {
+  tonemap::FramePipelineOptions fp;
+  fp.pipeline = options.pipeline;
+  fp.depth = options.pipeline_depth;
+  fp.width = options.frame_width;
+  fp.height = options.frame_height;
+  return fp;
+}
+
+} // namespace
+
 VideoToneMapper::VideoToneMapper(VideoToneMapperOptions options)
-    : options_(options), executor_(options.pipeline.make_executor()) {
+    : options_(options), pipeline_(frame_pipeline_options(options)) {
   TMHLS_REQUIRE(options.adaptation_rate > 0.0 &&
                     options.adaptation_rate <= 1.0,
                 "adaptation rate must be in (0, 1]");
 }
 
 img::ImageF VideoToneMapper::process(const img::ImageF& frame) {
+  submit(frame);
+  return next_result();
+}
+
+void VideoToneMapper::submit(const img::ImageF& frame) {
+  // The adaptation input is the frame's maximum — a point-wise scan, so
+  // it runs on the submitting thread and the adapted-scale sequence
+  // depends only on submission order, never on pipeline depth.
   float frame_max = 0.0f;
   for (float v : frame.samples()) frame_max = std::max(frame_max, v);
   TMHLS_REQUIRE(frame_max > 0.0f, "frame carries no light");
 
-  if (frames_ == 0) {
-    scale_ = frame_max; // first frame: adapt instantly
-  } else {
-    scale_ = scale_ + static_cast<float>(options_.adaptation_rate) *
-                          (frame_max - scale_);
-  }
+  const float next_scale =
+      frames_ == 0
+          ? frame_max // first frame: adapt instantly
+          : scale_ + static_cast<float>(options_.adaptation_rate) *
+                         (frame_max - scale_);
+  // Enqueue before committing the adaptation state: a submit that throws
+  // (a failed in-flight blur surfacing) must not advance the trajectory
+  // for a frame that was never accepted.
+  pipeline_.submit(frame, next_scale);
+  scale_ = next_scale;
   ++frames_;
+}
 
-  tonemap::PipelineOptions opt = options_.pipeline;
-  opt.normalization_scale = scale_;
-  return tonemap::tone_map(frame, opt, executor_).output;
+img::ImageF VideoToneMapper::next_result() {
+  return pipeline_.next_result().output;
 }
 
 void VideoToneMapper::reset() {
+  // Drain-and-discard: a failed in-flight blur must not abort the reset
+  // (the caller is resetting precisely to recover), so errors carried by
+  // discarded results are swallowed here.
+  while (pipeline_.pending() > 0) {
+    try {
+      pipeline_.next_result();
+    } catch (...) {
+    }
+  }
   scale_ = 0.0f;
   frames_ = 0;
 }

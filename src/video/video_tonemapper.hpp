@@ -4,13 +4,22 @@
 // leaves the view; the video mapper smooths the normalisation scale with
 // exponential adaptation, mimicking the human eye's (and every camera
 // pipeline's) temporal adaptation.
+//
+// The mapper rides on tonemap::FramePipeline: submit()/next_result()
+// overlap the point-wise stages of frame N+1 with the mask blur of frame N
+// at pipeline_depth > 1, while process() keeps the one-call-per-frame
+// blocking form. Temporal adaptation advances at submit() time (it needs
+// only the frame's maximum, a point-wise scan) and results come back in
+// submission order, so the scale smoothing is identical at every depth.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "accel/system.hpp"
 #include "exec/executor.hpp"
 #include "image/image.hpp"
+#include "tonemap/frame_pipeline.hpp"
 #include "tonemap/pipeline.hpp"
 
 namespace tmhls::video {
@@ -21,6 +30,15 @@ struct VideoToneMapperOptions {
   /// Adaptation rate per frame in [0, 1]: 1 reproduces per-frame
   /// normalisation (no smoothing), small values adapt slowly.
   double adaptation_rate = 0.25;
+  /// Frame-pipeline depth (tonemap::FramePipelineOptions::depth): 1
+  /// processes each frame synchronously; 2 overlaps frame N's mask blur
+  /// with frame N+1's point-wise stages when frames are consumed through
+  /// submit()/next_result(). Output is bit-identical at every depth.
+  int pipeline_depth = 1;
+  /// Frame geometry the executor is resolved for once at construction —
+  /// what pipeline.backend == "auto" ranks the cost model on.
+  int frame_width = 1024;
+  int frame_height = 768;
 };
 
 /// Stateful per-frame tone mapper with temporal scale adaptation. Resolves
@@ -30,24 +48,37 @@ class VideoToneMapper {
 public:
   explicit VideoToneMapper(VideoToneMapperOptions options);
 
-  /// Tone-map the next frame; updates the adapted scale.
+  /// Tone-map the next frame synchronously: submit() + next_result().
   img::ImageF process(const img::ImageF& frame);
 
+  /// Enqueue a frame into the pipeline; advances the adapted scale.
+  void submit(const img::ImageF& frame);
+
+  /// The oldest unconsumed frame's output, in submission order. Throws
+  /// InvalidArgument when no frame is pending.
+  img::ImageF next_result();
+
+  /// Frames submitted but not yet consumed.
+  std::size_t pending() const { return pipeline_.pending(); }
+
   /// The executor running the mask stage of every frame.
-  const exec::PipelineExecutor& executor() const { return executor_; }
+  const exec::PipelineExecutor& executor() const {
+    return pipeline_.executor();
+  }
 
   /// The normalisation scale currently adapted to (0 before any frame).
   float current_scale() const { return scale_; }
 
-  /// Frames processed so far.
+  /// Frames submitted so far.
   int frames_processed() const { return frames_; }
 
-  /// Forget the adaptation state (the executor is kept).
+  /// Forget the adaptation state; pending results are drained and
+  /// discarded (the executor is kept).
   void reset();
 
 private:
   VideoToneMapperOptions options_;
-  exec::PipelineExecutor executor_;
+  tonemap::FramePipeline pipeline_;
   float scale_ = 0.0f;
   int frames_ = 0;
 };

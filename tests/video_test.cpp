@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "video/sequence.hpp"
@@ -96,9 +98,12 @@ VideoToneMapperOptions fast_options() {
 TEST(ToneMapperTest, FirstFrameAdaptsInstantly) {
   VideoToneMapper mapper(fast_options());
   const SceneSequence seq(small_config());
-  mapper.process(seq.frame(0));
+  // Named frame: iterating `seq.frame(0).samples()` directly would read a
+  // span into a destroyed temporary (caught by TSan).
+  const img::ImageF first = seq.frame(0);
+  mapper.process(first);
   float frame_max = 0.0f;
-  for (float v : seq.frame(0).samples()) frame_max = std::max(frame_max, v);
+  for (float v : first.samples()) frame_max = std::max(frame_max, v);
   EXPECT_FLOAT_EQ(mapper.current_scale(), frame_max);
   EXPECT_EQ(mapper.frames_processed(), 1);
 }
@@ -177,6 +182,73 @@ TEST(ToneMapperTest, AdaptationSuppressesScaleJumpPops) {
   const double per_frame = run(1.0);
   const double adapted = run(0.15);
   EXPECT_LT(adapted, 0.8 * per_frame);
+}
+
+TEST(ToneMapperTest, PipelinedDepthsBitIdenticalToSynchronous) {
+  // The async frame pipeline must not change a single bit of any frame,
+  // nor the adapted-scale trajectory, at any depth — for the float and
+  // the fixed datapath alike.
+  SceneSequence::Config cfg = small_config();
+  cfg.frames = 6;
+  const SceneSequence seq(cfg);
+  for (const char* backend : {"separable_float", "streaming_fixed"}) {
+    VideoToneMapperOptions opt = fast_options();
+    opt.pipeline.backend = backend;
+    if (std::string(backend) == "streaming_fixed") {
+      opt.pipeline.datapath = tonemap::Datapath::fixed_point;
+    }
+    VideoToneMapper sync_mapper(opt);
+    std::vector<img::ImageF> golden;
+    for (int i = 0; i < seq.frame_count(); ++i) {
+      golden.push_back(sync_mapper.process(seq.frame(i)));
+    }
+    for (int depth : {2, 4}) {
+      VideoToneMapperOptions vopt = opt;
+      vopt.pipeline_depth = depth;
+      VideoToneMapper mapper(vopt);
+      // Pipelined consumption: fill, then steady-state submit/next.
+      std::vector<img::ImageF> outputs;
+      for (int i = 0; i < seq.frame_count(); ++i) {
+        mapper.submit(seq.frame(i));
+        while (mapper.pending() >= static_cast<std::size_t>(depth)) {
+          outputs.push_back(mapper.next_result());
+        }
+      }
+      while (mapper.pending() > 0) outputs.push_back(mapper.next_result());
+      EXPECT_FLOAT_EQ(mapper.current_scale(), sync_mapper.current_scale())
+          << backend << " depth " << depth;
+      ASSERT_EQ(outputs.size(), golden.size());
+      for (std::size_t i = 0; i < outputs.size(); ++i) {
+        auto sa = outputs[i].samples();
+        auto sb = golden[i].samples();
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t s = 0; s < sa.size(); ++s) {
+          ASSERT_EQ(sa[s], sb[s])
+              << backend << " depth " << depth << " frame " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ToneMapperTest, NextResultWithoutSubmitThrows) {
+  VideoToneMapper mapper(fast_options());
+  EXPECT_THROW(mapper.next_result(), InvalidArgument);
+}
+
+TEST(ToneMapperTest, ResetDrainsPendingPipelinedFrames) {
+  VideoToneMapperOptions opt = fast_options();
+  opt.pipeline_depth = 3;
+  VideoToneMapper mapper(opt);
+  img::ImageF f(16, 16, 3);
+  f.fill(2.0f);
+  mapper.submit(f);
+  mapper.submit(f);
+  EXPECT_EQ(mapper.pending(), 2u);
+  mapper.reset();
+  EXPECT_EQ(mapper.pending(), 0u);
+  EXPECT_EQ(mapper.frames_processed(), 0);
+  EXPECT_FLOAT_EQ(mapper.current_scale(), 0.0f);
 }
 
 TEST(ToneMapperTest, ResetForgetsState) {

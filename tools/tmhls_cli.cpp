@@ -4,10 +4,14 @@
 // Subcommands:
 //   tonemap <in> <out.ppm>  [--operator moroney|reinhard|log|gamma|
 //                            histogram|durand] [--sigma S] [--radius R]
-//                            [--fixed] [--brightness B] [--contrast C]
+//                            [--fixed|--datapath float|fixed]
+//                            [--brightness B] [--contrast C]
 //                            [--backend separable_float|separable_simd|
 //                             streaming_float|streaming_fixed|hlscode|auto]
-//                            [--threads N]
+//                            [--threads N] [--pipeline-depth D]
+//   video                   [--frames N] [--size N] [--kind K] [--seed N]
+//                            [--drift D] [--adaptation R] [--out prefix]
+//                            [--pipeline-depth D] [--backend B] [--threads N]
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -17,10 +21,12 @@
 //
 // Inputs: Radiance .hdr or .pfm (by extension). Outputs: .ppm (8-bit),
 // .hdr, or .pfm.
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "accel/system.hpp"
 #include "common/args.hpp"
@@ -37,8 +43,11 @@
 #include "metrics/ssim.hpp"
 #include "platform/zynq.hpp"
 #include "tonemap/bilateral.hpp"
+#include "tonemap/frame_pipeline.hpp"
 #include "tonemap/global_operators.hpp"
 #include "tonemap/pipeline.hpp"
+#include "video/sequence.hpp"
+#include "video/video_tonemapper.hpp"
 
 namespace {
 
@@ -72,19 +81,48 @@ tonemap::PipelineOptions pipeline_options_from(const Args& args) {
       static_cast<float>(args.get_double("brightness", opt.brightness));
   opt.contrast =
       static_cast<float>(args.get_double("contrast", opt.contrast));
-  if (args.has("fixed")) opt.blur = tonemap::BlurKind::streaming_fixed;
-  // Execution-backend selection: any registered backend by name, plus the
-  // tiled multi-threaded mode of the CPU backends.
+  // Execution selection: any registered backend by name plus the datapath
+  // of dual-datapath backends (--fixed is shorthand for --datapath fixed).
+  // Thread counts are validated centrally by the exec layer.
   opt.backend = args.get_or("backend", "");
+  std::string datapath = args.get_or("datapath", "");
+  if (args.has("fixed")) {
+    TMHLS_REQUIRE(datapath.empty() ||
+                      tonemap::datapath_from_string(datapath) ==
+                          tonemap::Datapath::fixed_point,
+                  "--fixed contradicts --datapath " + datapath);
+    datapath = "fixed";
+  }
+  if (!datapath.empty()) {
+    opt.datapath = tonemap::datapath_from_string(datapath);
+  }
+  // A bare fixed-point request keeps selecting the fixed golden model.
+  if (opt.datapath == tonemap::Datapath::fixed_point && opt.backend.empty()) {
+    opt.backend = "streaming_fixed";
+  }
   opt.threads = args.get_int("threads", opt.threads);
-  TMHLS_REQUIRE(opt.threads >= 1, "--threads must be >= 1");
   return opt;
 }
 
 img::ImageF apply_operator(const std::string& name, const img::ImageF& hdr,
                            const Args& args) {
   if (name == "moroney") {
-    return tonemap::tone_map_image(hdr, pipeline_options_from(args));
+    const int depth = args.get_int("pipeline-depth", 1);
+    if (depth == 1) {
+      return tonemap::tone_map_image(hdr, pipeline_options_from(args));
+    }
+    // Route through the frame pipeline: a single image cannot overlap
+    // anything, but this exercises the exact path video consumers run.
+    tonemap::FramePipelineOptions fpo;
+    fpo.pipeline = pipeline_options_from(args);
+    fpo.depth = depth;
+    // Resolve backend == "auto" against the real geometry, exactly like
+    // the depth-1 path — depth must never change the backend choice.
+    fpo.width = hdr.width();
+    fpo.height = hdr.height();
+    tonemap::FramePipeline pipeline(fpo);
+    pipeline.submit(hdr);
+    return pipeline.next_result().output;
   }
   if (name == "reinhard") return tonemap::reinhard_global(hdr);
   if (name == "log") return tonemap::global_log(hdr);
@@ -164,7 +202,7 @@ int cmd_backends(const Args& args) {
   exec::ExecutorOptions eopts;
   eopts.threads = args.get_int("threads", 1);
   eopts.use_fixed = args.has("fixed");
-  TMHLS_REQUIRE(eopts.threads >= 1, "--threads must be >= 1");
+  exec::validate(eopts);
 
   // Optional re-calibration of the cost model from measured JSONL records.
   const std::string calibration = args.get_or("calibration", "");
@@ -221,6 +259,89 @@ int cmd_backends(const Args& args) {
   return 0;
 }
 
+int cmd_video(const Args& args) {
+  // A synthetic pan-and-drift sequence driven through the temporally
+  // adapted video tone mapper, with the pipelined submit()/next_result()
+  // consumption pattern: at --pipeline-depth > 1 the point-wise stages of
+  // frame N+1 overlap the mask blur of frame N.
+  video::SceneSequence::Config cfg;
+  cfg.kind = io::scene_kind_from_string(args.get_or("kind", "window_interior"));
+  cfg.frame_size = args.get_int("size", 256);
+  cfg.frames = args.get_int("frames", 24);
+  cfg.master_size = args.get_int("master-size", 2 * cfg.frame_size);
+  cfg.exposure_drift = args.get_double("drift", cfg.exposure_drift);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+  const video::SceneSequence sequence(cfg);
+
+  video::VideoToneMapperOptions vopt;
+  vopt.pipeline = pipeline_options_from(args);
+  vopt.adaptation_rate = args.get_double("adaptation", vopt.adaptation_rate);
+  vopt.pipeline_depth = args.get_int("pipeline-depth", 2);
+  vopt.frame_width = cfg.frame_size;
+  vopt.frame_height = cfg.frame_size;
+  video::VideoToneMapper mapper(vopt);
+
+  // Pre-render the frames so the timed loop measures tone mapping, not
+  // scene synthesis.
+  std::vector<img::ImageF> frames;
+  frames.reserve(static_cast<std::size_t>(sequence.frame_count()));
+  for (int i = 0; i < sequence.frame_count(); ++i) {
+    frames.push_back(sequence.frame(i));
+  }
+
+  std::vector<img::ImageF> outputs;
+  outputs.reserve(frames.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const img::ImageF& frame : frames) {
+    mapper.submit(frame);
+    // Steady state: keep the pipeline full, consume the overflow.
+    while (mapper.pending() >=
+           static_cast<std::size_t>(vopt.pipeline_depth)) {
+      outputs.push_back(mapper.next_result());
+    }
+  }
+  while (mapper.pending() > 0) outputs.push_back(mapper.next_result());
+  const auto t1 = std::chrono::steady_clock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<double> means;
+  means.reserve(outputs.size());
+  for (const img::ImageF& out : outputs) {
+    means.push_back(video::mean_luminance(out));
+  }
+
+  const std::string out_prefix = args.get_or("out", "");
+  if (!out_prefix.empty()) {
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      std::string path = out_prefix;
+      path += i < 10 ? "000" : i < 100 ? "00" : i < 1000 ? "0" : "";
+      path += std::to_string(i);
+      path += ".ppm";
+      save_image(path, outputs[i]);
+    }
+    std::cout << "wrote " << outputs.size() << " frames to " << out_prefix
+              << "*.ppm\n";
+  }
+
+  TextTable t({"frames", "size", "backend", "threads", "depth", "total (s)",
+               "fps", "flicker", "peak flicker"});
+  t.add_row({std::to_string(sequence.frame_count()),
+             std::to_string(cfg.frame_size),
+             mapper.executor().backend().name(),
+             std::to_string(vopt.pipeline.threads),
+             std::to_string(vopt.pipeline_depth), format_fixed(seconds, 3),
+             seconds > 0.0
+                 ? format_fixed(static_cast<double>(outputs.size()) / seconds,
+                                2)
+                 : "-",
+             format_fixed(video::flicker_metric(means), 4),
+             format_fixed(video::peak_flicker(means), 4)});
+  std::cout << t.render();
+  std::cout << "\n(depth > 1 overlaps frame N's mask blur with frame N+1's\n"
+               "point-wise stages; the speedup shows on multi-core hosts)\n";
+  return 0;
+}
+
 int cmd_compare(const Args& args) {
   TMHLS_REQUIRE(args.positional().size() == 2,
                 "usage: tmhls_cli compare <in>");
@@ -247,7 +368,13 @@ void usage() {
       "usage: tmhls_cli <command> [options]\n"
       "  tonemap <in> <out>   tone-map an HDR image\n"
       "                       (--backend <name|auto> selects the execution\n"
-      "                        backend, --threads N the tiled CPU mode)\n"
+      "                        backend, --datapath float|fixed the numeric\n"
+      "                        datapath, --threads N the tiled CPU mode,\n"
+      "                        --pipeline-depth D the frame pipeline)\n"
+      "  video                tone-map a synthetic HDR sequence through the\n"
+      "                       pipelined scheduler (--frames, --size, --kind,\n"
+      "                       --adaptation, --pipeline-depth, --backend,\n"
+      "                       --threads, --out <prefix>)\n"
       "  scene <out>          generate a synthetic HDR scene\n"
       "  analyze              evaluate the Table II design points\n"
       "  backends             list the registered execution backends with\n"
@@ -268,6 +395,7 @@ int main(int argc, char** argv) {
     }
     const std::string cmd = args.positional()[0];
     if (cmd == "tonemap") return cmd_tonemap(args);
+    if (cmd == "video") return cmd_video(args);
     if (cmd == "scene") return cmd_scene(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "backends") return cmd_backends(args);
