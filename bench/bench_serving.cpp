@@ -1,0 +1,210 @@
+// Throughput and latency of the in-process serving layer
+// (serve::ToneMapService) versus shard count: a fixed multi-client
+// workload is replayed at shard counts 1, 2 and 4, and one oversized
+// frame is replayed at blur-shard counts 1, 2 and 4. Emits one
+// benchkit::JsonRecord line per configuration on stdout — jobs/s plus
+// p50/p99 latency, each carrying speedup_vs_1shard — and a human table
+// on stderr.
+//
+//   bench_serving [--size N] [--clients C] [--jobs J] [--reps R]
+//                 [--backend NAME] [--threads T] [--depth D] [--sigma S]
+//                 [--big-size N]
+//
+// NB: on a single-core host extra shards only add queueing — expect
+// speedup_vs_1shard ~1.0 there; the interesting numbers come from
+// multi-core CI runners. Records are a non-gating CI artifact.
+#include <chrono>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/args.hpp"
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "imageio/synthetic.hpp"
+#include "serve/service.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace {
+
+using namespace tmhls;
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  double seconds = 0.0;   ///< wall time of the whole workload
+  double p50_s = 0.0;     ///< median client-observed latency
+  double p99_s = 0.0;
+};
+
+/// Replay `jobs` jobs from each of `clients` threads through a service
+/// with `shards` shards; every job carries `blur_shards`.
+RunResult run_workload(int shards, int depth, int clients, int jobs,
+                       int blur_shards,
+                       const tonemap::PipelineOptions& popt,
+                       const std::vector<img::ImageF>& frames) {
+  serve::ToneMapServiceOptions so;
+  so.shards = shards;
+  so.pipeline_depth = depth;
+  serve::ToneMapService service(so);
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  const auto t0 = Clock::now();
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<Clock::time_point> submitted;
+      std::vector<std::future<serve::FrameResult>> futures;
+      for (int j = 0; j < jobs; ++j) {
+        serve::FrameJob job;
+        job.frame = frames[static_cast<std::size_t>(c * jobs + j) %
+                           frames.size()];
+        job.options = popt;
+        job.blur_shards = blur_shards;
+        submitted.push_back(Clock::now());
+        futures.push_back(service.submit(std::move(job)));
+      }
+      for (std::size_t j = 0; j < futures.size(); ++j) {
+        futures[j].get();
+        latencies[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double>(Clock::now() - submitted[j])
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+
+  RunResult r;
+  r.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  r.p50_s = percentile(all, 0.5);
+  r.p99_s = percentile(all, 0.99);
+  return r;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    const int size = args.get_int("size", 256);
+    const int clients = args.get_int("clients", 4);
+    const int jobs = args.get_int("jobs", 4); // per client
+    const int reps = args.get_int("reps", 3);
+    const int depth = args.get_int("depth", 2);
+    const int big_size = args.get_int("big-size", 2 * size);
+    const std::string backend = args.get_or("backend", "separable_simd");
+    TMHLS_REQUIRE(size > 0 && clients > 0 && jobs > 0 && reps > 0 &&
+                      big_size > 0,
+                  "size, clients, jobs, reps and big-size must be positive");
+
+    tonemap::PipelineOptions popt;
+    popt.sigma = args.get_double("sigma", 16.0);
+    popt.backend = backend;
+    popt.threads = args.get_int("threads", 1);
+
+    // Pre-rendered frames: the timed region measures serving only.
+    std::vector<img::ImageF> frames;
+    for (int i = 0; i < clients; ++i) {
+      frames.push_back(io::generate_hdr_scene(
+          io::SceneKind::window_interior, size, size,
+          2018u + static_cast<std::uint64_t>(i)));
+    }
+    const img::ImageF big_frame = io::generate_hdr_scene(
+        io::SceneKind::window_interior, big_size, big_size, 2018);
+
+    benchkit::print_header("Serving throughput, backend " + backend,
+                           std::cerr);
+    const int total_jobs = clients * jobs;
+    const int taps = popt.kernel().taps();
+
+    TextTable table({"mode", "shards", "jobs", "total (s)", "jobs/s",
+                     "p50 (ms)", "p99 (ms)", "vs 1 shard"});
+
+    // Mode 1: many independent whole-frame jobs vs service shard count.
+    double one_shard_s = 0.0;
+    for (int shards : {1, 2, 4}) {
+      RunResult best;
+      for (int r = 0; r < reps; ++r) {
+        const RunResult run =
+            run_workload(shards, depth, clients, jobs, 1, popt, frames);
+        if (best.seconds == 0.0 || run.seconds < best.seconds) best = run;
+      }
+      if (shards == 1) one_shard_s = best.seconds;
+      const double speedup =
+          best.seconds > 0.0 ? one_shard_s / best.seconds : 0.0;
+      const double jobs_per_s = total_jobs / best.seconds;
+      table.add_row({"jobs", std::to_string(shards),
+                     std::to_string(total_jobs),
+                     format_fixed(best.seconds, 4),
+                     format_fixed(jobs_per_s, 2),
+                     format_fixed(best.p50_s * 1e3, 2),
+                     format_fixed(best.p99_s * 1e3, 2),
+                     format_fixed(speedup, 2)});
+      benchkit::JsonRecord record("serving");
+      record.field("mode", "jobs")
+          .field("backend", backend)
+          .field("threads", popt.threads)
+          .field("shards", shards)
+          .field("depth", depth)
+          .field("clients", clients)
+          .field("jobs_total", total_jobs)
+          .field("width", size)
+          .field("height", size)
+          .field("taps", taps)
+          .field("seconds_total", best.seconds)
+          .field("jobs_per_s", jobs_per_s)
+          .field("latency_p50_ms", best.p50_s * 1e3)
+          .field("latency_p99_ms", best.p99_s * 1e3)
+          .field("speedup_vs_1shard", speedup)
+          .emit();
+    }
+
+    // Mode 2: one oversized frame, mask blur sharded across executors.
+    double one_band_s = 0.0;
+    for (int blur_shards : {1, 2, 4}) {
+      RunResult best;
+      for (int r = 0; r < reps; ++r) {
+        const RunResult run =
+            run_workload(1, 1, 1, 2, blur_shards, popt, {big_frame});
+        if (best.seconds == 0.0 || run.seconds < best.seconds) best = run;
+      }
+      if (blur_shards == 1) one_band_s = best.seconds;
+      const double speedup =
+          best.seconds > 0.0 ? one_band_s / best.seconds : 0.0;
+      table.add_row({"sharded_frame", std::to_string(blur_shards), "2",
+                     format_fixed(best.seconds, 4),
+                     format_fixed(2.0 / best.seconds, 2),
+                     format_fixed(best.p50_s * 1e3, 2),
+                     format_fixed(best.p99_s * 1e3, 2),
+                     format_fixed(speedup, 2)});
+      benchkit::JsonRecord record("serving");
+      record.field("mode", "sharded_frame")
+          .field("backend", backend)
+          .field("threads", popt.threads)
+          .field("blur_shards", blur_shards)
+          .field("jobs_total", 2)
+          .field("width", big_size)
+          .field("height", big_size)
+          .field("taps", taps)
+          .field("seconds_total", best.seconds)
+          .field("jobs_per_s", 2.0 / best.seconds)
+          .field("latency_p50_ms", best.p50_s * 1e3)
+          .field("latency_p99_ms", best.p99_s * 1e3)
+          .field("speedup_vs_1shard", speedup)
+          .emit();
+    }
+
+    std::cerr << '\n' << table.render();
+    return 0;
+  } catch (const tmhls::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

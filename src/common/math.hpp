@@ -1,10 +1,14 @@
 // Small math helpers used across modules. Header-only.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
 
 namespace tmhls {
 
@@ -55,5 +59,20 @@ inline bool approx_equal(double a, double b, double rel_tol = 1e-9,
 /// Convert decibels to a linear power ratio and back.
 inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
 inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Nearest-rank percentile of a sample set: p in [0, 1] (0.5 = median,
+/// 0.99 = p99; throws InvalidArgument outside that range — note the
+/// fraction scale, not 0..100). Takes the values by copy and sorts them;
+/// 0 for an empty set. The one definition the latency-reporting tools
+/// (tmhls_cli serve, bench_serving) share, so their p50/p99 columns
+/// cannot drift apart.
+inline double percentile(std::vector<double> values, double p) {
+  TMHLS_REQUIRE(p >= 0.0 && p <= 1.0,
+                "percentile: p must be a fraction in [0, 1]");
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = p * static_cast<double>(values.size() - 1);
+  return values[static_cast<std::size_t>(idx + 0.5)];
+}
 
 } // namespace tmhls

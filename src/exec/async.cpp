@@ -63,6 +63,7 @@ std::future<img::ImageF> AsyncExecutor::submit(BlurRequest request) {
     Task task{std::move(request), std::promise<img::ImageF>{}};
     future = task.promise.get_future();
     queue_.push_back(std::move(task));
+    ++submitted_;
   }
   queue_not_empty_.notify_one();
   return future;
@@ -71,6 +72,16 @@ std::future<img::ImageF> AsyncExecutor::submit(BlurRequest request) {
 std::size_t AsyncExecutor::in_flight() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size() + running_;
+}
+
+AsyncExecutorStats AsyncExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AsyncExecutorStats s;
+  s.queued = queue_.size();
+  s.running = running_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  return s;
 }
 
 void AsyncExecutor::worker_loop() {
@@ -97,6 +108,7 @@ void AsyncExecutor::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
+      ++completed_;
     }
   }
 }
@@ -136,6 +148,20 @@ std::size_t ExecutorPool::in_flight() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) total += shard->in_flight();
   return total;
+}
+
+ExecutorPoolStats ExecutorPool::stats() const {
+  ExecutorPoolStats s;
+  s.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    s.per_shard.push_back(shard->stats());
+    const AsyncExecutorStats& ss = s.per_shard.back();
+    s.queued += ss.queued;
+    s.running += ss.running;
+    s.submitted += ss.submitted;
+    s.completed += ss.completed;
+  }
+  return s;
 }
 
 } // namespace tmhls::exec

@@ -3,12 +3,15 @@
 // mask blur to an owned worker pool and returns immediately, so the
 // caller's thread can run the point-wise PS stages of the next frame while
 // the blur of the previous one is in flight (tonemap::FramePipeline), and
-// a serving front can keep many requests moving at once (ExecutorPool).
+// a serving front can keep many requests moving at once (ExecutorPool —
+// which serve::ToneMapService uses to shard one oversized frame's blur
+// across executors by row bands).
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -25,6 +28,23 @@ namespace tmhls::exec {
 struct BlurRequest {
   img::ImageF intensity;
   tonemap::GaussianKernel kernel;
+};
+
+/// A consistent snapshot of one AsyncExecutor's queue and lifetime
+/// counters — the introspection surface serving layers size shard counts
+/// and report load from. All four values are read under one lock, so
+/// `queued + running == submitted - completed` holds within a snapshot.
+struct AsyncExecutorStats {
+  /// Requests accepted by submit() but not yet picked up by a worker.
+  std::size_t queued = 0;
+  /// Requests a worker is currently executing.
+  std::size_t running = 0;
+  /// Lifetime count of accepted requests.
+  std::uint64_t submitted = 0;
+  /// Lifetime count of finished requests (successes and errors alike —
+  /// a request whose backend threw still counts as completed, because its
+  /// future has been satisfied).
+  std::uint64_t completed = 0;
 };
 
 /// Configuration of an AsyncExecutor's worker pool and admission queue.
@@ -77,6 +97,10 @@ public:
   /// Requests accepted but not yet completed (queued + running).
   std::size_t in_flight() const;
 
+  /// One consistent snapshot of queue depth and lifetime counters.
+  /// Thread-safe; may be called concurrently with submit().
+  AsyncExecutorStats stats() const;
+
 private:
   struct Task {
     BlurRequest request;
@@ -93,6 +117,8 @@ private:
   std::condition_variable queue_not_full_;
   std::deque<Task> queue_;
   std::size_t running_ = 0; ///< tasks popped by a worker, not yet finished
+  std::uint64_t submitted_ = 0; ///< lifetime accepted requests
+  std::uint64_t completed_ = 0; ///< lifetime finished requests
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
@@ -110,12 +136,26 @@ struct ExecutorPoolOptions {
 /// offending field unless executors >= 1 (per_executor is validated too).
 void validate(const ExecutorPoolOptions& options);
 
+/// Aggregated + per-shard statistics of an ExecutorPool. `per_shard[i]` is
+/// shard i's own snapshot; the scalar fields are their sums. Shards are
+/// snapshotted one after another (there is no pool-wide lock), so the
+/// totals are exact per shard but only approximately simultaneous across
+/// shards — fine for load reporting, not for lock-free coordination.
+struct ExecutorPoolStats {
+  std::vector<AsyncExecutorStats> per_shard;
+  std::size_t queued = 0;
+  std::size_t running = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+};
+
 /// The serving-front seam: shards concurrent blur requests round-robin
 /// across several AsyncExecutors, each a copy of one prototype
-/// PipelineExecutor. Callers that tone-map many independent requests
-/// (batch servers, request fan-in) submit here and collect futures;
-/// completion order across shards is unordered — order, when needed, is
-/// the caller's (or FramePipeline's) concern.
+/// PipelineExecutor. Callers that fan many independent blurs out
+/// (serve::sharded_mask_blur splitting one frame into row bands, batch
+/// request fan-in) submit here and collect futures; completion order
+/// across shards is unordered — order, when needed, is the caller's (or
+/// the serving layer's) concern.
 class ExecutorPool {
 public:
   explicit ExecutorPool(const PipelineExecutor& prototype,
@@ -130,6 +170,11 @@ public:
 
   /// Requests accepted but not yet completed, summed over all shards.
   std::size_t in_flight() const;
+
+  /// Per-shard snapshots plus their sums (see ExecutorPoolStats for the
+  /// consistency caveat). Thread-safe; serving layers poll this to report
+  /// queue depths and per-shard job counts.
+  ExecutorPoolStats stats() const;
 
 private:
   ExecutorPoolOptions options_;

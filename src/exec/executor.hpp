@@ -1,9 +1,10 @@
 // PipelineExecutor: the pipeline's handle to one selected backend plus its
 // execution parameters (thread count, fixed-point formats). Constructed
 // once and reused across frames — video and serving paths keep a
-// persistent executor instead of re-resolving the backend per frame —
-// and the seam future scaling work (async batching, frame sharding,
-// result caching) plugs into.
+// persistent executor instead of re-resolving the backend per frame.
+// This is the seam the scaling layers stack on: exec/async wraps it in a
+// submit/future worker pool (AsyncExecutor, ExecutorPool) and serve/
+// composes those into a frame-serving front with row-band blur sharding.
 #pragma once
 
 #include <memory>

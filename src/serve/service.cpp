@@ -1,0 +1,332 @@
+#include "serve/service.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "exec/async.hpp"
+#include "serve/sharded_blur.hpp"
+#include "tonemap/frame_pipeline.hpp"
+
+namespace tmhls::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
+
+void validate(const ToneMapServiceOptions& options) {
+  TMHLS_REQUIRE(options.shards >= 1,
+                "ToneMapServiceOptions::shards must be >= 1, got " +
+                    std::to_string(options.shards));
+  TMHLS_REQUIRE(options.queue_capacity >= 1,
+                "ToneMapServiceOptions::queue_capacity must be >= 1, got " +
+                    std::to_string(options.queue_capacity));
+  TMHLS_REQUIRE(options.pipeline_depth >= 1,
+                "ToneMapServiceOptions::pipeline_depth must be >= 1, got " +
+                    std::to_string(options.pipeline_depth));
+}
+
+/// One worker shard: the bounded admission queue (shared with submitters,
+/// guarded by `mutex`) plus the worker thread. Session state — the
+/// FramePipeline, the blur pool for sharded jobs, the in-session promise
+/// queue — is worker-private and lives in worker_loop's frame, so it
+/// needs no locking at all.
+struct ToneMapService::Shard {
+  struct Queued {
+    FrameJob job;
+    std::promise<FrameResult> promise;
+    std::uint64_t id = 0;
+    Clock::time_point enqueued;
+  };
+
+  mutable std::mutex mutex;
+  std::condition_variable not_empty;
+  std::condition_variable not_full;
+  std::deque<Queued> queue;
+  bool stopping = false;
+  /// Jobs popped by the worker, not yet completed.
+  std::size_t active = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t session_builds = 0;
+  std::thread worker;
+};
+
+ToneMapService::ToneMapService(ToneMapServiceOptions options)
+    : options_(options) {
+  validate(options_);
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  try {
+    for (int i = 0; i < options_.shards; ++i) {
+      Shard& shard = *shards_[static_cast<std::size_t>(i)];
+      shard.worker = std::thread([this, &shard, i] { worker_loop(shard, i); });
+    }
+  } catch (...) {
+    // Thread spawn failure: release the workers already running, then
+    // rethrow — a half-built service must not leak threads.
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->stopping = true;
+      }
+      shard->not_empty.notify_all();
+      if (shard->worker.joinable()) shard->worker.join();
+    }
+    throw;
+  }
+}
+
+ToneMapService::~ToneMapService() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->stopping = true;
+    }
+    shard->not_empty.notify_all();
+    shard->not_full.notify_all();
+  }
+  // Each worker drains its queue before returning, so every future handed
+  // out by submit() is satisfied by the time the destructor completes.
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+std::future<FrameResult> ToneMapService::submit(FrameJob job) {
+  // Structural errors fail here at the submitter; everything discovered
+  // during execution travels through the future instead (see the header).
+  TMHLS_REQUIRE(!job.frame.empty(), "ToneMapService::submit: empty frame");
+  TMHLS_REQUIRE(job.blur_shards >= 1 && job.blur_shards <= kMaxBlurShards,
+                "FrameJob::blur_shards must be in [1, " +
+                    std::to_string(kMaxBlurShards) + "], got " +
+                    std::to_string(job.blur_shards));
+  const std::uint64_t id = next_job_id_.fetch_add(1);
+  Shard& shard = *shards_[id % shards_.size()];
+  std::future<FrameResult> future;
+  {
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    TMHLS_REQUIRE(!shard.stopping, "ToneMapService::submit after shutdown");
+    shard.not_full.wait(lock, [this, &shard] {
+      return shard.stopping ||
+             shard.queue.size() <
+                 static_cast<std::size_t>(options_.queue_capacity);
+    });
+    TMHLS_REQUIRE(!shard.stopping, "ToneMapService::submit after shutdown");
+    Shard::Queued entry;
+    entry.job = std::move(job);
+    entry.id = id;
+    entry.enqueued = Clock::now();
+    future = entry.promise.get_future();
+    shard.queue.push_back(std::move(entry));
+    ++shard.submitted;
+  }
+  shard.not_empty.notify_one();
+  return future;
+}
+
+ServiceStats ToneMapService::stats() const {
+  ServiceStats s;
+  s.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    ShardStats row;
+    row.queue_depth = shard->queue.size();
+    row.in_flight = shard->active;
+    row.submitted = shard->submitted;
+    row.completed = shard->completed;
+    row.failed = shard->failed;
+    row.session_builds = shard->session_builds;
+    s.shards.push_back(row);
+    s.queue_depth += row.queue_depth;
+    s.in_flight += row.in_flight;
+    s.submitted += row.submitted;
+    s.completed += row.completed;
+    s.failed += row.failed;
+  }
+  return s;
+}
+
+void ToneMapService::worker_loop(Shard& shard, int shard_index) {
+  // One entry per frame currently inside the session, oldest first — the
+  // promise-side mirror of FramePipeline's submission-order queue.
+  struct Pending {
+    std::promise<FrameResult> promise;
+    std::uint64_t id = 0;
+    double queue_seconds = 0.0;
+    Clock::time_point picked_up;
+  };
+  std::deque<Pending> pending;
+  std::unique_ptr<tonemap::FramePipeline> session;
+
+  // Blur pool for sharded jobs, cached while consecutive jobs share an
+  // execution configuration (the pool binds one resolved backend).
+  struct PoolKey {
+    tonemap::PipelineOptions options;
+    int width = 0;
+    int height = 0;
+    int executors = 0;
+    bool operator==(const PoolKey&) const = default;
+  };
+  std::unique_ptr<exec::ExecutorPool> blur_pool;
+  PoolKey blur_pool_key;
+
+  // Counters advance *before* the promise is satisfied, so a client that
+  // has seen future.get() return also sees the job counted in stats().
+  auto complete = [&](Pending& p, FrameResult&& result) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.completed;
+      --shard.active;
+    }
+    p.promise.set_value(std::move(result));
+  };
+  auto fail = [&](Pending& p) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.failed;
+      --shard.active;
+    }
+    p.promise.set_exception(std::current_exception());
+  };
+
+  // Retire the session's oldest frame into its promise. A blur error is
+  // delivered to exactly that job's future (FramePipeline drops the frame
+  // and continues, and so do we).
+  auto retire_one = [&] {
+    Pending p = std::move(pending.front());
+    pending.pop_front();
+    try {
+      tonemap::PipelineResult r = session->next_result();
+      FrameResult out;
+      out.output = std::move(r.output);
+      out.job_id = p.id;
+      out.shard = shard_index;
+      out.backend = session->executor().backend().name();
+      out.queue_seconds = p.queue_seconds;
+      out.service_seconds = seconds_between(p.picked_up, Clock::now());
+      complete(p, std::move(out));
+    } catch (...) {
+      fail(p);
+    }
+  };
+
+  for (;;) {
+    std::optional<Shard::Queued> next;
+    bool drained_and_stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      // Block for new work only when the session is empty — with frames
+      // in flight the worker must keep retiring so their futures cannot
+      // wait on a producer that has gone quiet.
+      if (pending.empty()) {
+        shard.not_empty.wait(lock, [&shard] {
+          return shard.stopping || !shard.queue.empty();
+        });
+      }
+      if (!shard.queue.empty()) {
+        next.emplace(std::move(shard.queue.front()));
+        shard.queue.pop_front();
+        ++shard.active;
+      } else if (pending.empty()) {
+        drained_and_stopping = shard.stopping;
+      }
+    }
+    if (drained_and_stopping) return;
+    if (!next) {
+      // No new job but frames in flight: make progress retiring them.
+      retire_one();
+      continue;
+    }
+    shard.not_full.notify_one();
+
+    const Clock::time_point picked_up = Clock::now();
+    Pending p;
+    p.promise = std::move(next->promise);
+    p.id = next->id;
+    p.queue_seconds = seconds_between(next->enqueued, picked_up);
+    p.picked_up = picked_up;
+    FrameJob job = std::move(next->job);
+
+    if (job.blur_shards > 1) {
+      // Oversized-frame path: drain the session first (per-shard FIFO
+      // completion), then shard this frame's mask blur across the pool.
+      while (!pending.empty()) retire_one();
+      try {
+        const PoolKey key{job.options, job.frame.width(), job.frame.height(),
+                          std::min(job.blur_shards, job.frame.height())};
+        if (!blur_pool || !(blur_pool_key == key)) {
+          exec::ExecutorPoolOptions po;
+          po.executors = key.executors;
+          po.per_executor.workers = 1;
+          po.per_executor.queue_capacity = 2;
+          blur_pool.reset(); // release the old pool's workers first
+          blur_pool = std::make_unique<exec::ExecutorPool>(
+              job.options.make_executor(key.width, key.height), po);
+          blur_pool_key = key;
+        }
+        tonemap::PipelineResult r =
+            tone_map_sharded(job.frame, job.options, *blur_pool,
+                             job.blur_shards);
+        FrameResult out;
+        out.output = std::move(r.output);
+        out.job_id = p.id;
+        out.shard = shard_index;
+        out.backend = blur_pool->shard(0).executor().backend().name();
+        out.queue_seconds = p.queue_seconds;
+        out.service_seconds = seconds_between(picked_up, Clock::now());
+        complete(p, std::move(out));
+      } catch (...) {
+        blur_pool.reset(); // the pool may not match a failed half-built key
+        fail(p);
+      }
+      continue;
+    }
+
+    // Session path: reuse the shard's FramePipeline while jobs keep the
+    // same options (and geometry, when the backend resolves to "auto");
+    // otherwise drain it and build a fresh one for this job's options.
+    if (!session || !session->compatible_with(job.options, job.frame.width(),
+                                              job.frame.height())) {
+      while (!pending.empty()) retire_one();
+      try {
+        tonemap::FramePipelineOptions fpo;
+        fpo.pipeline = job.options;
+        fpo.depth = options_.pipeline_depth;
+        fpo.width = job.frame.width();
+        fpo.height = job.frame.height();
+        session.reset(); // release the old session's blur worker first
+        session = std::make_unique<tonemap::FramePipeline>(fpo);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        ++shard.session_builds;
+      } catch (...) {
+        fail(p); // bad options: this job fails, the shard moves on
+        continue;
+      }
+    }
+    // Keep at most `depth` promises outstanding so FramePipeline::submit
+    // never auto-retires — an auto-retire could surface the *oldest*
+    // job's blur error out of submit(), against the promise bookkeeping.
+    while (pending.size() >= static_cast<std::size_t>(session->depth())) {
+      retire_one();
+    }
+    try {
+      session->submit(job.frame);
+    } catch (...) {
+      fail(p); // submit failed before the frame entered the session
+      continue;
+    }
+    pending.push_back(std::move(p));
+  }
+}
+
+} // namespace tmhls::serve

@@ -1,0 +1,184 @@
+// serve::ToneMapService — the in-process frame-serving front. This is the
+// layer the ROADMAP's "serves heavy traffic" north star has been building
+// toward: it composes the pieces below it (tonemap::FramePipeline sessions
+// for per-frame pipelining, exec::ExecutorPool for fan-out, the row-band
+// tiling for single-frame sharding) into one submit/future API that every
+// future transport (socket, HTTP) can sit on.
+//
+// Shape: the service owns `shards` worker threads, each driving its own
+// FramePipeline session behind a bounded admission queue. submit() hands a
+// FrameJob (whole HDR frame + per-job PipelineOptions) to the next shard
+// round-robin and returns a std::future<FrameResult>. Within a shard, jobs
+// complete in submission order and consecutive jobs with equal options
+// reuse the session (keeping up to `pipeline_depth` frames in flight);
+// a job whose options differ drains the session and rebuilds it — correct
+// for any mix, fastest for runs of identical options. Jobs with
+// blur_shards > 1 instead shard their mask blur across an ExecutorPool
+// owned by the shard (serve::sharded_mask_blur). Output is bit-identical
+// to the blocking tonemap::tone_map() for every job, at every shard count
+// and blur_shards — the service schedules work, it never changes bits.
+//
+// See docs/serving.md for the usage guide (lifecycle, sizing,
+// backpressure, error contract) and docs/architecture.md for where this
+// layer sits in the stack.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "image/image.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::serve {
+
+/// One tone-mapping request: a whole HDR frame plus the per-job pipeline
+/// configuration it is to be processed with.
+struct FrameJob {
+  /// Linear-light HDR frame (1..4 channels); must be non-empty.
+  img::ImageF frame;
+  /// Per-job pipeline options — jobs with different options may be mixed
+  /// freely in one service (each is bit-identical to the blocking
+  /// tone_map() under its own options).
+  tonemap::PipelineOptions options;
+  /// 1 (default) runs the frame through the shard's FramePipeline session.
+  /// > 1 shards this frame's mask blur across that many executors via
+  /// row-band tiling (serve::sharded_mask_blur) — the oversized-frame
+  /// path, worth it when one frame's blur dominates and executors would
+  /// otherwise idle. Must be in [1, kMaxBlurShards]: each shard is an
+  /// executor with its own worker thread, so the count is bounded the
+  /// same way the tiled layer bounds its bands.
+  int blur_shards = 1;
+};
+
+/// Upper bound on FrameJob::blur_shards (the executor fan-out one job may
+/// request) — the serving-layer twin of the tiled mode's 64-band cap.
+inline constexpr int kMaxBlurShards = 64;
+
+/// A completed job, delivered through the future from submit(). A job
+/// that failed delivers its exception instead (see the error contract on
+/// ToneMapService::submit).
+struct FrameResult {
+  /// Final display-referred image in [0, 1].
+  img::ImageF output;
+  /// Service-assigned id: the 0-based submission index across the whole
+  /// service, echoing which submit() this result answers.
+  std::uint64_t job_id = 0;
+  /// Which service shard executed the job.
+  int shard = 0;
+  /// Name of the execution backend the mask blur ran on (the per-job
+  /// resolution of options.backend, including "auto").
+  std::string backend;
+  /// Seconds spent in the admission queue before a worker picked the job
+  /// up — the backpressure signal.
+  double queue_seconds = 0.0;
+  /// Seconds from pickup to completion (pipeline stages + blur; for
+  /// pipelined jobs this includes overlap with neighbouring jobs).
+  double service_seconds = 0.0;
+};
+
+/// Configuration of a ToneMapService.
+struct ToneMapServiceOptions {
+  /// Worker shards, each owning one FramePipeline session and one
+  /// admission queue. Independent jobs round-robin across shards, so this
+  /// is the service's concurrency: size it to the cores the blur backend
+  /// leaves idle (each shard also spawns its session's async blur worker
+  /// at pipeline_depth > 1). Must be >= 1.
+  int shards = 2;
+  /// Bound on jobs admitted per shard but not yet picked up. submit()
+  /// blocks while its target shard's queue is full — backpressure instead
+  /// of unbounded buffering. Must be >= 1.
+  int queue_capacity = 8;
+  /// FramePipeline depth of each shard's session: 1 processes each job's
+  /// stages synchronously; 2 (default) overlaps job N's mask blur with
+  /// job N+1's point-wise stages within a shard. Must be >= 1.
+  int pipeline_depth = 2;
+};
+
+/// Validation: throws InvalidArgument naming the offending field unless
+/// shards >= 1, queue_capacity >= 1 and pipeline_depth >= 1.
+void validate(const ToneMapServiceOptions& options);
+
+/// Live statistics of one service shard; see ToneMapService::stats().
+struct ShardStats {
+  /// Jobs admitted, not yet picked up by the shard worker.
+  std::size_t queue_depth = 0;
+  /// Jobs picked up, not yet completed (bounded by pipeline_depth + 1).
+  std::size_t in_flight = 0;
+  /// Lifetime jobs routed to this shard.
+  std::uint64_t submitted = 0;
+  /// Lifetime jobs whose future was satisfied with a result. Counters
+  /// advance before the future becomes ready, so a client that has
+  /// observed a result also observes it counted here.
+  std::uint64_t completed = 0;
+  /// Lifetime jobs whose future was satisfied with an exception.
+  std::uint64_t failed = 0;
+  /// FramePipeline sessions built (first job plus every options switch) —
+  /// low values on uniform workloads confirm session reuse is working.
+  std::uint64_t session_builds = 0;
+};
+
+/// Aggregated + per-shard service statistics. Shards are snapshotted one
+/// after another; each row is internally consistent, the totals only
+/// approximately simultaneous — a load report, not a synchronisation
+/// primitive.
+struct ServiceStats {
+  std::vector<ShardStats> shards;
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+};
+
+/// The in-process batch tone-mapping service. Thread-safe: submit() may be
+/// called from any number of client threads. The destructor completes
+/// every accepted job before returning (futures never dangle), exactly
+/// like the exec layer below it.
+class ToneMapService {
+public:
+  explicit ToneMapService(ToneMapServiceOptions options = {});
+  /// Drains every accepted job through its shard worker, then joins.
+  ~ToneMapService();
+
+  ToneMapService(const ToneMapService&) = delete;
+  ToneMapService& operator=(const ToneMapService&) = delete;
+
+  /// Enqueue a job on the next shard (round-robin); returns the future of
+  /// its result. Blocks while that shard's queue is at capacity.
+  ///
+  /// Error contract, mirroring FramePipeline's: structurally invalid jobs
+  /// (empty frame, blur_shards < 1) throw InvalidArgument here, at the
+  /// submitter. Everything discovered during execution — an unknown
+  /// backend name, a kernel beyond the backend's tap bound, a datapath
+  /// contradiction — is delivered through the future; the job is dropped
+  /// and the shard continues with subsequent jobs unaffected. Submitting
+  /// after destruction has begun throws InvalidArgument.
+  std::future<FrameResult> submit(FrameJob job);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  const ToneMapServiceOptions& options() const { return options_; }
+
+  /// Per-shard queue depths and lifetime job counters (see ServiceStats).
+  ServiceStats stats() const;
+
+private:
+  struct Shard;
+
+  void worker_loop(Shard& shard, int shard_index);
+
+  ToneMapServiceOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> next_job_id_{0};
+};
+
+} // namespace tmhls::serve

@@ -1,0 +1,110 @@
+#include "serve/sharded_blur.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "exec/tiled.hpp"
+
+namespace tmhls::serve {
+
+namespace {
+
+/// Upper bound on bands per blur, whatever the caller asks for — the
+/// same 64-way cap the tiled mode applies to its in-process threads
+/// (exec/tiled.cpp kMaxBands): beyond it, bands are thinner than their
+/// halo and the fan-out is pure overhead.
+constexpr int kMaxBands = 64;
+
+/// Copy rows [begin, end) of `src` into a new (end - begin)-row image.
+img::ImageF copy_rows(const img::ImageF& src, int begin, int end) {
+  img::ImageF out(src.width(), end - begin, src.channels());
+  for (int y = begin; y < end; ++y) {
+    const auto from = src.row(y);
+    auto to = out.row(y - begin);
+    std::memcpy(to.data(), from.data(), from.size_bytes());
+  }
+  return out;
+}
+
+} // namespace
+
+img::ImageF sharded_mask_blur(const img::ImageF& intensity,
+                              const tonemap::GaussianKernel& kernel,
+                              exec::ExecutorPool& pool, int bands) {
+  TMHLS_REQUIRE(!intensity.empty(), "sharded_mask_blur: empty image");
+  TMHLS_REQUIRE(intensity.channels() == 1,
+                "sharded_mask_blur: intensity plane must be 1-channel");
+  TMHLS_REQUIRE(bands >= 1, "sharded_mask_blur: bands must be >= 1, got " +
+                                std::to_string(bands));
+
+  const int rows = intensity.height();
+  bands = std::min({bands, rows, kMaxBands});
+  if (bands == 1) {
+    // One band is the whole frame: a single ordinary request.
+    return pool.submit({intensity, kernel}).get();
+  }
+
+  // Fan out: band b's vertical pass reads intermediate (horizontally
+  // blurred) rows [begin - radius, end + radius), so its sub-image carries
+  // that halo — clamped to the frame, where clamp-to-edge must (and does)
+  // behave exactly as in the whole-frame blur.
+  const int radius = kernel.radius();
+  struct Band {
+    exec::RowBand out;     ///< output rows this band produces
+    int sub_begin = 0;     ///< first source row in the sub-image
+    std::future<img::ImageF> result;
+  };
+  std::vector<Band> in_flight;
+  in_flight.reserve(static_cast<std::size_t>(bands));
+  for (int b = 0; b < bands; ++b) {
+    Band band;
+    band.out = exec::row_band(rows, bands, b);
+    band.sub_begin = std::max(0, band.out.begin - radius);
+    const int sub_end = std::min(rows, band.out.end + radius);
+    band.result =
+        pool.submit({copy_rows(intensity, band.sub_begin, sub_end), kernel});
+    in_flight.push_back(std::move(band));
+  }
+
+  // Stitch; on failure keep collecting so no band is left running against
+  // a caller that has already unwound, then rethrow the first error.
+  img::ImageF mask(intensity.width(), rows, 1);
+  std::exception_ptr failure;
+  for (Band& band : in_flight) {
+    try {
+      const img::ImageF blurred = band.result.get();
+      for (int y = band.out.begin; y < band.out.end; ++y) {
+        const auto from = blurred.row(y - band.sub_begin);
+        auto to = mask.row(y);
+        std::memcpy(to.data(), from.data(), from.size_bytes());
+      }
+    } catch (...) {
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+  return mask;
+}
+
+tonemap::PipelineResult tone_map_sharded(const img::ImageF& hdr,
+                                         const tonemap::PipelineOptions& opt,
+                                         exec::ExecutorPool& pool,
+                                         int bands) {
+  TMHLS_REQUIRE(!hdr.empty(), "tone_map_sharded: empty image");
+  const tonemap::GaussianKernel kernel = opt.kernel();
+
+  tonemap::PipelineResult r;
+  r.normalized = tonemap::stages::normalize(hdr, opt, &r.input_max);
+  r.intensity = tonemap::stages::intensity(r.normalized);
+  r.mask = sharded_mask_blur(r.intensity, kernel, pool, bands);
+  r.masked = tonemap::stages::masking(r.normalized, r.mask);
+  r.output = tonemap::stages::adjust(r.masked, opt);
+  return r;
+}
+
+} // namespace tmhls::serve

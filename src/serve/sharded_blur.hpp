@@ -1,0 +1,47 @@
+// Sharding one oversized frame's mask blur across an exec::ExecutorPool:
+// the serving-layer counterpart of the tiled execution mode. Where
+// exec::blur_tiled_* splits one blur across threads *inside* one backend
+// call, sharded_mask_blur splits it across *executors* — each shard of the
+// pool blurs one contiguous row band (extended by a halo of `radius` rows,
+// the vertical pass's support) as an ordinary independent BlurRequest, and
+// the band rows are stitched back into one output plane.
+//
+// Bit-identity with the single blocking executor.blur() call holds by
+// construction: the horizontal pass is row-local, so halo-extended
+// sub-images contain exactly the intermediate rows each band's vertical
+// pass reads, with clamp-to-edge only ever engaging where the sub-image
+// boundary coincides with the frame boundary. Every tap therefore
+// accumulates the same values in the same order as in the whole-frame
+// blur (enforced across shard counts and backends by tests/serve_test.cpp).
+#pragma once
+
+#include "exec/async.hpp"
+#include "image/image.hpp"
+#include "tonemap/kernel.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::serve {
+
+/// Blur a 1-channel intensity plane by fanning `bands` halo-extended
+/// row bands out over `pool` and stitching the results; bit-identical to
+/// one executor.blur() call on the pool's prototype executor for every
+/// `bands` >= 1. The band count is clamped to the row count (a short
+/// image simply uses fewer bands) and to the tiled layer's 64-band
+/// fan-out cap. Blocks until every band completes; a
+/// failed band's exception is rethrown after the remaining bands have
+/// been collected (the pool is left quiescent, not poisoned).
+img::ImageF sharded_mask_blur(const img::ImageF& intensity,
+                              const tonemap::GaussianKernel& kernel,
+                              exec::ExecutorPool& pool, int bands);
+
+/// The blocking tone_map() with the mask stage sharded across `pool`:
+/// stages::normalize/intensity/masking/adjust run on the calling thread,
+/// the mask blur through sharded_mask_blur. Bit-identical to
+/// tone_map(hdr, opt) provided `pool` was built from an executor
+/// resolving `opt` for this frame's geometry (opt.make_executor — the
+/// caller's contract; serve::ToneMapService maintains it automatically).
+tonemap::PipelineResult tone_map_sharded(const img::ImageF& hdr,
+                                         const tonemap::PipelineOptions& opt,
+                                         exec::ExecutorPool& pool, int bands);
+
+} // namespace tmhls::serve

@@ -43,6 +43,11 @@ struct FixedBlurConfig {
 
   /// The paper's configuration: ap_fixed<16,2> everywhere, AP_RND/AP_SAT.
   static FixedBlurConfig paper();
+
+  /// Two configurations are equal iff both formats match — equal configs
+  /// produce bit-identical fixed-datapath output, which is what session
+  /// reuse (serve::ToneMapService) keys on.
+  bool operator==(const FixedBlurConfig&) const = default;
 };
 
 /// Streaming Gaussian blur computed entirely in fixed point. The input is

@@ -98,6 +98,16 @@ void FramePipeline::submit_with_scale(const img::ImageF& frame,
   in_flight_.push_back(std::move(entry));
 }
 
+bool FramePipeline::compatible_with(const PipelineOptions& pipeline,
+                                    int width, int height) const {
+  if (!(options_.pipeline == pipeline)) return false;
+  // Named backends resolve geometry-free; only "auto" ranks the cost
+  // model on the configured frame size, so only there can a geometry
+  // mismatch change which backend (and which bits) a frame gets.
+  if (pipeline.execution().backend != "auto") return true;
+  return options_.width == width && options_.height == height;
+}
+
 PipelineResult FramePipeline::next_result() {
   if (ready_.empty()) {
     TMHLS_REQUIRE(!in_flight_.empty(),

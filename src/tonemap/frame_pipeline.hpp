@@ -67,8 +67,9 @@ void validate(const FramePipelineOptions& options);
 ///
 /// Alternating submit()/next_result() is also valid at any depth and
 /// yields the blocking behaviour frame by frame. Not thread-safe: one
-/// session serves one producer/consumer thread (shard sessions across an
-/// exec::ExecutorPool for concurrent producers).
+/// session serves one producer/consumer thread; for concurrent producers
+/// put a session per worker behind a queue, which is exactly what
+/// serve::ToneMapService does.
 class FramePipeline {
 public:
   explicit FramePipeline(FramePipelineOptions options);
@@ -108,6 +109,17 @@ public:
 
   int depth() const { return options_.depth; }
   const FramePipelineOptions& options() const { return options_; }
+
+  /// Session-reuse hook for serving layers: true when a job carrying
+  /// `pipeline` options and `width` x `height` frames would produce
+  /// bit-identical results through this session as through a session
+  /// freshly built for it. That holds when the pipeline options match
+  /// field-for-field and — only when the backend resolves to "auto",
+  /// whose choice depends on frame geometry — the configured geometry
+  /// matches too (named backends serve any geometry). A false answer is
+  /// always safe: it costs the caller a session rebuild, never identity.
+  bool compatible_with(const PipelineOptions& pipeline, int width,
+                       int height) const;
 
   /// The synchronous executor configuration the mask stage runs on (the
   /// async worker holds its own copy of it at depth > 1).

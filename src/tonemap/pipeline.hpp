@@ -124,6 +124,15 @@ struct PipelineOptions {
   /// Geometry-free overload: as above, assuming the paper's 1024x768
   /// frame when backend == "auto".
   exec::PipelineExecutor make_executor() const;
+
+  /// Field-wise equality. Equal options produce bit-identical pipelines
+  /// (every field participates in the output), so this is the reuse test
+  /// serving layers apply before running a job through a cached session
+  /// instead of building a new one. Note the deprecated `blur` alias
+  /// participates too: two options that resolve to the same execution()
+  /// but spell it differently compare unequal — a conservative answer
+  /// that can only cost a rebuild, never bit-identity.
+  bool operator==(const PipelineOptions&) const = default;
 };
 
 /// All intermediate artefacts of one pipeline run, for inspection, tests

@@ -184,6 +184,48 @@ TEST(AsyncExecutorTest, DestructionWithAbandonedFuturesIsSafe) {
   // Destruction must neither hang nor touch freed promise state.
 }
 
+TEST(AsyncExecutorTest, StatsCountSubmittedAndCompletedConsistently) {
+  const PipelineExecutor executor("separable_float");
+  const tonemap::GaussianKernel kernel(1.5, 4);
+  AsyncExecutor async(executor);
+  EXPECT_EQ(async.stats().submitted, 0u);
+  EXPECT_EQ(async.stats().completed, 0u);
+
+  std::vector<std::future<img::ImageF>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(async.submit({random_plane(15, 11, 40u + static_cast<std::uint64_t>(i)), kernel}));
+  }
+  {
+    // Snapshot consistency: queued + running always equals the gap
+    // between the lifetime counters, whatever the workers are doing.
+    const AsyncExecutorStats s = async.stats();
+    EXPECT_EQ(s.submitted, 5u);
+    EXPECT_EQ(s.queued + s.running,
+              static_cast<std::size_t>(s.submitted - s.completed));
+  }
+  for (auto& f : futures) f.get();
+  // Workers update `completed` just after satisfying the future, so a
+  // fresh get() may race the counter by one tick; drain via in_flight.
+  while (async.in_flight() > 0) std::this_thread::yield();
+  const AsyncExecutorStats s = async.stats();
+  EXPECT_EQ(s.submitted, 5u);
+  EXPECT_EQ(s.completed, 5u);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.running, 0u);
+}
+
+TEST(AsyncExecutorTest, StatsCountErroredRequestsAsCompleted) {
+  AsyncExecutor async(PipelineExecutor("hlscode"));
+  const tonemap::GaussianKernel huge(40.0, 120); // beyond kMaxTaps
+  std::future<img::ImageF> future =
+      async.submit({random_plane(8, 8, 5), huge});
+  EXPECT_THROW(future.get(), InvalidArgument);
+  while (async.in_flight() > 0) std::this_thread::yield();
+  const AsyncExecutorStats s = async.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
 // --- ExecutorPool ---------------------------------------------------------
 
 TEST(ExecutorPoolTest, ShardsRoundRobinAndExposeShards) {
@@ -240,6 +282,33 @@ TEST(ExecutorPoolTest, RandomizedConcurrentInterleavingsStayBitIdentical) {
   }
   for (std::thread& t : producers) t.join();
   for (const auto& outcome : outcomes) EXPECT_TRUE(outcome);
+}
+
+TEST(ExecutorPoolTest, StatsAggregatePerShardCountersAndShowRoundRobin) {
+  const PipelineExecutor executor("separable_float");
+  ExecutorPoolOptions opts;
+  opts.executors = 3;
+  ExecutorPool pool(executor, opts);
+  const tonemap::GaussianKernel kernel(1.5, 4);
+  std::vector<std::future<img::ImageF>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(
+        pool.submit({random_plane(11, 9, 60u + static_cast<std::uint64_t>(i)), kernel}));
+  }
+  for (auto& f : futures) f.get();
+  while (pool.in_flight() > 0) std::this_thread::yield();
+
+  const ExecutorPoolStats s = pool.stats();
+  ASSERT_EQ(s.per_shard.size(), 3u);
+  EXPECT_EQ(s.submitted, 6u);
+  EXPECT_EQ(s.completed, 6u);
+  EXPECT_EQ(s.queued, 0u);
+  EXPECT_EQ(s.running, 0u);
+  // Round-robin from a single submitter: exactly two requests per shard.
+  for (const AsyncExecutorStats& shard : s.per_shard) {
+    EXPECT_EQ(shard.submitted, 2u);
+    EXPECT_EQ(shard.completed, 2u);
+  }
 }
 
 } // namespace
@@ -469,6 +538,34 @@ TEST(FramePipelineTest, IncapableKernelRejectedAtConstruction) {
   fpo.pipeline.radius = 120; // 241 taps > kMaxTaps
   fpo.depth = 2;
   EXPECT_THROW(FramePipeline{fpo}, InvalidArgument);
+}
+
+TEST(FramePipelineTest, CompatibleWithKeysOnOptionsAndAutoGeometry) {
+  const PipelineOptions opt = small_options("separable_float");
+  FramePipelineOptions fpo;
+  fpo.pipeline = opt;
+  fpo.width = 64;
+  fpo.height = 48;
+  FramePipeline session(fpo);
+  // Named backend: geometry-free — any frame size is compatible.
+  EXPECT_TRUE(session.compatible_with(opt, 64, 48));
+  EXPECT_TRUE(session.compatible_with(opt, 128, 96));
+  // Any option field difference breaks compatibility.
+  PipelineOptions changed = opt;
+  changed.sigma = 3.0;
+  EXPECT_FALSE(session.compatible_with(changed, 64, 48));
+  changed = opt;
+  changed.brightness += 0.01f;
+  EXPECT_FALSE(session.compatible_with(changed, 64, 48));
+
+  // "auto" resolution depends on geometry, so geometry joins the key.
+  FramePipelineOptions auto_fpo;
+  auto_fpo.pipeline = small_options("auto");
+  auto_fpo.width = 64;
+  auto_fpo.height = 48;
+  FramePipeline auto_session(auto_fpo);
+  EXPECT_TRUE(auto_session.compatible_with(auto_fpo.pipeline, 64, 48));
+  EXPECT_FALSE(auto_session.compatible_with(auto_fpo.pipeline, 128, 96));
 }
 
 TEST(FramePipelineTest, NextResultWithoutSubmitThrows) {

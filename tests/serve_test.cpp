@@ -1,0 +1,432 @@
+// Tests for the in-process frame-serving layer: sharded_mask_blur's
+// bit-identity against the blocking executor blur across band counts and
+// backends, ToneMapService's bit-identity against the blocking tone_map()
+// at shard counts 1/2/4, session reuse across equal/mixed per-job options,
+// single-frame blur sharding, backpressure, the submit/future error
+// contract, and the service/pool statistics surface.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "exec/async.hpp"
+#include "exec/executor.hpp"
+#include "exec/registry.hpp"
+#include "serve/service.hpp"
+#include "serve/sharded_blur.hpp"
+#include "tonemap/frame_pipeline.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::serve {
+namespace {
+
+img::ImageF random_plane(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 1);
+  for (float& v : im.samples()) v = static_cast<float>(rng.uniform());
+  return im;
+}
+
+img::ImageF random_hdr(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  for (float& v : im.samples()) {
+    v = static_cast<float>(rng.uniform() * 100.0 + 1e-3);
+  }
+  return im;
+}
+
+::testing::AssertionResult bit_identical(const img::ImageF& a,
+                                         const img::ImageF& b) {
+  if (!a.same_shape(b)) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  auto sa = a.samples();
+  auto sb = b.samples();
+  if (std::memcmp(sa.data(), sb.data(), sa.size_bytes()) != 0) {
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i] != sb[i]) {
+        return ::testing::AssertionFailure()
+               << "first difference at sample " << i << ": " << sa[i]
+               << " vs " << sb[i];
+      }
+    }
+    return ::testing::AssertionFailure() << "bit pattern difference (NaN?)";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+tonemap::PipelineOptions small_options(const std::string& backend) {
+  tonemap::PipelineOptions opt;
+  opt.sigma = 2.0;
+  opt.radius = 6;
+  opt.backend = backend;
+  return opt;
+}
+
+// --- sharded_mask_blur ----------------------------------------------------
+
+TEST(ShardedBlurTest, BitIdenticalToBlockingBlurAcrossBandsAndBackends) {
+  for (const std::string& name : exec::BackendRegistry::global().names()) {
+    const tonemap::PipelineOptions opt = small_options(name);
+    const exec::PipelineExecutor executor = opt.make_executor(37, 29);
+    const tonemap::GaussianKernel kernel = opt.kernel();
+    const img::ImageF plane = random_plane(37, 29, 11);
+    const img::ImageF golden = executor.blur(plane, kernel);
+    for (int bands : {1, 2, 3, 4, 8}) {
+      exec::ExecutorPoolOptions po;
+      po.executors = 2;
+      exec::ExecutorPool pool(executor, po);
+      EXPECT_TRUE(bit_identical(
+          sharded_mask_blur(plane, kernel, pool, bands), golden))
+          << name << " bands " << bands;
+    }
+  }
+}
+
+TEST(ShardedBlurTest, HaloLargerThanBandStaysBitIdentical) {
+  // radius 9 with 4 bands over 13 rows: every band's halo spans most of
+  // the image and overlaps its neighbours — the stitching must still
+  // reproduce the whole-frame clamp behaviour exactly.
+  const exec::PipelineExecutor executor("separable_float");
+  const tonemap::GaussianKernel kernel(3.0, 9);
+  const img::ImageF plane = random_plane(19, 13, 23);
+  exec::ExecutorPool pool(executor, {});
+  EXPECT_TRUE(bit_identical(sharded_mask_blur(plane, kernel, pool, 4),
+                            executor.blur(plane, kernel)));
+}
+
+TEST(ShardedBlurTest, MoreBandsThanRowsClampsToRows) {
+  const exec::PipelineExecutor executor("separable_float");
+  const tonemap::GaussianKernel kernel(1.5, 4);
+  const img::ImageF plane = random_plane(9, 3, 31);
+  exec::ExecutorPool pool(executor, {});
+  EXPECT_TRUE(bit_identical(sharded_mask_blur(plane, kernel, pool, 16),
+                            executor.blur(plane, kernel)));
+}
+
+TEST(ShardedBlurTest, RejectsBadArguments) {
+  const exec::PipelineExecutor executor("separable_float");
+  exec::ExecutorPool pool(executor, {});
+  const tonemap::GaussianKernel kernel(1.5, 4);
+  EXPECT_THROW(sharded_mask_blur(img::ImageF(), kernel, pool, 2),
+               InvalidArgument);
+  EXPECT_THROW(
+      sharded_mask_blur(random_hdr(8, 8, 1), kernel, pool, 2),
+      InvalidArgument); // 3-channel: not an intensity plane
+  EXPECT_THROW(sharded_mask_blur(random_plane(8, 8, 1), kernel, pool, 0),
+               InvalidArgument);
+}
+
+TEST(ShardedBlurTest, ToneMapShardedMatchesBlockingToneMap) {
+  const tonemap::PipelineOptions opt = small_options("separable_simd");
+  const img::ImageF frame = random_hdr(33, 27, 41);
+  const tonemap::PipelineResult golden = tonemap::tone_map(frame, opt);
+  exec::ExecutorPoolOptions po;
+  po.executors = 2;
+  exec::ExecutorPool pool(
+      opt.make_executor(frame.width(), frame.height()), po);
+  for (int bands : {1, 3, 4}) {
+    const tonemap::PipelineResult r =
+        tone_map_sharded(frame, opt, pool, bands);
+    EXPECT_TRUE(bit_identical(r.output, golden.output)) << bands;
+    EXPECT_TRUE(bit_identical(r.mask, golden.mask)) << bands;
+    EXPECT_EQ(r.input_max, golden.input_max) << bands;
+  }
+}
+
+// --- ToneMapService: bit-identity -----------------------------------------
+
+class ServiceShardCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServiceShardCountTest, BitIdenticalToBlockingToneMapAcrossBackends) {
+  const int shards = GetParam();
+  for (const std::string& name : exec::BackendRegistry::global().names()) {
+    const tonemap::PipelineOptions opt = small_options(name);
+
+    constexpr int kJobs = 6;
+    std::vector<img::ImageF> frames;
+    std::vector<img::ImageF> golden;
+    for (int i = 0; i < kJobs; ++i) {
+      frames.push_back(
+          random_hdr(33, 21, 600 + static_cast<std::uint64_t>(i)));
+      golden.push_back(tonemap::tone_map(frames.back(), opt).output);
+    }
+
+    ToneMapServiceOptions so;
+    so.shards = shards;
+    ToneMapService service(so);
+    std::vector<std::future<FrameResult>> futures;
+    for (const img::ImageF& frame : frames) {
+      futures.push_back(service.submit({frame, opt}));
+    }
+    for (int i = 0; i < kJobs; ++i) {
+      const FrameResult r = futures[static_cast<std::size_t>(i)].get();
+      EXPECT_TRUE(
+          bit_identical(r.output, golden[static_cast<std::size_t>(i)]))
+          << name << " shards " << shards << " job " << i;
+      EXPECT_EQ(r.job_id, static_cast<std::uint64_t>(i));
+      EXPECT_EQ(r.shard, i % shards);
+      EXPECT_GE(r.queue_seconds, 0.0);
+      EXPECT_GE(r.service_seconds, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ServiceShardCountTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(ServiceTest, ShardedJobsBitIdenticalToBlockingToneMap) {
+  // One oversized frame sharded across executors must produce the exact
+  // blocking bits, whichever backend runs the bands.
+  const img::ImageF frame = random_hdr(41, 37, 71);
+  ToneMapServiceOptions so;
+  so.shards = 1;
+  ToneMapService service(so);
+  for (const std::string& name :
+       {std::string("separable_float"), std::string("separable_simd"),
+        std::string("streaming_fixed"), std::string("hlscode")}) {
+    const tonemap::PipelineOptions opt = small_options(name);
+    const img::ImageF golden = tonemap::tone_map(frame, opt).output;
+    for (int blur_shards : {2, 4}) {
+      FrameJob job;
+      job.frame = frame;
+      job.options = opt;
+      job.blur_shards = blur_shards;
+      EXPECT_TRUE(
+          bit_identical(service.submit(std::move(job)).get().output, golden))
+          << name << " blur_shards " << blur_shards;
+    }
+  }
+}
+
+TEST(ServiceTest, MixedPerJobOptionsEachMatchTheirOwnBlockingRun) {
+  // Jobs alternating backend, sigma, datapath and adjustment parameters
+  // through one service: every result must equal the blocking tone_map()
+  // under that job's own options.
+  std::vector<tonemap::PipelineOptions> variants;
+  variants.push_back(small_options("separable_float"));
+  variants.push_back(small_options("separable_simd"));
+  {
+    tonemap::PipelineOptions o = small_options("streaming_fixed");
+    o.datapath = tonemap::Datapath::fixed_point;
+    variants.push_back(o);
+  }
+  {
+    tonemap::PipelineOptions o = small_options("separable_float");
+    o.sigma = 1.0;
+    o.radius = 3;
+    o.brightness = 0.2f;
+    o.contrast = 0.9f;
+    variants.push_back(o);
+  }
+
+  ToneMapServiceOptions so;
+  so.shards = 2;
+  ToneMapService service(so);
+  constexpr int kJobs = 12;
+  std::vector<img::ImageF> frames;
+  std::vector<img::ImageF> golden;
+  std::vector<std::future<FrameResult>> futures;
+  for (int i = 0; i < kJobs; ++i) {
+    const tonemap::PipelineOptions& opt =
+        variants[static_cast<std::size_t>(i) % variants.size()];
+    frames.push_back(random_hdr(25, 19, 700 + static_cast<std::uint64_t>(i)));
+    golden.push_back(tonemap::tone_map(frames.back(), opt).output);
+    futures.push_back(service.submit({frames.back(), opt}));
+  }
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_TRUE(bit_identical(futures[static_cast<std::size_t>(i)].get().output,
+                              golden[static_cast<std::size_t>(i)]))
+        << "job " << i;
+  }
+}
+
+TEST(ServiceTest, EqualOptionsReuseTheSessionMixedOptionsRebuild) {
+  const tonemap::PipelineOptions opt = small_options("separable_float");
+  tonemap::PipelineOptions other = opt;
+  other.sigma = 1.0;
+  other.radius = 3;
+
+  ToneMapServiceOptions so;
+  so.shards = 1;
+  {
+    // 8 identical-option jobs: exactly one session build.
+    ToneMapService service(so);
+    std::vector<std::future<FrameResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(
+          service.submit({random_hdr(21, 15, 800u + static_cast<std::uint64_t>(i)), opt}));
+    }
+    for (auto& f : futures) f.get();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.shards[0].session_builds, 1u);
+    EXPECT_EQ(stats.completed, 8u);
+  }
+  {
+    // Alternating options: every job switches, every job rebuilds.
+    ToneMapService service(so);
+    std::vector<std::future<FrameResult>> futures;
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(service.submit(
+          {random_hdr(21, 15, 900u + static_cast<std::uint64_t>(i)),
+           i % 2 == 0 ? opt : other}));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(service.stats().shards[0].session_builds, 6u);
+  }
+}
+
+// --- ToneMapService: contract ---------------------------------------------
+
+TEST(ServiceTest, ValidationRejectsBadOptions) {
+  ToneMapServiceOptions bad;
+  bad.shards = 0;
+  EXPECT_THROW(ToneMapService{bad}, InvalidArgument);
+  bad = {};
+  bad.queue_capacity = 0;
+  EXPECT_THROW(ToneMapService{bad}, InvalidArgument);
+  bad = {};
+  bad.pipeline_depth = -1;
+  EXPECT_THROW(ToneMapService{bad}, InvalidArgument);
+}
+
+TEST(ServiceTest, StructurallyInvalidJobsThrowAtSubmit) {
+  ToneMapService service;
+  EXPECT_THROW(service.submit({}), InvalidArgument); // empty frame
+  FrameJob job;
+  job.frame = random_hdr(9, 9, 5);
+  job.blur_shards = 0;
+  EXPECT_THROW(service.submit(std::move(job)), InvalidArgument);
+  FrameJob runaway;
+  runaway.frame = random_hdr(9, 9, 5);
+  runaway.blur_shards = kMaxBlurShards + 1; // would be a thread-spawn storm
+  EXPECT_THROW(service.submit(std::move(runaway)), InvalidArgument);
+}
+
+TEST(ServiceTest, ExecutionErrorsArriveThroughTheFutureAndShardContinues) {
+  ToneMapServiceOptions so;
+  so.shards = 1;
+  ToneMapService service(so);
+  const img::ImageF frame = random_hdr(17, 13, 55);
+
+  tonemap::PipelineOptions bad = small_options("hlscode");
+  bad.sigma = 40.0;
+  bad.radius = 120; // 241 taps > hlscode's static bound
+  std::future<FrameResult> failing = service.submit({frame, bad});
+
+  tonemap::PipelineOptions unknown = small_options("no_such_backend");
+  std::future<FrameResult> unknown_backend = service.submit({frame, unknown});
+
+  // A bad sharded job fails through the future too.
+  FrameJob bad_sharded;
+  bad_sharded.frame = frame;
+  bad_sharded.options = bad;
+  bad_sharded.blur_shards = 2;
+  std::future<FrameResult> failing_sharded =
+      service.submit(std::move(bad_sharded));
+
+  const tonemap::PipelineOptions good = small_options("separable_float");
+  std::future<FrameResult> ok = service.submit({frame, good});
+
+  EXPECT_THROW(failing.get(), InvalidArgument);
+  EXPECT_THROW(unknown_backend.get(), InvalidArgument);
+  EXPECT_THROW(failing_sharded.get(), InvalidArgument);
+  EXPECT_TRUE(bit_identical(ok.get().output,
+                            tonemap::tone_map(frame, good).output));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 3u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServiceTest, BackpressureBoundedQueueStillCompletesEverything) {
+  ToneMapServiceOptions so;
+  so.shards = 1;
+  so.queue_capacity = 1; // submit blocks while the single slot is taken
+  so.pipeline_depth = 2;
+  ToneMapService service(so);
+  const tonemap::PipelineOptions opt = small_options("separable_float");
+  std::vector<img::ImageF> frames;
+  std::vector<std::future<FrameResult>> futures;
+  for (int i = 0; i < 10; ++i) {
+    frames.push_back(random_hdr(21, 17, 950 + static_cast<std::uint64_t>(i)));
+    futures.push_back(service.submit({frames.back(), opt}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(bit_identical(
+        futures[static_cast<std::size_t>(i)].get().output,
+        tonemap::tone_map(frames[static_cast<std::size_t>(i)], opt).output))
+        << i;
+  }
+}
+
+TEST(ServiceTest, DestructionWithAcceptedJobsCompletesTheirFutures) {
+  const tonemap::PipelineOptions opt = small_options("separable_float");
+  const img::ImageF frame = random_hdr(25, 19, 77);
+  std::vector<std::future<FrameResult>> futures;
+  {
+    ToneMapServiceOptions so;
+    so.shards = 2;
+    ToneMapService service(so);
+    for (int i = 0; i < 6; ++i) {
+      futures.push_back(service.submit({frame, opt}));
+    }
+    // Destructor runs with jobs queued and in flight.
+  }
+  const img::ImageF golden = tonemap::tone_map(frame, opt).output;
+  for (auto& f : futures) {
+    EXPECT_TRUE(bit_identical(f.get().output, golden));
+  }
+}
+
+TEST(ServiceTest, ConcurrentClientsRoundRobinAndStayBitIdentical) {
+  ToneMapServiceOptions so;
+  so.shards = 2;
+  so.queue_capacity = 2;
+  ToneMapService service(so);
+  const tonemap::PipelineOptions opt = small_options("separable_simd");
+
+  constexpr int kClients = 3;
+  constexpr int kJobsPerClient = 5;
+  std::vector<std::thread> clients;
+  std::vector<::testing::AssertionResult> outcomes(
+      kClients, ::testing::AssertionSuccess());
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kJobsPerClient; ++i) {
+        const img::ImageF frame = random_hdr(
+            23, 17, static_cast<std::uint64_t>(1000 + c * 100 + i));
+        const FrameResult r = service.submit({frame, opt}).get();
+        const ::testing::AssertionResult check =
+            bit_identical(r.output, tonemap::tone_map(frame, opt).output);
+        if (!check) {
+          outcomes[static_cast<std::size_t>(c)] =
+              ::testing::AssertionFailure()
+              << "client " << c << " job " << i << ": " << check.message();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const auto& outcome : outcomes) EXPECT_TRUE(outcome);
+
+  const ServiceStats stats = service.stats();
+  constexpr std::uint64_t kTotal = kClients * kJobsPerClient;
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  // Round-robin by submission index: an even split across two shards.
+  EXPECT_EQ(stats.shards[0].submitted + stats.shards[1].submitted, kTotal);
+}
+
+} // namespace
+} // namespace tmhls::serve

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Extract every ```cpp code block from docs/*.md and compile each one as a
+# standalone translation unit against the project headers — the mechanism
+# that keeps the documentation from rotting (run by the `doc_snippets`
+# ctest and the CI docs job on every change).
+#
+# Convention enforced here: every ```cpp block in docs/ must be
+# self-contained — its own #includes, code inside functions. Illustrative
+# fragments that cannot compile on their own use ```text instead.
+#
+#   tools/check_doc_snippets.sh        (compiler: $CXX, default g++)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cxx="${CXX:-g++}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+shopt -s nullglob
+for doc in "$root"/docs/*.md; do
+  base="$(basename "$doc" .md)"
+  awk -v prefix="$tmp/$base" '
+    /^```cpp[ \t]*$/ { n += 1; file = sprintf("%s_%03d.cpp", prefix, n); active = 1; next }
+    /^```/           { active = 0; next }
+    active           { print > file }
+  ' "$doc"
+done
+
+count=0
+fail=0
+for snippet in "$tmp"/*.cpp; do
+  count=$((count + 1))
+  name="$(basename "$snippet")"
+  if "$cxx" -std=c++20 -Wall -Wextra -Werror -I "$root/src" -fsyntax-only \
+      "$snippet" 2> "$tmp/err.log"; then
+    echo "ok: $name"
+  else
+    echo "FAIL: $name (docs/${name%_*}.md) does not compile:" >&2
+    cat "$tmp/err.log" >&2
+    fail=1
+  fi
+done
+
+if [ "$count" -eq 0 ]; then
+  echo "error: no \`\`\`cpp blocks found under docs/ — extraction broken?" >&2
+  exit 1
+fi
+echo "$count doc snippet(s) compiled"
+exit "$fail"

@@ -12,6 +12,10 @@
 //   video                   [--frames N] [--size N] [--kind K] [--seed N]
 //                            [--drift D] [--adaptation R] [--out prefix]
 //                            [--pipeline-depth D] [--backend B] [--threads N]
+//   serve                   [--shards N] [--clients C] [--jobs J]
+//                            [--size N] [--queue Q] [--pipeline-depth D]
+//                            [--blur-shards S] [--backend B] [--threads N]
+//                            [--kind K] [--seed N]
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -23,13 +27,18 @@
 // .hdr, or .pfm.
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "accel/system.hpp"
 #include "common/args.hpp"
+#include "common/math.hpp"
 #include "common/table.hpp"
 #include "exec/cost_model.hpp"
 #include "exec/executor.hpp"
@@ -42,6 +51,7 @@
 #include "metrics/quality.hpp"
 #include "metrics/ssim.hpp"
 #include "platform/zynq.hpp"
+#include "serve/service.hpp"
 #include "tonemap/bilateral.hpp"
 #include "tonemap/frame_pipeline.hpp"
 #include "tonemap/global_operators.hpp"
@@ -342,6 +352,145 @@ int cmd_video(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  // A synthetic multi-client workload through the in-process serving
+  // layer: C client threads each submit J whole-frame jobs into a
+  // serve::ToneMapService and wait for their futures, measuring the
+  // client-observed end-to-end latency of every job plus the service-side
+  // queue/service split the FrameResult reports.
+  const int shards = args.get_int("shards", 2);
+  const int clients = args.get_int("clients", 4);
+  const int jobs = args.get_int("jobs", 8); // per client
+  const int size = args.get_int("size", 192);
+  const int blur_shards = args.get_int("blur-shards", 1);
+  TMHLS_REQUIRE(clients >= 1 && jobs >= 1 && size >= 1,
+                "--clients, --jobs and --size must be positive");
+  const io::SceneKind kind =
+      io::scene_kind_from_string(args.get_or("kind", "window_interior"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+
+  serve::ToneMapServiceOptions so;
+  so.shards = shards;
+  so.queue_capacity = args.get_int("queue", so.queue_capacity);
+  so.pipeline_depth = args.get_int("pipeline-depth", so.pipeline_depth);
+  const tonemap::PipelineOptions popt = pipeline_options_from(args);
+
+  // Pre-render per-client frames so the timed region measures serving,
+  // not scene synthesis.
+  std::vector<std::vector<img::ImageF>> frames(
+      static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    for (int j = 0; j < jobs; ++j) {
+      frames[static_cast<std::size_t>(c)].push_back(io::generate_hdr_scene(
+          kind, size, size,
+          seed + static_cast<std::uint64_t>(c * jobs + j)));
+    }
+  }
+
+  serve::ToneMapService service(so);
+  using clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients)); // end-to-end seconds per job
+  std::vector<double> queue_seconds_all;
+  std::mutex queue_seconds_mutex;
+  std::string backend_used;
+  // First client-side error, rethrown on the main thread after the join
+  // so bad arguments reach main()'s clean error path instead of
+  // std::terminate'ing inside a client thread.
+  std::exception_ptr client_error;
+
+  const auto t0 = clock::now();
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      try {
+        std::vector<clock::time_point> submitted;
+        std::vector<std::future<serve::FrameResult>> futures;
+        for (const img::ImageF& frame :
+             frames[static_cast<std::size_t>(c)]) {
+          serve::FrameJob job;
+          job.frame = frame;
+          job.options = popt;
+          job.blur_shards = blur_shards;
+          submitted.push_back(clock::now());
+          futures.push_back(service.submit(std::move(job)));
+        }
+        for (std::size_t j = 0; j < futures.size(); ++j) {
+          serve::FrameResult r = futures[j].get();
+          latencies[static_cast<std::size_t>(c)].push_back(
+              std::chrono::duration<double>(clock::now() - submitted[j])
+                  .count());
+          std::lock_guard<std::mutex> lock(queue_seconds_mutex);
+          queue_seconds_all.push_back(r.queue_seconds);
+          backend_used = r.backend;
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(queue_seconds_mutex);
+        if (!client_error) client_error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  if (client_error) std::rethrow_exception(client_error);
+  const double total_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  // Snapshot the statistics now, so the tables reconcile: the
+  // bit-identity check below submits one more job that is not part of
+  // the measured workload.
+  const serve::ServiceStats stats = service.stats();
+
+  // Sanity check the serving path against the blocking one: the service
+  // must never change bits, whatever the shard/depth configuration.
+  const img::ImageF check_frame = frames[0][0];
+  const img::ImageF blocking =
+      tonemap::tone_map_image(check_frame, popt);
+  serve::FrameJob check;
+  check.frame = check_frame;
+  check.options = popt;
+  check.blur_shards = blur_shards;
+  const img::ImageF served = service.submit(std::move(check)).get().output;
+  const bool identical =
+      blocking.same_shape(served) &&
+      std::memcmp(blocking.samples().data(), served.samples().data(),
+                  blocking.samples().size_bytes()) == 0;
+
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  const int total_jobs = clients * jobs;
+
+  TextTable t({"shards", "clients", "jobs", "size", "backend", "depth",
+               "blur shards", "total (s)", "jobs/s", "p50 (ms)", "p99 (ms)",
+               "queue p50 (ms)"});
+  t.add_row({std::to_string(shards), std::to_string(clients),
+             std::to_string(total_jobs), std::to_string(size), backend_used,
+             std::to_string(so.pipeline_depth), std::to_string(blur_shards),
+             format_fixed(total_s, 3),
+             total_s > 0.0 ? format_fixed(total_jobs / total_s, 2) : "-",
+             format_fixed(percentile(all, 0.5) * 1e3, 2),
+             format_fixed(percentile(all, 0.99) * 1e3, 2),
+             format_fixed(percentile(queue_seconds_all, 0.5) * 1e3, 2)});
+  std::cout << t.render() << '\n';
+
+  TextTable per_shard({"shard", "submitted", "completed", "failed",
+                       "session builds"});
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const serve::ShardStats& row = stats.shards[i];
+    per_shard.add_row({std::to_string(i), std::to_string(row.submitted),
+                       std::to_string(row.completed),
+                       std::to_string(row.failed),
+                       std::to_string(row.session_builds)});
+  }
+  std::cout << per_shard.render();
+  std::cout << "\nbit-identical to blocking tone_map(): "
+            << (identical ? "yes" : "NO — this is a bug, please report")
+            << "\n(shard count beyond the core count only adds queueing on "
+               "this host)\n";
+  return identical ? 0 : 1;
+}
+
 int cmd_compare(const Args& args) {
   TMHLS_REQUIRE(args.positional().size() == 2,
                 "usage: tmhls_cli compare <in>");
@@ -375,6 +524,12 @@ void usage() {
       "                       pipelined scheduler (--frames, --size, --kind,\n"
       "                       --adaptation, --pipeline-depth, --backend,\n"
       "                       --threads, --out <prefix>)\n"
+      "  serve                drive a synthetic multi-client workload\n"
+      "                       through the in-process serving layer\n"
+      "                       (--shards, --clients, --jobs, --size,\n"
+      "                       --queue, --pipeline-depth, --blur-shards,\n"
+      "                       --backend, --threads) and print a\n"
+      "                       throughput/latency table\n"
       "  scene <out>          generate a synthetic HDR scene\n"
       "  analyze              evaluate the Table II design points\n"
       "  backends             list the registered execution backends with\n"
@@ -396,6 +551,7 @@ int main(int argc, char** argv) {
     const std::string cmd = args.positional()[0];
     if (cmd == "tonemap") return cmd_tonemap(args);
     if (cmd == "video") return cmd_video(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "scene") return cmd_scene(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "backends") return cmd_backends(args);
