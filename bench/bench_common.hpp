@@ -21,6 +21,18 @@ namespace tmhls::benchkit {
 ///   {"bench":"backend_throughput","backend":"streaming_float",...}
 /// Keys appear in insertion order; string values are escaped minimally
 /// (quotes and backslashes — bench names and backend names need no more).
+///
+/// Record schema (enforced by tools/check_bench_jsonl.py, which runs as a
+/// ctest self-check and over the JSONL artifacts in CI):
+///   * one record per line; each record is a flat JSON object — values
+///     are strings, ints or doubles, never nested containers;
+///   * the FIRST key is "bench", a non-empty string naming the emitter
+///     ("backend_throughput", "frame_pipeline", "serving", ...);
+///   * every numeric value is finite — a NaN/Inf measurement must be
+///     fixed or omitted at the emitter, not smuggled into the stream
+///     (operator<< would print `nan`, which is not JSON at all);
+///   * per-bench required keys are listed in check_bench_jsonl.py; keep
+///     that list in sync when a bench's fields change.
 class JsonRecord {
 public:
   explicit JsonRecord(const std::string& bench) { field("bench", bench); }

@@ -1,5 +1,6 @@
 #include "exec/async.hpp"
 
+#include <limits>
 #include <optional>
 #include <string>
 #include <utility>
@@ -132,8 +133,40 @@ ExecutorPool::ExecutorPool(const PipelineExecutor& prototype,
 }
 
 std::future<img::ImageF> ExecutorPool::submit(BlurRequest request) {
-  const std::size_t shard =
+  const std::size_t rotation =
       next_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  std::size_t shard = rotation;
+  if (options_.routing == PoolRouting::least_loaded && shards_.size() > 1) {
+    // Take the shard with the fewest outstanding requests among those
+    // with a free queue slot (falling back to the overall fewest when
+    // every queue is full, where submit() blocking IS the backpressure);
+    // scanning from the rotation position makes ties fall back to
+    // round-robin. The slot check keeps concurrent submitters that
+    // snapshot the same loads from herding onto one shard and blocking
+    // there while others idle.
+    const auto capacity =
+        static_cast<std::size_t>(options_.per_executor.queue_capacity);
+    std::size_t best_any = rotation;
+    std::size_t best_any_load = std::numeric_limits<std::size_t>::max();
+    std::size_t best_free = rotation;
+    std::size_t best_free_load = std::numeric_limits<std::size_t>::max();
+    bool any_free = false;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::size_t index = (rotation + i) % shards_.size();
+      const AsyncExecutorStats stats = shards_[index]->stats();
+      const std::size_t load = stats.queued + stats.running;
+      if (load < best_any_load) {
+        best_any_load = load;
+        best_any = index;
+      }
+      if (stats.queued < capacity && load < best_free_load) {
+        best_free_load = load;
+        best_free = index;
+        any_free = true;
+      }
+    }
+    shard = any_free ? best_free : best_any;
+  }
   return shards_[shard]->submit(std::move(request));
 }
 

@@ -123,6 +123,20 @@ private:
   std::vector<std::thread> workers_;
 };
 
+/// How an ExecutorPool picks the shard for each submitted request.
+enum class PoolRouting {
+  /// Strict rotation by submission index. Deterministic placement; the
+  /// right choice when requests are uniform (and what the pool's tests
+  /// pin down).
+  round_robin,
+  /// Route to the shard with the fewest queued + running requests
+  /// (snapshot via AsyncExecutor::stats()), scanning from the rotation
+  /// position so equal loads keep the round-robin spread. The right
+  /// choice when request costs vary — a shard stuck behind a big blur
+  /// stops receiving new work until it catches up.
+  least_loaded,
+};
+
 /// Configuration of an ExecutorPool.
 struct ExecutorPoolOptions {
   /// Number of AsyncExecutor shards. Each shard owns its worker pool and
@@ -130,6 +144,8 @@ struct ExecutorPoolOptions {
   int executors = 2;
   /// Options applied to every shard.
   AsyncExecutorOptions per_executor;
+  /// Shard selection policy for submit().
+  PoolRouting routing = PoolRouting::round_robin;
 };
 
 /// Validation of ExecutorPoolOptions: throws InvalidArgument naming the

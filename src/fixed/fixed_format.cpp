@@ -90,13 +90,16 @@ std::int64_t div_scaled(std::int64_t a, std::int64_t b, int frac_bits,
 
 FixedFormat::FixedFormat(int width, int int_bits, Round round,
                          Overflow overflow)
-    : width_(width), int_bits_(int_bits), round_(round), overflow_(overflow),
-      max_raw_((std::int64_t{1} << (width - 1)) - 1),
-      min_raw_(-(std::int64_t{1} << (width - 1))),
-      lsb_(std::ldexp(1.0, -(width - int_bits))) {
+    : width_(width), int_bits_(int_bits), round_(round), overflow_(overflow) {
+  // Validate BEFORE deriving the raw bounds: with width 0 the shifts
+  // below are undefined behaviour (negative shift exponent), which the
+  // ASan/UBSan CI gate rightly flags.
   TMHLS_REQUIRE(width >= 1 && width <= 32, "width must be in [1, 32]");
   TMHLS_REQUIRE(int_bits >= 1 && int_bits <= width,
                 "int_bits must be in [1, width]");
+  max_raw_ = (std::int64_t{1} << (width - 1)) - 1;
+  min_raw_ = -(std::int64_t{1} << (width - 1));
+  lsb_ = std::ldexp(1.0, -(width - int_bits));
 }
 
 std::int64_t FixedFormat::raw_from_double(double v) const {

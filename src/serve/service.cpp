@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -111,31 +112,81 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
                     std::to_string(kMaxBlurShards) + "], got " +
                     std::to_string(job.blur_shards));
   const std::uint64_t id = next_job_id_.fetch_add(1);
-  Shard& shard = *shards_[id % shards_.size()];
-  std::future<FrameResult> future;
-  {
+  const std::size_t count = shards_.size();
+  const std::size_t rr = static_cast<std::size_t>(id % count);
+  const auto capacity = static_cast<std::size_t>(options_.queue_capacity);
+  for (;;) {
+    // Least-loaded routing: snapshot each shard's queued + in-flight jobs
+    // and take the smallest among shards with a free queue slot (falling
+    // back to the overall smallest when every queue is full). The scan
+    // starts at the job's round-robin position, so equal loads fall back
+    // to the even round-robin spread — the router only intervenes when
+    // queue depths have actually diverged.
+    std::size_t chosen = rr;
+    if (count > 1) {
+      std::size_t best_any = rr;
+      std::size_t best_any_load = std::numeric_limits<std::size_t>::max();
+      std::size_t best_free = rr;
+      std::size_t best_free_load = std::numeric_limits<std::size_t>::max();
+      bool any_free = false;
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t index = (rr + i) % count;
+        Shard& candidate = *shards_[index];
+        std::size_t load;
+        bool has_slot;
+        {
+          std::lock_guard<std::mutex> lock(candidate.mutex);
+          load = candidate.queue.size() + candidate.active;
+          has_slot = candidate.queue.size() < capacity;
+        }
+        if (load < best_any_load) {
+          best_any_load = load;
+          best_any = index;
+        }
+        if (has_slot && load < best_free_load) {
+          best_free_load = load;
+          best_free = index;
+          any_free = true;
+        }
+      }
+      // A free slot beats a lower load behind a full queue: enqueueing
+      // never blocks the submitter on a shard it was steered to.
+      chosen = any_free ? best_free : best_any;
+    }
+    Shard& shard = *shards_[chosen];
     std::unique_lock<std::mutex> lock(shard.mutex);
     TMHLS_REQUIRE(!shard.stopping, "ToneMapService::submit after shutdown");
-    shard.not_full.wait(lock, [this, &shard] {
-      return shard.stopping ||
-             shard.queue.size() <
-                 static_cast<std::size_t>(options_.queue_capacity);
-    });
-    TMHLS_REQUIRE(!shard.stopping, "ToneMapService::submit after shutdown");
+    if (shard.queue.size() >= capacity) {
+      // The slot observed during the scan was taken by a concurrent
+      // submitter (or no shard had one). Wait briefly for this shard,
+      // then re-scan — a slot may open elsewhere first, and blocking
+      // here unconditionally would pin the job to a stale choice.
+      shard.not_full.wait_for(lock, std::chrono::milliseconds(1),
+                              [&shard, capacity] {
+                                return shard.stopping ||
+                                       shard.queue.size() < capacity;
+                              });
+      TMHLS_REQUIRE(!shard.stopping,
+                    "ToneMapService::submit after shutdown");
+      if (shard.queue.size() >= capacity) continue; // re-scan
+    }
     Shard::Queued entry;
     entry.job = std::move(job);
     entry.id = id;
     entry.enqueued = Clock::now();
-    future = entry.promise.get_future();
+    std::future<FrameResult> future = entry.promise.get_future();
     shard.queue.push_back(std::move(entry));
     ++shard.submitted;
+    lock.unlock();
+    if (chosen != rr) rebalanced_.fetch_add(1);
+    shard.not_empty.notify_one();
+    return future;
   }
-  shard.not_empty.notify_one();
-  return future;
 }
 
 ServiceStats ToneMapService::stats() const {
   ServiceStats s;
+  s.rebalanced = rebalanced_.load();
   s.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -269,6 +320,9 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
           po.executors = key.executors;
           po.per_executor.workers = 1;
           po.per_executor.queue_capacity = 2;
+          // Band costs vary (edge bands carry less halo), so route each
+          // band to whichever executor is free instead of strict rotation.
+          po.routing = exec::PoolRouting::least_loaded;
           blur_pool.reset(); // release the old pool's workers first
           blur_pool = std::make_unique<exec::ExecutorPool>(
               job.options.make_executor(key.width, key.height), po);

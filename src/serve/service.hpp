@@ -7,8 +7,10 @@
 //
 // Shape: the service owns `shards` worker threads, each driving its own
 // FramePipeline session behind a bounded admission queue. submit() hands a
-// FrameJob (whole HDR frame + per-job PipelineOptions) to the next shard
-// round-robin and returns a std::future<FrameResult>. Within a shard, jobs
+// FrameJob (whole HDR frame + per-job PipelineOptions) to the least-loaded
+// shard — by queued + in-flight jobs, with ties broken round-robin so a
+// uniform load keeps its even spread — and returns a
+// std::future<FrameResult>. Within a shard, jobs
 // complete in submission order and consecutive jobs with equal options
 // reuse the session (keeping up to `pipeline_depth` frames in flight);
 // a job whose options differ drains the session and rebuilds it — correct
@@ -138,6 +140,11 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  /// Lifetime jobs the least-loaded router steered away from their
+  /// round-robin shard because queue depths had diverged. 0 on a uniform
+  /// load; tracking the job count means one shard is persistently behind
+  /// (slow jobs, or an options mix that keeps rebuilding its session).
+  std::uint64_t rebalanced = 0;
 };
 
 /// The in-process batch tone-mapping service. Thread-safe: submit() may be
@@ -153,8 +160,12 @@ public:
   ToneMapService(const ToneMapService&) = delete;
   ToneMapService& operator=(const ToneMapService&) = delete;
 
-  /// Enqueue a job on the next shard (round-robin); returns the future of
-  /// its result. Blocks while that shard's queue is at capacity.
+  /// Enqueue a job on the least-loaded shard (queued + in-flight jobs,
+  /// ties broken round-robin by submission index); returns the future of
+  /// its result. Blocks while that shard's queue is at capacity. Jobs
+  /// with equal options keep landing on one shard only while loads stay
+  /// even — a diverged queue beats session affinity, by design: a rebuild
+  /// costs less than waiting out a deep queue.
   ///
   /// Error contract, mirroring FramePipeline's: structurally invalid jobs
   /// (empty frame, blur_shards < 1) throw InvalidArgument here, at the
@@ -179,6 +190,7 @@ private:
   ToneMapServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_job_id_{0};
+  std::atomic<std::uint64_t> rebalanced_{0};
 };
 
 } // namespace tmhls::serve

@@ -1,0 +1,93 @@
+#include "transport/client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/error.hpp"
+#include "transport/framing.hpp"
+
+namespace tmhls::transport {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Socket connect_with_retry(const ClientOptions& options) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             options.connect_timeout_seconds));
+  for (;;) {
+    try {
+      return Socket::connect(options.host, options.port);
+    } catch (const TransportError&) {
+      if (Clock::now() >= deadline) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+}
+
+} // namespace
+
+Client::Client(const ClientOptions& options)
+    : socket_(connect_with_retry(options)) {}
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : Client(ClientOptions{host, port, 5.0}) {}
+
+std::uint64_t Client::submit(serve::FrameJob job) {
+  TMHLS_REQUIRE(socket_.valid(), "Client::submit on a closed client");
+  wire::Request request;
+  request.request_id = next_request_id_++;
+  request.job = std::move(job);
+  // encode_request validates the job against the wire bounds (non-empty
+  // frame, dimensions, blur_shards) before anything crosses the socket.
+  if (!socket_.send_all(wire::encode_request(request))) {
+    throw TransportError("connection lost while sending request");
+  }
+  ++in_flight_;
+  return request.request_id;
+}
+
+ClientResult Client::next_result() {
+  TMHLS_REQUIRE(in_flight_ > 0,
+                "Client::next_result with no outstanding requests");
+  TMHLS_REQUIRE(socket_.valid(), "Client::next_result on a closed client");
+  InboundMessage in;
+  switch (read_message(socket_, in)) { // throws WireError on protocol rot
+    case ReadMessageStatus::eof:
+      throw TransportError(
+          "server closed the connection with replies outstanding");
+    case ReadMessageStatus::error:
+      throw TransportError("connection lost while reading reply");
+    case ReadMessageStatus::ok: break;
+  }
+  if (in.header.type == wire::MessageType::response) {
+    wire::Response response = wire::decode_response(in.payload);
+    --in_flight_;
+    ClientResult out;
+    out.request_id = response.request_id;
+    out.result = std::move(response.result);
+    return out;
+  }
+  if (in.header.type == wire::MessageType::error) {
+    const wire::ErrorReply reply = wire::decode_error(in.payload);
+    --in_flight_;
+    throw RemoteError(reply.request_id, reply.message);
+  }
+  throw WireError("wire: server sent a request message");
+}
+
+serve::FrameResult Client::call(serve::FrameJob job) {
+  TMHLS_REQUIRE(in_flight_ == 0,
+                "Client::call with pipelined requests outstanding");
+  submit(std::move(job));
+  return next_result().result;
+}
+
+void Client::finish_requests() { socket_.shutdown_write(); }
+
+void Client::close() { socket_.close(); }
+
+} // namespace tmhls::transport

@@ -1,0 +1,100 @@
+// transport::Client — the caller-side end of the framed transport: submit
+// FrameJobs to a transport::Server over one TCP socket, blocking
+// (call()) or pipelined (submit()/next_result(), many requests in flight
+// on the same connection). The pipelined form is the transport twin of
+// serve::ToneMapService's submit/future API: submit() assigns a
+// client-local request id and writes the frame; next_result() reads
+// whichever reply arrives next — the server answers in completion order —
+// and hands it back with the id it answers.
+//
+// Thread safety: none. A Client is one protocol conversation; drive it
+// from one thread (or add external synchronisation). Use one Client per
+// thread for concurrent load — connections are cheap relative to frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/service.hpp"
+#include "transport/socket.hpp"
+#include "transport/wire.hpp"
+
+namespace tmhls::transport {
+
+/// A server-reported per-request failure (the wire error reply): the
+/// remote message plus the id of the request it answers. The connection
+/// remains usable after catching one.
+class RemoteError : public Error {
+public:
+  RemoteError(std::uint64_t request_id, const std::string& message)
+      : Error(message), request_id_(request_id) {}
+
+  /// The request this failure answers (matches a submit() return value).
+  std::uint64_t request_id() const { return request_id_; }
+
+private:
+  std::uint64_t request_id_;
+};
+
+/// Configuration of a Client connection.
+struct ClientOptions {
+  /// Server address (the server binds loopback only).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Total time to keep retrying the initial connect. Covers the race
+  /// where the client races a server that is still binding (the CI
+  /// loopback smoke test starts both within milliseconds).
+  double connect_timeout_seconds = 5.0;
+};
+
+/// One reply from next_result(): the FrameResult exactly as the service
+/// produced it, plus the client-side id of the request it answers.
+struct ClientResult {
+  std::uint64_t request_id = 0;
+  serve::FrameResult result;
+};
+
+/// The blocking/pipelined transport client.
+class Client {
+public:
+  /// Connect (with retry until connect_timeout_seconds); throws
+  /// TransportError when the deadline passes without a connection.
+  explicit Client(const ClientOptions& options);
+  Client(const std::string& host, std::uint16_t port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Pipelined submit: frame and options cross the wire now, the reply is
+  /// read later by next_result(). Returns the request id the eventual
+  /// reply will carry. Throws TransportError if the connection is gone,
+  /// InvalidArgument for jobs the wire format rejects (empty frame,
+  /// out-of-range blur_shards or dimensions).
+  std::uint64_t submit(serve::FrameJob job);
+
+  /// Read the next reply (completion order, not submission order). Throws
+  /// RemoteError for a server-reported failure — the connection stays
+  /// usable — and TransportError/WireError if the stream breaks.
+  ClientResult next_result();
+
+  /// Blocking round trip: submit one job, wait for its reply. Requires an
+  /// empty pipeline (no outstanding submits).
+  serve::FrameResult call(serve::FrameJob job);
+
+  /// Requests submitted whose replies have not been read yet.
+  std::size_t in_flight() const { return in_flight_; }
+
+  /// Half-close: tell the server no more requests are coming. Replies to
+  /// outstanding requests can still be read.
+  void finish_requests();
+
+  void close();
+
+private:
+  Socket socket_;
+  std::uint64_t next_request_id_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+} // namespace tmhls::transport

@@ -1,0 +1,29 @@
+#include "transport/framing.hpp"
+
+#include <array>
+
+namespace tmhls::transport {
+
+ReadMessageStatus read_message(Socket& socket, InboundMessage& message) {
+  std::array<std::uint8_t, wire::kHeaderBytes> head{};
+  switch (socket.recv_all(head)) {
+    case ReadStatus::eof: return ReadMessageStatus::eof;
+    case ReadStatus::error: return ReadMessageStatus::error;
+    case ReadStatus::ok: break;
+  }
+  // Throws WireError on malformed headers; the payload size is bounded by
+  // kMaxPayloadBytes before anything is allocated.
+  message.header = wire::decode_header(head);
+  message.payload.assign(message.header.payload_bytes, 0);
+  if (message.header.payload_bytes > 0) {
+    const ReadStatus status = socket.recv_all(message.payload);
+    if (status != ReadStatus::ok) {
+      // EOF inside a message is a truncated stream, not a clean finish.
+      return ReadMessageStatus::error;
+    }
+  }
+  wire::verify_checksum(message.header, message.payload); // throws WireError
+  return ReadMessageStatus::ok;
+}
+
+} // namespace tmhls::transport

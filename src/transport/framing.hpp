@@ -1,0 +1,34 @@
+// Message-level I/O shared by transport::Server and transport::Client:
+// read one complete framed message (header + checksum-verified payload)
+// off a stream socket. Writing needs no helper — wire::encode_* returns a
+// complete message and Socket::send_all writes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "transport/socket.hpp"
+#include "transport/wire.hpp"
+
+namespace tmhls::transport {
+
+/// One complete inbound message: the validated header and its
+/// checksum-verified payload (not yet decoded into a typed message).
+struct InboundMessage {
+  wire::Header header;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Outcome of read_message.
+enum class ReadMessageStatus {
+  ok,    ///< `message` holds a validated header + verified payload
+  eof,   ///< clean end of stream at a message boundary
+  error, ///< connection broke mid-message
+};
+
+/// Read exactly one message. Throws WireError when the bytes violate the
+/// protocol (bad magic/version/type, oversized payload, checksum
+/// mismatch) — the stream is unsynchronised and the caller must close it.
+ReadMessageStatus read_message(Socket& socket, InboundMessage& message);
+
+} // namespace tmhls::transport

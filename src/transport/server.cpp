@@ -1,0 +1,310 @@
+#include "transport/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "transport/framing.hpp"
+
+namespace tmhls::transport {
+
+namespace {
+
+using namespace std::chrono_literals;
+
+/// How long the writer waits on the oldest outstanding future before
+/// re-scanning the window for any other future that became ready —
+/// the poll granularity of out-of-completion-order response writing.
+constexpr auto kWriterScanInterval = 2ms;
+
+} // namespace
+
+void validate(const ServerOptions& options) {
+  TMHLS_REQUIRE(options.max_in_flight_per_connection >= 1,
+                "ServerOptions::max_in_flight_per_connection must be >= 1, "
+                "got " +
+                    std::to_string(options.max_in_flight_per_connection));
+  TMHLS_REQUIRE(options.max_connections >= 1,
+                "ServerOptions::max_connections must be >= 1, got " +
+                    std::to_string(options.max_connections));
+}
+
+/// One served connection: the socket, the window of submitted-but-
+/// unanswered requests (shared between the reader and writer threads,
+/// guarded by `mutex`), and the two threads themselves.
+struct Server::Connection {
+  /// One accepted request awaiting its reply. Either `future` is valid
+  /// (the job reached the service) or `immediate_error` carries the
+  /// submit-time failure — never both.
+  struct PendingReply {
+    std::uint64_t request_id = 0;
+    std::future<serve::FrameResult> future;
+    bool immediate_error = false;
+    std::string error_message;
+  };
+
+  Socket socket;
+  std::mutex mutex;
+  std::condition_variable window_open;   ///< reader waits for a window slot
+  std::condition_variable pending_ready; ///< writer waits for work / eof
+  std::deque<PendingReply> pending;
+  bool reader_done = false;  ///< no further requests will be pushed
+  bool write_failed = false; ///< peer gone: drain futures, skip writes
+  std::atomic<bool> reader_exited{false};
+  std::atomic<bool> writer_exited{false};
+  std::thread reader;
+  std::thread writer;
+
+  bool finished() const {
+    return reader_exited.load(std::memory_order_acquire) &&
+           writer_exited.load(std::memory_order_acquire);
+  }
+};
+
+namespace {
+
+/// Options pass validation before any resource (service threads, bound
+/// port) is acquired in the member-initialiser list.
+ServerOptions checked(ServerOptions options) {
+  validate(options);
+  serve::validate(options.service);
+  return options;
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(checked(std::move(options))), service_(options_.service),
+      listener_(options_.port) {
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.requests_received = requests_received_.load();
+  s.responses_sent = responses_sent_.load();
+  s.errors_sent = errors_sent_.load();
+  s.protocol_errors = protocol_errors_.load();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const auto& connection : connections_) {
+      if (!connection->finished()) ++s.connections_active;
+    }
+  }
+  return s;
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  // Wake the accept thread, join it, and only then close the listener fd
+  // — closing while accept() still reads it would be a data race.
+  listener_.shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  // Clean drain: stop reading new requests; readers observe EOF and
+  // retire, writers flush every reply already in the window, then exit.
+  for (auto& connection : connections_) connection->socket.shutdown_read();
+  for (auto& connection : connections_) {
+    if (connection->reader.joinable()) connection->reader.join();
+    if (connection->writer.joinable()) connection->writer.join();
+  }
+  connections_.clear();
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->finished()) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      if ((*it)->writer.joinable()) (*it)->writer.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Socket socket = listener_.accept();
+    if (!socket.valid() || stopping_.load()) return;
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    reap_finished_locked();
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      continue; // over capacity: the socket closes as it goes out of scope
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->socket = std::move(socket);
+    Connection& c = *connection;
+    connections_.push_back(std::move(connection));
+    try {
+      c.reader = std::thread([this, &c] { reader_loop(c); });
+      c.writer = std::thread([this, &c] { writer_loop(c); });
+    } catch (...) {
+      // Thread spawn failure: tear this connection down, keep serving.
+      c.socket.shutdown_both();
+      if (c.reader.joinable()) c.reader.join();
+      {
+        std::lock_guard<std::mutex> state_lock(c.mutex);
+        c.reader_done = true;
+      }
+      c.pending_ready.notify_all();
+      if (c.writer.joinable()) c.writer.join();
+      connections_.pop_back();
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
+  }
+}
+
+void Server::reader_loop(Connection& c) {
+  for (;;) {
+    InboundMessage in;
+    ReadMessageStatus status;
+    try {
+      status = read_message(c.socket, in);
+    } catch (const WireError&) {
+      // The stream is unsynchronised (bad magic/version, oversized or
+      // checksum-failing payload): this connection cannot be trusted.
+      // Cut it — the service and every other connection keep running.
+      protocol_errors_.fetch_add(1);
+      c.socket.shutdown_both();
+      break;
+    }
+    if (status == ReadMessageStatus::eof) break; // client finished cleanly
+    if (status == ReadMessageStatus::error) {
+      protocol_errors_.fetch_add(1);
+      break;
+    }
+    wire::Request request;
+    try {
+      if (in.header.type != wire::MessageType::request) {
+        throw WireError("wire: client sent a non-request message");
+      }
+      request = wire::decode_request(in.payload);
+    } catch (const WireError&) {
+      protocol_errors_.fetch_add(1);
+      c.socket.shutdown_both();
+      break;
+    }
+    requests_received_.fetch_add(1);
+
+    // Bounded in-flight window: while it is full the reader stops pulling
+    // bytes off the socket, so over-pipelining clients are throttled by
+    // TCP flow control instead of server memory.
+    {
+      std::unique_lock<std::mutex> lock(c.mutex);
+      c.window_open.wait(lock, [this, &c] {
+        return c.pending.size() <
+               static_cast<std::size_t>(options_.max_in_flight_per_connection);
+      });
+    }
+
+    Connection::PendingReply reply;
+    reply.request_id = request.request_id;
+    try {
+      // May block on the service's admission queue — more backpressure,
+      // same propagation path.
+      reply.future = service_.submit(std::move(request.job));
+    } catch (const std::exception& e) {
+      // Structural rejection at submit(): answered like any other
+      // per-request failure; the connection continues.
+      reply.immediate_error = true;
+      reply.error_message = e.what();
+    }
+    {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      c.pending.push_back(std::move(reply));
+    }
+    c.pending_ready.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.reader_done = true;
+  }
+  c.pending_ready.notify_one();
+  c.reader_exited.store(true, std::memory_order_release);
+}
+
+void Server::writer_loop(Connection& c) {
+  const auto send = [this, &c](const std::vector<std::uint8_t>& message,
+                               std::atomic<std::uint64_t>& counter) {
+    if (c.socket.send_all(message)) {
+      counter.fetch_add(1);
+    } else {
+      std::lock_guard<std::mutex> lock(c.mutex);
+      c.write_failed = true;
+    }
+  };
+
+  for (;;) {
+    std::unique_lock<std::mutex> lock(c.mutex);
+    c.pending_ready.wait(
+        lock, [&c] { return !c.pending.empty() || c.reader_done; });
+    if (c.pending.empty()) break; // reader done and window drained
+
+    // Prefer any reply that is already ready — responses go out as
+    // futures resolve, not in submission order.
+    std::size_t ready = c.pending.size();
+    for (std::size_t i = 0; i < c.pending.size(); ++i) {
+      Connection::PendingReply& p = c.pending[i];
+      if (p.immediate_error ||
+          p.future.wait_for(0s) == std::future_status::ready) {
+        ready = i;
+        break;
+      }
+    }
+    if (ready == c.pending.size()) {
+      // Nothing ready: wait briefly on the oldest, outside the lock so
+      // the reader can keep appending. The reference stays valid —
+      // deque::push_back does not invalidate references, and this thread
+      // is the only one that erases.
+      Connection::PendingReply& oldest = c.pending.front();
+      lock.unlock();
+      oldest.future.wait_for(kWriterScanInterval);
+      continue;
+    }
+
+    Connection::PendingReply reply = std::move(c.pending[ready]);
+    c.pending.erase(c.pending.begin() + static_cast<std::ptrdiff_t>(ready));
+    const bool skip_write = c.write_failed;
+    lock.unlock();
+    c.window_open.notify_one();
+
+    if (reply.immediate_error) {
+      if (!skip_write) {
+        send(wire::encode_error({reply.request_id, reply.error_message}),
+             errors_sent_);
+      }
+      continue;
+    }
+    try {
+      wire::Response response;
+      response.request_id = reply.request_id;
+      response.result = reply.future.get(); // rethrows execution errors
+      if (!skip_write) {
+        send(wire::encode_response(response), responses_sent_);
+      }
+    } catch (const std::exception& e) {
+      if (!skip_write) {
+        send(wire::encode_error({reply.request_id, e.what()}), errors_sent_);
+      }
+    }
+    // skip_write drains the future without writing: the peer is gone but
+    // every accepted job still completes (the service guarantees it, and
+    // the drain keeps that visible here).
+  }
+  c.socket.shutdown_both();
+  c.writer_exited.store(true, std::memory_order_release);
+}
+
+} // namespace tmhls::transport

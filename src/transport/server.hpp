@@ -1,0 +1,129 @@
+// transport::Server — the socket front of serve::ToneMapService. Accepts
+// loopback TCP connections, reads framed FrameJob requests off each one,
+// feeds them to the service's submit(), and writes each response back as
+// its future resolves. This is the layer that turns the in-process serving
+// API into a deployable network service, the way the paper's accelerator
+// serves frames across the AXI/DMA boundary (PAPER.md §IV): a
+// fixed-function core behind a thin framed transport, with the guarantee
+// that serialization never changes bits.
+//
+// Threading: one accept thread, plus a reader and a writer thread per
+// connection. The reader decodes requests and submits them (blocking on
+// the per-connection in-flight window, then on the service's admission
+// queue — backpressure propagates all the way to the client's socket via
+// TCP flow control). The writer watches the connection's outstanding
+// futures and writes each reply the moment it is ready — completion
+// order, not submission order; clients correlate via the echoed
+// request_id.
+//
+// Error containment: an execution failure (unknown backend, incapable
+// kernel) travels back as a wire error reply and the connection continues.
+// A *protocol* violation (bad magic, checksum mismatch, truncated or
+// oversized message) means the stream cannot be trusted: the connection is
+// closed — and only the connection; the service and every other
+// connection keep running.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "transport/socket.hpp"
+
+namespace tmhls::transport {
+
+/// Configuration of a Server.
+struct ServerOptions {
+  /// TCP port to listen on (loopback interface only); 0 picks an
+  /// ephemeral port, readable from Server::port().
+  std::uint16_t port = 0;
+  /// Options of the owned ToneMapService the transport fronts.
+  serve::ToneMapServiceOptions service;
+  /// Bound on decoded-but-unanswered requests per connection. The reader
+  /// stops pulling new requests off the socket while the window is full,
+  /// so a client that pipelines beyond it is throttled by TCP flow
+  /// control rather than ballooning server memory. Must be >= 1.
+  int max_in_flight_per_connection = 8;
+  /// Bound on simultaneously served connections; a connection arriving
+  /// beyond it is closed immediately. Must be >= 1.
+  int max_connections = 64;
+};
+
+/// Validation: throws InvalidArgument naming the offending field unless
+/// max_in_flight_per_connection >= 1 and max_connections >= 1 (the service
+/// options are validated by the service itself).
+void validate(const ServerOptions& options);
+
+/// Lifetime counters of a Server (monotonic except connections_active).
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  /// Requests decoded successfully and handed to the service.
+  std::uint64_t requests_received = 0;
+  /// Successful responses written back.
+  std::uint64_t responses_sent = 0;
+  /// Per-request execution failures written back as wire error replies.
+  std::uint64_t errors_sent = 0;
+  /// Connections dropped for wire-protocol violations (bad magic,
+  /// checksum mismatch, truncation, oversized fields).
+  std::uint64_t protocol_errors = 0;
+};
+
+/// The socket transport front. Construction binds, listens and starts
+/// serving; stop() (or the destructor) drains cleanly: in-flight requests
+/// complete and their responses are written before connections close.
+class Server {
+public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The port actually bound (resolves port 0 to the ephemeral choice).
+  std::uint16_t port() const { return port_; }
+
+  const ServerOptions& options() const { return options_; }
+
+  /// The fronted service (e.g. for ServiceStats alongside ServerStats).
+  serve::ToneMapService& service() { return service_; }
+  const serve::ToneMapService& service() const { return service_; }
+
+  /// Snapshot of the transport-level counters.
+  ServerStats stats() const;
+
+  /// Stop accepting, stop reading new requests, finish every request
+  /// already accepted (responses are written as their futures resolve),
+  /// then close all connections and join all threads. Idempotent.
+  void stop();
+
+private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(Connection& connection);
+  void writer_loop(Connection& connection);
+  void reap_finished_locked();
+
+  ServerOptions options_;
+  serve::ToneMapService service_;
+  ListenSocket listener_;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_received_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> errors_sent_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+} // namespace tmhls::transport

@@ -1,0 +1,191 @@
+#include "transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <utility>
+
+namespace tmhls::transport {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  // Built step-wise: the one-expression concatenation trips a GCC 12
+  // -Wrestrict false positive (PR105651).
+  std::string out = what;
+  out += ": ";
+  out += std::strerror(errno);
+  return out;
+}
+
+sockaddr_in loopback_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw TransportError("invalid IPv4 address: " + host);
+  }
+  return addr;
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket Socket::connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = loopback_address(host, port);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError(errno_string("socket"));
+  Socket socket(fd);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw TransportError(errno_string("connect"));
+  }
+  // The protocol writes whole messages; disable Nagle so a small request
+  // is not held back waiting for the previous response's ACK.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+bool Socket::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+ReadStatus Socket::recv_all(std::span<std::uint8_t> bytes) {
+  std::size_t received = 0;
+  while (received < bytes.size()) {
+    const ssize_t n =
+        ::recv(fd_, bytes.data() + received, bytes.size() - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::error;
+    }
+    if (n == 0) {
+      // EOF at a message boundary is the peer finishing; mid-message it
+      // is a truncated stream.
+      return received == 0 ? ReadStatus::eof : ReadStatus::error;
+    }
+    received += static_cast<std::size_t>(n);
+  }
+  return ReadStatus::ok;
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::ListenSocket(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransportError(errno_string("socket"));
+  try {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = loopback_address("127.0.0.1", port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      throw TransportError(errno_string("bind"));
+    }
+    if (::listen(fd, 16) != 0) {
+      throw TransportError(errno_string("listen"));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      throw TransportError(errno_string("getsockname"));
+    }
+    port_ = ntohs(bound.sin_port);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  fd_ = fd;
+}
+
+ListenSocket::~ListenSocket() { close(); }
+
+ListenSocket::ListenSocket(ListenSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+ListenSocket& ListenSocket::operator=(ListenSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+Socket ListenSocket::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    return Socket(); // listener closed (or fatal): signal loop exit
+  }
+}
+
+void ListenSocket::shutdown() {
+  // Reads fd_ but does not modify it, so it may run concurrently with a
+  // thread blocked in accept(); close() alone would not unblock accept
+  // on Linux (and mutating fd_ here would race the accept thread).
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+} // namespace tmhls::transport

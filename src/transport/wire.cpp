@@ -1,0 +1,469 @@
+#include "transport/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "fixed/fixed_format.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::transport::wire {
+
+namespace {
+
+// --- primitive little-endian encoding -------------------------------------
+// Bytes are assembled and reassembled explicitly, so the on-wire order is
+// fixed whatever the host's endianness.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xffu));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xffu));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xffu));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  TMHLS_REQUIRE(s.size() <= kMaxStringBytes,
+                "wire: string field exceeds kMaxStringBytes: " +
+                    std::to_string(s.size()));
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounded cursor over one payload. Every read checks the remaining
+/// length and throws WireError naming the underrun — decoders never walk
+/// past the declared payload.
+class Reader {
+public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint16_t u16() {
+    const auto b = take(2);
+    return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  }
+
+  std::uint32_t u32() {
+    const auto b = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const auto b = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string string() {
+    const std::uint32_t n = u32();
+    if (n > kMaxStringBytes) {
+      throw WireError("wire: string length " + std::to_string(n) +
+                      " exceeds kMaxStringBytes");
+    }
+    const auto b = take(n);
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+  /// Throws unless the payload was consumed exactly — trailing bytes mean
+  /// the two endpoints disagree about the format.
+  void expect_exhausted(const char* what) const {
+    if (remaining() != 0) {
+      throw WireError(std::string("wire: ") + what + " payload has " +
+                      std::to_string(remaining()) + " trailing byte(s)");
+    }
+  }
+
+private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (remaining() < n) {
+      throw WireError("wire: payload truncated (need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()) + ")");
+    }
+    const auto view = bytes_.subspan(offset_, n);
+    offset_ += n;
+    return view;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+// --- enum codes ------------------------------------------------------------
+// Explicit on-wire codes, independent of the in-memory enum values, so a
+// reordering refactor on one endpoint cannot silently change the protocol.
+
+std::uint8_t code_of(tonemap::BlurKind kind) {
+  switch (kind) {
+    case tonemap::BlurKind::separable_float: return 0;
+    case tonemap::BlurKind::streaming_float: return 1;
+    case tonemap::BlurKind::streaming_fixed: return 2;
+  }
+  throw WireError("wire: unencodable BlurKind");
+}
+
+tonemap::BlurKind blur_kind_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return tonemap::BlurKind::separable_float;
+    case 1: return tonemap::BlurKind::streaming_float;
+    case 2: return tonemap::BlurKind::streaming_fixed;
+  }
+  throw WireError("wire: unknown BlurKind code " + std::to_string(code));
+}
+
+std::uint8_t code_of(tonemap::Datapath datapath) {
+  switch (datapath) {
+    case tonemap::Datapath::from_blur_kind: return 0;
+    case tonemap::Datapath::float32: return 1;
+    case tonemap::Datapath::fixed_point: return 2;
+  }
+  throw WireError("wire: unencodable Datapath");
+}
+
+tonemap::Datapath datapath_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return tonemap::Datapath::from_blur_kind;
+    case 1: return tonemap::Datapath::float32;
+    case 2: return tonemap::Datapath::fixed_point;
+  }
+  throw WireError("wire: unknown Datapath code " + std::to_string(code));
+}
+
+std::uint8_t code_of(fixed::Round round) {
+  switch (round) {
+    case fixed::Round::truncate: return 0;
+    case fixed::Round::toward_zero: return 1;
+    case fixed::Round::half_up: return 2;
+    case fixed::Round::half_even: return 3;
+  }
+  throw WireError("wire: unencodable Round");
+}
+
+fixed::Round round_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return fixed::Round::truncate;
+    case 1: return fixed::Round::toward_zero;
+    case 2: return fixed::Round::half_up;
+    case 3: return fixed::Round::half_even;
+  }
+  throw WireError("wire: unknown Round code " + std::to_string(code));
+}
+
+std::uint8_t code_of(fixed::Overflow overflow) {
+  switch (overflow) {
+    case fixed::Overflow::saturate: return 0;
+    case fixed::Overflow::wrap: return 1;
+  }
+  throw WireError("wire: unencodable Overflow");
+}
+
+fixed::Overflow overflow_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return fixed::Overflow::saturate;
+    case 1: return fixed::Overflow::wrap;
+  }
+  throw WireError("wire: unknown Overflow code " + std::to_string(code));
+}
+
+// --- composites ------------------------------------------------------------
+
+void put_fixed_format(std::vector<std::uint8_t>& out,
+                      const fixed::FixedFormat& format) {
+  put_u8(out, static_cast<std::uint8_t>(format.width()));
+  put_u8(out, static_cast<std::uint8_t>(format.int_bits()));
+  put_u8(out, code_of(format.round()));
+  put_u8(out, code_of(format.overflow()));
+}
+
+fixed::FixedFormat read_fixed_format(Reader& in) {
+  const int width = in.u8();
+  const int int_bits = in.u8();
+  const fixed::Round round = round_of(in.u8());
+  const fixed::Overflow overflow = overflow_of(in.u8());
+  // Validate here so a hostile width surfaces as WireError, not as the
+  // constructor's InvalidArgument (which servers treat as an execution
+  // error instead of a protocol violation).
+  if (width < 1 || width > 32 || int_bits < 1 || int_bits > width) {
+    throw WireError("wire: invalid fixed-point format " +
+                    std::to_string(width) + "/" + std::to_string(int_bits));
+  }
+  return fixed::FixedFormat(width, int_bits, round, overflow);
+}
+
+void put_options(std::vector<std::uint8_t>& out,
+                 const tonemap::PipelineOptions& opt) {
+  put_f64(out, opt.sigma);
+  put_i32(out, opt.radius);
+  put_u8(out, code_of(opt.blur));
+  put_string(out, opt.backend);
+  put_u8(out, code_of(opt.datapath));
+  put_i32(out, opt.threads);
+  put_fixed_format(out, opt.fixed.data);
+  put_fixed_format(out, opt.fixed.accumulator);
+  put_f32(out, opt.display_gamma);
+  put_f32(out, opt.normalization_scale);
+  put_f32(out, opt.brightness);
+  put_f32(out, opt.contrast);
+}
+
+tonemap::PipelineOptions read_options(Reader& in) {
+  tonemap::PipelineOptions opt;
+  opt.sigma = in.f64();
+  opt.radius = in.i32();
+  opt.blur = blur_kind_of(in.u8());
+  opt.backend = in.string();
+  opt.datapath = datapath_of(in.u8());
+  opt.threads = in.i32();
+  opt.fixed.data = read_fixed_format(in);
+  opt.fixed.accumulator = read_fixed_format(in);
+  opt.display_gamma = in.f32();
+  opt.normalization_scale = in.f32();
+  opt.brightness = in.f32();
+  opt.contrast = in.f32();
+  return opt;
+}
+
+void put_image(std::vector<std::uint8_t>& out, const img::ImageF& image) {
+  TMHLS_REQUIRE(!image.empty(), "wire: cannot encode an empty image");
+  TMHLS_REQUIRE(image.width() <= kMaxDimension &&
+                    image.height() <= kMaxDimension,
+                "wire: image dimensions exceed kMaxDimension");
+  put_u32(out, static_cast<std::uint32_t>(image.width()));
+  put_u32(out, static_cast<std::uint32_t>(image.height()));
+  put_u32(out, static_cast<std::uint32_t>(image.channels()));
+  out.reserve(out.size() + image.sample_count() * 4);
+  for (float v : image.samples()) put_f32(out, v);
+}
+
+img::ImageF read_image(Reader& in) {
+  const std::uint32_t width = in.u32();
+  const std::uint32_t height = in.u32();
+  const std::uint32_t channels = in.u32();
+  if (width < 1 || width > static_cast<std::uint32_t>(kMaxDimension) ||
+      height < 1 || height > static_cast<std::uint32_t>(kMaxDimension)) {
+    throw WireError("wire: image dimensions " + std::to_string(width) + "x" +
+                    std::to_string(height) + " outside [1, " +
+                    std::to_string(kMaxDimension) + "]");
+  }
+  if (channels < 1 || channels > 4) {
+    throw WireError("wire: image channels " + std::to_string(channels) +
+                    " outside [1, 4]");
+  }
+  const std::size_t samples = static_cast<std::size_t>(width) *
+                              static_cast<std::size_t>(height) *
+                              static_cast<std::size_t>(channels);
+  // The declared geometry must be backed by actual payload bytes *before*
+  // the image is allocated: an attacker-controlled header must never turn
+  // into an attacker-sized allocation.
+  if (in.remaining() < samples * 4) {
+    throw WireError("wire: image data truncated (" +
+                    std::to_string(samples * 4) + " bytes declared, " +
+                    std::to_string(in.remaining()) + " available)");
+  }
+  img::ImageF image(static_cast<int>(width), static_cast<int>(height),
+                    static_cast<int>(channels));
+  for (float& v : image.samples()) v = in.f32();
+  return image;
+}
+
+/// Prepend the header for `type` over `payload` and return the complete
+/// message.
+std::vector<std::uint8_t> seal(MessageType type,
+                               std::vector<std::uint8_t> payload) {
+  TMHLS_REQUIRE(payload.size() <= kMaxPayloadBytes,
+                "wire: payload exceeds kMaxPayloadBytes");
+  Header header;
+  header.type = type;
+  header.payload_bytes = static_cast<std::uint32_t>(payload.size());
+  header.checksum = checksum(payload);
+  const auto head = encode_header(header);
+  // memcpy into a pre-sized vector: the insert-after-reserve form trips a
+  // GCC 12 -Wstringop-overflow false positive under -Werror.
+  std::vector<std::uint8_t> message(head.size() + payload.size());
+  std::memcpy(message.data(), head.data(), head.size());
+  if (!payload.empty()) {
+    std::memcpy(message.data() + head.size(), payload.data(), payload.size());
+  }
+  return message;
+}
+
+} // namespace
+
+std::uint32_t checksum(std::span<const std::uint8_t> payload) {
+  // FNV-1a 32-bit.
+  std::uint32_t hash = 2166136261u;
+  for (std::uint8_t byte : payload) {
+    hash ^= byte;
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::array<std::uint8_t, kHeaderBytes> encode_header(const Header& header) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kHeaderBytes);
+  bytes.insert(bytes.end(), kMagic.begin(), kMagic.end());
+  put_u16(bytes, header.version);
+  put_u16(bytes, static_cast<std::uint16_t>(header.type));
+  put_u32(bytes, header.payload_bytes);
+  put_u32(bytes, header.checksum);
+  std::array<std::uint8_t, kHeaderBytes> out{};
+  std::memcpy(out.data(), bytes.data(), kHeaderBytes);
+  return out;
+}
+
+Header decode_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kHeaderBytes) {
+    throw WireError("wire: header must be " + std::to_string(kHeaderBytes) +
+                    " bytes, got " + std::to_string(bytes.size()));
+  }
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (bytes[i] != kMagic[i]) throw WireError("wire: bad magic");
+  }
+  Reader in(bytes.subspan(kMagic.size()));
+  Header header;
+  header.version = in.u16();
+  const std::uint16_t type = in.u16();
+  header.payload_bytes = in.u32();
+  header.checksum = in.u32();
+  if (header.version != kVersion) {
+    throw WireError("wire: unsupported protocol version " +
+                    std::to_string(header.version));
+  }
+  if (type != static_cast<std::uint16_t>(MessageType::request) &&
+      type != static_cast<std::uint16_t>(MessageType::response) &&
+      type != static_cast<std::uint16_t>(MessageType::error)) {
+    throw WireError("wire: unknown message type " + std::to_string(type));
+  }
+  header.type = static_cast<MessageType>(type);
+  if (header.payload_bytes > kMaxPayloadBytes) {
+    throw WireError("wire: payload size " +
+                    std::to_string(header.payload_bytes) +
+                    " exceeds kMaxPayloadBytes");
+  }
+  return header;
+}
+
+void verify_checksum(const Header& header,
+                     std::span<const std::uint8_t> payload) {
+  if (payload.size() != header.payload_bytes) {
+    throw WireError("wire: payload size mismatch (header declares " +
+                    std::to_string(header.payload_bytes) + ", got " +
+                    std::to_string(payload.size()) + ")");
+  }
+  if (checksum(payload) != header.checksum) {
+    throw WireError("wire: payload checksum mismatch");
+  }
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  TMHLS_REQUIRE(request.job.blur_shards >= 1 &&
+                    request.job.blur_shards <= serve::kMaxBlurShards,
+                "wire: blur_shards outside [1, kMaxBlurShards]");
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, request.request_id);
+  put_u32(payload, static_cast<std::uint32_t>(request.job.blur_shards));
+  put_options(payload, request.job.options);
+  put_image(payload, request.job.frame);
+  return seal(MessageType::request, std::move(payload));
+}
+
+Request decode_request(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  Request request;
+  request.request_id = in.u64();
+  const std::uint32_t blur_shards = in.u32();
+  if (blur_shards < 1 ||
+      blur_shards > static_cast<std::uint32_t>(serve::kMaxBlurShards)) {
+    throw WireError("wire: blur_shards " + std::to_string(blur_shards) +
+                    " outside [1, " + std::to_string(serve::kMaxBlurShards) +
+                    "]");
+  }
+  request.job.blur_shards = static_cast<int>(blur_shards);
+  request.job.options = read_options(in);
+  request.job.frame = read_image(in);
+  in.expect_exhausted("request");
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, response.request_id);
+  put_u64(payload, response.result.job_id);
+  put_i32(payload, response.result.shard);
+  put_string(payload, response.result.backend);
+  put_f64(payload, response.result.queue_seconds);
+  put_f64(payload, response.result.service_seconds);
+  put_image(payload, response.result.output);
+  return seal(MessageType::response, std::move(payload));
+}
+
+Response decode_response(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  Response response;
+  response.request_id = in.u64();
+  response.result.job_id = in.u64();
+  response.result.shard = in.i32();
+  response.result.backend = in.string();
+  response.result.queue_seconds = in.f64();
+  response.result.service_seconds = in.f64();
+  response.result.output = read_image(in);
+  in.expect_exhausted("response");
+  return response;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorReply& reply) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, reply.request_id);
+  // Clamp rather than reject: an over-long what() string must not turn an
+  // error reply into a second failure.
+  std::string message = reply.message;
+  if (message.size() > kMaxStringBytes) message.resize(kMaxStringBytes);
+  put_string(payload, message);
+  return seal(MessageType::error, std::move(payload));
+}
+
+ErrorReply decode_error(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  ErrorReply reply;
+  reply.request_id = in.u64();
+  reply.message = in.string();
+  in.expect_exhausted("error");
+  return reply;
+}
+
+} // namespace tmhls::transport::wire

@@ -1,0 +1,151 @@
+// transport::wire — the length-prefixed binary frame protocol that carries
+// FrameJobs to a remote ToneMapService and FrameResults back. This is the
+// host-side twin of the paper's AXI/DMA boundary (§IV): the tone-mapper is
+// a fixed-function core behind a thin framed transport, and the bits that
+// cross the boundary are defined here, independently of either endpoint.
+//
+// Every message is one header (16 bytes) followed by one payload:
+//
+//   offset  size  field
+//   0       4     magic "TMHW" (raw bytes, not an integer)
+//   4       2     protocol version (u16 LE; this header describes v1)
+//   6       2     message type (u16 LE: 1 request, 2 response, 3 error)
+//   8       4     payload size in bytes (u32 LE, bounded by kMaxPayloadBytes)
+//   12      4     FNV-1a 32-bit checksum of the payload bytes (u32 LE)
+//
+// All multi-byte integers are little-endian **on the wire regardless of
+// host endianness** — encoders assemble bytes explicitly, decoders
+// reassemble them explicitly, so two hosts of different endianness agree
+// on every bit. Floats travel as the LE byte order of their IEEE-754 bit
+// pattern, which is what makes the transport bit-transparent: the frame
+// samples a client sends are the exact samples the service blurs, NaN
+// payloads included.
+//
+// Decoders are defensive: any structural violation (bad magic, unknown
+// version or enum code, truncated payload, oversized dimensions, checksum
+// mismatch) throws WireError and never allocates more than the declared —
+// and bounded — payload size. A server treats WireError as "this stream
+// cannot be trusted" and closes the connection; execution errors, by
+// contrast, travel *inside* the protocol as error messages.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/service.hpp"
+
+namespace tmhls::transport {
+
+/// Malformed or unsafe wire data (bad magic, truncation, checksum
+/// mismatch, out-of-range field). Distinct from execution errors, which
+/// travel inside the protocol as MessageType::error replies.
+class WireError : public Error {
+public:
+  explicit WireError(const std::string& what) : Error(what) {}
+};
+
+namespace wire {
+
+/// Protocol version this implementation speaks. A decoder rejects every
+/// other version — there is exactly one wire format per build, so the
+/// version field is a compatibility tripwire, not a negotiation.
+inline constexpr std::uint16_t kVersion = 1;
+
+/// First four payload-independent bytes of every message.
+inline constexpr std::array<std::uint8_t, 4> kMagic{'T', 'M', 'H', 'W'};
+
+/// Fixed size of the message header in bytes.
+inline constexpr std::size_t kHeaderBytes = 16;
+
+/// Per-axis bound on frame dimensions crossing the wire. Frames larger
+/// than this belong to the in-process API (or to blur_shards on a
+/// co-located service), not to a serialized hop.
+inline constexpr int kMaxDimension = 4096;
+
+/// Upper bound a decoder accepts for one payload: the worst-case frame
+/// within kMaxDimension (4096 x 4096 x 4 channels x 4 bytes = 256 MiB of
+/// samples) plus 8 KiB of headroom for ids, options and the
+/// length-prefixed strings (kMaxStringBytes) — so every frame the
+/// dimension bound admits is encodable, and nothing an attacker declares
+/// can exceed it. Far below "asks us to allocate the machine": a decoder
+/// additionally verifies the bytes are actually present before
+/// allocating.
+inline constexpr std::uint32_t kMaxPayloadBytes =
+    256u * 1024u * 1024u + 8u * 1024u;
+
+/// Bound on string fields (backend names, error messages).
+inline constexpr std::uint32_t kMaxStringBytes = 4096;
+
+enum class MessageType : std::uint16_t {
+  request = 1,  ///< client -> server: one FrameJob
+  response = 2, ///< server -> client: one FrameResult
+  error = 3,    ///< server -> client: execution failure of one request
+};
+
+/// Decoded message header (magic already verified and stripped).
+struct Header {
+  std::uint16_t version = kVersion;
+  MessageType type = MessageType::request;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t checksum = 0;
+};
+
+/// FNV-1a 32-bit over the payload bytes — cheap, dependency-free, and
+/// plenty to catch truncation/corruption on a stream transport (TCP
+/// already guards the bits; the checksum guards framing bugs).
+std::uint32_t checksum(std::span<const std::uint8_t> payload);
+
+/// Serialize a header (including magic) into exactly kHeaderBytes.
+std::array<std::uint8_t, kHeaderBytes> encode_header(const Header& header);
+
+/// Parse and validate a header: magic, version, known type, payload size
+/// within kMaxPayloadBytes. Throws WireError on any violation.
+Header decode_header(std::span<const std::uint8_t> bytes);
+
+/// Throws WireError unless `payload` matches `header.checksum`.
+void verify_checksum(const Header& header,
+                     std::span<const std::uint8_t> payload);
+
+/// One request on the wire: a client-assigned correlation id plus the job.
+/// The id is echoed in the matching response/error, which is what lets a
+/// pipelined client keep many requests in flight on one socket.
+struct Request {
+  std::uint64_t request_id = 0;
+  serve::FrameJob job;
+};
+
+/// One successful reply: the request id it answers plus the FrameResult
+/// exactly as the service produced it (ids, timings, backend name, and the
+/// bit-exact output frame).
+struct Response {
+  std::uint64_t request_id = 0;
+  serve::FrameResult result;
+};
+
+/// One failed reply: the request id plus the server-side error message.
+/// The connection stays usable — execution errors are per-request.
+struct ErrorReply {
+  std::uint64_t request_id = 0;
+  std::string message;
+};
+
+/// Encode a complete message, header included, ready to write to a socket.
+std::vector<std::uint8_t> encode_request(const Request& request);
+std::vector<std::uint8_t> encode_response(const Response& response);
+std::vector<std::uint8_t> encode_error(const ErrorReply& reply);
+
+/// Decode one payload (the caller has already decoded the header, read
+/// exactly header.payload_bytes and verified the checksum). Throws
+/// WireError on truncated/trailing bytes, out-of-range dimensions or
+/// unknown enum codes.
+Request decode_request(std::span<const std::uint8_t> payload);
+Response decode_response(std::span<const std::uint8_t> payload);
+ErrorReply decode_error(std::span<const std::uint8_t> payload);
+
+} // namespace wire
+} // namespace tmhls::transport

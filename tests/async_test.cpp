@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -309,6 +310,48 @@ TEST(ExecutorPoolTest, StatsAggregatePerShardCountersAndShowRoundRobin) {
     EXPECT_EQ(shard.submitted, 2u);
     EXPECT_EQ(shard.completed, 2u);
   }
+}
+
+TEST(ExecutorPoolTest, LeastLoadedRoutingAvoidsTheBusyShard) {
+  // Park a slow blur on shard 0, then submit small blurs one at a time,
+  // waiting for each: at every submission shard 0 has one request in
+  // flight and shard 1 none, so least-loaded routing must place every
+  // small request on shard 1 — including the even-indexed ones whose
+  // round-robin rotation points at shard 0.
+  const PipelineExecutor executor("separable_float");
+  ExecutorPoolOptions opts;
+  opts.executors = 2;
+  opts.routing = PoolRouting::least_loaded;
+  ExecutorPool pool(executor, opts);
+
+  const tonemap::GaussianKernel big_kernel(16.0, 48);
+  const img::ImageF big_plane = random_plane(512, 512, 77);
+  std::future<img::ImageF> big = pool.submit({big_plane, big_kernel});
+
+  const tonemap::GaussianKernel small_kernel(1.0, 2);
+  constexpr int kSmallRequests = 4;
+  std::vector<::testing::AssertionResult> outcomes;
+  for (int i = 0; i < kSmallRequests; ++i) {
+    const img::ImageF plane =
+        random_plane(9, 7, 300 + static_cast<std::uint64_t>(i));
+    outcomes.push_back(bit_identical(pool.submit({plane, small_kernel}).get(),
+                                     executor.blur(plane, small_kernel)));
+  }
+  const bool big_ran_throughout =
+      big.wait_for(std::chrono::seconds(0)) != std::future_status::ready;
+  EXPECT_TRUE(bit_identical(big.get(), executor.blur(big_plane, big_kernel)));
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i]) << "small request " << i;
+  }
+  if (!big_ran_throughout) {
+    GTEST_SKIP() << "big blur finished before the small ones — shard "
+                    "placement unconstrained on this host";
+  }
+  const ExecutorPoolStats s = pool.stats();
+  ASSERT_EQ(s.per_shard.size(), 2u);
+  EXPECT_EQ(s.per_shard[0].submitted, 1u);
+  EXPECT_EQ(s.per_shard[1].submitted,
+            static_cast<std::uint64_t>(kSmallRequests));
 }
 
 } // namespace

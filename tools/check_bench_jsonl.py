@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate bench JSONL records against the schema in bench/bench_common.hpp.
+
+Every line emitted by the benches (benchkit::JsonRecord) must be one flat
+JSON object whose first key is "bench", whose values are strings, ints or
+finite floats, and — for the benches named below — which carries that
+bench's required keys. CI runs this over the JSONL artifacts the
+release-bench job produces, and ctest runs `--self-test` so the validator
+itself cannot rot.
+
+Usage:
+    tools/check_bench_jsonl.py file.jsonl [more.jsonl ...]
+    tools/check_bench_jsonl.py --self-test
+
+Exit status 0 when every record of every file validates, 1 otherwise
+(each violation is reported with file and line number).
+"""
+
+import json
+import sys
+
+# Required keys per bench name, mirroring what the benches emit (see the
+# JsonRecord schema comment in bench/bench_common.hpp; the emitters are
+# bench_backend_throughput.cpp, bench_frame_pipeline.cpp and
+# bench_serving.cpp). A bench not listed here is validated against the
+# generic rules only, so adding a new bench does not require touching this
+# checker — listing it just tightens the gate.
+REQUIRED_KEYS = {
+    "backend_throughput": [
+        "backend", "threads", "width", "height", "taps",
+        "seconds_per_frame", "fps", "speedup_vs_single_thread",
+        "speedup_vs_separable_float",
+    ],
+    "frame_pipeline": [
+        "backend", "threads", "depth", "frames", "width", "height", "taps",
+        "seconds_total", "seconds_per_frame", "fps", "speedup_vs_depth1",
+    ],
+    "serving": [
+        "mode", "backend", "threads", "jobs_total", "width", "height",
+        "taps", "seconds_total", "jobs_per_s", "latency_p50_ms",
+        "latency_p99_ms", "speedup_vs_1shard",
+    ],
+}
+
+
+def _reject_constant(value):
+    # json.loads calls this for NaN/Infinity/-Infinity, which are not
+    # valid JSON; a bench emitting them has produced a non-finite number.
+    raise ValueError(f"non-finite number {value!r}")
+
+
+def validate_line(line):
+    """Return a list of violation messages for one JSONL line ('' lines
+    are the caller's concern)."""
+    try:
+        record = json.loads(line, parse_constant=_reject_constant)
+    except ValueError as err:
+        return [f"not valid JSON: {err}"]
+    if not isinstance(record, dict):
+        return ["record is not a JSON object"]
+    problems = []
+    keys = list(record.keys())
+    if not keys or keys[0] != "bench":
+        problems.append('first key must be "bench"')
+    bench = record.get("bench")
+    if not isinstance(bench, str) or not bench:
+        problems.append('"bench" must be a non-empty string')
+        bench = None
+    for key, value in record.items():
+        if isinstance(value, bool) or not isinstance(value, (str, int, float)):
+            problems.append(
+                f'key "{key}": values must be strings or numbers, '
+                f"got {type(value).__name__}")
+        # Non-finite floats never reach here (parse_constant raises), so
+        # every numeric value is finite by construction.
+    if bench in REQUIRED_KEYS:
+        missing = [k for k in REQUIRED_KEYS[bench] if k not in record]
+        if missing:
+            problems.append(
+                f'bench "{bench}" record missing required key(s): '
+                + ", ".join(missing))
+    return problems
+
+
+def check_file(path):
+    """Validate one file; returns (record_count, violation_count)."""
+    records = 0
+    violations = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            records += 1
+            for problem in validate_line(line):
+                violations += 1
+                print(f"{path}:{number}: {problem}", file=sys.stderr)
+    return records, violations
+
+
+SELF_TEST_CASES = [
+    # (line, expected_valid, label)
+    ('{"bench":"serving","mode":"jobs","backend":"separable_simd",'
+     '"threads":1,"jobs_total":8,"width":192,"height":192,"taps":13,'
+     '"seconds_total":0.5,"jobs_per_s":16.0,"latency_p50_ms":30.0,'
+     '"latency_p99_ms":60.1,"speedup_vs_1shard":1.0}',
+     True, "complete serving record"),
+    ('{"bench":"frame_pipeline","backend":"hlscode","threads":1,"depth":2,'
+     '"frames":8,"width":512,"height":512,"taps":97,"seconds_total":1.0,'
+     '"seconds_per_frame":0.125,"fps":8.0,"speedup_vs_depth1":1.02}',
+     True, "complete frame_pipeline record"),
+    ('{"bench":"some_future_bench","whatever":1.5}',
+     True, "unknown bench passes generic rules"),
+    ('{"bench":"serving","mode":"jobs"}',
+     False, "serving record missing required keys"),
+    ('{"backend":"x","bench":"serving"}',
+     False, "bench not the first key"),
+    ('{"bench":"backend_throughput","backend":"x","threads":1,"width":1,'
+     '"height":1,"taps":1,"seconds_per_frame":nan,"fps":1,'
+     '"speedup_vs_single_thread":1,"speedup_vs_separable_float":1}',
+     False, "non-finite number (bare nan is not JSON)"),
+    ('{"bench":"x","nested":{"a":1}}',
+     False, "nested values are not flat"),
+    ('{"bench":""}', False, "empty bench name"),
+    ('[1,2,3]', False, "not an object"),
+    ('{"bench":"x",', False, "truncated line"),
+]
+
+
+def self_test():
+    failures = 0
+    for line, expected_valid, label in SELF_TEST_CASES:
+        problems = validate_line(line)
+        ok = not problems
+        if ok != expected_valid:
+            failures += 1
+            print(
+                f"self-test FAIL [{label}]: expected "
+                f"{'valid' if expected_valid else 'invalid'}, got "
+                f"{problems or 'no problems'}", file=sys.stderr)
+    print(f"self-test: {len(SELF_TEST_CASES)} case(s), "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    total_violations = 0
+    for path in argv[1:]:
+        records, violations = check_file(path)
+        total_violations += violations
+        status = "ok" if violations == 0 else f"{violations} violation(s)"
+        print(f"{path}: {records} record(s), {status}")
+    return 1 if total_violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,6 +16,11 @@
 //                            [--size N] [--queue Q] [--pipeline-depth D]
 //                            [--blur-shards S] [--backend B] [--threads N]
 //                            [--kind K] [--seed N]
+//                            [--listen PORT [--window W] [--max-connections M]]
+//   client                  --port PORT [--host H] [--jobs J] [--size N]
+//                            [--window W] [--blur-shards S] [--backend B]
+//                            [--threads N] [--kind K] [--seed N]
+//                            [--connect-timeout S] [--no-check]
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -27,6 +32,8 @@
 // .hdr, or .pfm.
 #include <chrono>
 #include <cmath>
+#include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -56,6 +63,8 @@
 #include "tonemap/frame_pipeline.hpp"
 #include "tonemap/global_operators.hpp"
 #include "tonemap/pipeline.hpp"
+#include "transport/client.hpp"
+#include "transport/server.hpp"
 #include "video/sequence.hpp"
 #include "video/video_tonemapper.hpp"
 
@@ -352,7 +361,180 @@ int cmd_video(const Args& args) {
   return 0;
 }
 
+// Set by SIGINT/SIGTERM while `serve --listen` runs; the serve loop polls
+// it and drains the server cleanly (async-signal-safe: the handler only
+// writes the flag).
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve_listen(const Args& args) {
+  // The socket transport front: serve framed FrameJobs over loopback TCP
+  // until SIGINT/SIGTERM, then drain (in-flight jobs complete and their
+  // responses are written) and report the transport + service statistics.
+  const int port = args.get_int("listen", 0);
+  TMHLS_REQUIRE(port >= 0 && port <= 65535,
+                "--listen port must be in [0, 65535] (0 = ephemeral)");
+  transport::ServerOptions so;
+  so.port = static_cast<std::uint16_t>(port);
+  so.service.shards = args.get_int("shards", so.service.shards);
+  so.service.queue_capacity =
+      args.get_int("queue", so.service.queue_capacity);
+  so.service.pipeline_depth =
+      args.get_int("pipeline-depth", so.service.pipeline_depth);
+  so.max_in_flight_per_connection =
+      args.get_int("window", so.max_in_flight_per_connection);
+  so.max_connections = args.get_int("max-connections", so.max_connections);
+
+  transport::Server server(so);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  // stdout and flushed: scripts (and the CI smoke test) wait for this
+  // line to learn the bound port.
+  std::cout << "listening on 127.0.0.1:" << server.port() << " ("
+            << so.service.shards << " shard(s), window "
+            << so.max_in_flight_per_connection
+            << "; SIGINT/SIGTERM drains and exits)\n"
+            << std::flush;
+  while (!g_stop_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+
+  const transport::ServerStats ts = server.stats();
+  TextTable t({"connections", "requests", "responses", "errors sent",
+               "protocol errors"});
+  t.add_row({std::to_string(ts.connections_accepted),
+             std::to_string(ts.requests_received),
+             std::to_string(ts.responses_sent),
+             std::to_string(ts.errors_sent),
+             std::to_string(ts.protocol_errors)});
+  std::cout << '\n' << t.render();
+
+  const serve::ServiceStats ss = server.service().stats();
+  TextTable per_shard({"shard", "submitted", "completed", "failed",
+                       "session builds"});
+  for (std::size_t i = 0; i < ss.shards.size(); ++i) {
+    const serve::ShardStats& row = ss.shards[i];
+    per_shard.add_row({std::to_string(i), std::to_string(row.submitted),
+                       std::to_string(row.completed),
+                       std::to_string(row.failed),
+                       std::to_string(row.session_builds)});
+  }
+  std::cout << per_shard.render();
+  std::cout << "rebalanced (least-loaded routing overrode round-robin): "
+            << ss.rebalanced << "\n";
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  // Drive a transport::Server over one socket: J synthetic frames
+  // submitted pipelined (up to --window in flight), every response
+  // checked byte-for-byte against the local blocking tone_map() unless
+  // --no-check, and the same throughput/latency table the in-process
+  // serve mode prints.
+  transport::ClientOptions copt;
+  copt.host = args.get_or("host", copt.host);
+  const int port = args.get_int("port", 0);
+  TMHLS_REQUIRE(port >= 1 && port <= 65535,
+                "client: --port must be in [1, 65535]");
+  copt.port = static_cast<std::uint16_t>(port);
+  copt.connect_timeout_seconds =
+      args.get_double("connect-timeout", copt.connect_timeout_seconds);
+
+  const int jobs = args.get_int("jobs", 8);
+  const int size = args.get_int("size", 192);
+  const int window = args.get_int("window", 4);
+  const int blur_shards = args.get_int("blur-shards", 1);
+  TMHLS_REQUIRE(jobs >= 1 && size >= 1 && window >= 1,
+                "--jobs, --size and --window must be positive");
+  const bool check = !args.has("no-check");
+  const io::SceneKind kind =
+      io::scene_kind_from_string(args.get_or("kind", "window_interior"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+  const tonemap::PipelineOptions popt = pipeline_options_from(args);
+
+  // Pre-render frames (and, when checking, the local golden outputs) so
+  // the timed region measures the transport + service, not synthesis.
+  std::vector<img::ImageF> frames;
+  std::vector<img::ImageF> golden;
+  for (int j = 0; j < jobs; ++j) {
+    frames.push_back(io::generate_hdr_scene(
+        kind, size, size, seed + static_cast<std::uint64_t>(j)));
+    if (check) golden.push_back(tonemap::tone_map_image(frames.back(), popt));
+  }
+
+  transport::Client client(copt);
+  using clock = std::chrono::steady_clock;
+  std::vector<clock::time_point> submitted(static_cast<std::size_t>(jobs));
+  std::vector<double> latencies;
+  std::vector<double> queue_seconds;
+  std::vector<img::ImageF> outputs(static_cast<std::size_t>(jobs));
+  std::string backend_used;
+
+  const auto consume_one = [&] {
+    // Non-const: the output plane is moved out below; a const result
+    // would silently copy ~frame-size bytes inside the timed region.
+    transport::ClientResult r = client.next_result();
+    const auto id = static_cast<std::size_t>(r.request_id);
+    latencies.push_back(std::chrono::duration<double>(
+                            clock::now() - submitted[id]).count());
+    queue_seconds.push_back(r.result.queue_seconds);
+    backend_used = r.result.backend;
+    outputs[id] = std::move(r.result.output);
+  };
+
+  const auto t0 = clock::now();
+  for (int j = 0; j < jobs; ++j) {
+    serve::FrameJob job;
+    job.frame = frames[static_cast<std::size_t>(j)];
+    job.options = popt;
+    job.blur_shards = blur_shards;
+    while (client.in_flight() >= static_cast<std::size_t>(window)) {
+      consume_one();
+    }
+    submitted[static_cast<std::size_t>(j)] = clock::now();
+    client.submit(std::move(job));
+  }
+  while (client.in_flight() > 0) consume_one();
+  const double total_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  bool identical = true;
+  if (check) {
+    for (int j = 0; j < jobs; ++j) {
+      const img::ImageF& got = outputs[static_cast<std::size_t>(j)];
+      const img::ImageF& want = golden[static_cast<std::size_t>(j)];
+      if (!got.same_shape(want) ||
+          std::memcmp(got.samples().data(), want.samples().data(),
+                      want.samples().size_bytes()) != 0) {
+        identical = false;
+        std::cerr << "frame " << j << " differs from blocking tone_map()\n";
+      }
+    }
+  }
+
+  TextTable t({"jobs", "size", "backend", "window", "blur shards",
+               "total (s)", "jobs/s", "p50 (ms)", "p99 (ms)",
+               "queue p50 (ms)"});
+  t.add_row({std::to_string(jobs), std::to_string(size), backend_used,
+             std::to_string(window), std::to_string(blur_shards),
+             format_fixed(total_s, 3),
+             total_s > 0.0 ? format_fixed(jobs / total_s, 2) : "-",
+             format_fixed(percentile(latencies, 0.5) * 1e3, 2),
+             format_fixed(percentile(latencies, 0.99) * 1e3, 2),
+             format_fixed(percentile(queue_seconds, 0.5) * 1e3, 2)});
+  std::cout << t.render();
+  if (check) {
+    std::cout << "\nbit-identical to blocking tone_map(): "
+              << (identical ? "yes" : "NO — this is a bug, please report")
+              << '\n';
+  }
+  return identical ? 0 : 1;
+}
+
 int cmd_serve(const Args& args) {
+  if (args.has("listen")) return cmd_serve_listen(args);
   // A synthetic multi-client workload through the in-process serving
   // layer: C client threads each submit J whole-frame jobs into a
   // serve::ToneMapService and wait for their futures, measuring the
@@ -529,6 +711,16 @@ void usage() {
       "                       (--shards, --clients, --jobs, --size,\n"
       "                       --queue, --pipeline-depth, --blur-shards,\n"
       "                       --backend, --threads) and print a\n"
+      "                       throughput/latency table; with --listen PORT\n"
+      "                       serve framed jobs over loopback TCP instead\n"
+      "                       (--window bounds per-connection pipelining;\n"
+      "                       SIGINT/SIGTERM drains and exits)\n"
+      "  client               submit synthetic frames to a `serve --listen`\n"
+      "                       server (--port, --host, --jobs, --size,\n"
+      "                       --window, --blur-shards, --backend,\n"
+      "                       --connect-timeout, --no-check); verifies\n"
+      "                       responses byte-for-byte against the local\n"
+      "                       blocking pipeline and prints the\n"
       "                       throughput/latency table\n"
       "  scene <out>          generate a synthetic HDR scene\n"
       "  analyze              evaluate the Table II design points\n"
@@ -543,7 +735,7 @@ void usage() {
 
 int main(int argc, char** argv) {
   try {
-    const Args args(argc, argv, {"fixed"});
+    const Args args(argc, argv, {"fixed", "no-check"});
     if (args.positional().empty()) {
       usage();
       return 1;
@@ -552,6 +744,7 @@ int main(int argc, char** argv) {
     if (cmd == "tonemap") return cmd_tonemap(args);
     if (cmd == "video") return cmd_video(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "client") return cmd_client(args);
     if (cmd == "scene") return cmd_scene(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "backends") return cmd_backends(args);
