@@ -8,7 +8,14 @@
 // Every record carries speedup_vs_separable_float: the single-thread
 // separable_float baseline of the same geometry divided by this
 // measurement, i.e. the host-side analogue of the paper's Table II
-// "speedup over SW source code" column.
+// "speedup over SW source code" column. speedup_vs_separable_simd is the
+// same ratio against the single-thread separable_simd baseline — the
+// fastest plane-at-a-time form, i.e. the bar the fused streaming engine
+// has to clear. bytes_per_pixel is the backend's modelled full-plane
+// memory traffic per pixel (exec::BlurCost::traffic_bytes): streaming
+// backends touch src + dst once each, non-streaming forms also write and
+// re-read the intermediate plane — the bandwidth side of the comparison,
+// independent of this machine's timer noise.
 //
 //   bench_backend_throughput [--size N] [--height N] [--reps R]
 //                            [--max-threads T] [--sweep]
@@ -87,16 +94,19 @@ int main(int argc, char** argv) {
         std::cerr);
 
     TextTable table({"backend", "width", "height", "threads", "ms/frame",
-                     "fps", "speedup", "vs sep_float"});
+                     "fps", "speedup", "vs sep_float", "vs sep_simd",
+                     "B/px"});
     const exec::BackendRegistry& registry = exec::BackendRegistry::global();
     for (const Geometry& g : geometries) {
       const img::ImageF plane = img::luminance(io::generate_hdr_scene(
           io::SceneKind::window_interior, g.width, g.height, 2018));
 
-      // The single-thread separable_float baseline every record of this
-      // geometry is normalised against.
+      // The single-thread separable_float and separable_simd baselines
+      // every record of this geometry is normalised against.
       const double baseline_s = seconds_per_blur(
           exec::PipelineExecutor("separable_float"), plane, kernel, reps);
+      const double simd_baseline_s = seconds_per_blur(
+          exec::PipelineExecutor("separable_simd"), plane, kernel, reps);
 
       for (const std::string& name : registry.names()) {
         const auto backend = registry.resolve(name);
@@ -106,23 +116,35 @@ int main(int argc, char** argv) {
         if (caps.tiled_threads) {
           for (int t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
         }
+        const double bytes_per_pixel =
+            static_cast<double>(
+                backend->estimate_cost(g.width, g.height, kernel)
+                    .traffic_bytes) /
+            (static_cast<double>(g.width) * static_cast<double>(g.height));
         double single_thread_s = 0.0;
         for (int threads : thread_counts) {
           exec::ExecutorOptions opts;
           opts.threads = threads;
           const exec::PipelineExecutor executor(backend, opts);
-          const double s =
-              name == "separable_float" && threads == 1
-                  ? baseline_s
-                  : seconds_per_blur(executor, plane, kernel, reps);
+          double s;
+          if (name == "separable_float" && threads == 1) {
+            s = baseline_s;
+          } else if (name == "separable_simd" && threads == 1) {
+            s = simd_baseline_s;
+          } else {
+            s = seconds_per_blur(executor, plane, kernel, reps);
+          }
           if (threads == 1) single_thread_s = s;
           const double speedup = single_thread_s > 0.0 ? single_thread_s / s
                                                        : 0.0;
           const double vs_sep = s > 0.0 ? baseline_s / s : 0.0;
+          const double vs_simd = s > 0.0 ? simd_baseline_s / s : 0.0;
           table.add_row({name, std::to_string(g.width),
                          std::to_string(g.height), std::to_string(threads),
                          format_fixed(s * 1e3, 2), format_fixed(1.0 / s, 2),
-                         format_fixed(speedup, 2), format_fixed(vs_sep, 2)});
+                         format_fixed(speedup, 2), format_fixed(vs_sep, 2),
+                         format_fixed(vs_simd, 2),
+                         format_fixed(bytes_per_pixel, 1)});
           benchkit::JsonRecord record("backend_throughput");
           record.field("backend", name)
               .field("threads", threads)
@@ -133,6 +155,8 @@ int main(int argc, char** argv) {
               .field("fps", 1.0 / s)
               .field("speedup_vs_single_thread", speedup)
               .field("speedup_vs_separable_float", vs_sep)
+              .field("speedup_vs_separable_simd", vs_simd)
+              .field("bytes_per_pixel", bytes_per_pixel)
               .emit();
         }
       }

@@ -25,14 +25,20 @@ BlurCost Backend::estimate_cost(int width, int height,
   BlurCost cost;
   cost.macs = 2.0 * static_cast<double>(kernel.taps()) *
               static_cast<double>(width) * static_cast<double>(height);
+  const std::size_t plane_bytes = static_cast<std::size_t>(width) *
+                                  static_cast<std::size_t>(height) *
+                                  (static_cast<std::size_t>(elem_bits) / 8u);
   if (caps.streaming) {
     cost.buffer_bytes =
         tonemap::line_buffer_bytes(width, kernel.taps(), elem_bits);
+    // Source read + destination write; intermediate rows never leave the
+    // line buffer.
+    cost.traffic_bytes = 2 * plane_bytes;
   } else {
-    // Direct form keeps the whole intermediate plane.
-    cost.buffer_bytes = static_cast<std::size_t>(width) *
-                        static_cast<std::size_t>(height) *
-                        (static_cast<std::size_t>(elem_bits) / 8u);
+    // Direct form keeps the whole intermediate plane...
+    cost.buffer_bytes = plane_bytes;
+    // ...which the second pass writes and re-reads through memory.
+    cost.traffic_bytes = 4 * plane_bytes;
   }
   // Wall-time term from the measured per-MAC throughput; linear scaling
   // over the tiled worker count is an optimistic bound, but a consistent

@@ -72,6 +72,13 @@ struct BlurCost {
   /// Working-set bytes of the implementation's intermediate storage (line
   /// buffer for streaming backends, full temporary plane otherwise).
   std::size_t buffer_bytes = 0;
+  /// Full-plane memory traffic of one invocation: plane-sized reads plus
+  /// plane-sized writes. Streaming backends touch the source and the
+  /// destination plane once each (2 plane accesses — the intermediate rows
+  /// stay in the line buffer); non-streaming separable forms additionally
+  /// write and re-read the full temporary plane (4). This is the
+  /// bandwidth-side figure of merit the benches report as bytes/pixel.
+  std::size_t traffic_bytes = 0;
   /// Estimated wall time of the invocation at the context's thread count,
   /// from the backend's measured per-MAC throughput (CostModel: priors
   /// overridable by bench_backend_throughput JSONL calibration). 0 when no

@@ -5,6 +5,7 @@
 #include "exec/tiled.hpp"
 #include "hlscode/blur_kernels.hpp"
 #include "tonemap/blur_passes.hpp"
+#include "tonemap/fused_stream.hpp"
 
 namespace tmhls::exec {
 
@@ -86,6 +87,22 @@ img::ImageF StreamingFixedBackend::run_blur(
   return tonemap::blur_streaming_fixed(intensity, kernel, ctx.fixed);
 }
 
+BackendCapabilities FusedStreamBackend::capabilities() const {
+  BackendCapabilities caps;
+  caps.float_datapath = true;
+  caps.streaming = true; // line-buffer working set, no full-frame tmp plane
+  caps.tiled_threads = true;
+  caps.data_bits = 32;
+  caps.simd_lanes = tonemap::kSimdDefaultLanes;
+  return caps;
+}
+
+img::ImageF FusedStreamBackend::run_blur(const img::ImageF& intensity,
+                                         const tonemap::GaussianKernel& kernel,
+                                         const BlurContext& ctx) const {
+  return tonemap::blur_fused_stream(intensity, kernel, ctx.threads);
+}
+
 BackendCapabilities HlsCodeBackend::capabilities() const {
   BackendCapabilities caps;
   caps.float_datapath = true;
@@ -141,6 +158,9 @@ void register_builtin_backends(BackendRegistry& registry) {
   });
   registry.register_backend(
       "hlscode", [] { return std::make_shared<const HlsCodeBackend>(); });
+  registry.register_backend("fused_stream", [] {
+    return std::make_shared<const FusedStreamBackend>();
+  });
 }
 
 } // namespace tmhls::exec

@@ -1,4 +1,4 @@
-// The five built-in execution backends:
+// The six built-in execution backends:
 //
 //   SeparableFloatBackend — the original CPU form (direct neighbour
 //       indexing), the paper's "SW source code" baseline.
@@ -16,6 +16,11 @@
 //       streaming kernels (blur_pass_* / gaussian_blur_top_*), so the
 //       sources Vivado HLS would compile are exercised by the real
 //       pipeline, in either datapath.
+//   FusedStreamBackend    — the fused sliding-window engine
+//       (tonemap::blur_fused_stream): both blur passes in one sweep per
+//       frame through a taps-row line buffer, SIMD pass primitives, no
+//       full-frame intermediate plane. Float datapath, bit-identical to
+//       the separable form at every thread count.
 //
 // The CPU backends support the tiled multi-threaded mode (bit-identical
 // to single-threaded); the hlscode kernels are inherently sequential
@@ -56,6 +61,15 @@ public:
 class StreamingFixedBackend final : public Backend {
 public:
   const char* name() const override { return "streaming_fixed"; }
+  BackendCapabilities capabilities() const override;
+  img::ImageF run_blur(const img::ImageF& intensity,
+                       const tonemap::GaussianKernel& kernel,
+                       const BlurContext& ctx) const override;
+};
+
+class FusedStreamBackend final : public Backend {
+public:
+  const char* name() const override { return "fused_stream"; }
   BackendCapabilities capabilities() const override;
   img::ImageF run_blur(const img::ImageF& intensity,
                        const tonemap::GaussianKernel& kernel,

@@ -88,6 +88,7 @@ CostModel::CostModel() {
       {"streaming_float", 0.79e9},
       {"streaming_fixed", 0.23e9},
       {"hlscode", 0.81e9},
+      {"fused_stream", 9.02e9},
   };
 }
 

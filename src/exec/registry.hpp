@@ -1,5 +1,5 @@
 // Name-indexed registry of execution backends. The global() registry is
-// pre-seeded with the five built-in implementations; tools resolve the
+// pre-seeded with the six built-in implementations; tools resolve the
 // user's --backend string through it, and future PRs plug new strategies
 // (GPU, remote, cached) in by registering a factory. The name "auto" is
 // reserved: it selects the cheapest capable backend via
@@ -37,7 +37,7 @@ public:
 
   /// The process-wide registry, pre-seeded with the built-in backends:
   /// separable_float, separable_simd, streaming_float, streaming_fixed,
-  /// hlscode.
+  /// hlscode, fused_stream.
   static BackendRegistry& global();
 
 private:
@@ -49,7 +49,7 @@ private:
   std::vector<std::pair<std::string, Entry>> entries_;
 };
 
-/// Register the five built-in backends into `registry` (idempotent on the
+/// Register the six built-in backends into `registry` (idempotent on the
 /// names: throws if one is already present). global() calls this once.
 void register_builtin_backends(BackendRegistry& registry);
 

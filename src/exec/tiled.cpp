@@ -14,11 +14,6 @@ namespace tmhls::exec {
 
 namespace {
 
-/// Upper bound on worker threads per blur, independent of what the caller
-/// asks for: beyond this, bands are thinner than a cache line is worth and
-/// thread-spawn resource exhaustion becomes a real failure mode.
-constexpr int kMaxBands = 64;
-
 /// Run `work(band_index, barrier)` on `bands` worker threads; the barrier
 /// is the inter-pass halo exchange. Returns false if thread spawning was
 /// cut short by resource exhaustion — the computation's outputs are then
@@ -68,7 +63,7 @@ bool run_banded(int bands, Work&& work) {
 
 int clamp_bands(int threads, int rows) {
   TMHLS_REQUIRE(threads >= 1, "tiled blur: threads must be >= 1");
-  return std::min({threads, rows, kMaxBands});
+  return std::min({threads, rows, kMaxTiledBands});
 }
 
 /// One horizontal or vertical float row-range pass (scalar or SIMD form).
@@ -120,6 +115,37 @@ void vpass_simd_default(const img::ImageF& tmp, img::ImageF& dst,
 }
 
 } // namespace
+
+bool run_independent_bands(int bands, const std::function<void(int)>& work) {
+  TMHLS_REQUIRE(bands >= 1, "run_independent_bands: bands must be >= 1");
+  std::exception_ptr failure;
+  std::mutex failure_mutex;
+
+  auto guarded = [&](int band) {
+    try {
+      work(band);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(bands));
+  try {
+    for (int b = 0; b < bands; ++b) {
+      workers.emplace_back(guarded, b);
+    }
+  } catch (const std::system_error&) {
+    // No barrier protocol to keep alive: the spawned workers just finish
+    // their (soon to be discarded) bands and exit.
+    for (std::thread& t : workers) t.join();
+    return false;
+  }
+  for (std::thread& t : workers) t.join();
+  if (failure) std::rethrow_exception(failure);
+  return true;
+}
 
 RowBand row_band(int rows, int bands, int band) {
   TMHLS_REQUIRE(rows >= 0 && bands >= 1 && band >= 0 && band < bands,

@@ -13,15 +13,35 @@
 // thread count.
 #pragma once
 
+#include <functional>
+
 #include "image/image.hpp"
 #include "tonemap/blur.hpp"
 #include "tonemap/kernel.hpp"
 
 namespace tmhls::exec {
 
+/// Upper bound on worker threads (bands) per blur decomposition, whatever
+/// the caller asks for: beyond this, bands are thinner than their halo is
+/// worth and thread-spawn resource exhaustion becomes a real failure mode.
+/// Shared by the tiled mode here, the fused streaming engine's band
+/// decomposition (tonemap::blur_fused_stream) and the serving layer's blur
+/// sharding (serve::sharded_mask_blur).
+inline constexpr int kMaxTiledBands = 64;
+
+/// Run `work(band)` on `bands` independent worker threads — the no-barrier
+/// counterpart of the tiled mode's internal banded runner, for
+/// decompositions whose bands share no intermediate state (the fused
+/// engine's halo-extended line buffers, where each band recomputes its halo
+/// rows instead of exchanging them). Returns false if thread spawning was
+/// cut short by resource exhaustion — outputs are then invalid and the
+/// caller must redo the work (e.g. single-threaded). Otherwise the first
+/// exception thrown by any worker is rethrown here.
+bool run_independent_bands(int bands, const std::function<void(int)>& work);
+
 /// Tiled float blur; bit-identical to blur_separable_float and
 /// blur_streaming_float for any `threads` >= 1. The worker count is
-/// clamped to the row count and to an internal cap (64); thread-spawn
+/// clamped to the row count and to kMaxTiledBands; thread-spawn
 /// resource exhaustion falls back to single-threaded execution.
 img::ImageF blur_tiled_float(const img::ImageF& src,
                              const tonemap::GaussianKernel& kernel,

@@ -6,17 +6,28 @@
 
 namespace tmhls::img {
 
+void luminance_row(const float* row, float* out, int width, int channels) {
+  TMHLS_REQUIRE(channels == 1 || channels >= 3,
+                "luminance needs 1 or >=3 channels");
+  if (channels == 1) {
+    for (int x = 0; x < width; ++x) out[x] = row[x];
+    return;
+  }
+  for (int x = 0; x < width; ++x) {
+    const float r = row[x * channels + 0];
+    const float g = row[x * channels + 1];
+    const float b = row[x * channels + 2];
+    out[x] = 0.2126f * r + 0.7152f * g + 0.0722f * b;
+  }
+}
+
 ImageF luminance(const ImageF& rgb) {
   if (rgb.channels() == 1) return rgb;
   TMHLS_REQUIRE(rgb.channels() >= 3, "luminance needs 1 or >=3 channels");
   ImageF out(rgb.width(), rgb.height(), 1);
   for (int y = 0; y < rgb.height(); ++y) {
-    for (int x = 0; x < rgb.width(); ++x) {
-      const float r = rgb.at_unchecked(x, y, 0);
-      const float g = rgb.at_unchecked(x, y, 1);
-      const float b = rgb.at_unchecked(x, y, 2);
-      out.at_unchecked(x, y) = 0.2126f * r + 0.7152f * g + 0.0722f * b;
-    }
+    luminance_row(&rgb.at_unchecked(0, y), &out.at_unchecked(0, y),
+                  rgb.width(), rgb.channels());
   }
   return out;
 }

@@ -111,6 +111,12 @@ using ImageU8 = Image<std::uint8_t>;
 /// through unchanged (copied).
 ImageF luminance(const ImageF& rgb);
 
+/// luminance() over one interleaved row of `width` pixels with `channels`
+/// samples each, into a 1-channel row; channels == 1 copies. The row form
+/// is shared with the tone-map fused streaming engine so the per-sample
+/// arithmetic has one source of truth. `channels` must be 1 or >= 3.
+void luminance_row(const float* row, float* out, int width, int channels);
+
 /// Extract one channel as a 1-channel image.
 ImageF extract_channel(const ImageF& src, int channel);
 

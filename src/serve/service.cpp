@@ -35,9 +35,10 @@ void validate(const ToneMapServiceOptions& options) {
 
 /// One worker shard: the bounded admission queue (shared with submitters,
 /// guarded by `mutex`) plus the worker thread. Session state — the
-/// FramePipeline, the blur pool for sharded jobs, the in-session promise
-/// queue — is worker-private and lives in worker_loop's frame, so it
-/// needs no locking at all.
+/// FramePipeline and the in-session promise queue — is worker-private and
+/// lives in worker_loop's frame, so it needs no locking at all. (The blur
+/// pool for sharded jobs is service-wide and shared across workers; see
+/// blur_pool_for.)
 struct ToneMapService::Shard {
   struct Queued {
     FrameJob job;
@@ -184,6 +185,30 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
   }
 }
 
+std::shared_ptr<exec::ExecutorPool> ToneMapService::blur_pool_for(
+    const FrameJob& job) {
+  const BlurPoolKey key{job.options, job.frame.width(), job.frame.height(),
+                        std::min(job.blur_shards, job.frame.height())};
+  const std::lock_guard<std::mutex> lock(blur_pool_mutex_);
+  if (blur_pool_ && blur_pool_key_ == key) return blur_pool_;
+  exec::ExecutorPoolOptions po;
+  po.executors = key.executors;
+  po.per_executor.workers = 1;
+  po.per_executor.queue_capacity = 2;
+  // Band costs vary (edge bands carry less halo), so route each band to
+  // whichever executor is free instead of strict rotation.
+  po.routing = exec::PoolRouting::least_loaded;
+  // Build before publishing: a throw (bad options) leaves the cached pool
+  // and key untouched for the jobs currently using it. Replacing the
+  // pointer does not destroy the old pool — workers mid-job hold their own
+  // reference and the pool drains with its last user.
+  auto pool = std::make_shared<exec::ExecutorPool>(
+      job.options.make_executor(key.width, key.height), po);
+  blur_pool_ = pool;
+  blur_pool_key_ = key;
+  return pool;
+}
+
 ServiceStats ToneMapService::stats() const {
   ServiceStats s;
   s.rebalanced = rebalanced_.load();
@@ -218,18 +243,6 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
   };
   std::deque<Pending> pending;
   std::unique_ptr<tonemap::FramePipeline> session;
-
-  // Blur pool for sharded jobs, cached while consecutive jobs share an
-  // execution configuration (the pool binds one resolved backend).
-  struct PoolKey {
-    tonemap::PipelineOptions options;
-    int width = 0;
-    int height = 0;
-    int executors = 0;
-    bool operator==(const PoolKey&) const = default;
-  };
-  std::unique_ptr<exec::ExecutorPool> blur_pool;
-  PoolKey blur_pool_key;
 
   // Counters advance *before* the promise is satisfied, so a client that
   // has seen future.get() return also sees the job counted in stats().
@@ -310,37 +323,24 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
 
     if (job.blur_shards > 1) {
       // Oversized-frame path: drain the session first (per-shard FIFO
-      // completion), then shard this frame's mask blur across the pool.
+      // completion), then shard this frame's mask blur across the
+      // service-wide pool (shared with every other shard worker —
+      // ExecutorPool::submit is thread-safe, and least-loaded routing
+      // interleaves bands from concurrent jobs across the executors).
       while (!pending.empty()) retire_one();
       try {
-        const PoolKey key{job.options, job.frame.width(), job.frame.height(),
-                          std::min(job.blur_shards, job.frame.height())};
-        if (!blur_pool || !(blur_pool_key == key)) {
-          exec::ExecutorPoolOptions po;
-          po.executors = key.executors;
-          po.per_executor.workers = 1;
-          po.per_executor.queue_capacity = 2;
-          // Band costs vary (edge bands carry less halo), so route each
-          // band to whichever executor is free instead of strict rotation.
-          po.routing = exec::PoolRouting::least_loaded;
-          blur_pool.reset(); // release the old pool's workers first
-          blur_pool = std::make_unique<exec::ExecutorPool>(
-              job.options.make_executor(key.width, key.height), po);
-          blur_pool_key = key;
-        }
+        const std::shared_ptr<exec::ExecutorPool> pool = blur_pool_for(job);
         tonemap::PipelineResult r =
-            tone_map_sharded(job.frame, job.options, *blur_pool,
-                             job.blur_shards);
+            tone_map_sharded(job.frame, job.options, *pool, job.blur_shards);
         FrameResult out;
         out.output = std::move(r.output);
         out.job_id = p.id;
         out.shard = shard_index;
-        out.backend = blur_pool->shard(0).executor().backend().name();
+        out.backend = pool->shard(0).executor().backend().name();
         out.queue_seconds = p.queue_seconds;
         out.service_seconds = seconds_between(picked_up, Clock::now());
         complete(p, std::move(out));
       } catch (...) {
-        blur_pool.reset(); // the pool may not match a failed half-built key
         fail(p);
       }
       continue;

@@ -15,8 +15,11 @@
 // reuse the session (keeping up to `pipeline_depth` frames in flight);
 // a job whose options differ drains the session and rebuilds it — correct
 // for any mix, fastest for runs of identical options. Jobs with
-// blur_shards > 1 instead shard their mask blur across an ExecutorPool
-// owned by the shard (serve::sharded_mask_blur). Output is bit-identical
+// blur_shards > 1 instead shard their mask blur across one service-wide
+// ExecutorPool shared by all shard workers (serve::sharded_mask_blur) —
+// ExecutorPool::submit is thread-safe, so sharded jobs from different
+// shards interleave on the same executors instead of each shard paying
+// for an idle private pool. Output is bit-identical
 // to the blocking tonemap::tone_map() for every job, at every shard count
 // and blur_shards — the service schedules work, it never changes bits.
 //
@@ -40,6 +43,10 @@
 
 #include "image/image.hpp"
 #include "tonemap/pipeline.hpp"
+
+namespace tmhls::exec {
+class ExecutorPool;
+}
 
 namespace tmhls::serve {
 
@@ -185,12 +192,32 @@ public:
 private:
   struct Shard;
 
+  /// What the shared blur pool is currently built for. Sharded jobs whose
+  /// configuration matches reuse the pool; a mismatch rebuilds it (the
+  /// pool binds one resolved backend and frame geometry).
+  struct BlurPoolKey {
+    tonemap::PipelineOptions options;
+    int width = 0;
+    int height = 0;
+    int executors = 0;
+    bool operator==(const BlurPoolKey&) const = default;
+  };
+
   void worker_loop(Shard& shard, int shard_index);
+
+  /// The service-wide blur pool for this job's configuration, built (under
+  /// blur_pool_mutex_) if the cached one does not match. Workers hold the
+  /// returned shared_ptr across the job, so a concurrent rebuild never
+  /// destroys a pool mid-use — the old pool drains with its last user.
+  std::shared_ptr<exec::ExecutorPool> blur_pool_for(const FrameJob& job);
 
   ToneMapServiceOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_job_id_{0};
   std::atomic<std::uint64_t> rebalanced_{0};
+  std::mutex blur_pool_mutex_;
+  std::shared_ptr<exec::ExecutorPool> blur_pool_;
+  BlurPoolKey blur_pool_key_;
 };
 
 } // namespace tmhls::serve

@@ -14,12 +14,6 @@ namespace tmhls::serve {
 
 namespace {
 
-/// Upper bound on bands per blur, whatever the caller asks for — the
-/// same 64-way cap the tiled mode applies to its in-process threads
-/// (exec/tiled.cpp kMaxBands): beyond it, bands are thinner than their
-/// halo and the fan-out is pure overhead.
-constexpr int kMaxBands = 64;
-
 /// Copy rows [begin, end) of `src` into a new (end - begin)-row image.
 img::ImageF copy_rows(const img::ImageF& src, int begin, int end) {
   img::ImageF out(src.width(), end - begin, src.channels());
@@ -43,7 +37,10 @@ img::ImageF sharded_mask_blur(const img::ImageF& intensity,
                                 std::to_string(bands));
 
   const int rows = intensity.height();
-  bands = std::min({bands, rows, kMaxBands});
+  // Same cap the tiled mode and the fused engine apply to their in-process
+  // bands: beyond it, bands are thinner than their halo and the fan-out is
+  // pure overhead.
+  bands = std::min({bands, rows, exec::kMaxTiledBands});
   if (bands == 1) {
     // One band is the whole frame: a single ordinary request.
     return pool.submit({intensity, kernel}).get();

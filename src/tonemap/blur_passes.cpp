@@ -68,6 +68,22 @@ void hpass_fixed_border(const std::int64_t* row, std::int64_t* out,
 
 } // namespace detail
 
+void hpass_float_row(const float* row, float* out, const float* wts, int taps,
+                     int radius, int width) {
+  const detail::ColumnRange in = detail::interior_columns(width, radius);
+  detail::hpass_float_border(row, out, wts, taps, radius, width, 0, in.begin);
+  // Interior: the tap window never leaves the row, so the taps read a
+  // contiguous window with no clamp branch.
+  detail::hpass_float_interior(row, out, wts, taps, radius, in.begin, in.end);
+  detail::hpass_float_border(row, out, wts, taps, radius, width, in.end,
+                             width);
+}
+
+void vpass_float_row(const float* const* rows, float* out, const float* wts,
+                     int taps, int width) {
+  detail::vpass_float_columns(rows, out, wts, taps, 0, width);
+}
+
 void blur_hpass_float_rows(const img::ImageF& src, img::ImageF& dst,
                            const GaussianKernel& kernel, int y_begin,
                            int y_end) {
@@ -78,17 +94,10 @@ void blur_hpass_float_rows(const img::ImageF& src, img::ImageF& dst,
   const int radius = kernel.radius();
   const int taps = kernel.taps();
   const float* wts = kernel.weights().data();
-  const detail::ColumnRange in = detail::interior_columns(w, radius);
 
   for (int y = y_begin; y < y_end; ++y) {
-    const float* row = &src.at_unchecked(0, y);
-    float* out = &dst.at_unchecked(0, y);
-    detail::hpass_float_border(row, out, wts, taps, radius, w, 0, in.begin);
-    // Interior: the tap window never leaves the row, so the taps read a
-    // contiguous window with no clamp branch.
-    detail::hpass_float_interior(row, out, wts, taps, radius, in.begin,
-                                 in.end);
-    detail::hpass_float_border(row, out, wts, taps, radius, w, in.end, w);
+    hpass_float_row(&src.at_unchecked(0, y), &dst.at_unchecked(0, y), wts,
+                    taps, radius, w);
   }
 }
 
@@ -112,8 +121,7 @@ void blur_vpass_float_rows(const img::ImageF& tmp, img::ImageF& dst,
       rows[static_cast<std::size_t>(i)] =
           &tmp.at_unchecked(0, detail::clamp_index(y - radius + i, h));
     }
-    float* out = &dst.at_unchecked(0, y);
-    detail::vpass_float_columns(rows.data(), out, wts, taps, 0, w);
+    vpass_float_row(rows.data(), &dst.at_unchecked(0, y), wts, taps, w);
   }
 }
 

@@ -82,6 +82,31 @@ void hpass_fixed_border(const std::int64_t* row, std::int64_t* out,
 
 } // namespace detail
 
+/// Horizontal pass over ONE row of `width` pixels: the border / interior /
+/// border column split of blur_hpass_float_rows applied to a raw row span.
+/// This is the row primitive the fused streaming engine (fused_stream.cpp)
+/// feeds its line buffer with — sharing it with the row-range pass below is
+/// what makes the fused path bit-identical to the plane-at-a-time forms.
+void hpass_float_row(const float* row, float* out, const float* wts, int taps,
+                     int radius, int width);
+
+/// SIMD variant of hpass_float_row (vectorized interior, scalar tail);
+/// bit-identical to it for any lane width.
+void hpass_float_row_simd(const float* row, float* out, const float* wts,
+                          int taps, int radius, int width,
+                          int lanes = kSimdDefaultLanes);
+
+/// Vertical taps of ONE output row over per-tap source-row pointers (the
+/// caller hoists the vertical clamp into `rows`, exactly as the row-range
+/// pass does).
+void vpass_float_row(const float* const* rows, float* out, const float* wts,
+                     int taps, int width);
+
+/// SIMD variant of vpass_float_row; bit-identical to it.
+void vpass_float_row_simd(const float* const* rows, float* out,
+                          const float* wts, int taps, int width,
+                          int lanes = kSimdDefaultLanes);
+
 /// Horizontal pass over rows [y_begin, y_end): dst(x, y) = sum of taps over
 /// src(clamp(x - radius + i), y). Reads only rows in the range (row-local).
 void blur_hpass_float_rows(const img::ImageF& src, img::ImageF& dst,

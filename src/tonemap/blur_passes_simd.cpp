@@ -200,6 +200,26 @@ int vpass_row(const float* const* rows, float* out, const float* wts,
 
 } // namespace
 
+void hpass_float_row_simd(const float* row, float* out, const float* wts,
+                          int taps, int radius, int width, int lanes) {
+  check_lanes(lanes);
+  const detail::ColumnRange in = detail::interior_columns(width, radius);
+  detail::hpass_float_border(row, out, wts, taps, radius, width, 0, in.begin);
+  const int x =
+      hpass_interior(row, out, wts, taps, radius, in.begin, in.end, lanes);
+  // Scalar tail of the interior (fewer than `lanes` columns left).
+  detail::hpass_float_interior(row, out, wts, taps, radius, x, in.end);
+  detail::hpass_float_border(row, out, wts, taps, radius, width, in.end,
+                             width);
+}
+
+void vpass_float_row_simd(const float* const* rows, float* out,
+                          const float* wts, int taps, int width, int lanes) {
+  check_lanes(lanes);
+  const int x = vpass_row(rows, out, wts, taps, width, lanes);
+  detail::vpass_float_columns(rows, out, wts, taps, x, width);
+}
+
 void blur_hpass_float_rows_simd(const img::ImageF& src, img::ImageF& dst,
                                 const GaussianKernel& kernel, int y_begin,
                                 int y_end, int lanes) {
@@ -211,17 +231,10 @@ void blur_hpass_float_rows_simd(const img::ImageF& src, img::ImageF& dst,
   const int radius = kernel.radius();
   const int taps = kernel.taps();
   const float* wts = kernel.weights().data();
-  const detail::ColumnRange in = detail::interior_columns(w, radius);
 
   for (int y = y_begin; y < y_end; ++y) {
-    const float* row = &src.at_unchecked(0, y);
-    float* out = &dst.at_unchecked(0, y);
-    detail::hpass_float_border(row, out, wts, taps, radius, w, 0, in.begin);
-    const int x = hpass_interior(row, out, wts, taps, radius, in.begin,
-                                 in.end, lanes);
-    // Scalar tail of the interior (fewer than `lanes` columns left).
-    detail::hpass_float_interior(row, out, wts, taps, radius, x, in.end);
-    detail::hpass_float_border(row, out, wts, taps, radius, w, in.end, w);
+    hpass_float_row_simd(&src.at_unchecked(0, y), &dst.at_unchecked(0, y),
+                         wts, taps, radius, w, lanes);
   }
 }
 
@@ -244,9 +257,8 @@ void blur_vpass_float_rows_simd(const img::ImageF& tmp, img::ImageF& dst,
       rows[static_cast<std::size_t>(i)] =
           &tmp.at_unchecked(0, detail::clamp_index(y - radius + i, h));
     }
-    float* out = &dst.at_unchecked(0, y);
-    const int x = vpass_row(rows.data(), out, wts, taps, w, lanes);
-    detail::vpass_float_columns(rows.data(), out, wts, taps, x, w);
+    vpass_float_row_simd(rows.data(), &dst.at_unchecked(0, y), wts, taps, w,
+                         lanes);
   }
 }
 

@@ -7,6 +7,44 @@
 
 namespace tmhls::tonemap {
 
+void normalize_max_row(const float* in, float* out, std::size_t n,
+                       float max_v) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] / max_v;
+}
+
+void normalize_scale_row(const float* in, float* out, std::size_t n,
+                         float scale) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = clamp(in[i] / scale, 0.0f, 1.0f);
+  }
+}
+
+void display_encode_row(const float* in, float* out, std::size_t n,
+                        float inv_gamma) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = std::pow(std::max(in[i], 0.0f), inv_gamma);
+  }
+}
+
+void masking_row(const float* in, const float* mask, float* out, int width,
+                 int channels) {
+  for (int x = 0; x < width; ++x) {
+    const float m = clamp(mask[x], 0.0f, 1.0f);
+    const float gamma = std::exp2((m - 0.5f) / 0.5f);
+    for (int c = 0; c < channels; ++c) {
+      const float v = std::max(in[x * channels + c], 0.0f);
+      out[x * channels + c] = std::pow(v, gamma);
+    }
+  }
+}
+
+void brightness_contrast_row(const float* in, float* out, std::size_t n,
+                             float brightness, float contrast) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = clamp((in[i] - 0.5f) * contrast + 0.5f + brightness, 0.0f, 1.0f);
+  }
+}
+
 img::ImageF normalize_to_max(const img::ImageF& src, float* max_out) {
   TMHLS_REQUIRE(!src.empty(), "normalize_to_max: empty image");
   float max_v = 0.0f;
@@ -14,10 +52,7 @@ img::ImageF normalize_to_max(const img::ImageF& src, float* max_out) {
   TMHLS_REQUIRE(max_v > 0.0f, "normalize_to_max: image has no positive sample");
   img::ImageF out(src.width(), src.height(), src.channels());
   auto si = src.samples();
-  auto so = out.samples();
-  for (std::size_t i = 0; i < si.size(); ++i) {
-    so[i] = si[i] / max_v;
-  }
+  normalize_max_row(si.data(), out.samples().data(), si.size(), max_v);
   if (max_out != nullptr) *max_out = max_v;
   return out;
 }
@@ -26,11 +61,8 @@ img::ImageF display_encode(const img::ImageF& in, float gamma) {
   TMHLS_REQUIRE(gamma > 0.0f, "display_encode: gamma must be positive");
   img::ImageF out(in.width(), in.height(), in.channels());
   auto si = in.samples();
-  auto so = out.samples();
-  const float inv_gamma = 1.0f / gamma;
-  for (std::size_t i = 0; i < si.size(); ++i) {
-    so[i] = std::pow(std::max(si[i], 0.0f), inv_gamma);
-  }
+  display_encode_row(si.data(), out.samples().data(), si.size(),
+                     1.0f / gamma);
   return out;
 }
 
@@ -40,14 +72,8 @@ img::ImageF nonlinear_masking(const img::ImageF& in, const img::ImageF& mask) {
                 "nonlinear_masking: size mismatch");
   img::ImageF out(in.width(), in.height(), in.channels());
   for (int y = 0; y < in.height(); ++y) {
-    for (int x = 0; x < in.width(); ++x) {
-      const float m = clamp(mask.at_unchecked(x, y), 0.0f, 1.0f);
-      const float gamma = std::exp2((m - 0.5f) / 0.5f);
-      for (int c = 0; c < in.channels(); ++c) {
-        const float v = std::max(in.at_unchecked(x, y, c), 0.0f);
-        out.at_unchecked(x, y, c) = std::pow(v, gamma);
-      }
-    }
+    masking_row(&in.at_unchecked(0, y), &mask.at_unchecked(0, y),
+                &out.at_unchecked(0, y), in.width(), in.channels());
   }
   return out;
 }
@@ -57,10 +83,8 @@ img::ImageF brightness_contrast(const img::ImageF& in, float brightness,
   TMHLS_REQUIRE(contrast > 0.0f, "brightness_contrast: contrast must be > 0");
   img::ImageF out(in.width(), in.height(), in.channels());
   auto si = in.samples();
-  auto so = out.samples();
-  for (std::size_t i = 0; i < si.size(); ++i) {
-    so[i] = clamp((si[i] - 0.5f) * contrast + 0.5f + brightness, 0.0f, 1.0f);
-  }
+  brightness_contrast_row(si.data(), out.samples().data(), si.size(),
+                          brightness, contrast);
   return out;
 }
 

@@ -40,4 +40,35 @@ img::ImageF nonlinear_masking(const img::ImageF& in, const img::ImageF& mask);
 img::ImageF brightness_contrast(const img::ImageF& in, float brightness,
                                 float contrast);
 
+// Row-span forms of the point-wise stages. The whole-plane functions above
+// are loops over these, and the fused streaming engine (fused_stream.cpp)
+// applies them row by row as frames stream through its line buffers — one
+// arithmetic source of truth is what keeps the fused path bit-identical to
+// the plane-at-a-time pipeline. `in` and `out` may alias (every operation
+// is element-wise). `n` counts samples (pixels x channels).
+
+/// normalize_to_max's inner loop: out[i] = in[i] / max_v.
+void normalize_max_row(const float* in, float* out, std::size_t n,
+                       float max_v);
+
+/// The external-scale normalisation of stages::normalize:
+/// out[i] = clamp(in[i] / scale, 0, 1).
+void normalize_scale_row(const float* in, float* out, std::size_t n,
+                         float scale);
+
+/// display_encode's inner loop: out[i] = max(in[i], 0) ^ inv_gamma (the
+/// caller precomputes inv_gamma = 1 / gamma, as display_encode does).
+void display_encode_row(const float* in, float* out, std::size_t n,
+                        float inv_gamma);
+
+/// nonlinear_masking's inner loop over one interleaved row of `width`
+/// pixels with `channels` samples each; `mask` holds the row's `width`
+/// 1-channel mask values.
+void masking_row(const float* in, const float* mask, float* out, int width,
+                 int channels);
+
+/// brightness_contrast's inner loop.
+void brightness_contrast_row(const float* in, float* out, std::size_t n,
+                             float brightness, float contrast);
+
 } // namespace tmhls::tonemap

@@ -66,16 +66,17 @@ img::ImageF random_hdr(int w, int h, std::uint64_t seed) {
 
 // --- Registry ------------------------------------------------------------
 
-TEST(RegistryTest, AllFiveBuiltinsRegisteredAndResolvable) {
+TEST(RegistryTest, AllSixBuiltinsRegisteredAndResolvable) {
   const BackendRegistry& registry = BackendRegistry::global();
-  for (const char* name : {"separable_float", "separable_simd",
-                           "streaming_float", "streaming_fixed", "hlscode"}) {
+  for (const char* name :
+       {"separable_float", "separable_simd", "streaming_float",
+        "streaming_fixed", "hlscode", "fused_stream"}) {
     EXPECT_TRUE(registry.contains(name)) << name;
     const auto backend = registry.resolve(name);
     ASSERT_NE(backend, nullptr);
     EXPECT_STREQ(backend->name(), name);
   }
-  EXPECT_EQ(registry.names().size(), 5u);
+  EXPECT_EQ(registry.names().size(), 6u);
 }
 
 TEST(RegistryTest, AutoNameIsReserved) {

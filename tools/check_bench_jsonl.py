@@ -29,7 +29,8 @@ REQUIRED_KEYS = {
     "backend_throughput": [
         "backend", "threads", "width", "height", "taps",
         "seconds_per_frame", "fps", "speedup_vs_single_thread",
-        "speedup_vs_separable_float",
+        "speedup_vs_separable_float", "speedup_vs_separable_simd",
+        "bytes_per_pixel",
     ],
     "frame_pipeline": [
         "backend", "threads", "depth", "frames", "width", "height", "taps",
@@ -109,6 +110,16 @@ SELF_TEST_CASES = [
      '"frames":8,"width":512,"height":512,"taps":97,"seconds_total":1.0,'
      '"seconds_per_frame":0.125,"fps":8.0,"speedup_vs_depth1":1.02}',
      True, "complete frame_pipeline record"),
+    ('{"bench":"backend_throughput","backend":"fused_stream","threads":2,'
+     '"width":1024,"height":768,"taps":97,"seconds_per_frame":0.01,'
+     '"fps":100.0,"speedup_vs_single_thread":1.9,'
+     '"speedup_vs_separable_float":11.0,"speedup_vs_separable_simd":1.3,'
+     '"bytes_per_pixel":8.0}',
+     True, "complete backend_throughput record"),
+    ('{"bench":"backend_throughput","backend":"x","threads":1,"width":1,'
+     '"height":1,"taps":1,"seconds_per_frame":0.5,"fps":2.0,'
+     '"speedup_vs_single_thread":1,"speedup_vs_separable_float":1}',
+     False, "backend_throughput record missing simd/traffic keys"),
     ('{"bench":"some_future_bench","whatever":1.5}',
      True, "unknown bench passes generic rules"),
     ('{"bench":"serving","mode":"jobs"}',

@@ -237,7 +237,7 @@ int cmd_backends(const Args& args) {
   const exec::BackendRegistry& registry = exec::BackendRegistry::global();
   TextTable t({"backend", "datapath", "streaming", "synthesizable",
                "tiled threads", "data bits", "simd lanes", "est ms",
-               "buffer KiB"});
+               "buffer KiB", "B/px"});
   for (const std::string& name : registry.names()) {
     const auto backend = registry.resolve(name);
     const exec::BackendCapabilities caps = backend->capabilities();
@@ -256,17 +256,22 @@ int cmd_backends(const Args& args) {
     ctx.threads = caps.tiled_threads ? eopts.threads : 1;
     std::string est = "-";
     std::string buffer = "-";
+    std::string traffic = "-";
     if (backend->can_run(kernel, ctx)) {
       const exec::BlurCost cost =
           backend->estimate_cost(width, height, kernel, ctx);
       if (cost.seconds > 0.0) est = format_fixed(cost.seconds * 1e3, 2);
       buffer = format_fixed(static_cast<double>(cost.buffer_bytes) / 1024.0,
                             1);
+      traffic = format_fixed(
+          static_cast<double>(cost.traffic_bytes) /
+              (static_cast<double>(width) * static_cast<double>(height)),
+          1);
     }
     t.add_row({name, datapath, caps.streaming ? "yes" : "no",
                caps.synthesizable ? "yes" : "no",
                caps.tiled_threads ? "yes" : "no", bits,
-               std::to_string(caps.simd_lanes), est, buffer});
+               std::to_string(caps.simd_lanes), est, buffer, traffic});
   }
   std::cout << t.render();
   const auto choice =
