@@ -1,19 +1,24 @@
 // Throughput and latency of the in-process serving layer
 // (serve::ToneMapService) versus shard count: a fixed multi-client
 // workload is replayed at shard counts 1, 2 and 4, and one oversized
-// frame is replayed at blur-shard counts 1, 2 and 4. Emits one
-// benchkit::JsonRecord line per configuration on stdout — jobs/s plus
-// p50/p99 latency, each carrying speedup_vs_1shard — and a human table
-// on stderr.
+// frame is replayed at blur-shard counts 1, 2 and 4. A third mode
+// measures behaviour under overload: per-job service time is calibrated
+// first, then bursts of 1x / 2x / 4x the base workload — alternating
+// best_effort and standard QoS, every job deadlined — are offered to a
+// fixed service, reporting accepted/shed/degraded/expired rates and the
+// p50/p99 latency of accepted jobs only. Emits one benchkit::JsonRecord
+// line per configuration on stdout and a human table on stderr.
 //
 //   bench_serving [--size N] [--clients C] [--jobs J] [--reps R]
 //                 [--backend NAME] [--threads T] [--depth D] [--sigma S]
-//                 [--big-size N]
+//                 [--big-size N] [--deadline-factor F]
 //
 // NB: on a single-core host extra shards only add queueing — expect
 // speedup_vs_1shard ~1.0 there; the interesting numbers come from
 // multi-core CI runners. Records are a non-gating CI artifact.
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <iostream>
 #include <string>
@@ -86,6 +91,92 @@ RunResult run_workload(int shards, int depth, int clients, int jobs,
   r.p50_s = percentile(all, 0.5);
   r.p99_s = percentile(all, 0.99);
   return r;
+}
+
+struct OverloadResult {
+  double seconds = 0.0;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0; ///< submit() returned a future
+  std::uint64_t shed = 0;     ///< typed Overloaded at submit
+  std::uint64_t expired = 0;  ///< DeadlineExceeded through the future
+  std::uint64_t completed = 0;
+  std::uint64_t degraded = 0; ///< of completed: below full quality
+  double p50_s = 0.0;         ///< accepted-and-completed jobs only
+  double p99_s = 0.0;
+};
+
+/// Offer `clients x jobs` deadlined jobs (alternating best_effort and
+/// standard QoS) to a service whose admission estimate is `assumed_s`.
+OverloadResult run_overload(int shards, int depth, int clients, int jobs,
+                            double assumed_s, double deadline_s,
+                            const tonemap::PipelineOptions& popt,
+                            const std::vector<img::ImageF>& frames) {
+  serve::ToneMapServiceOptions so;
+  so.shards = shards;
+  so.pipeline_depth = depth;
+  so.overload.assumed_service_seconds = assumed_s;
+  serve::ToneMapService service(so);
+
+  OverloadResult out;
+  out.offered = static_cast<std::uint64_t>(clients) *
+                static_cast<std::uint64_t>(jobs);
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::atomic<std::uint64_t> accepted{0}, shed{0}, expired{0}, completed{0};
+  const auto t0 = Clock::now();
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      std::vector<Clock::time_point> submitted;
+      std::vector<std::future<serve::FrameResult>> futures;
+      for (int j = 0; j < jobs; ++j) {
+        serve::FrameJob job;
+        job.frame = frames[static_cast<std::size_t>(c * jobs + j) %
+                           frames.size()];
+        job.options = popt;
+        job.qos = j % 2 == 0 ? serve::QosClass::best_effort
+                             : serve::QosClass::standard;
+        job.deadline_seconds = deadline_s;
+        const Clock::time_point at = Clock::now();
+        try {
+          futures.push_back(service.submit(std::move(job)));
+        } catch (const serve::Overloaded&) {
+          shed.fetch_add(1);
+          continue;
+        }
+        accepted.fetch_add(1);
+        submitted.push_back(at);
+      }
+      for (std::size_t j = 0; j < futures.size(); ++j) {
+        try {
+          futures[j].get();
+        } catch (const serve::DeadlineExceeded&) {
+          expired.fetch_add(1);
+          continue;
+        }
+        completed.fetch_add(1);
+        latencies[static_cast<std::size_t>(c)].push_back(
+            std::chrono::duration<double>(Clock::now() - submitted[j])
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.accepted = accepted.load();
+  out.shed = shed.load();
+  out.expired = expired.load();
+  out.completed = completed.load();
+  out.degraded = service.stats().degraded;
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  if (!all.empty()) {
+    out.p50_s = percentile(all, 0.5);
+    out.p99_s = percentile(all, 0.99);
+  }
+  return out;
 }
 
 } // namespace
@@ -202,6 +293,67 @@ int main(int argc, char** argv) {
     }
 
     std::cerr << '\n' << table.render();
+
+    // Mode 3: overload sweep. Calibrate the per-job full-quality service
+    // time, set every job's deadline to a small multiple of it, and
+    // offer bursts of 1x / 2x / 4x the base workload — beyond capacity,
+    // admission control must shed best-effort and degrade standard jobs
+    // rather than queue-block, and the p50/p99 of the jobs it does
+    // accept is what the sweep reports.
+    const double deadline_factor = args.get_double("deadline-factor", 4.0);
+    TMHLS_REQUIRE(deadline_factor > 0.0, "deadline-factor must be > 0");
+    double cal_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto c0 = Clock::now();
+      (void)tonemap::tone_map(frames[0], popt);
+      const double s =
+          std::chrono::duration<double>(Clock::now() - c0).count();
+      if (cal_s == 0.0 || s < cal_s) cal_s = s;
+    }
+    const double deadline_s = cal_s * deadline_factor;
+
+    TextTable overload_table({"offered x", "offered", "accepted", "shed",
+                              "degraded", "expired", "accept %",
+                              "p50 (ms)", "p99 (ms)"});
+    for (int multiplier : {1, 2, 4}) {
+      const OverloadResult o =
+          run_overload(2, depth, clients, jobs * multiplier, cal_s,
+                       deadline_s, popt, frames);
+      const double offered_d = static_cast<double>(o.offered);
+      const double accept_rate =
+          offered_d > 0.0 ? static_cast<double>(o.accepted) / offered_d
+                          : 0.0;
+      overload_table.add_row(
+          {std::to_string(multiplier), std::to_string(o.offered),
+           std::to_string(o.accepted), std::to_string(o.shed),
+           std::to_string(o.degraded), std::to_string(o.expired),
+           format_fixed(accept_rate * 100.0, 1),
+           format_fixed(o.p50_s * 1e3, 2), format_fixed(o.p99_s * 1e3, 2)});
+      benchkit::JsonRecord record("serving");
+      record.field("mode", "overload")
+          .field("backend", backend)
+          .field("threads", popt.threads)
+          .field("shards", 2)
+          .field("depth", depth)
+          .field("clients", clients)
+          .field("offered_multiplier", multiplier)
+          .field("offered", static_cast<int>(o.offered))
+          .field("accepted", static_cast<int>(o.accepted))
+          .field("shed", static_cast<int>(o.shed))
+          .field("degraded", static_cast<int>(o.degraded))
+          .field("expired", static_cast<int>(o.expired))
+          .field("completed", static_cast<int>(o.completed))
+          .field("accept_rate", accept_rate)
+          .field("deadline_ms", deadline_s * 1e3)
+          .field("calibrated_service_ms", cal_s * 1e3)
+          .field("width", size)
+          .field("height", size)
+          .field("seconds_total", o.seconds)
+          .field("latency_p50_ms", o.p50_s * 1e3)
+          .field("latency_p99_ms", o.p99_s * 1e3)
+          .emit();
+    }
+    std::cerr << '\n' << overload_table.render();
     return 0;
   } catch (const tmhls::Error& e) {
     std::cerr << "error: " << e.what() << '\n';

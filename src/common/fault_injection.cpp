@@ -1,0 +1,134 @@
+#include "common/fault_injection.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <unordered_map>
+
+namespace tmhls::fault {
+namespace {
+
+struct Site {
+  FaultSpec spec;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+  // Fast-path gate: production hooks bail on one relaxed load when nothing
+  // is armed, so disarmed overhead is independent of site count.
+  std::atomic<int> armed{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+enum class Outcome { pass, fail };
+
+// Decides and accounts under the lock; sleeping/throwing happen outside so
+// a delay fault never serializes other sites behind this one.
+Outcome evaluate(const char* site_name, bool fail_returns, FaultSpec& fired) {
+  Action action;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    auto it = r.sites.find(site_name);
+    if (it == r.sites.end()) {
+      return Outcome::pass;
+    }
+    Site& site = it->second;
+    const std::uint64_t hit = site.hits++;
+    if (hit < site.spec.trigger_after) {
+      return Outcome::pass;
+    }
+    if (site.spec.max_fires >= 0 &&
+        site.fires >= static_cast<std::uint64_t>(site.spec.max_fires)) {
+      return Outcome::pass;
+    }
+    ++site.fires;
+    fired = site.spec;
+    action = site.spec.action;
+  }
+  switch (action) {
+  case Action::delay:
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(fired.delay_seconds));
+    return Outcome::pass;
+  case Action::throw_error:
+    throw InjectedFault(fired.message);
+  case Action::throw_bad_alloc:
+    throw std::bad_alloc();
+  case Action::fail:
+    if (fail_returns) {
+      return Outcome::fail;
+    }
+    throw InjectedFault(fired.message);
+  }
+  return Outcome::pass;
+}
+
+} // namespace
+
+void arm(const std::string& site, FaultSpec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto [it, inserted] = r.sites.insert_or_assign(site, Site{std::move(spec)});
+  (void)it;
+  if (inserted) {
+    r.armed.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void disarm(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.sites.erase(site) > 0) {
+    r.armed.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed.fetch_sub(static_cast<int>(r.sites.size()),
+                    std::memory_order_release);
+  r.sites.clear();
+}
+
+bool enabled() {
+  return registry().armed.load(std::memory_order_acquire) > 0;
+}
+
+SiteStats stats(const std::string& site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) {
+    return {};
+  }
+  return {it->second.hits, it->second.fires};
+}
+
+void inject(const char* site) {
+  if (!enabled()) {
+    return;
+  }
+  FaultSpec fired;
+  (void)evaluate(site, /*fail_returns=*/false, fired);
+}
+
+bool should_fail(const char* site) {
+  if (!enabled()) {
+    return false;
+  }
+  FaultSpec fired;
+  return evaluate(site, /*fail_returns=*/true, fired) == Outcome::fail;
+}
+
+} // namespace tmhls::fault

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 
 namespace tmhls::exec {
 
@@ -100,16 +101,29 @@ void AsyncExecutor::worker_loop() {
       ++running_;
     }
     queue_not_full_.notify_one();
-    try {
-      task->promise.set_value(
-          executor_.blur(task->request.intensity, task->request.kernel));
-    } catch (...) {
-      task->promise.set_exception(std::current_exception());
-    }
-    {
+    // Counters retire BEFORE the promise is satisfied (the service-layer
+    // convention): a caller whose future.get() returned must also observe
+    // the request counted completed in stats().
+    bool retired = false;
+    const auto retire = [this, &retired] {
+      if (retired) return;
+      retired = true;
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
       ++completed_;
+    };
+    try {
+      // Fault site "exec.async.task": a delay stalls this executor with
+      // the task counted as running (the stalled-executor scenario); a
+      // throw surfaces through the task's future like any blur error.
+      fault::inject("exec.async.task");
+      img::ImageF result =
+          executor_.blur(task->request.intensity, task->request.kernel);
+      retire();
+      task->promise.set_value(std::move(result));
+    } catch (...) {
+      retire();
+      task->promise.set_exception(std::current_exception());
     }
   }
 }

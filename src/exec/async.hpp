@@ -43,7 +43,8 @@ struct AsyncExecutorStats {
   std::uint64_t submitted = 0;
   /// Lifetime count of finished requests (successes and errors alike —
   /// a request whose backend threw still counts as completed, because its
-  /// future has been satisfied).
+  /// future has been satisfied). Advances before the future becomes
+  /// ready, so a caller that observed a result also observes it counted.
   std::uint64_t completed = 0;
 };
 

@@ -1,0 +1,43 @@
+#include "serve/qos.hpp"
+
+namespace tmhls::serve {
+
+const char* to_string(QosClass qos) {
+  switch (qos) {
+  case QosClass::best_effort:
+    return "best_effort";
+  case QosClass::standard:
+    return "standard";
+  case QosClass::critical:
+    return "critical";
+  }
+  return "unknown";
+}
+
+const char* to_string(DegradeLevel level) {
+  switch (level) {
+  case DegradeLevel::none:
+    return "none";
+  case DegradeLevel::reduced_blur:
+    return "reduced_blur";
+  case DegradeLevel::global_operator:
+    return "global_operator";
+  }
+  return "unknown";
+}
+
+QosClass qos_from_string(const std::string& name) {
+  if (name == "best_effort") {
+    return QosClass::best_effort;
+  }
+  if (name == "standard") {
+    return QosClass::standard;
+  }
+  if (name == "critical") {
+    return QosClass::critical;
+  }
+  throw InvalidArgument("unknown QoS class \"" + name +
+                        "\" (expected best_effort, standard, or critical)");
+}
+
+} // namespace tmhls::serve

@@ -1,13 +1,16 @@
 #include "serve/service.hpp"
 
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fault_injection.hpp"
 #include "exec/async.hpp"
 #include "serve/sharded_blur.hpp"
 #include "tonemap/frame_pipeline.hpp"
+#include "tonemap/global_operators.hpp"
 
 namespace tmhls::serve {
 
@@ -31,6 +34,25 @@ void validate(const ToneMapServiceOptions& options) {
   TMHLS_REQUIRE(options.pipeline_depth >= 1,
                 "ToneMapServiceOptions::pipeline_depth must be >= 1, got " +
                     std::to_string(options.pipeline_depth));
+  TMHLS_REQUIRE(std::isfinite(options.overload.assumed_service_seconds) &&
+                    options.overload.assumed_service_seconds >= 0.0,
+                "OverloadPolicy::assumed_service_seconds must be finite and "
+                ">= 0");
+  TMHLS_REQUIRE(options.overload.reduced_radius >= 1,
+                "OverloadPolicy::reduced_radius must be >= 1, got " +
+                    std::to_string(options.overload.reduced_radius));
+  TMHLS_REQUIRE(options.overload.reduced_cost_fraction > 0.0 &&
+                    options.overload.reduced_cost_fraction <= 1.0,
+                "OverloadPolicy::reduced_cost_fraction must be in (0, 1]");
+}
+
+tonemap::PipelineOptions degraded_options(
+    const tonemap::PipelineOptions& options, const OverloadPolicy& policy) {
+  tonemap::PipelineOptions reduced = options;
+  // kernel() resolves radius == 0 to ceil(3 * sigma); cap the resolved
+  // value so an explicitly small radius is never *increased* by degrading.
+  reduced.radius = std::min(options.kernel().radius(), policy.reduced_radius);
+  return reduced;
 }
 
 /// One worker shard: the bounded admission queue (shared with submitters,
@@ -45,6 +67,13 @@ struct ToneMapService::Shard {
     std::promise<FrameResult> promise;
     std::uint64_t id = 0;
     Clock::time_point enqueued;
+    /// Absolute expiry, valid iff has_deadline (computed once at submit so
+    /// queue time counts against the deadline).
+    Clock::time_point deadline_at;
+    bool has_deadline = false;
+    /// Ladder level admission control chose; the worker may push it
+    /// further down at dequeue if queue time ate the slack.
+    DegradeLevel degrade = DegradeLevel::none;
   };
 
   mutable std::mutex mutex;
@@ -57,6 +86,12 @@ struct ToneMapService::Shard {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t degraded = 0;
+  /// EWMA of observed full-quality service seconds — the shard's "can I
+  /// meet this deadline" estimate. Degraded jobs don't feed it (they are
+  /// deliberately cheaper and would bias admission open under overload).
+  double ewma_service = 0.0;
   std::uint64_t session_builds = 0;
   std::thread worker;
 };
@@ -112,11 +147,21 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
                 "FrameJob::blur_shards must be in [1, " +
                     std::to_string(kMaxBlurShards) + "], got " +
                     std::to_string(job.blur_shards));
+  TMHLS_REQUIRE(std::isfinite(job.deadline_seconds) &&
+                    job.deadline_seconds >= 0.0,
+                "FrameJob::deadline_seconds must be finite and >= 0");
+  fault::inject("serve.submit");
+  const bool has_deadline = job.deadline_seconds > 0.0;
+  const Clock::time_point deadline_at =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(job.deadline_seconds));
   const std::uint64_t id = next_job_id_.fetch_add(1);
   const std::size_t count = shards_.size();
   const std::size_t rr = static_cast<std::size_t>(id % count);
   const auto capacity = static_cast<std::size_t>(options_.queue_capacity);
+  const OverloadPolicy& policy = options_.overload;
   for (;;) {
+    bool any_free = count == 1; // single shard: decided under its lock
     // Least-loaded routing: snapshot each shard's queued + in-flight jobs
     // and take the smallest among shards with a free queue slot (falling
     // back to the overall smallest when every queue is full). The scan
@@ -129,7 +174,6 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
       std::size_t best_any_load = std::numeric_limits<std::size_t>::max();
       std::size_t best_free = rr;
       std::size_t best_free_load = std::numeric_limits<std::size_t>::max();
-      bool any_free = false;
       for (std::size_t i = 0; i < count; ++i) {
         const std::size_t index = (rr + i) % count;
         Shard& candidate = *shards_[index];
@@ -157,7 +201,23 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
     Shard& shard = *shards_[chosen];
     std::unique_lock<std::mutex> lock(shard.mutex);
     TMHLS_REQUIRE(!shard.stopping, "ToneMapService::submit after shutdown");
+    if (count == 1) any_free = shard.queue.size() < capacity;
     if (shard.queue.size() >= capacity) {
+      // Best-effort jobs shed instead of queue-blocking: when no shard
+      // had a free slot, reject now with the typed error — the caller
+      // can retry, downgrade its request, or drop the frame, all better
+      // under overload than a submitter pile-up. (A slot seen during the
+      // scan but raced away means the system is making progress; re-scan
+      // without waiting.)
+      if (job.qos == QosClass::best_effort) {
+        if (!any_free) {
+          shed_.fetch_add(1);
+          throw Overloaded("ToneMapService::submit: all " +
+                           std::to_string(count) +
+                           " admission queues full, best_effort job shed");
+        }
+        continue; // re-scan: some other shard had a slot
+      }
       // The slot observed during the scan was taken by a concurrent
       // submitter (or no shard had one). Wait briefly for this shard,
       // then re-scan — a slot may open elsewhere first, and blocking
@@ -171,10 +231,45 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
                     "ToneMapService::submit after shutdown");
       if (shard.queue.size() >= capacity) continue; // re-scan
     }
+    // Deadline admission check: with E the shard's per-job estimate
+    // (observed EWMA, floored by the policy's assumed service time) and
+    // L jobs already ahead, this job completes in about (L + 1) x E. If
+    // that misses the deadline, computing at full quality is wasted work:
+    // shed best-effort with the typed error, route standard down the
+    // ladder (reduced-radius when the cheaper job still fits, otherwise
+    // straight to the global operator), and admit critical untouched.
+    DegradeLevel degrade = DegradeLevel::none;
+    if (has_deadline) {
+      const double estimate = std::max(shard.ewma_service,
+                                       policy.assumed_service_seconds);
+      if (estimate > 0.0) {
+        const double remaining = seconds_between(Clock::now(), deadline_at);
+        const double wait =
+            estimate *
+            static_cast<double>(shard.queue.size() + shard.active + 1);
+        if (wait > remaining) {
+          if (job.qos == QosClass::best_effort) {
+            shed_.fetch_add(1);
+            throw Overloaded(
+                "ToneMapService::submit: estimated wait " +
+                std::to_string(wait) + "s exceeds deadline (" +
+                std::to_string(remaining) + "s left), best_effort job shed");
+          }
+          if (job.qos == QosClass::standard) {
+            degrade = wait * policy.reduced_cost_fraction <= remaining
+                          ? DegradeLevel::reduced_blur
+                          : DegradeLevel::global_operator;
+          }
+        }
+      }
+    }
     Shard::Queued entry;
     entry.job = std::move(job);
     entry.id = id;
     entry.enqueued = Clock::now();
+    entry.deadline_at = deadline_at;
+    entry.has_deadline = has_deadline;
+    entry.degrade = degrade;
     std::future<FrameResult> future = entry.promise.get_future();
     shard.queue.push_back(std::move(entry));
     ++shard.submitted;
@@ -212,6 +307,7 @@ std::shared_ptr<exec::ExecutorPool> ToneMapService::blur_pool_for(
 ServiceStats ToneMapService::stats() const {
   ServiceStats s;
   s.rebalanced = rebalanced_.load();
+  s.shed = shed_.load();
   s.shards.reserve(shards_.size());
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
@@ -221,6 +317,8 @@ ServiceStats ToneMapService::stats() const {
     row.submitted = shard->submitted;
     row.completed = shard->completed;
     row.failed = shard->failed;
+    row.expired = shard->expired;
+    row.degraded = shard->degraded;
     row.session_builds = shard->session_builds;
     s.shards.push_back(row);
     s.queue_depth += row.queue_depth;
@@ -228,6 +326,8 @@ ServiceStats ToneMapService::stats() const {
     s.submitted += row.submitted;
     s.completed += row.completed;
     s.failed += row.failed;
+    s.expired += row.expired;
+    s.degraded += row.degraded;
   }
   return s;
 }
@@ -240,16 +340,40 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
     std::uint64_t id = 0;
     double queue_seconds = 0.0;
     Clock::time_point picked_up;
+    Clock::time_point deadline_at;
+    bool has_deadline = false;
+    DegradeLevel degrade = DegradeLevel::none;
   };
   std::deque<Pending> pending;
   std::unique_ptr<tonemap::FramePipeline> session;
+  // Worker-private executor for the staged (deadline-checked) path,
+  // rebuilt only when a job's options or geometry change — the staged
+  // twin of the session's reuse rule.
+  struct StagedKey {
+    tonemap::PipelineOptions options;
+    int width = 0;
+    int height = 0;
+    bool operator==(const StagedKey&) const = default;
+  };
+  std::unique_ptr<exec::PipelineExecutor> staged_exec;
+  StagedKey staged_key;
 
   // Counters advance *before* the promise is satisfied, so a client that
   // has seen future.get() return also sees the job counted in stats().
+  // A full-quality completion also feeds the shard's EWMA service-time
+  // estimate, the signal admission control sheds and degrades on.
   auto complete = [&](Pending& p, FrameResult&& result) {
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       ++shard.completed;
+      if (result.degrade != DegradeLevel::none) ++shard.degraded;
+      if (result.degrade == DegradeLevel::none &&
+          result.service_seconds > 0.0) {
+        shard.ewma_service =
+            shard.ewma_service == 0.0
+                ? result.service_seconds
+                : 0.75 * shard.ewma_service + 0.25 * result.service_seconds;
+      }
       --shard.active;
     }
     p.promise.set_value(std::move(result));
@@ -261,6 +385,16 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
       --shard.active;
     }
     p.promise.set_exception(std::current_exception());
+  };
+  // Deadline expiry is its own outcome, disjoint from `failed`: the job
+  // was viable, the clock won. The future gets DeadlineExceeded.
+  auto expire = [&](Pending& p, std::exception_ptr reason) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      ++shard.expired;
+      --shard.active;
+    }
+    p.promise.set_exception(std::move(reason));
   };
 
   // Retire the session's oldest frame into its promise. A blur error is
@@ -319,7 +453,80 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
     p.id = next->id;
     p.queue_seconds = seconds_between(next->enqueued, picked_up);
     p.picked_up = picked_up;
+    p.deadline_at = next->deadline_at;
+    p.has_deadline = next->has_deadline;
+    p.degrade = next->degrade;
     FrameJob job = std::move(next->job);
+
+    // Fault site "serve.worker.pickup": a delay here models a slow shard
+    // (the job's deadline keeps ticking, so the dequeue check below sees
+    // exactly what a stalled worker would produce); a throw fails just
+    // this job and the shard moves on.
+    try {
+      fault::inject("serve.worker.pickup");
+    } catch (...) {
+      fail(p);
+      continue;
+    }
+
+    // Dequeue-time deadline check: a job that expired while queued is
+    // dropped before any pixel is computed. Expiry is only ever checked
+    // *before* work — a frame that finishes late is still delivered (the
+    // work is done; discarding it helps nobody).
+    if (p.has_deadline && Clock::now() >= p.deadline_at) {
+      expire(p, std::make_exception_ptr(DeadlineExceeded(
+                    "job " + std::to_string(p.id) +
+                    ": deadline expired after " +
+                    std::to_string(p.queue_seconds) + "s in queue")));
+      continue;
+    }
+    // Queue time may have eaten the slack admission control saw: for a
+    // standard job still at full quality, re-evaluate the ladder against
+    // the time actually left.
+    if (p.has_deadline && job.qos == QosClass::standard &&
+        p.degrade == DegradeLevel::none) {
+      double estimate;
+      {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        estimate = std::max(shard.ewma_service,
+                            options_.overload.assumed_service_seconds);
+      }
+      const double remaining = seconds_between(Clock::now(), p.deadline_at);
+      if (estimate > 0.0 && estimate > remaining) {
+        p.degrade =
+            estimate * options_.overload.reduced_cost_fraction <= remaining
+                ? DegradeLevel::reduced_blur
+                : DegradeLevel::global_operator;
+      }
+    }
+
+    // Bottom of the degradation ladder: the global operator replaces the
+    // whole local pipeline — no blur, no session, no executor. The output
+    // is bit-identical to reinhard_global() run standalone, which is how
+    // tests pin it.
+    if (p.degrade == DegradeLevel::global_operator) {
+      while (!pending.empty()) retire_one();
+      try {
+        FrameResult out;
+        out.output = tonemap::reinhard_global(job.frame);
+        out.job_id = p.id;
+        out.shard = shard_index;
+        out.backend = "reinhard_global";
+        out.queue_seconds = p.queue_seconds;
+        out.service_seconds = seconds_between(picked_up, Clock::now());
+        out.degrade = DegradeLevel::global_operator;
+        complete(p, std::move(out));
+      } catch (...) {
+        fail(p);
+      }
+      continue;
+    }
+    // Middle rung: the full five-stage pipeline with the blur radius
+    // capped — from here on the job runs exactly like a full-quality job
+    // under degraded_options().
+    if (p.degrade == DegradeLevel::reduced_blur) {
+      job.options = degraded_options(job.options, options_.overload);
+    }
 
     if (job.blur_shards > 1) {
       // Oversized-frame path: drain the session first (per-shard FIFO
@@ -328,6 +535,12 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
       // ExecutorPool::submit is thread-safe, and least-loaded routing
       // interleaves bands from concurrent jobs across the executors).
       while (!pending.empty()) retire_one();
+      if (p.has_deadline && Clock::now() >= p.deadline_at) {
+        expire(p, std::make_exception_ptr(DeadlineExceeded(
+                      "job " + std::to_string(p.id) +
+                      ": deadline expired before sharded blur")));
+        continue;
+      }
       try {
         const std::shared_ptr<exec::ExecutorPool> pool = blur_pool_for(job);
         tonemap::PipelineResult r =
@@ -339,7 +552,60 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
         out.backend = pool->shard(0).executor().backend().name();
         out.queue_seconds = p.queue_seconds;
         out.service_seconds = seconds_between(picked_up, Clock::now());
+        out.degrade = p.degrade;
         complete(p, std::move(out));
+      } catch (...) {
+        fail(p);
+      }
+      continue;
+    }
+
+    // Deadline-checked staged path: a job with a deadline runs the stage
+    // functions directly — the same composition as the blocking
+    // tone_map(), so bit-identity holds — with an expiry checkpoint
+    // between stages, dropping expired work at the next stage boundary
+    // instead of computing the rest of a frame nobody is waiting for.
+    if (p.has_deadline) {
+      while (!pending.empty()) retire_one();
+      try {
+        // Fault site "serve.worker.stage": a delay here makes a deadline
+        // expire between stages deterministically.
+        auto checkpoint = [&] {
+          fault::inject("serve.worker.stage");
+          if (Clock::now() >= p.deadline_at) {
+            throw DeadlineExceeded("job " + std::to_string(p.id) +
+                                   ": deadline expired between stages");
+          }
+        };
+        const StagedKey key{job.options, job.frame.width(),
+                            job.frame.height()};
+        if (!staged_exec || !(staged_key == key)) {
+          staged_exec = std::make_unique<exec::PipelineExecutor>(
+              job.options.make_executor(key.width, key.height));
+          staged_key = key;
+        }
+        const tonemap::GaussianKernel kernel = job.options.kernel();
+        img::ImageF normalized =
+            tonemap::stages::normalize(job.frame, job.options);
+        checkpoint();
+        img::ImageF intensity = tonemap::stages::intensity(normalized);
+        checkpoint();
+        img::ImageF mask =
+            tonemap::stages::mask(intensity, kernel, *staged_exec);
+        checkpoint();
+        img::ImageF masked = tonemap::stages::masking(normalized, mask);
+        checkpoint();
+        FrameResult out;
+        out.output = tonemap::stages::adjust(masked, job.options);
+        out.job_id = p.id;
+        out.shard = shard_index;
+        out.backend = staged_exec->backend().name();
+        out.queue_seconds = p.queue_seconds;
+        out.service_seconds = seconds_between(picked_up, Clock::now());
+        out.degrade = p.degrade;
+        complete(p, std::move(out));
+      } catch (const DeadlineExceeded&) {
+        expire(p, std::current_exception());
       } catch (...) {
         fail(p);
       }

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "serve/qos.hpp"
 #include "tonemap/pipeline.hpp"
 
 namespace tmhls::exec {
@@ -67,6 +68,17 @@ struct FrameJob {
   /// executor with its own worker thread, so the count is bounded the
   /// same way the tiled layer bounds its bands.
   int blur_shards = 1;
+  /// What the service may do to this job under overload (see QosClass).
+  /// Default standard: degrade rather than shed, never block admission on
+  /// an unmeetable deadline.
+  QosClass qos = QosClass::standard;
+  /// Relative deadline in seconds, measured from submit(). 0 (default)
+  /// means none — the job behaves exactly like a pre-deadline job. With a
+  /// deadline set, expiry is checked at admission, at dequeue, and between
+  /// pipeline stages; an expired job's future receives DeadlineExceeded
+  /// instead of computing a frame nobody is waiting for. Must be finite
+  /// and >= 0.
+  double deadline_seconds = 0.0;
 };
 
 /// Upper bound on FrameJob::blur_shards (the executor fan-out one job may
@@ -93,6 +105,11 @@ struct FrameResult {
   /// Seconds from pickup to completion (pipeline stages + blur; for
   /// pipelined jobs this includes overlap with neighbouring jobs).
   double service_seconds = 0.0;
+  /// How far down the degradation ladder this frame was routed —
+  /// DegradeLevel::none means bit-identical to the blocking tone_map();
+  /// reduced_blur means tone_map() under degraded_options(); and
+  /// global_operator means reinhard_global() run standalone.
+  DegradeLevel degrade = DegradeLevel::none;
 };
 
 /// Configuration of a ToneMapService.
@@ -111,11 +128,23 @@ struct ToneMapServiceOptions {
   /// stages synchronously; 2 (default) overlaps job N's mask blur with
   /// job N+1's point-wise stages within a shard. Must be >= 1.
   int pipeline_depth = 2;
+  /// Admission-control knobs: what "the deadline can't be met" means and
+  /// how far the degradation ladder reaches (see OverloadPolicy).
+  OverloadPolicy overload;
 };
 
 /// Validation: throws InvalidArgument naming the offending field unless
-/// shards >= 1, queue_capacity >= 1 and pipeline_depth >= 1.
+/// shards >= 1, queue_capacity >= 1, pipeline_depth >= 1, and the overload
+/// policy is sane (assumed_service_seconds finite and >= 0,
+/// reduced_radius >= 1, reduced_cost_fraction in (0, 1]).
 void validate(const ToneMapServiceOptions& options);
+
+/// The options a DegradeLevel::reduced_blur job actually runs: `options`
+/// with the blur radius capped at policy.reduced_radius (an already-small
+/// radius is kept). Exposed so callers can reproduce a degraded frame
+/// bit-for-bit with the blocking tone_map().
+tonemap::PipelineOptions degraded_options(
+    const tonemap::PipelineOptions& options, const OverloadPolicy& policy);
 
 /// Live statistics of one service shard; see ToneMapService::stats().
 struct ShardStats {
@@ -130,7 +159,14 @@ struct ShardStats {
   /// observed a result also observes it counted here.
   std::uint64_t completed = 0;
   /// Lifetime jobs whose future was satisfied with an exception.
+  /// (Deadline expiries are counted in `expired`, not here.)
   std::uint64_t failed = 0;
+  /// Lifetime jobs whose deadline passed before a frame was produced —
+  /// their futures received DeadlineExceeded. Disjoint from `failed`.
+  std::uint64_t expired = 0;
+  /// Lifetime jobs completed below full quality (FrameResult::degrade !=
+  /// none). A subset of `completed`, not a separate outcome.
+  std::uint64_t degraded = 0;
   /// FramePipeline sessions built (first job plus every options switch) —
   /// low values on uniform workloads confirm session reuse is working.
   std::uint64_t session_builds = 0;
@@ -147,6 +183,14 @@ struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t degraded = 0;
+  /// Lifetime jobs admission control rejected with Overloaded — these
+  /// never reached a shard, so they are NOT in `submitted`. The full
+  /// accounting after a drain: every job offered to submit() is exactly
+  /// one of shed, completed, failed, or expired (with degraded a subset
+  /// of completed), i.e. submitted == completed + failed + expired.
+  std::uint64_t shed = 0;
   /// Lifetime jobs the least-loaded router steered away from their
   /// round-robin shard because queue depths had diverged. 0 on a uniform
   /// load; tracking the job count means one shard is persistently behind
@@ -175,12 +219,19 @@ public:
   /// costs less than waiting out a deep queue.
   ///
   /// Error contract, mirroring FramePipeline's: structurally invalid jobs
-  /// (empty frame, blur_shards < 1) throw InvalidArgument here, at the
-  /// submitter. Everything discovered during execution — an unknown
+  /// (empty frame, blur_shards < 1, a negative or non-finite deadline)
+  /// throw InvalidArgument here, at the submitter. Admission control may
+  /// additionally throw the typed Overloaded for best-effort jobs — when
+  /// every queue is full, or when the estimated wait says the job's
+  /// deadline cannot be met (standard jobs are degraded instead of shed;
+  /// critical jobs block for queue space exactly like the pre-QoS
+  /// service). Everything discovered during execution — an unknown
   /// backend name, a kernel beyond the backend's tap bound, a datapath
-  /// contradiction — is delivered through the future; the job is dropped
-  /// and the shard continues with subsequent jobs unaffected. Submitting
-  /// after destruction has begun throws InvalidArgument.
+  /// contradiction — is delivered through the future, as is
+  /// DeadlineExceeded when a deadline passes at dequeue or between
+  /// pipeline stages; the job is dropped and the shard continues with
+  /// subsequent jobs unaffected. Submitting after destruction has begun
+  /// throws InvalidArgument.
   std::future<FrameResult> submit(FrameJob job);
 
   int shards() const { return static_cast<int>(shards_.size()); }
@@ -215,6 +266,7 @@ private:
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_job_id_{0};
   std::atomic<std::uint64_t> rebalanced_{0};
+  std::atomic<std::uint64_t> shed_{0};
   std::mutex blur_pool_mutex_;
   std::shared_ptr<exec::ExecutorPool> blur_pool_;
   BlurPoolKey blur_pool_key_;

@@ -1,5 +1,6 @@
 #include "transport/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -28,13 +29,27 @@ Socket connect_with_retry(const ClientOptions& options) {
   }
 }
 
+void apply_timeouts(Socket& socket, double seconds) {
+  if (seconds > 0.0) {
+    socket.set_send_timeout(seconds);
+    socket.set_recv_timeout(seconds);
+  }
+}
+
 } // namespace
 
 Client::Client(const ClientOptions& options)
-    : socket_(connect_with_retry(options)) {}
+    : options_(options), socket_(connect_with_retry(options_)) {
+  apply_timeouts(socket_, options_.request_timeout_seconds);
+}
 
 Client::Client(const std::string& host, std::uint16_t port)
     : Client(ClientOptions{host, port, 5.0}) {}
+
+void Client::reconnect() {
+  socket_ = connect_with_retry(options_);
+  apply_timeouts(socket_, options_.request_timeout_seconds);
+}
 
 std::uint64_t Client::submit(serve::FrameJob job) {
   TMHLS_REQUIRE(socket_.valid(), "Client::submit on a closed client");
@@ -42,9 +57,14 @@ std::uint64_t Client::submit(serve::FrameJob job) {
   request.request_id = next_request_id_++;
   request.job = std::move(job);
   // encode_request validates the job against the wire bounds (non-empty
-  // frame, dimensions, blur_shards) before anything crosses the socket.
-  if (!socket_.send_all(wire::encode_request(request))) {
-    throw TransportError("connection lost while sending request");
+  // frame, dimensions, blur_shards, deadline) before anything crosses the
+  // socket.
+  switch (socket_.send_all(wire::encode_request(request))) {
+    case SendStatus::timeout:
+      throw TimeoutError("send timed out while writing request");
+    case SendStatus::error:
+      throw TransportError("connection lost while sending request");
+    case SendStatus::ok: break;
   }
   ++in_flight_;
   return request.request_id;
@@ -61,6 +81,10 @@ ClientResult Client::next_result() {
           "server closed the connection with replies outstanding");
     case ReadMessageStatus::error:
       throw TransportError("connection lost while reading reply");
+    case ReadMessageStatus::timeout:
+      // The timeout may have split a message; the stream position is
+      // unknown, so this connection is only good for closing.
+      throw TimeoutError("receive timed out while waiting for reply");
     case ReadMessageStatus::ok: break;
   }
   if (in.header.type == wire::MessageType::response) {
@@ -74,7 +98,7 @@ ClientResult Client::next_result() {
   if (in.header.type == wire::MessageType::error) {
     const wire::ErrorReply reply = wire::decode_error(in.payload);
     --in_flight_;
-    throw RemoteError(reply.request_id, reply.message);
+    throw RemoteError(reply.request_id, reply.message, reply.code);
   }
   throw WireError("wire: server sent a request message");
 }
@@ -82,8 +106,49 @@ ClientResult Client::next_result() {
 serve::FrameResult Client::call(serve::FrameJob job) {
   TMHLS_REQUIRE(in_flight_ == 0,
                 "Client::call with pipelined requests outstanding");
-  submit(std::move(job));
-  return next_result().result;
+  const int attempts = 1 + std::max(0, options_.max_request_retries);
+  // A deadlined job gets a socket bound even when none was configured:
+  // the deadline plus a second of wire slack — a server that cannot
+  // answer a deadlined request within its deadline has effectively hung.
+  const double timeout =
+      options_.request_timeout_seconds > 0.0
+          ? options_.request_timeout_seconds
+          : (job.deadline_seconds > 0.0 ? job.deadline_seconds + 1.0 : 0.0);
+  double backoff = options_.retry_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    const bool last = attempt + 1 >= attempts;
+    try {
+      if (!socket_.valid()) reconnect();
+      apply_timeouts(socket_, timeout);
+      // Keep the job for further attempts unless this is the last one.
+      serve::FrameJob this_attempt;
+      if (last) {
+        this_attempt = std::move(job);
+      } else {
+        this_attempt = job;
+      }
+      submit(std::move(this_attempt));
+      return next_result().result;
+    } catch (const RemoteError&) {
+      // The server answered (including typed overloaded /
+      // deadline_exceeded): retrying blindly would just add load.
+      throw;
+    } catch (const WireError&) {
+      // Protocol rot is a bug, not weather; surface it, don't retry.
+      close();
+      in_flight_ = 0;
+      throw;
+    } catch (const TransportError&) {
+      // TimeoutError lands here too (it is-a TransportError): after a
+      // timeout the stream position is unknown, so every retry starts
+      // from a fresh connection.
+      close();
+      in_flight_ = 0;
+      if (last) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff *= 2.0;
+    }
+  }
 }
 
 void Client::finish_requests() { socket_.shutdown_write(); }

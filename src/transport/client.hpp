@@ -27,14 +27,20 @@ namespace tmhls::transport {
 /// remains usable after catching one.
 class RemoteError : public Error {
 public:
-  RemoteError(std::uint64_t request_id, const std::string& message)
-      : Error(message), request_id_(request_id) {}
+  RemoteError(std::uint64_t request_id, const std::string& message,
+              wire::ErrorCode code = wire::ErrorCode::generic)
+      : Error(message), request_id_(request_id), code_(code) {}
 
   /// The request this failure answers (matches a submit() return value).
   std::uint64_t request_id() const { return request_id_; }
 
+  /// The typed category the server attached (wire v2) — overloaded and
+  /// deadline_exceeded are the ones retry/degrade logic keys on.
+  wire::ErrorCode code() const { return code_; }
+
 private:
   std::uint64_t request_id_;
+  wire::ErrorCode code_;
 };
 
 /// Configuration of a Client connection.
@@ -46,6 +52,18 @@ struct ClientOptions {
   /// where the client races a server that is still binding (the CI
   /// loopback smoke test starts both within milliseconds).
   double connect_timeout_seconds = 5.0;
+  /// Per-operation socket send/receive bound, applied to the connection
+  /// at construction. 0 (default) sets no bound — except in call(),
+  /// which then derives one from the job's deadline (deadline + 1s of
+  /// wire slack) so a hung server can never block a deadlined round trip
+  /// forever. A blown bound surfaces as the typed TimeoutError.
+  double request_timeout_seconds = 0.0;
+  /// How many times call() retries after a timeout or a broken
+  /// connection (reconnecting first; server-reported errors are never
+  /// retried — the server already answered). 0 (default) = fail fast.
+  int max_request_retries = 0;
+  /// Sleep before the first retry, doubling on each subsequent one.
+  double retry_backoff_seconds = 0.05;
 };
 
 /// One reply from next_result(): the FrameResult exactly as the service
@@ -80,6 +98,16 @@ public:
 
   /// Blocking round trip: submit one job, wait for its reply. Requires an
   /// empty pipeline (no outstanding submits).
+  ///
+  /// This is the resilient entry point: the socket operations are bounded
+  /// (by request_timeout_seconds, or the job's deadline + 1s when only a
+  /// deadline is set), and a timeout or broken connection is retried up
+  /// to max_request_retries times with exponential backoff, reconnecting
+  /// first. Server-reported failures (RemoteError — including typed
+  /// overloaded / deadline_exceeded) are never retried here: the server
+  /// answered, and whether to try again is the caller's policy. After
+  /// the retry budget is spent, the last TimeoutError/TransportError
+  /// propagates.
   serve::FrameResult call(serve::FrameJob job);
 
   /// Requests submitted whose replies have not been read yet.
@@ -92,6 +120,11 @@ public:
   void close();
 
 private:
+  /// Re-establish the connection (connect retry + configured timeouts)
+  /// after close(); used by call()'s retry path.
+  void reconnect();
+
+  ClientOptions options_;
   Socket socket_;
   std::uint64_t next_request_id_ = 0;
   std::size_t in_flight_ = 0;

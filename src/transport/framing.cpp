@@ -9,6 +9,7 @@ ReadMessageStatus read_message(Socket& socket, InboundMessage& message) {
   switch (socket.recv_all(head)) {
     case ReadStatus::eof: return ReadMessageStatus::eof;
     case ReadStatus::error: return ReadMessageStatus::error;
+    case ReadStatus::timeout: return ReadMessageStatus::timeout;
     case ReadStatus::ok: break;
   }
   // Throws WireError on malformed headers; the payload size is bounded by
@@ -17,6 +18,7 @@ ReadMessageStatus read_message(Socket& socket, InboundMessage& message) {
   message.payload.assign(message.header.payload_bytes, 0);
   if (message.header.payload_bytes > 0) {
     const ReadStatus status = socket.recv_all(message.payload);
+    if (status == ReadStatus::timeout) return ReadMessageStatus::timeout;
     if (status != ReadStatus::ok) {
       // EOF inside a message is a truncated stream, not a clean finish.
       return ReadMessageStatus::error;

@@ -21,9 +21,11 @@ struct InboundMessage {
 
 /// Outcome of read_message.
 enum class ReadMessageStatus {
-  ok,    ///< `message` holds a validated header + verified payload
-  eof,   ///< clean end of stream at a message boundary
-  error, ///< connection broke mid-message
+  ok,      ///< `message` holds a validated header + verified payload
+  eof,     ///< clean end of stream at a message boundary
+  error,   ///< connection broke mid-message
+  timeout, ///< the socket's receive timeout elapsed; the stream position
+           ///< is unknown, so the connection is only good for closing
 };
 
 /// Read exactly one message. Throws WireError when the bytes violate the

@@ -45,6 +45,7 @@ struct Server::Connection {
     std::uint64_t request_id = 0;
     std::future<serve::FrameResult> future;
     bool immediate_error = false;
+    wire::ErrorCode error_code = wire::ErrorCode::generic;
     std::string error_message;
   };
 
@@ -76,6 +77,21 @@ ServerOptions checked(ServerOptions options) {
   return options;
 }
 
+/// Map a server-side failure onto the typed wire code, so a remote client
+/// sees the same category a co-located caller's exception type carries.
+wire::ErrorCode classify(const std::exception& e) {
+  if (dynamic_cast<const serve::Overloaded*>(&e) != nullptr) {
+    return wire::ErrorCode::overloaded;
+  }
+  if (dynamic_cast<const serve::DeadlineExceeded*>(&e) != nullptr) {
+    return wire::ErrorCode::deadline_exceeded;
+  }
+  if (dynamic_cast<const InvalidArgument*>(&e) != nullptr) {
+    return wire::ErrorCode::invalid_argument;
+  }
+  return wire::ErrorCode::generic;
+}
+
 } // namespace
 
 Server::Server(ServerOptions options)
@@ -93,6 +109,8 @@ ServerStats Server::stats() const {
   s.requests_received = requests_received_.load();
   s.responses_sent = responses_sent_.load();
   s.errors_sent = errors_sent_.load();
+  s.requests_shed = requests_shed_.load();
+  s.requests_expired = requests_expired_.load();
   s.protocol_errors = protocol_errors_.load();
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -181,7 +199,9 @@ void Server::reader_loop(Connection& c) {
       break;
     }
     if (status == ReadMessageStatus::eof) break; // client finished cleanly
-    if (status == ReadMessageStatus::error) {
+    if (status != ReadMessageStatus::ok) {
+      // error, or timeout if a read bound was ever set on this socket:
+      // either way the stream position is unknown.
       protocol_errors_.fetch_add(1);
       break;
     }
@@ -212,13 +232,16 @@ void Server::reader_loop(Connection& c) {
     Connection::PendingReply reply;
     reply.request_id = request.request_id;
     try {
-      // May block on the service's admission queue — more backpressure,
-      // same propagation path.
+      // May block on the service's admission queue (critical/standard) —
+      // more backpressure, same propagation path. Best-effort jobs are
+      // shed with Overloaded instead of blocking here.
       reply.future = service_.submit(std::move(request.job));
     } catch (const std::exception& e) {
-      // Structural rejection at submit(): answered like any other
-      // per-request failure; the connection continues.
+      // Submit-time rejection (structural, or typed admission shed):
+      // answered like any other per-request failure with its typed code;
+      // the connection continues.
       reply.immediate_error = true;
+      reply.error_code = classify(e);
       reply.error_message = e.what();
     }
     {
@@ -238,11 +261,30 @@ void Server::reader_loop(Connection& c) {
 void Server::writer_loop(Connection& c) {
   const auto send = [this, &c](const std::vector<std::uint8_t>& message,
                                std::atomic<std::uint64_t>& counter) {
-    if (c.socket.send_all(message)) {
-      counter.fetch_add(1);
-    } else {
+    // Count before writing (the service-counter convention): the client
+    // can observe the reply the instant the last byte reaches the socket
+    // buffer, possibly before this thread runs again — counting after
+    // the write would let a stats() reader see the reply but not the
+    // count.
+    counter.fetch_add(1);
+    if (c.socket.send_all(message) != SendStatus::ok) {
+      // error and timeout alike: the peer is not draining this stream.
       std::lock_guard<std::mutex> lock(c.mutex);
       c.write_failed = true;
+    }
+  };
+  // Error replies additionally advance the shed/expired counters their
+  // typed code names.
+  const auto send_error = [this, &send](std::uint64_t request_id,
+                                        wire::ErrorCode code,
+                                        const std::string& message,
+                                        bool skip_write) {
+    if (code == wire::ErrorCode::overloaded) requests_shed_.fetch_add(1);
+    if (code == wire::ErrorCode::deadline_exceeded) {
+      requests_expired_.fetch_add(1);
+    }
+    if (!skip_write) {
+      send(wire::encode_error({request_id, code, message}), errors_sent_);
     }
   };
 
@@ -281,10 +323,8 @@ void Server::writer_loop(Connection& c) {
     c.window_open.notify_one();
 
     if (reply.immediate_error) {
-      if (!skip_write) {
-        send(wire::encode_error({reply.request_id, reply.error_message}),
-             errors_sent_);
-      }
+      send_error(reply.request_id, reply.error_code, reply.error_message,
+                 skip_write);
       continue;
     }
     try {
@@ -295,9 +335,9 @@ void Server::writer_loop(Connection& c) {
         send(wire::encode_response(response), responses_sent_);
       }
     } catch (const std::exception& e) {
-      if (!skip_write) {
-        send(wire::encode_error({reply.request_id, e.what()}), errors_sent_);
-      }
+      // DeadlineExceeded travels this path (dequeue / between-stage
+      // expiry is discovered by the shard worker, after admission).
+      send_error(reply.request_id, classify(e), e.what(), skip_write);
     }
     // skip_write drains the future without writing: the peer is gone but
     // every accepted job still completes (the service guarantees it, and

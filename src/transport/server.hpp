@@ -64,10 +64,22 @@ struct ServerStats {
   std::uint64_t connections_active = 0;
   /// Requests decoded successfully and handed to the service.
   std::uint64_t requests_received = 0;
-  /// Successful responses written back.
+  /// Responses written back. Advanced before the bytes hit the socket —
+  /// the service-counter convention — so a client that has observed a
+  /// reply also observes it counted; a write the peer broke mid-message
+  /// stays counted (the connection is closed right after).
   std::uint64_t responses_sent = 0;
   /// Per-request execution failures written back as wire error replies.
+  /// Same advance-before-write convention as responses_sent.
   std::uint64_t errors_sent = 0;
+  /// Requests admission control shed (serve::Overloaded), answered with
+  /// ErrorCode::overloaded. Counted even when the peer is already gone
+  /// and the reply cannot be written.
+  std::uint64_t requests_shed = 0;
+  /// Requests whose deadline passed server-side (serve::DeadlineExceeded),
+  /// answered with ErrorCode::deadline_exceeded. Counted even when the
+  /// reply cannot be written.
+  std::uint64_t requests_expired = 0;
   /// Connections dropped for wire-protocol violations (bad magic,
   /// checksum mismatch, truncation, oversized fields).
   std::uint64_t protocol_errors = 0;
@@ -123,6 +135,8 @@ private:
   std::atomic<std::uint64_t> requests_received_{0};
   std::atomic<std::uint64_t> responses_sent_{0};
   std::atomic<std::uint64_t> errors_sent_{0};
+  std::atomic<std::uint64_t> requests_shed_{0};
+  std::atomic<std::uint64_t> requests_expired_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
 };
 

@@ -2,12 +2,16 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #include <utility>
+
+#include "common/fault_injection.hpp"
 
 namespace tmhls::transport {
 
@@ -66,27 +70,41 @@ Socket Socket::connect(const std::string& host, std::uint16_t port) {
   return socket;
 }
 
-bool Socket::send_all(std::span<const std::uint8_t> bytes) {
+SendStatus Socket::send_all(std::span<const std::uint8_t> bytes) {
+  // Fault site "transport.socket.send": a firing `fail` drops the write
+  // as if the connection reset under it.
+  if (fault::should_fail("transport.socket.send")) return SendStatus::error;
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
                              MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return false;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return SendStatus::timeout;
+      }
+      return SendStatus::error;
     }
     sent += static_cast<std::size_t>(n);
   }
-  return true;
+  return SendStatus::ok;
 }
 
 ReadStatus Socket::recv_all(std::span<std::uint8_t> bytes) {
+  // Fault site "transport.socket.recv": a firing `fail` drops the read —
+  // aimed with trigger_after, one arming produces both the
+  // dropped-connection (first read) and short-read (a later, mid-message
+  // read) scenarios.
+  if (fault::should_fail("transport.socket.recv")) return ReadStatus::error;
   std::size_t received = 0;
   while (received < bytes.size()) {
     const ssize_t n =
         ::recv(fd_, bytes.data() + received, bytes.size() - received, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return ReadStatus::timeout;
+      }
       return ReadStatus::error;
     }
     if (n == 0) {
@@ -97,6 +115,40 @@ ReadStatus Socket::recv_all(std::span<std::uint8_t> bytes) {
     received += static_cast<std::size_t>(n);
   }
   return ReadStatus::ok;
+}
+
+namespace {
+
+timeval timeout_to_timeval(double seconds, const char* what) {
+  if (!(seconds >= 0.0) || !std::isfinite(seconds)) {
+    throw TransportError(std::string(what) +
+                         ": timeout must be finite and >= 0");
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(
+                                                       tv.tv_sec)) *
+                                        1e6);
+  // SO_RCVTIMEO/SO_SNDTIMEO treat {0, 0} as "no timeout"; round a tiny
+  // positive request up to the granularity floor instead of disabling.
+  if (seconds > 0.0 && tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return tv;
+}
+
+} // namespace
+
+void Socket::set_send_timeout(double seconds) {
+  const timeval tv = timeout_to_timeval(seconds, "set_send_timeout");
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw TransportError(errno_string("setsockopt(SO_SNDTIMEO)"));
+  }
+}
+
+void Socket::set_recv_timeout(double seconds) {
+  const timeval tv = timeout_to_timeval(seconds, "set_recv_timeout");
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw TransportError(errno_string("setsockopt(SO_RCVTIMEO)"));
+  }
 }
 
 void Socket::shutdown_read() {

@@ -27,11 +27,31 @@ public:
   explicit TransportError(const std::string& what) : Error(what) {}
 };
 
+/// A socket operation exceeded its configured send/receive timeout (see
+/// Socket::set_recv_timeout). Typed so callers can tell "the server is
+/// slow or hung" (retryable against a deadline) from "the connection
+/// broke" (reconnect first).
+class TimeoutError : public TransportError {
+public:
+  explicit TimeoutError(const std::string& what) : TransportError(what) {}
+};
+
 /// Outcome of an exact-length read.
 enum class ReadStatus {
-  ok,    ///< the buffer was filled completely
-  eof,   ///< clean end of stream before the first byte (peer finished)
-  error, ///< connection broke (reset, or EOF mid-message)
+  ok,      ///< the buffer was filled completely
+  eof,     ///< clean end of stream before the first byte (peer finished)
+  error,   ///< connection broke (reset, or EOF mid-message)
+  timeout, ///< the configured receive timeout elapsed (possibly
+           ///< mid-message — the stream position is unknown, so the
+           ///< connection is only good for closing)
+};
+
+/// Outcome of an exact-length write.
+enum class SendStatus {
+  ok,      ///< the whole span was handed to the kernel
+  error,   ///< connection broke (reset; a vanished peer is a status, not
+           ///< a signal — SIGPIPE is suppressed)
+  timeout, ///< the configured send timeout elapsed (peer not draining)
 };
 
 /// A connected TCP stream socket. Move-only; the destructor closes.
@@ -52,12 +72,19 @@ public:
   /// Connect to host:port; throws TransportError on failure.
   static Socket connect(const std::string& host, std::uint16_t port);
 
-  /// Write the whole span; false if the connection broke. Suppresses
-  /// SIGPIPE so a vanished peer is a return value, not a signal.
-  bool send_all(std::span<const std::uint8_t> bytes);
+  /// Write the whole span; the status says how it ended.
+  SendStatus send_all(std::span<const std::uint8_t> bytes);
 
   /// Read exactly bytes.size() bytes.
   ReadStatus recv_all(std::span<std::uint8_t> bytes);
+
+  /// Bound every subsequent send / receive: an operation that cannot
+  /// complete within `seconds` returns SendStatus::timeout /
+  /// ReadStatus::timeout instead of blocking forever. 0 (the default
+  /// state) disables the bound. Throws TransportError if the option
+  /// cannot be set; `seconds` must be >= 0 and finite.
+  void set_send_timeout(double seconds);
+  void set_recv_timeout(double seconds);
 
   /// Half-close the read side: an in-progress or future recv on this
   /// socket observes EOF. Used to stop accepting requests on a

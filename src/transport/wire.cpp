@@ -1,6 +1,7 @@
 #include "transport/wire.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 #include "fixed/fixed_format.hpp"
@@ -161,6 +162,62 @@ tonemap::Datapath datapath_of(std::uint8_t code) {
     case 2: return tonemap::Datapath::fixed_point;
   }
   throw WireError("wire: unknown Datapath code " + std::to_string(code));
+}
+
+std::uint8_t code_of(serve::QosClass qos) {
+  switch (qos) {
+    case serve::QosClass::best_effort: return 0;
+    case serve::QosClass::standard: return 1;
+    case serve::QosClass::critical: return 2;
+  }
+  throw WireError("wire: unencodable QosClass");
+}
+
+serve::QosClass qos_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return serve::QosClass::best_effort;
+    case 1: return serve::QosClass::standard;
+    case 2: return serve::QosClass::critical;
+  }
+  throw WireError("wire: unknown QosClass code " + std::to_string(code));
+}
+
+std::uint8_t code_of(serve::DegradeLevel level) {
+  switch (level) {
+    case serve::DegradeLevel::none: return 0;
+    case serve::DegradeLevel::reduced_blur: return 1;
+    case serve::DegradeLevel::global_operator: return 2;
+  }
+  throw WireError("wire: unencodable DegradeLevel");
+}
+
+serve::DegradeLevel degrade_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return serve::DegradeLevel::none;
+    case 1: return serve::DegradeLevel::reduced_blur;
+    case 2: return serve::DegradeLevel::global_operator;
+  }
+  throw WireError("wire: unknown DegradeLevel code " + std::to_string(code));
+}
+
+std::uint8_t code_of(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::generic: return 0;
+    case ErrorCode::invalid_argument: return 1;
+    case ErrorCode::overloaded: return 2;
+    case ErrorCode::deadline_exceeded: return 3;
+  }
+  throw WireError("wire: unencodable ErrorCode");
+}
+
+ErrorCode error_code_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return ErrorCode::generic;
+    case 1: return ErrorCode::invalid_argument;
+    case 2: return ErrorCode::overloaded;
+    case 3: return ErrorCode::deadline_exceeded;
+  }
+  throw WireError("wire: unknown ErrorCode code " + std::to_string(code));
 }
 
 std::uint8_t code_of(fixed::Round round) {
@@ -394,9 +451,14 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
   TMHLS_REQUIRE(request.job.blur_shards >= 1 &&
                     request.job.blur_shards <= serve::kMaxBlurShards,
                 "wire: blur_shards outside [1, kMaxBlurShards]");
+  TMHLS_REQUIRE(std::isfinite(request.job.deadline_seconds) &&
+                    request.job.deadline_seconds >= 0.0,
+                "wire: deadline_seconds must be finite and >= 0");
   std::vector<std::uint8_t> payload;
   put_u64(payload, request.request_id);
   put_u32(payload, static_cast<std::uint32_t>(request.job.blur_shards));
+  put_u8(payload, code_of(request.job.qos));
+  put_f64(payload, request.job.deadline_seconds);
   put_options(payload, request.job.options);
   put_image(payload, request.job.frame);
   return seal(MessageType::request, std::move(payload));
@@ -414,6 +476,16 @@ Request decode_request(std::span<const std::uint8_t> payload) {
                     "]");
   }
   request.job.blur_shards = static_cast<int>(blur_shards);
+  request.job.qos = qos_of(in.u8());
+  request.job.deadline_seconds = in.f64();
+  // The deadline is relative (seconds from server-side admission), so no
+  // clock synchronisation is assumed — but hostile bit patterns (NaN,
+  // infinities, negatives) are a protocol violation, not an execution
+  // error.
+  if (!std::isfinite(request.job.deadline_seconds) ||
+      request.job.deadline_seconds < 0.0) {
+    throw WireError("wire: deadline_seconds must be finite and >= 0");
+  }
   request.job.options = read_options(in);
   request.job.frame = read_image(in);
   in.expect_exhausted("request");
@@ -425,6 +497,7 @@ std::vector<std::uint8_t> encode_response(const Response& response) {
   put_u64(payload, response.request_id);
   put_u64(payload, response.result.job_id);
   put_i32(payload, response.result.shard);
+  put_u8(payload, code_of(response.result.degrade));
   put_string(payload, response.result.backend);
   put_f64(payload, response.result.queue_seconds);
   put_f64(payload, response.result.service_seconds);
@@ -438,6 +511,7 @@ Response decode_response(std::span<const std::uint8_t> payload) {
   response.request_id = in.u64();
   response.result.job_id = in.u64();
   response.result.shard = in.i32();
+  response.result.degrade = degrade_of(in.u8());
   response.result.backend = in.string();
   response.result.queue_seconds = in.f64();
   response.result.service_seconds = in.f64();
@@ -449,6 +523,7 @@ Response decode_response(std::span<const std::uint8_t> payload) {
 std::vector<std::uint8_t> encode_error(const ErrorReply& reply) {
   std::vector<std::uint8_t> payload;
   put_u64(payload, reply.request_id);
+  put_u8(payload, code_of(reply.code));
   // Clamp rather than reject: an over-long what() string must not turn an
   // error reply into a second failure.
   std::string message = reply.message;
@@ -461,6 +536,7 @@ ErrorReply decode_error(std::span<const std::uint8_t> payload) {
   Reader in(payload);
   ErrorReply reply;
   reply.request_id = in.u64();
+  reply.code = error_code_of(in.u8());
   reply.message = in.string();
   in.expect_exhausted("error");
   return reply;

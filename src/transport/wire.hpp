@@ -8,7 +8,9 @@
 //
 //   offset  size  field
 //   0       4     magic "TMHW" (raw bytes, not an integer)
-//   4       2     protocol version (u16 LE; this header describes v1)
+//   4       2     protocol version (u16 LE; this header describes v2,
+//                 which added QoS class + deadline to requests, the
+//                 degrade level to responses, and a typed code to errors)
 //   6       2     message type (u16 LE: 1 request, 2 response, 3 error)
 //   8       4     payload size in bytes (u32 LE, bounded by kMaxPayloadBytes)
 //   12      4     FNV-1a 32-bit checksum of the payload bytes (u32 LE)
@@ -54,7 +56,11 @@ namespace wire {
 /// Protocol version this implementation speaks. A decoder rejects every
 /// other version — there is exactly one wire format per build, so the
 /// version field is a compatibility tripwire, not a negotiation.
-inline constexpr std::uint16_t kVersion = 1;
+/// History: v1 shipped the original request/response/error payloads; v2
+/// added FrameJob::qos (u8) + FrameJob::deadline_seconds (f64) to
+/// requests, FrameResult::degrade (u8) to responses, and ErrorCode (u8)
+/// to error replies.
+inline constexpr std::uint16_t kVersion = 2;
 
 /// First four payload-independent bytes of every message.
 inline constexpr std::array<std::uint8_t, 4> kMagic{'T', 'M', 'H', 'W'};
@@ -127,10 +133,23 @@ struct Response {
   serve::FrameResult result;
 };
 
-/// One failed reply: the request id plus the server-side error message.
-/// The connection stays usable — execution errors are per-request.
+/// Typed category of an in-protocol error reply (u8 on the wire, v2).
+/// Lets a remote client re-raise the server-side error as the same typed
+/// exception a co-located caller would have seen — Overloaded and
+/// DeadlineExceeded in particular, which retry/degrade logic keys on.
+enum class ErrorCode : std::uint8_t {
+  generic = 0,           ///< any other execution failure
+  invalid_argument = 1,  ///< the service rejected the job as malformed
+  overloaded = 2,        ///< admission control shed the job (serve::Overloaded)
+  deadline_exceeded = 3, ///< the job's deadline passed (serve::DeadlineExceeded)
+};
+
+/// One failed reply: the request id plus the typed code and server-side
+/// error message. The connection stays usable — execution errors are
+/// per-request.
 struct ErrorReply {
   std::uint64_t request_id = 0;
+  ErrorCode code = ErrorCode::generic;
   std::string message;
 };
 

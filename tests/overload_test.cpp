@@ -1,0 +1,339 @@
+// Tests for overload resilience in serve::ToneMapService: QoS admission
+// control (best-effort shed with the typed Overloaded, standard routed
+// down the degradation ladder, critical admitted untouched), bit-identity
+// of degraded results against the fallback pipelines run standalone,
+// queue-full shedding, and the counter invariants — submitted ==
+// completed + failed + expired, shed counted separately, degraded a
+// subset of completed — held exactly under concurrent overload.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault_injection.hpp"
+#include "common/rng.hpp"
+#include "serve/service.hpp"
+#include "tonemap/global_operators.hpp"
+#include "tonemap/pipeline.hpp"
+
+namespace tmhls::serve {
+namespace {
+
+struct ScopedDisarm {
+  ~ScopedDisarm() { fault::disarm_all(); }
+};
+
+img::ImageF random_hdr(int w, int h, std::uint64_t seed) {
+  Rng rng(seed);
+  img::ImageF im(w, h, 3);
+  for (float& v : im.samples()) {
+    v = static_cast<float>(rng.uniform() * 100.0 + 1e-3);
+  }
+  return im;
+}
+
+::testing::AssertionResult bit_identical(const img::ImageF& a,
+                                         const img::ImageF& b) {
+  if (!a.same_shape(b)) {
+    return ::testing::AssertionFailure() << "shape mismatch";
+  }
+  auto sa = a.samples();
+  auto sb = b.samples();
+  if (std::memcmp(sa.data(), sb.data(), sa.size_bytes()) != 0) {
+    return ::testing::AssertionFailure() << "bit pattern difference";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+tonemap::PipelineOptions small_options() {
+  tonemap::PipelineOptions opt;
+  opt.sigma = 2.0;
+  opt.radius = 8; // above the policy's reduced radius, so reduction bites
+  opt.backend = "separable_float";
+  return opt;
+}
+
+// --- qos plumbing ----------------------------------------------------------
+
+TEST(QosTest, NamesRoundTripAndValidationRejectsBadPolicies) {
+  EXPECT_STREQ(to_string(QosClass::best_effort), "best_effort");
+  EXPECT_STREQ(to_string(QosClass::standard), "standard");
+  EXPECT_STREQ(to_string(QosClass::critical), "critical");
+  for (const char* name : {"best_effort", "standard", "critical"}) {
+    EXPECT_STREQ(to_string(qos_from_string(name)), name);
+  }
+  EXPECT_THROW(qos_from_string("premium"), InvalidArgument);
+
+  ToneMapServiceOptions options;
+  options.overload.reduced_radius = 0;
+  EXPECT_THROW(validate(options), InvalidArgument);
+  options = {};
+  options.overload.reduced_cost_fraction = 0.0;
+  EXPECT_THROW(validate(options), InvalidArgument);
+  options = {};
+  options.overload.reduced_cost_fraction = 1.5;
+  EXPECT_THROW(validate(options), InvalidArgument);
+  options = {};
+  options.overload.assumed_service_seconds = -1.0;
+  EXPECT_THROW(validate(options), InvalidArgument);
+}
+
+TEST(QosTest, SubmitRejectsHostileDeadlines) {
+  ToneMapService service{ToneMapServiceOptions{}};
+  FrameJob job;
+  job.frame = random_hdr(8, 6, 1);
+  job.options = small_options();
+  job.deadline_seconds = -0.5;
+  EXPECT_THROW(service.submit(std::move(job)), InvalidArgument);
+}
+
+// --- the degradation ladder ------------------------------------------------
+
+TEST(OverloadTest, BestEffortJobIsShedWithTypedErrorWhenWaitExceedsDeadline) {
+  ToneMapServiceOptions options;
+  options.shards = 1;
+  options.overload.assumed_service_seconds = 1000.0; // any deadline misses
+  ToneMapService service(options);
+  FrameJob job;
+  job.frame = random_hdr(12, 9, 2);
+  job.options = small_options();
+  job.qos = QosClass::best_effort;
+  job.deadline_seconds = 0.05;
+  EXPECT_THROW(service.submit(std::move(job)), Overloaded);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.submitted, 0u); // shed jobs never enter a shard
+}
+
+TEST(OverloadTest, StandardJobDegradesToReducedBlurBitIdentically) {
+  ToneMapServiceOptions options;
+  options.shards = 1;
+  // Full quality estimated at 2 s against a 1 s deadline: degrade. The
+  // reduced job costs 2 * 0.25 = 0.5 s <= 1 s: reduced radius suffices.
+  options.overload.assumed_service_seconds = 2.0;
+  options.overload.reduced_cost_fraction = 0.25;
+  options.overload.reduced_radius = 3;
+  ToneMapService service(options);
+
+  const img::ImageF frame = random_hdr(24, 17, 3);
+  FrameJob job;
+  job.frame = frame;
+  job.options = small_options();
+  job.qos = QosClass::standard;
+  job.deadline_seconds = 1.0;
+  const FrameResult result = service.submit(std::move(job)).get();
+  EXPECT_EQ(result.degrade, DegradeLevel::reduced_blur);
+
+  // Bit-identical to the reduced pipeline run standalone: degradation
+  // changes the options, never the arithmetic.
+  const tonemap::PipelineOptions reduced =
+      degraded_options(small_options(), options.overload);
+  EXPECT_EQ(reduced.kernel().radius(), 3);
+  EXPECT_TRUE(
+      bit_identical(result.output, tonemap::tone_map(frame, reduced).output));
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.completed, 1u); // degraded is a subset of completed
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(OverloadTest, StandardJobFallsBackToGlobalOperatorBitIdentically) {
+  ToneMapServiceOptions options;
+  options.shards = 1;
+  // Even the reduced job misses (2 * 0.9 = 1.8 s > 1 s): straight to the
+  // global operator.
+  options.overload.assumed_service_seconds = 2.0;
+  options.overload.reduced_cost_fraction = 0.9;
+  ToneMapService service(options);
+
+  const img::ImageF frame = random_hdr(24, 17, 4);
+  FrameJob job;
+  job.frame = frame;
+  job.options = small_options();
+  job.qos = QosClass::standard;
+  job.deadline_seconds = 1.0;
+  const FrameResult result = service.submit(std::move(job)).get();
+  EXPECT_EQ(result.degrade, DegradeLevel::global_operator);
+  EXPECT_EQ(result.backend, "reinhard_global");
+  EXPECT_TRUE(bit_identical(result.output, tonemap::reinhard_global(frame)));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(OverloadTest, CriticalJobIsNeverDegraded) {
+  ToneMapServiceOptions options;
+  options.shards = 1;
+  options.overload.assumed_service_seconds = 1000.0;
+  ToneMapService service(options);
+  const img::ImageF frame = random_hdr(24, 17, 5);
+  FrameJob job;
+  job.frame = frame;
+  job.options = small_options();
+  job.qos = QosClass::critical;
+  job.deadline_seconds = 30.0;
+  const FrameResult result = service.submit(std::move(job)).get();
+  EXPECT_EQ(result.degrade, DegradeLevel::none);
+  EXPECT_TRUE(bit_identical(
+      result.output, tonemap::tone_map(frame, small_options()).output));
+  EXPECT_EQ(service.stats().degraded, 0u);
+}
+
+TEST(OverloadTest, UndeadlinedJobsBypassAdmissionControlEntirely) {
+  ToneMapServiceOptions options;
+  options.shards = 1;
+  options.overload.assumed_service_seconds = 1000.0; // would shed anything
+  ToneMapService service(options);
+  const img::ImageF frame = random_hdr(24, 17, 6);
+  FrameJob job;
+  job.frame = frame;
+  job.options = small_options();
+  job.qos = QosClass::best_effort; // still admitted: no deadline to miss
+  const FrameResult result = service.submit(std::move(job)).get();
+  EXPECT_EQ(result.degrade, DegradeLevel::none);
+  EXPECT_TRUE(bit_identical(
+      result.output, tonemap::tone_map(frame, small_options()).output));
+}
+
+TEST(OverloadTest, BestEffortShedsWhenEveryQueueIsFull) {
+  ScopedDisarm teardown;
+  ToneMapServiceOptions options;
+  options.shards = 1;
+  options.queue_capacity = 1;
+  ToneMapService service(options);
+  // Hold the single worker at pickup so one job occupies it and the next
+  // fills the one-slot queue.
+  fault::FaultSpec spec;
+  spec.action = fault::Action::delay;
+  spec.delay_seconds = 1.0;
+  spec.max_fires = 1;
+  fault::arm("serve.worker.pickup", spec);
+
+  FrameJob first;
+  first.frame = random_hdr(12, 9, 7);
+  first.options = small_options();
+  auto first_future = service.submit(std::move(first));
+  // Wait for the worker to pick the job up (it is now sleeping in the
+  // injected delay), so the queue slot is genuinely free again.
+  for (int i = 0; i < 1000; ++i) {
+    const ServiceStats s = service.stats();
+    if (s.in_flight == 1 && s.queue_depth == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FrameJob second;
+  second.frame = random_hdr(12, 9, 8);
+  second.options = small_options();
+  auto second_future = service.submit(std::move(second)); // fills the queue
+
+  FrameJob third;
+  third.frame = random_hdr(12, 9, 9);
+  third.options = small_options();
+  third.qos = QosClass::best_effort;
+  EXPECT_THROW(service.submit(std::move(third)), Overloaded);
+
+  EXPECT_NO_THROW(first_future.get());
+  EXPECT_NO_THROW(second_future.get());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+// --- counter invariants under concurrent overload --------------------------
+
+TEST(OverloadTest, CountersBalanceExactlyUnderConcurrentOverload) {
+  ToneMapServiceOptions options;
+  options.shards = 2;
+  options.queue_capacity = 2;
+  // A pessimistic-but-finite estimate: once queues build, deadlined jobs
+  // start missing the admission test — sheds, degrades and expiries all
+  // genuinely occur, in a data-dependent mix the invariants must survive.
+  options.overload.assumed_service_seconds = 0.02;
+  ToneMapService service(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kJobsPerThread = 30;
+  std::atomic<std::uint64_t> accepted{0}, shed{0};
+  std::atomic<std::uint64_t> ok{0}, expired{0}, failed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<FrameResult>> futures;
+      for (int i = 0; i < kJobsPerThread; ++i) {
+        FrameJob job;
+        job.frame = random_hdr(20, 15,
+                               static_cast<std::uint64_t>(t * 1000 + i));
+        job.options = small_options();
+        switch (i % 3) {
+          case 0: job.qos = QosClass::best_effort; break;
+          case 1: job.qos = QosClass::standard; break;
+          default: job.qos = QosClass::critical; break;
+        }
+        job.deadline_seconds = 0.1;
+        try {
+          futures.push_back(service.submit(std::move(job)));
+          accepted.fetch_add(1);
+        } catch (const Overloaded&) {
+          shed.fetch_add(1);
+        }
+      }
+      // Every accepted job's future must become ready — a value or a
+      // typed error, never a hang.
+      for (auto& future : futures) {
+        try {
+          (void)future.get();
+          ok.fetch_add(1);
+        } catch (const DeadlineExceeded&) {
+          expired.fetch_add(1);
+        } catch (const std::exception&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  // While the fleet runs, counters only ever move up.
+  ServiceStats previous = service.stats();
+  for (int i = 0; i < 50; ++i) {
+    const ServiceStats now = service.stats();
+    EXPECT_GE(now.submitted, previous.submitted);
+    EXPECT_GE(now.completed, previous.completed);
+    EXPECT_GE(now.failed, previous.failed);
+    EXPECT_GE(now.expired, previous.expired);
+    EXPECT_GE(now.shed, previous.shed);
+    EXPECT_GE(now.degraded, previous.degraded);
+    previous = now;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& thread : threads) thread.join();
+
+  // Drained: every submitted job reached exactly one outcome, and the
+  // client-side tally agrees with the service's books to the last job.
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_EQ(stats.submitted, accepted.load());
+  EXPECT_EQ(stats.shed, shed.load());
+  EXPECT_EQ(stats.completed, ok.load());
+  EXPECT_EQ(stats.expired, expired.load());
+  EXPECT_EQ(stats.failed, failed.load());
+  EXPECT_EQ(stats.submitted, stats.completed + stats.failed + stats.expired);
+  EXPECT_LE(stats.degraded, stats.completed);
+  EXPECT_EQ(accepted.load() + shed.load(),
+            static_cast<std::uint64_t>(kThreads * kJobsPerThread));
+  // Per-shard books balance too, not just in aggregate.
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_EQ(shard.submitted,
+              shard.completed + shard.failed + shard.expired);
+  }
+}
+
+} // namespace
+} // namespace tmhls::serve

@@ -37,9 +37,26 @@ REQUIRED_KEYS = {
         "seconds_total", "seconds_per_frame", "fps", "speedup_vs_depth1",
     ],
     "serving": [
-        "mode", "backend", "threads", "jobs_total", "width", "height",
-        "taps", "seconds_total", "jobs_per_s", "latency_p50_ms",
-        "latency_p99_ms", "speedup_vs_1shard",
+        "mode", "backend", "threads", "width", "height", "seconds_total",
+        "latency_p50_ms", "latency_p99_ms",
+    ],
+}
+
+# bench_serving emits three record shapes distinguished by "mode"; beyond
+# the common serving keys above, each known mode requires its own columns.
+# An unknown mode is validated against the common keys only.
+SERVING_MODE_KEYS = {
+    "jobs": [
+        "shards", "jobs_total", "taps", "jobs_per_s", "speedup_vs_1shard",
+    ],
+    "sharded_frame": [
+        "jobs_total", "taps", "jobs_per_s", "speedup_vs_1shard",
+        "blur_shards",
+    ],
+    "overload": [
+        "shards", "offered_multiplier", "offered", "accepted", "shed",
+        "degraded", "expired", "completed", "accept_rate", "deadline_ms",
+        "calibrated_service_ms",
     ],
 }
 
@@ -80,6 +97,14 @@ def validate_line(line):
             problems.append(
                 f'bench "{bench}" record missing required key(s): '
                 + ", ".join(missing))
+    if bench == "serving":
+        mode = record.get("mode")
+        mode_keys = SERVING_MODE_KEYS.get(mode, [])
+        missing = [k for k in mode_keys if k not in record]
+        if missing:
+            problems.append(
+                f'serving mode "{mode}" record missing required key(s): '
+                + ", ".join(missing))
     return problems
 
 
@@ -102,10 +127,26 @@ def check_file(path):
 SELF_TEST_CASES = [
     # (line, expected_valid, label)
     ('{"bench":"serving","mode":"jobs","backend":"separable_simd",'
-     '"threads":1,"jobs_total":8,"width":192,"height":192,"taps":13,'
-     '"seconds_total":0.5,"jobs_per_s":16.0,"latency_p50_ms":30.0,'
+     '"threads":1,"shards":2,"jobs_total":8,"width":192,"height":192,'
+     '"taps":13,"seconds_total":0.5,"jobs_per_s":16.0,"latency_p50_ms":30.0,'
      '"latency_p99_ms":60.1,"speedup_vs_1shard":1.0}',
-     True, "complete serving record"),
+     True, "complete serving jobs record"),
+    ('{"bench":"serving","mode":"overload","backend":"separable_simd",'
+     '"threads":1,"shards":2,"offered_multiplier":2,"offered":16,'
+     '"accepted":12,"shed":4,"degraded":3,"expired":2,"completed":10,'
+     '"accept_rate":0.75,"deadline_ms":2.4,"calibrated_service_ms":0.6,'
+     '"width":192,"height":192,"seconds_total":0.5,"latency_p50_ms":1.0,'
+     '"latency_p99_ms":2.2}',
+     True, "complete serving overload record"),
+    ('{"bench":"serving","mode":"overload","backend":"separable_simd",'
+     '"threads":1,"shards":2,"offered":16,"accepted":12,"width":192,'
+     '"height":192,"seconds_total":0.5,"latency_p50_ms":1.0,'
+     '"latency_p99_ms":2.2}',
+     False, "overload record missing shed/degraded/expired keys"),
+    ('{"bench":"serving","mode":"some_future_mode","backend":"x",'
+     '"threads":1,"width":1,"height":1,"seconds_total":0.5,'
+     '"latency_p50_ms":1.0,"latency_p99_ms":2.2}',
+     True, "unknown serving mode passes common serving keys only"),
     ('{"bench":"frame_pipeline","backend":"hlscode","threads":1,"depth":2,'
      '"frames":8,"width":512,"height":512,"taps":97,"seconds_total":1.0,'
      '"seconds_per_frame":0.125,"fps":8.0,"speedup_vs_depth1":1.02}',

@@ -16,11 +16,16 @@
 //                            [--size N] [--queue Q] [--pipeline-depth D]
 //                            [--blur-shards S] [--backend B] [--threads N]
 //                            [--kind K] [--seed N]
+//                            [--qos best_effort|standard|critical]
+//                            [--deadline S] [--assumed-service S]
 //                            [--listen PORT [--window W] [--max-connections M]]
 //   client                  --port PORT [--host H] [--jobs J] [--size N]
 //                            [--window W] [--blur-shards S] [--backend B]
 //                            [--threads N] [--kind K] [--seed N]
 //                            [--connect-timeout S] [--no-check]
+//                            [--qos best_effort|standard|critical]
+//                            [--deadline S] [--request-timeout S]
+//                            [--retries N]
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -30,6 +35,7 @@
 //
 // Inputs: Radiance .hdr or .pfm (by extension). Outputs: .ppm (8-bit),
 // .hdr, or .pfm.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <csignal>
@@ -390,6 +396,11 @@ int cmd_serve_listen(const Args& args) {
   so.max_in_flight_per_connection =
       args.get_int("window", so.max_in_flight_per_connection);
   so.max_connections = args.get_int("max-connections", so.max_connections);
+  // Admission-control floor for the per-job service estimate: deadlined
+  // jobs are shed or degraded when the estimated wait misses the
+  // deadline (0 trusts the observed EWMA alone).
+  so.service.overload.assumed_service_seconds = args.get_double(
+      "assumed-service", so.service.overload.assumed_service_seconds);
 
   transport::Server server(so);
   std::signal(SIGINT, handle_stop_signal);
@@ -408,26 +419,31 @@ int cmd_serve_listen(const Args& args) {
 
   const transport::ServerStats ts = server.stats();
   TextTable t({"connections", "requests", "responses", "errors sent",
-               "protocol errors"});
+               "shed", "expired", "protocol errors"});
   t.add_row({std::to_string(ts.connections_accepted),
              std::to_string(ts.requests_received),
              std::to_string(ts.responses_sent),
              std::to_string(ts.errors_sent),
+             std::to_string(ts.requests_shed),
+             std::to_string(ts.requests_expired),
              std::to_string(ts.protocol_errors)});
   std::cout << '\n' << t.render();
 
   const serve::ServiceStats ss = server.service().stats();
   TextTable per_shard({"shard", "submitted", "completed", "failed",
-                       "session builds"});
+                       "expired", "degraded", "session builds"});
   for (std::size_t i = 0; i < ss.shards.size(); ++i) {
     const serve::ShardStats& row = ss.shards[i];
     per_shard.add_row({std::to_string(i), std::to_string(row.submitted),
                        std::to_string(row.completed),
                        std::to_string(row.failed),
+                       std::to_string(row.expired),
+                       std::to_string(row.degraded),
                        std::to_string(row.session_builds)});
   }
   std::cout << per_shard.render();
-  std::cout << "rebalanced (least-loaded routing overrode round-robin): "
+  std::cout << "shed at admission (typed Overloaded): " << ss.shed << "\n"
+            << "rebalanced (least-loaded routing overrode round-robin): "
             << ss.rebalanced << "\n";
   return 0;
 }
@@ -446,7 +462,14 @@ int cmd_client(const Args& args) {
   copt.port = static_cast<std::uint16_t>(port);
   copt.connect_timeout_seconds =
       args.get_double("connect-timeout", copt.connect_timeout_seconds);
+  copt.request_timeout_seconds =
+      args.get_double("request-timeout", copt.request_timeout_seconds);
+  copt.max_request_retries =
+      args.get_int("retries", copt.max_request_retries);
 
+  const serve::QosClass qos =
+      serve::qos_from_string(args.get_or("qos", "standard"));
+  const double deadline = args.get_double("deadline", 0.0);
   const int jobs = args.get_int("jobs", 8);
   const int size = args.get_int("size", 192);
   const int window = args.get_int("window", 4);
@@ -475,17 +498,36 @@ int cmd_client(const Args& args) {
   std::vector<double> latencies;
   std::vector<double> queue_seconds;
   std::vector<img::ImageF> outputs(static_cast<std::size_t>(jobs));
+  std::vector<serve::DegradeLevel> degrades(
+      static_cast<std::size_t>(jobs), serve::DegradeLevel::none);
   std::string backend_used;
+  std::uint64_t shed = 0, expired = 0, other_errors = 0, degraded = 0;
 
   const auto consume_one = [&] {
     // Non-const: the output plane is moved out below; a const result
     // would silently copy ~frame-size bytes inside the timed region.
-    transport::ClientResult r = client.next_result();
+    // A typed server-side rejection (shed / expired) is an expected
+    // outcome under overload: counted, and the connection continues.
+    transport::ClientResult r;
+    try {
+      r = client.next_result();
+    } catch (const transport::RemoteError& e) {
+      switch (e.code()) {
+        case transport::wire::ErrorCode::overloaded: ++shed; break;
+        case transport::wire::ErrorCode::deadline_exceeded:
+          ++expired;
+          break;
+        default: ++other_errors; break;
+      }
+      return;
+    }
     const auto id = static_cast<std::size_t>(r.request_id);
     latencies.push_back(std::chrono::duration<double>(
                             clock::now() - submitted[id]).count());
     queue_seconds.push_back(r.result.queue_seconds);
     backend_used = r.result.backend;
+    if (r.result.degrade != serve::DegradeLevel::none) ++degraded;
+    degrades[id] = r.result.degrade;
     outputs[id] = std::move(r.result.output);
   };
 
@@ -495,6 +537,8 @@ int cmd_client(const Args& args) {
     job.frame = frames[static_cast<std::size_t>(j)];
     job.options = popt;
     job.blur_shards = blur_shards;
+    job.qos = qos;
+    job.deadline_seconds = deadline;
     while (client.in_flight() >= static_cast<std::size_t>(window)) {
       consume_one();
     }
@@ -509,6 +553,14 @@ int cmd_client(const Args& args) {
   if (check) {
     for (int j = 0; j < jobs; ++j) {
       const img::ImageF& got = outputs[static_cast<std::size_t>(j)];
+      // Shed/expired jobs produced no frame, and degraded frames match a
+      // different (reduced/global) pipeline — only full-quality results
+      // are compared against the blocking golden.
+      if (got.empty() ||
+          degrades[static_cast<std::size_t>(j)] !=
+              serve::DegradeLevel::none) {
+        continue;
+      }
       const img::ImageF& want = golden[static_cast<std::size_t>(j)];
       if (!got.same_shape(want) ||
           std::memcmp(got.samples().data(), want.samples().data(),
@@ -526,10 +578,21 @@ int cmd_client(const Args& args) {
              std::to_string(window), std::to_string(blur_shards),
              format_fixed(total_s, 3),
              total_s > 0.0 ? format_fixed(jobs / total_s, 2) : "-",
-             format_fixed(percentile(latencies, 0.5) * 1e3, 2),
-             format_fixed(percentile(latencies, 0.99) * 1e3, 2),
-             format_fixed(percentile(queue_seconds, 0.5) * 1e3, 2)});
+             latencies.empty()
+                 ? "-"
+                 : format_fixed(percentile(latencies, 0.5) * 1e3, 2),
+             latencies.empty()
+                 ? "-"
+                 : format_fixed(percentile(latencies, 0.99) * 1e3, 2),
+             queue_seconds.empty()
+                 ? "-"
+                 : format_fixed(percentile(queue_seconds, 0.5) * 1e3, 2)});
   std::cout << t.render();
+  if (shed + expired + other_errors + degraded > 0) {
+    std::cout << "overload outcomes: shed " << shed << ", expired "
+              << expired << ", degraded " << degraded << ", other errors "
+              << other_errors << "\n";
+  }
   if (check) {
     std::cout << "\nbit-identical to blocking tone_map(): "
               << (identical ? "yes" : "NO — this is a bug, please report")
@@ -560,6 +623,11 @@ int cmd_serve(const Args& args) {
   so.shards = shards;
   so.queue_capacity = args.get_int("queue", so.queue_capacity);
   so.pipeline_depth = args.get_int("pipeline-depth", so.pipeline_depth);
+  so.overload.assumed_service_seconds = args.get_double(
+      "assumed-service", so.overload.assumed_service_seconds);
+  const serve::QosClass qos =
+      serve::qos_from_string(args.get_or("qos", "standard"));
+  const double deadline = args.get_double("deadline", 0.0);
   const tonemap::PipelineOptions popt = pipeline_options_from(args);
 
   // Pre-render per-client frames so the timed region measures serving,
@@ -583,8 +651,11 @@ int cmd_serve(const Args& args) {
   std::string backend_used;
   // First client-side error, rethrown on the main thread after the join
   // so bad arguments reach main()'s clean error path instead of
-  // std::terminate'ing inside a client thread.
+  // std::terminate'ing inside a client thread. Typed overload outcomes
+  // (Overloaded at submit, DeadlineExceeded through the future) are
+  // expected under pressure and tallied instead.
   std::exception_ptr client_error;
+  std::atomic<std::uint64_t> client_shed{0}, client_expired{0};
 
   const auto t0 = clock::now();
   std::vector<std::thread> client_threads;
@@ -599,11 +670,25 @@ int cmd_serve(const Args& args) {
           job.frame = frame;
           job.options = popt;
           job.blur_shards = blur_shards;
-          submitted.push_back(clock::now());
-          futures.push_back(service.submit(std::move(job)));
+          job.qos = qos;
+          job.deadline_seconds = deadline;
+          const clock::time_point at = clock::now();
+          try {
+            futures.push_back(service.submit(std::move(job)));
+          } catch (const serve::Overloaded&) {
+            client_shed.fetch_add(1);
+            continue;
+          }
+          submitted.push_back(at);
         }
         for (std::size_t j = 0; j < futures.size(); ++j) {
-          serve::FrameResult r = futures[j].get();
+          serve::FrameResult r;
+          try {
+            r = futures[j].get();
+          } catch (const serve::DeadlineExceeded&) {
+            client_expired.fetch_add(1);
+            continue;
+          }
           latencies[static_cast<std::size_t>(c)].push_back(
               std::chrono::duration<double>(clock::now() - submitted[j])
                   .count());
@@ -656,21 +741,34 @@ int cmd_serve(const Args& args) {
              std::to_string(so.pipeline_depth), std::to_string(blur_shards),
              format_fixed(total_s, 3),
              total_s > 0.0 ? format_fixed(total_jobs / total_s, 2) : "-",
-             format_fixed(percentile(all, 0.5) * 1e3, 2),
-             format_fixed(percentile(all, 0.99) * 1e3, 2),
-             format_fixed(percentile(queue_seconds_all, 0.5) * 1e3, 2)});
+             all.empty() ? "-"
+                         : format_fixed(percentile(all, 0.5) * 1e3, 2),
+             all.empty() ? "-"
+                         : format_fixed(percentile(all, 0.99) * 1e3, 2),
+             queue_seconds_all.empty()
+                 ? "-"
+                 : format_fixed(
+                       percentile(queue_seconds_all, 0.5) * 1e3, 2)});
   std::cout << t.render() << '\n';
 
   TextTable per_shard({"shard", "submitted", "completed", "failed",
-                       "session builds"});
+                       "expired", "degraded", "session builds"});
   for (std::size_t i = 0; i < stats.shards.size(); ++i) {
     const serve::ShardStats& row = stats.shards[i];
     per_shard.add_row({std::to_string(i), std::to_string(row.submitted),
                        std::to_string(row.completed),
                        std::to_string(row.failed),
+                       std::to_string(row.expired),
+                       std::to_string(row.degraded),
                        std::to_string(row.session_builds)});
   }
   std::cout << per_shard.render();
+  if (stats.shed + stats.expired + stats.degraded > 0) {
+    std::cout << "overload outcomes: shed " << stats.shed << " (client saw "
+              << client_shed.load() << "), expired " << stats.expired
+              << " (client saw " << client_expired.load() << "), degraded "
+              << stats.degraded << "\n";
+  }
   std::cout << "\nbit-identical to blocking tone_map(): "
             << (identical ? "yes" : "NO — this is a bug, please report")
             << "\n(shard count beyond the core count only adds queueing on "
