@@ -1,0 +1,195 @@
+// Streaming-session behaviour under load: N concurrent streams (half
+// standard, half best_effort QoS) drive a synthetic pan-and-drift
+// sequence through an in-process stream::SessionManager at overload
+// factors 1x and 2x. The overload factor is applied DETERMINISTICALLY —
+// measure_service is off and rate.assumed_service_seconds is set to
+// overload_factor / fps — so the rate-controller trajectory is identical
+// on every host: at 1x every stream holds full quality; at 2x each
+// standard stream makes exactly one rung switch per sweep (the
+// hysteresis contract) and each best_effort stream is shed as a unit.
+// Emits one benchkit::JsonRecord line per (overload factor, QoS class)
+// on stdout and a human table on stderr.
+//
+//   bench_streaming [--streams N] [--frames F] [--size N] [--fps R]
+//                   [--backend NAME] [--threads T] [--sigma S]
+//
+// Records are a non-gating CI artifact; the frames/s and p99 figures are
+// host-dependent, the switch/shed/flicker figures are not.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/args.hpp"
+#include "common/math.hpp"
+#include "common/table.hpp"
+#include "serve/qos.hpp"
+#include "stream/session.hpp"
+#include "tonemap/pipeline.hpp"
+#include "video/sequence.hpp"
+
+namespace {
+
+using namespace tmhls;
+using Clock = std::chrono::steady_clock;
+
+struct GroupResult {
+  int streams = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t switches = 0;
+  int streams_shed = 0;
+  double flicker_sum = 0.0;
+  std::vector<double> latencies;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args(argc, argv);
+    const int streams = args.get_int("streams", 4);
+    const int frames = args.get_int("frames", 48);
+    const int size = args.get_int("size", 96);
+    const double fps = args.get_double("fps", 30.0);
+    TMHLS_REQUIRE(streams >= 2 && frames >= 1 && size >= 1 && fps > 0.0,
+                  "streams must be >= 2; frames, size and fps positive");
+
+    tonemap::PipelineOptions popt;
+    popt.sigma = args.get_double("sigma", 8.0);
+    popt.backend = args.get_or("backend", "separable_simd");
+    popt.threads = args.get_int("threads", 1);
+    const int taps = popt.kernel().taps();
+
+    // Pre-rendered per-stream sequences: the timed region measures the
+    // session machinery, not scene synthesis.
+    std::vector<std::vector<img::ImageF>> inputs(
+        static_cast<std::size_t>(streams));
+    for (int s = 0; s < streams; ++s) {
+      video::SceneSequence::Config cfg;
+      cfg.frame_size = size;
+      cfg.frames = frames;
+      cfg.master_size = 2 * size;
+      cfg.seed = 2018u + static_cast<std::uint64_t>(s);
+      const video::SceneSequence sequence(cfg);
+      for (int f = 0; f < frames; ++f) {
+        inputs[static_cast<std::size_t>(s)].push_back(sequence.frame(f));
+      }
+    }
+
+    benchkit::print_header("Streaming sessions, backend " + popt.backend,
+                           std::cerr);
+    TextTable table({"overload", "qos", "streams", "delivered", "shed",
+                     "expired", "streams shed", "switches/stream",
+                     "flicker", "frames/s", "p99 (ms)"});
+
+    for (const double factor : {1.0, 2.0}) {
+      stream::SessionManager manager;
+      std::vector<std::uint64_t> ids;
+      std::vector<serve::QosClass> qos_of;
+      for (int s = 0; s < streams; ++s) {
+        stream::StreamConfig sc;
+        sc.pipeline = popt;
+        sc.width = size;
+        sc.height = size;
+        sc.frame_interval_seconds = 1.0 / fps;
+        sc.qos = s % 2 == 0 ? serve::QosClass::standard
+                            : serve::QosClass::best_effort;
+        sc.track_flicker = true;
+        // Deterministic overload: the controller trusts this estimate
+        // alone, so the decision trajectory is host-independent.
+        sc.measure_service = false;
+        sc.rate.assumed_service_seconds = factor / fps;
+        ids.push_back(manager.open(sc));
+        qos_of.push_back(sc.qos);
+      }
+
+      std::map<serve::QosClass, GroupResult> groups;
+      for (int s = 0; s < streams; ++s) {
+        ++groups[qos_of[static_cast<std::size_t>(s)]].streams;
+      }
+      std::vector<bool> dead(static_cast<std::size_t>(streams), false);
+      const auto t0 = Clock::now();
+      for (int f = 0; f < frames; ++f) {
+        for (int s = 0; s < streams; ++s) {
+          if (dead[static_cast<std::size_t>(s)]) continue;
+          GroupResult& g = groups[qos_of[static_cast<std::size_t>(s)]];
+          const stream::SubmitOutcome out = manager.submit_frame(
+              ids[static_cast<std::size_t>(s)],
+              static_cast<std::uint64_t>(f),
+              inputs[static_cast<std::size_t>(s)]
+                    [static_cast<std::size_t>(f)]);
+          for (const stream::StreamFrameResult& r : out.results) {
+            g.latencies.push_back(r.service_seconds);
+          }
+          if (out.stream_shed) dead[static_cast<std::size_t>(s)] = true;
+        }
+      }
+      for (int s = 0; s < streams; ++s) {
+        const stream::CloseResult done =
+            manager.close(ids[static_cast<std::size_t>(s)]);
+        GroupResult& g = groups[qos_of[static_cast<std::size_t>(s)]];
+        for (const stream::StreamFrameResult& r : done.results) {
+          g.latencies.push_back(r.service_seconds);
+        }
+        g.delivered += done.stats.frames_delivered;
+        g.shed += done.stats.frames_shed;
+        g.expired += done.stats.frames_expired;
+        g.switches += done.stats.rung_switches;
+        g.flicker_sum += done.stats.flicker;
+        if (done.stats.state == stream::StreamState::shed) ++g.streams_shed;
+      }
+      const double wall =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+
+      for (const auto& [qos, g] : groups) {
+        const double switches_per_stream =
+            static_cast<double>(g.switches) / g.streams;
+        const double flicker = g.flicker_sum / g.streams;
+        const double frames_per_s =
+            wall > 0.0 ? static_cast<double>(g.delivered) / wall : 0.0;
+        const double p99_ms =
+            g.latencies.empty() ? 0.0
+                                : percentile(g.latencies, 0.99) * 1e3;
+        table.add_row({format_fixed(factor, 1), serve::to_string(qos),
+                       std::to_string(g.streams),
+                       std::to_string(g.delivered), std::to_string(g.shed),
+                       std::to_string(g.expired),
+                       std::to_string(g.streams_shed),
+                       format_fixed(switches_per_stream, 2),
+                       format_fixed(flicker, 4),
+                       format_fixed(frames_per_s, 2),
+                       format_fixed(p99_ms, 2)});
+        benchkit::JsonRecord record("streaming");
+        record.field("qos", std::string(serve::to_string(qos)))
+            .field("backend", popt.backend)
+            .field("threads", popt.threads)
+            .field("streams", g.streams)
+            .field("frames_per_stream", frames)
+            .field("width", size)
+            .field("height", size)
+            .field("taps", taps)
+            .field("fps", fps)
+            .field("overload_factor", factor)
+            .field("frames_delivered", static_cast<int>(g.delivered))
+            .field("frames_shed", static_cast<int>(g.shed))
+            .field("frames_expired", static_cast<int>(g.expired))
+            .field("streams_shed", g.streams_shed)
+            .field("rung_switches_per_stream", switches_per_stream)
+            .field("flicker", flicker)
+            .field("frames_per_second", frames_per_s)
+            .field("latency_p99_ms", p99_ms)
+            .emit();
+      }
+    }
+    std::cerr << '\n' << table.render();
+    return 0;
+  } catch (const tmhls::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -35,6 +35,14 @@ struct BackendCapabilities {
   bool synthesizable = false;
   /// Supports the multi-threaded tiled (row-band) execution mode.
   bool tiled_threads = false;
+  /// The backend can execute the WHOLE five-stage tone-mapping pipeline
+  /// fused into its streaming sweep (tonemap::tone_map_fused): the
+  /// point-wise stages ride the blur pass, so one pipeline invocation
+  /// touches DRAM only for the input and output planes. Without it, the
+  /// staged pipeline materialises every intermediate plane through memory
+  /// between stages — the traffic difference estimate_pipeline_cost
+  /// prices.
+  bool fused_pipeline = false;
   /// Datapath element width in bits (32 for float, the data format width
   /// for fixed-point backends); what the accel layer sizes DMA transfers
   /// and BRAM line buffers with.
@@ -87,6 +95,40 @@ struct BlurCost {
   double seconds = 0.0;
 };
 
+/// Analytic cost of one END-TO-END pipeline invocation (all five stages:
+/// normalize, intensity, mask blur, masking, adjust) on a backend — what
+/// automatic selection and the streaming rate controller rank by, where
+/// BlurCost prices the accelerated stage alone. The point-wise arithmetic
+/// is identical across backends; what differs is the blur itself and
+/// whether the intermediate planes between stages travel through memory
+/// (staged execution) or stay inside a fused streaming sweep
+/// (BackendCapabilities::fused_pipeline).
+struct PipelineCost {
+  /// The mask-blur term, from Backend::estimate_cost.
+  BlurCost blur;
+  /// Aggregate non-blur per-pixel arithmetic of the four point-wise
+  /// stages (a coarse per-pixel constant — identical across backends).
+  double pointwise_ops = 0.0;
+  /// Full end-to-end memory traffic of one invocation, including the
+  /// inter-stage plane traffic a fused backend avoids.
+  std::size_t traffic_bytes = 0;
+  /// Estimated wall time: the blur term plus the point-wise arithmetic
+  /// term plus (for non-fused backends) the inter-stage plane traffic
+  /// priced at the CostModel's plane-bandwidth figure. 0 contributions
+  /// are dropped where no throughput figure is known.
+  double seconds = 0.0;
+};
+
+/// Aggregate point-wise work of the four non-blur stages, in operations
+/// per pixel — a coarse model constant (normalize, intensity, masking and
+/// adjust together), not a per-stage census.
+inline constexpr double kPipelinePointwiseOpsPerPixel = 60.0;
+
+/// Intermediate planes the staged (non-fused) pipeline moves through
+/// memory beyond the blur's own traffic: the normalized, intensity,
+/// masked and output planes, written and re-read between stages.
+inline constexpr std::size_t kPipelineStagePlanes = 9;
+
 /// One execution strategy for the Gaussian mask blur.
 class Backend {
 public:
@@ -122,5 +164,18 @@ public:
   virtual bool can_run(const tonemap::GaussianKernel& kernel,
                        const BlurContext& ctx) const;
 };
+
+/// Price one full pipeline invocation on `backend`. Builds on
+/// Backend::estimate_cost for the blur term, adds the (backend-invariant)
+/// point-wise arithmetic priced at the CostModel's point-wise throughput,
+/// and charges non-fused backends the inter-stage plane traffic at the
+/// CostModel's plane bandwidth. This is what makes `--backend auto` and
+/// the streaming rate controller price fused_stream end-to-end: its blur
+/// throughput alone undersells the fusion, which also deletes every
+/// intermediate plane round-trip.
+PipelineCost estimate_pipeline_cost(const Backend& backend, int width,
+                                    int height,
+                                    const tonemap::GaussianKernel& kernel,
+                                    const BlurContext& ctx = {});
 
 } // namespace tmhls::exec

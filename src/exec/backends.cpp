@@ -92,6 +92,10 @@ BackendCapabilities FusedStreamBackend::capabilities() const {
   caps.float_datapath = true;
   caps.streaming = true; // line-buffer working set, no full-frame tmp plane
   caps.tiled_threads = true;
+  // The whole five-stage pipeline can ride this backend's streaming sweep
+  // (tonemap::tone_map_fused), deleting the inter-stage plane traffic —
+  // what estimate_pipeline_cost credits this flag for.
+  caps.fused_pipeline = true;
   caps.data_bits = 32;
   caps.simd_lanes = tonemap::kSimdDefaultLanes;
   return caps;

@@ -90,6 +90,12 @@ CostModel::CostModel() {
       {"hlscode", 0.81e9},
       {"fused_stream", 9.02e9},
   };
+  // Point-wise stage throughput and plane bandwidth priors, same
+  // provenance as the MAC figures above (reference container, -O3):
+  // scalar per-pixel arithmetic sustains a few Gop/s, and a plane-sized
+  // streaming copy moves on the order of 10 GB/s.
+  pointwise_ops_per_second_ = 4.0e9;
+  plane_bandwidth_bytes_per_second_ = 1.2e10;
 }
 
 double CostModel::macs_per_second(const std::string& backend) const {
@@ -104,6 +110,30 @@ void CostModel::set_macs_per_second(const std::string& backend,
                 "cost model: throughput must be positive");
   const std::lock_guard<std::mutex> lock(mutex_);
   macs_per_second_[backend] = macs_per_s;
+}
+
+double CostModel::pointwise_ops_per_second() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return pointwise_ops_per_second_;
+}
+
+void CostModel::set_pointwise_ops_per_second(double ops_per_s) {
+  TMHLS_REQUIRE(ops_per_s > 0.0,
+                "cost model: point-wise throughput must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  pointwise_ops_per_second_ = ops_per_s;
+}
+
+double CostModel::plane_bandwidth_bytes_per_second() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return plane_bandwidth_bytes_per_second_;
+}
+
+void CostModel::set_plane_bandwidth_bytes_per_second(double bytes_per_s) {
+  TMHLS_REQUIRE(bytes_per_s > 0.0,
+                "cost model: plane bandwidth must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  plane_bandwidth_bytes_per_second_ = bytes_per_s;
 }
 
 int CostModel::calibrate(const std::vector<ThroughputRecord>& records) {

@@ -49,6 +49,21 @@ public:
   /// Set or override one backend's throughput figure directly.
   void set_macs_per_second(const std::string& backend, double macs_per_s);
 
+  /// Sustained point-wise stage arithmetic throughput (operations/second)
+  /// pricing the pipeline's non-blur stages in estimate_pipeline_cost.
+  /// Backend-invariant: the point-wise stages run the same scalar code
+  /// whichever blur backend is selected. Ships as a prior; override with
+  /// set_pointwise_ops_per_second from a measurement.
+  double pointwise_ops_per_second() const;
+  void set_pointwise_ops_per_second(double ops_per_s);
+
+  /// Streaming plane bandwidth (bytes/second) pricing the inter-stage
+  /// plane traffic the staged (non-fused) pipeline pays and a fused
+  /// backend avoids. Ships as a prior; override with
+  /// set_plane_bandwidth_bytes_per_second from a measurement.
+  double plane_bandwidth_bytes_per_second() const;
+  void set_plane_bandwidth_bytes_per_second(double bytes_per_s);
+
   /// Fold measured records in: each single-thread record yields
   /// 2 * taps * width * height / seconds_per_frame MACs/s, and a backend's
   /// entry becomes its best observed figure (capability, not average).
@@ -65,6 +80,8 @@ public:
 private:
   mutable std::mutex mutex_;
   std::map<std::string, double> macs_per_second_;
+  double pointwise_ops_per_second_ = 0.0;
+  double plane_bandwidth_bytes_per_second_ = 0.0;
 };
 
 } // namespace tmhls::exec

@@ -63,11 +63,16 @@ std::shared_ptr<const Backend> select_auto_backend(
     ctx.threads =
         backend->capabilities().tiled_threads ? options.threads : 1;
     if (!backend->can_run(kernel, ctx)) continue;
-    const BlurCost cost = backend->estimate_cost(width, height, kernel, ctx);
-    // Rank by estimated wall time; uncalibrated backends (seconds == 0)
-    // fall back to the MAC count and sort after every timed candidate.
-    const bool has_time = cost.seconds > 0.0;
-    const double key = has_time ? cost.seconds : cost.macs;
+    // Rank by the END-TO-END pipeline estimate, not the blur alone: the
+    // point-wise term is backend-invariant (a constant offset), but a
+    // fused backend additionally avoids the inter-stage plane traffic, a
+    // real advantage a blur-only ranking cannot see. Uncalibrated
+    // backends (no blur throughput figure) fall back to the MAC count
+    // and sort after every timed candidate.
+    const PipelineCost cost =
+        estimate_pipeline_cost(*backend, width, height, kernel, ctx);
+    const bool has_time = cost.blur.seconds > 0.0;
+    const double key = has_time ? cost.seconds : cost.blur.macs;
     if (!best || (has_time && !best_has_time) ||
         (has_time == best_has_time && key < best_key)) {
       best = backend;

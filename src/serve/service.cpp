@@ -147,14 +147,16 @@ std::future<FrameResult> ToneMapService::submit(FrameJob job) {
                 "FrameJob::blur_shards must be in [1, " +
                     std::to_string(kMaxBlurShards) + "], got " +
                     std::to_string(job.blur_shards));
-  TMHLS_REQUIRE(std::isfinite(job.deadline_seconds) &&
-                    job.deadline_seconds >= 0.0,
+  TMHLS_REQUIRE(!job.deadline_seconds ||
+                    (std::isfinite(*job.deadline_seconds) &&
+                     *job.deadline_seconds >= 0.0),
                 "FrameJob::deadline_seconds must be finite and >= 0");
   fault::inject("serve.submit");
-  const bool has_deadline = job.deadline_seconds > 0.0;
+  const bool has_deadline = job.deadline_seconds.has_value();
   const Clock::time_point deadline_at =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                         std::chrono::duration<double>(job.deadline_seconds));
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(job.deadline_seconds.value_or(0.0)));
   const std::uint64_t id = next_job_id_.fetch_add(1);
   const std::size_t count = shards_.size();
   const std::size_t rr = static_cast<std::size_t>(id % count);

@@ -37,6 +37,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -72,13 +73,17 @@ struct FrameJob {
   /// Default standard: degrade rather than shed, never block admission on
   /// an unmeetable deadline.
   QosClass qos = QosClass::standard;
-  /// Relative deadline in seconds, measured from submit(). 0 (default)
-  /// means none — the job behaves exactly like a pre-deadline job. With a
-  /// deadline set, expiry is checked at admission, at dequeue, and between
-  /// pipeline stages; an expired job's future receives DeadlineExceeded
-  /// instead of computing a frame nobody is waiting for. Must be finite
-  /// and >= 0.
-  double deadline_seconds = 0.0;
+  /// Relative deadline in seconds, measured from submit(). Disengaged
+  /// (std::nullopt, the default) means no deadline. This optional is THE
+  /// "no deadline" sentinel of the whole stack: the service, the wire
+  /// protocol and the client all test has_value() instead of comparing
+  /// against a magic number, so a *computed* deadline that happens to be
+  /// exactly 0.0 stays a real (already-expired) deadline rather than
+  /// silently disabling expiry. When engaged, the value must be finite
+  /// and >= 0; expiry is then checked at admission, at dequeue, and
+  /// between pipeline stages, and an expired job's future receives
+  /// DeadlineExceeded instead of computing a frame nobody is waiting for.
+  std::optional<double> deadline_seconds;
 };
 
 /// Upper bound on FrameJob::blur_shards (the executor fan-out one job may

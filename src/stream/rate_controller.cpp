@@ -1,0 +1,165 @@
+#include "stream/rate_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace tmhls::stream {
+
+void validate(const RateControllerOptions& options) {
+  TMHLS_REQUIRE(options.ewma_alpha > 0.0 && options.ewma_alpha <= 1.0,
+                "RateControllerOptions::ewma_alpha must be in (0, 1]");
+  TMHLS_REQUIRE(std::isfinite(options.assumed_service_seconds) &&
+                    options.assumed_service_seconds >= 0.0,
+                "RateControllerOptions::assumed_service_seconds must be "
+                "finite and >= 0");
+  TMHLS_REQUIRE(options.lookahead >= 1,
+                "RateControllerOptions::lookahead must be >= 1, got " +
+                    std::to_string(options.lookahead));
+  TMHLS_REQUIRE(options.down_headroom > 0.0,
+                "RateControllerOptions::down_headroom must be > 0");
+  TMHLS_REQUIRE(options.up_utilization > 0.0 &&
+                    options.up_utilization <= options.down_headroom,
+                "RateControllerOptions::up_utilization must be in "
+                "(0, down_headroom]");
+  TMHLS_REQUIRE(options.up_stability >= 1,
+                "RateControllerOptions::up_stability must be >= 1");
+  TMHLS_REQUIRE(options.min_dwell_frames >= 1,
+                "RateControllerOptions::min_dwell_frames must be >= 1");
+  TMHLS_REQUIRE(options.reevaluate_every >= 1,
+                "RateControllerOptions::reevaluate_every must be >= 1");
+  TMHLS_REQUIRE(options.global_operator_cost > 0.0 &&
+                    options.global_operator_cost <=
+                        options.reduced_blur_cost &&
+                    options.reduced_blur_cost <= 1.0,
+                "RateControllerOptions rung costs must satisfy "
+                "0 < global_operator_cost <= reduced_blur_cost <= 1");
+}
+
+RateController::RateController(RateControllerOptions options,
+                               serve::QosClass qos,
+                               double frame_interval_seconds)
+    : options_((validate(options), options)), qos_(qos),
+      frame_interval_(frame_interval_seconds),
+      ewma_(options.assumed_service_seconds) {
+  TMHLS_REQUIRE(std::isfinite(frame_interval_seconds) &&
+                    frame_interval_seconds > 0.0,
+                "RateController: frame interval must be finite and > 0");
+}
+
+void RateController::record_service(serve::DegradeLevel rung,
+                                    double seconds) {
+  TMHLS_REQUIRE(std::isfinite(seconds) && seconds >= 0.0,
+                "RateController::record_service: seconds must be finite "
+                "and >= 0");
+  // Normalise to full-quality cost so a stream running degraded keeps a
+  // live estimate of what stepping back up would cost.
+  const double full_equivalent = seconds / rung_cost(rung);
+  ewma_ = ewma_ == 0.0 ? full_equivalent
+                       : (1.0 - options_.ewma_alpha) * ewma_ +
+                             options_.ewma_alpha * full_equivalent;
+}
+
+double RateController::rung_cost(serve::DegradeLevel rung) const {
+  switch (rung) {
+  case serve::DegradeLevel::none:
+    return 1.0;
+  case serve::DegradeLevel::reduced_blur:
+    return options_.reduced_blur_cost;
+  case serve::DegradeLevel::global_operator:
+    return options_.global_operator_cost;
+  }
+  return 1.0;
+}
+
+bool RateController::meets_budget(serve::DegradeLevel rung, int queued,
+                                  double headroom) const {
+  // Drain projection over the lookahead window: the current frame plus
+  // the queued backlog, each at the rung's estimated cost, against one
+  // arrival slot per frame. Backlog beyond the window saturates the
+  // numerator but not the budget — a stream that far behind can no
+  // longer catch up inside the window and must act.
+  const int in_window = std::min(queued, options_.lookahead);
+  const double projected =
+      static_cast<double>(1 + queued) * ewma_ * rung_cost(rung);
+  const double budget =
+      static_cast<double>(1 + in_window) * frame_interval_ * headroom;
+  return projected <= budget;
+}
+
+RateDecision RateController::on_frame(int queued) {
+  TMHLS_REQUIRE(queued >= 0, "RateController::on_frame: queued < 0");
+  ++frames_;
+  ++frames_since_switch_;
+  if (decision_.shed) return decision_; // shedding is terminal
+  // Critical streams never degrade and never shed; nothing to evaluate.
+  if (qos_ == serve::QosClass::critical) return decision_;
+  // The sticky half: between evaluation points the decision is returned
+  // unchanged no matter what the load signal does.
+  if (frames_ % static_cast<std::uint64_t>(options_.reevaluate_every) !=
+      0) {
+    return decision_;
+  }
+  if (ewma_ == 0.0) return decision_; // no estimate yet: stay put
+
+  const serve::DegradeLevel current = decision_.rung;
+  if (!meets_budget(current, queued, options_.down_headroom)) {
+    up_streak_ = 0;
+    if (qos_ == serve::QosClass::best_effort) {
+      // Best-effort streams are never degraded: the unit of shedding is
+      // the stream itself.
+      decision_.shed = true;
+      return decision_;
+    }
+    // Least-degraded rung that meets the budget; if none does, the
+    // bottom of the ladder still guarantees a frame (exactly the
+    // serving-layer contract for standard jobs).
+    serve::DegradeLevel target = serve::DegradeLevel::global_operator;
+    for (const serve::DegradeLevel candidate :
+         {serve::DegradeLevel::none, serve::DegradeLevel::reduced_blur}) {
+      if (static_cast<int>(candidate) <= static_cast<int>(current)) {
+        continue; // not a step down
+      }
+      if (meets_budget(candidate, queued, options_.down_headroom)) {
+        target = candidate;
+        break;
+      }
+    }
+    if (target != current) {
+      decision_.rung = target;
+      ++switches_;
+      frames_since_switch_ = 0;
+    }
+    return decision_;
+  }
+
+  // Budget met at the current rung: consider stepping back up, but only
+  // with sustained headroom at the HIGHER rung and outside the dwell
+  // window — the asymmetric hysteresis that prevents flapping.
+  if (current == serve::DegradeLevel::none) {
+    up_streak_ = 0;
+    return decision_;
+  }
+  const serve::DegradeLevel higher =
+      current == serve::DegradeLevel::global_operator
+          ? serve::DegradeLevel::reduced_blur
+          : serve::DegradeLevel::none;
+  if (meets_budget(higher, queued, options_.up_utilization)) {
+    ++up_streak_;
+    if (up_streak_ >= options_.up_stability &&
+        frames_since_switch_ >=
+            static_cast<std::uint64_t>(options_.min_dwell_frames)) {
+      decision_.rung = higher;
+      ++switches_;
+      frames_since_switch_ = 0;
+      up_streak_ = 0;
+    }
+  } else {
+    up_streak_ = 0;
+  }
+  return decision_;
+}
+
+} // namespace tmhls::stream

@@ -1,9 +1,11 @@
 #include "tonemap/frame_pipeline.hpp"
 
+#include <cstring>
 #include <string>
 #include <utility>
 
 #include "common/error.hpp"
+#include "tonemap/fused_stream.hpp"
 
 namespace tmhls::tonemap {
 
@@ -46,6 +48,18 @@ FramePipeline::FramePipeline(FramePipelineOptions options)
     ao.queue_capacity = options_.depth;
     async_ = std::make_unique<exec::AsyncExecutor>(executor_, ao);
   }
+  // Route whole frames through the fused streaming sweep when every
+  // precondition lines up: synchronous execution (depth 1 — deeper
+  // pipelines need the stage split to overlap blur with front stages),
+  // nobody wants the intermediate planes (the fused form never
+  // materialises them), and the session's resolved backend IS the fused
+  // one on its float datapath. tone_map_fused is bit-identical to the
+  // staged tone_map() at every thread count, so this is purely an
+  // execution-shape change — the VideoToneMapper/streaming default
+  // (depth 1) takes it automatically.
+  use_fused_ = options_.depth == 1 && !options_.keep_intermediates &&
+               !executor_.options().use_fixed &&
+               std::strcmp(executor_.backend().name(), "fused_stream") == 0;
 }
 
 FramePipeline::~FramePipeline() = default;
@@ -69,6 +83,18 @@ void FramePipeline::submit_with_scale(const img::ImageF& frame,
   opt.normalization_scale = scale;
 
   if (options_.depth == 1) {
+    if (use_fused_) {
+      // Single fused sweep: the point-wise stages ride the blur pass and
+      // the intermediate planes never exist (exactly what the off state
+      // of keep_intermediates asks for). Bit-identical to the staged
+      // path below.
+      FusedToneMapResult fused = tone_map_fused(frame, opt);
+      PipelineResult r;
+      r.output = std::move(fused.output);
+      r.input_max = fused.input_max;
+      ready_.push_back(std::move(r));
+      return;
+    }
     // Fully synchronous: literally the blocking form — one composition of
     // the stage functions to diverge from, not two.
     PipelineResult r = tone_map(frame, opt, executor_);

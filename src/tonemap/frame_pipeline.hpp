@@ -110,6 +110,12 @@ public:
   int depth() const { return options_.depth; }
   const FramePipelineOptions& options() const { return options_; }
 
+  /// True when frames run as one fused streaming sweep (tone_map_fused)
+  /// instead of the staged composition: depth 1, intermediates not kept,
+  /// and the resolved backend is fused_stream on its float datapath.
+  /// Observable for tests; the output bits are identical either way.
+  bool fused_route() const { return use_fused_; }
+
   /// Session-reuse hook for serving layers: true when a job carrying
   /// `pipeline` options and `width` x `height` frames would produce
   /// bit-identical results through this session as through a session
@@ -141,6 +147,7 @@ private:
   FramePipelineOptions options_;
   GaussianKernel kernel_;
   exec::PipelineExecutor executor_;
+  bool use_fused_ = false; ///< see fused_route()
   std::unique_ptr<exec::AsyncExecutor> async_; ///< null at depth 1
   std::deque<InFlight> in_flight_;
   std::deque<PipelineResult> ready_;

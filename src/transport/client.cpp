@@ -51,21 +51,29 @@ void Client::reconnect() {
   apply_timeouts(socket_, options_.request_timeout_seconds);
 }
 
+void Client::send_message(const std::vector<std::uint8_t>& message,
+                          const char* what) {
+  switch (socket_.send_all(message)) {
+    case SendStatus::timeout:
+      throw TimeoutError(std::string("send timed out while writing ") +
+                         what);
+    case SendStatus::error:
+      throw TransportError(std::string("connection lost while sending ") +
+                           what);
+    case SendStatus::ok: break;
+  }
+}
+
 std::uint64_t Client::submit(serve::FrameJob job) {
   TMHLS_REQUIRE(socket_.valid(), "Client::submit on a closed client");
+  TMHLS_REQUIRE(streams_.empty(), "Client::submit while streams are open");
   wire::Request request;
   request.request_id = next_request_id_++;
   request.job = std::move(job);
   // encode_request validates the job against the wire bounds (non-empty
   // frame, dimensions, blur_shards, deadline) before anything crosses the
   // socket.
-  switch (socket_.send_all(wire::encode_request(request))) {
-    case SendStatus::timeout:
-      throw TimeoutError("send timed out while writing request");
-    case SendStatus::error:
-      throw TransportError("connection lost while sending request");
-    case SendStatus::ok: break;
-  }
+  send_message(wire::encode_request(request), "request");
   ++in_flight_;
   return request.request_id;
 }
@@ -113,7 +121,7 @@ serve::FrameResult Client::call(serve::FrameJob job) {
   const double timeout =
       options_.request_timeout_seconds > 0.0
           ? options_.request_timeout_seconds
-          : (job.deadline_seconds > 0.0 ? job.deadline_seconds + 1.0 : 0.0);
+          : (job.deadline_seconds ? *job.deadline_seconds + 1.0 : 0.0);
   double backoff = options_.retry_backoff_seconds;
   for (int attempt = 0;; ++attempt) {
     const bool last = attempt + 1 >= attempts;
@@ -149,6 +157,163 @@ serve::FrameResult Client::call(serve::FrameJob job) {
       backoff *= 2.0;
     }
   }
+}
+
+void Client::pump_stream_message() {
+  TMHLS_REQUIRE(socket_.valid(),
+                "Client stream operation on a closed client");
+  InboundMessage in;
+  switch (read_message(socket_, in)) { // throws WireError on protocol rot
+    case ReadMessageStatus::eof:
+      throw TransportError(
+          "server closed the connection with streams open");
+    case ReadMessageStatus::error:
+      throw TransportError("connection lost while reading stream reply");
+    case ReadMessageStatus::timeout:
+      throw TimeoutError("receive timed out while waiting for stream reply");
+    case ReadMessageStatus::ok: break;
+  }
+  switch (in.header.type) {
+    case wire::MessageType::stream_opened: {
+      const wire::StreamOpened opened = wire::decode_stream_opened(in.payload);
+      const auto it = streams_.find(opened.stream_id);
+      if (it == streams_.end()) {
+        throw WireError("wire: server opened an unknown stream");
+      }
+      it->second.opened = true;
+      it->second.credits = opened.credits;
+      return;
+    }
+    case wire::MessageType::stream_result: {
+      wire::StreamResult result = wire::decode_stream_result(in.payload);
+      const auto it = streams_.find(result.stream_id);
+      // A delivery implicitly returns the frame's credit.
+      if (it != streams_.end() && !it->second.closed) ++it->second.credits;
+      ClientStreamResult out;
+      out.stream_id = result.stream_id;
+      out.sequence = result.sequence;
+      out.output = std::move(result.output);
+      out.rung = result.rung;
+      out.backend = std::move(result.backend);
+      out.service_seconds = result.service_seconds;
+      stream_results_.push_back(std::move(out));
+      return;
+    }
+    case wire::MessageType::stream_credit: {
+      const wire::StreamCredit credit = wire::decode_stream_credit(in.payload);
+      const auto it = streams_.find(credit.stream_id);
+      if (it != streams_.end() && !it->second.closed) {
+        it->second.credits += credit.credits;
+      }
+      return;
+    }
+    case wire::MessageType::stream_closed: {
+      wire::StreamClosed closed = wire::decode_stream_closed(in.payload);
+      const auto it = streams_.find(closed.stream_id);
+      if (it == streams_.end()) {
+        throw WireError("wire: server closed an unknown stream");
+      }
+      it->second.closed = true;
+      it->second.closed_info = std::move(closed);
+      return;
+    }
+    case wire::MessageType::error: {
+      const wire::ErrorReply reply = wire::decode_error(in.payload);
+      // A stream-scoped per-frame rejection (window exhausted, malformed
+      // frame): the frame never entered the stream server-side, so its
+      // credit comes back here. The stream itself survives.
+      const auto it = streams_.find(reply.request_id);
+      if (it != streams_.end() && it->second.opened && !it->second.closed) {
+        ++it->second.credits;
+      }
+      throw RemoteError(reply.request_id, reply.message, reply.code);
+    }
+    default:
+      throw WireError("wire: server sent an unexpected message type "
+                      "during streaming");
+  }
+}
+
+std::uint64_t Client::open_stream(stream::StreamConfig config) {
+  TMHLS_REQUIRE(socket_.valid(), "Client::open_stream on a closed client");
+  TMHLS_REQUIRE(in_flight_ == 0,
+                "Client::open_stream with pipelined requests outstanding");
+  const std::uint64_t id = next_stream_id_++;
+  wire::StreamOpen open;
+  open.stream_id = id;
+  open.config = std::move(config);
+  // encode_stream_open validates the config against the wire bounds
+  // before anything crosses the socket.
+  const std::vector<std::uint8_t> message = wire::encode_stream_open(open);
+  streams_.emplace(id, StreamSession{});
+  try {
+    send_message(message, "stream open");
+    while (!streams_.at(id).opened) pump_stream_message();
+  } catch (...) {
+    streams_.erase(id);
+    throw;
+  }
+  return id;
+}
+
+void Client::send_stream_frame(std::uint64_t stream_id,
+                               std::uint64_t sequence,
+                               const img::ImageF& frame) {
+  const auto it = streams_.find(stream_id);
+  TMHLS_REQUIRE(it != streams_.end() && it->second.opened,
+                "Client::send_stream_frame on an unknown stream");
+  // Enforce the flow-control window client-side: block reading replies
+  // (which buffer into stream_results_) until a credit frees up.
+  while (!it->second.closed && it->second.credits == 0) {
+    pump_stream_message();
+  }
+  if (it->second.closed) {
+    const wire::StreamClosed& info = it->second.closed_info;
+    const wire::ErrorCode code =
+        info.status == wire::StreamStatus::shed ? wire::ErrorCode::overloaded
+                                                : wire::ErrorCode::generic;
+    throw RemoteError(stream_id,
+                      info.status == wire::StreamStatus::shed
+                          ? "stream shed by the server's rate controller"
+                          : "stream terminated by the server: " +
+                                info.message,
+                      code);
+  }
+  wire::StreamFrame message;
+  message.stream_id = stream_id;
+  message.sequence = sequence;
+  message.frame = frame;
+  send_message(wire::encode_stream_frame(message), "stream frame");
+  --it->second.credits;
+}
+
+ClientStreamResult Client::next_stream_result() {
+  while (stream_results_.empty()) pump_stream_message();
+  ClientStreamResult out = std::move(stream_results_.front());
+  stream_results_.pop_front();
+  return out;
+}
+
+wire::StreamClosed Client::close_stream(std::uint64_t stream_id) {
+  const auto it = streams_.find(stream_id);
+  TMHLS_REQUIRE(it != streams_.end() && it->second.opened,
+                "Client::close_stream on an unknown stream");
+  if (!it->second.closed) {
+    wire::StreamClose close;
+    close.stream_id = stream_id;
+    send_message(wire::encode_stream_close(close), "stream close");
+    while (!it->second.closed) pump_stream_message();
+  }
+  wire::StreamClosed info = std::move(it->second.closed_info);
+  streams_.erase(it);
+  return info;
+}
+
+std::uint32_t Client::stream_credits(std::uint64_t stream_id) const {
+  const auto it = streams_.find(stream_id);
+  TMHLS_REQUIRE(it != streams_.end() && it->second.opened,
+                "Client::stream_credits on an unknown stream");
+  return it->second.credits;
 }
 
 void Client::finish_requests() { socket_.shutdown_write(); }

@@ -14,9 +14,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <string>
 
 #include "serve/service.hpp"
+#include "stream/session.hpp"
 #include "transport/socket.hpp"
 #include "transport/wire.hpp"
 
@@ -73,6 +76,18 @@ struct ClientResult {
   serve::FrameResult result;
 };
 
+/// One delivered stream frame from next_stream_result(): the wire
+/// StreamResult fields with the client-side stream id.
+struct ClientStreamResult {
+  std::uint64_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  img::ImageF output;
+  /// Rung the frame actually ran at server-side.
+  serve::DegradeLevel rung = serve::DegradeLevel::none;
+  std::string backend;
+  double service_seconds = 0.0;
+};
+
 /// The blocking/pipelined transport client.
 class Client {
 public:
@@ -113,6 +128,46 @@ public:
   /// Requests submitted whose replies have not been read yet.
   std::size_t in_flight() const { return in_flight_; }
 
+  // --- Streaming sessions (wire v3) ---------------------------------------
+  //
+  // A Client is either in request mode or stream mode per conversation:
+  // open_stream() requires no pipelined requests outstanding, submit()
+  // requires no streams open. Stream ids are client-assigned; results
+  // arrive strictly in sequence order per stream. The credit window is
+  // enforced here — send_stream_frame() blocks (reading replies into the
+  // result buffer) while the stream has zero credits, so the client can
+  // never overrun the server's flow-control window.
+
+  /// Open a stream session with the server. Blocks for the server's
+  /// verdict: returns the stream id on StreamOpened, throws RemoteError
+  /// (typed overloaded for a capacity shed) on rejection.
+  std::uint64_t open_stream(stream::StreamConfig config);
+
+  /// Send frame `sequence` of an open stream, consuming one credit
+  /// (blocking for credits first if none are left). Throws RemoteError if
+  /// the server terminated the stream (shed -> ErrorCode::overloaded,
+  /// failed -> generic), or for a per-frame server rejection discovered
+  /// while waiting — the stream itself survives those.
+  void send_stream_frame(std::uint64_t stream_id, std::uint64_t sequence,
+                         const img::ImageF& frame);
+
+  /// Delivered frames already read off the socket while pumping.
+  std::size_t buffered_stream_results() const {
+    return stream_results_.size();
+  }
+
+  /// Next delivered frame, in per-stream sequence order: pops the buffer,
+  /// or blocks reading the socket until one arrives.
+  ClientStreamResult next_stream_result();
+
+  /// End a stream: sends StreamClose (unless the server already
+  /// terminated the stream spontaneously), drains the tail into the
+  /// result buffer, and returns the final per-stream counters.
+  wire::StreamClosed close_stream(std::uint64_t stream_id);
+
+  /// Flow-control credits currently held for an open stream.
+  std::uint32_t stream_credits(std::uint64_t stream_id) const;
+
   /// Half-close: tell the server no more requests are coming. Replies to
   /// outstanding requests can still be read.
   void finish_requests();
@@ -120,14 +175,31 @@ public:
   void close();
 
 private:
+  /// Client-side state of one stream session.
+  struct StreamSession {
+    bool opened = false; ///< StreamOpened received
+    bool closed = false; ///< StreamClosed received (info below valid)
+    std::uint32_t credits = 0;
+    wire::StreamClosed closed_info;
+  };
+
   /// Re-establish the connection (connect retry + configured timeouts)
   /// after close(); used by call()'s retry path.
   void reconnect();
+  /// Read and dispatch ONE server-to-client stream message (result,
+  /// credit, closed, or stream-scoped error — the last throws
+  /// RemoteError after restoring the frame's credit).
+  void pump_stream_message();
+  void send_message(const std::vector<std::uint8_t>& message,
+                    const char* what);
 
   ClientOptions options_;
   Socket socket_;
   std::uint64_t next_request_id_ = 0;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_stream_id_ = 1;
+  std::map<std::uint64_t, StreamSession> streams_;
+  std::deque<ClientStreamResult> stream_results_;
 };
 
 } // namespace tmhls::transport

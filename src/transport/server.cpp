@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <map>
 #include <string>
 #include <utility>
 
@@ -54,6 +55,13 @@ struct Server::Connection {
   std::condition_variable window_open;   ///< reader waits for a window slot
   std::condition_variable pending_ready; ///< writer waits for work / eof
   std::deque<PendingReply> pending;
+  /// Pre-encoded stream replies (results, credits, closed, stream-scoped
+  /// errors), written FIFO ahead of `pending` — in-order delivery is part
+  /// of the stream contract. Guarded by `mutex`.
+  std::deque<std::vector<std::uint8_t>> outbox;
+  /// Client-assigned stream id -> SessionManager stream id for every
+  /// stream this connection owns. Reader-thread only — no lock.
+  std::map<std::uint64_t, std::uint64_t> stream_ids;
   bool reader_done = false;  ///< no further requests will be pushed
   bool write_failed = false; ///< peer gone: drain futures, skip writes
   std::atomic<bool> reader_exited{false};
@@ -96,7 +104,7 @@ wire::ErrorCode classify(const std::exception& e) {
 
 Server::Server(ServerOptions options)
     : options_(checked(std::move(options))), service_(options_.service),
-      listener_(options_.port) {
+      sessions_(options_.sessions), listener_(options_.port) {
   port_ = listener_.port();
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
@@ -112,6 +120,10 @@ ServerStats Server::stats() const {
   s.requests_shed = requests_shed_.load();
   s.requests_expired = requests_expired_.load();
   s.protocol_errors = protocol_errors_.load();
+  s.streams_opened = streams_opened_.load();
+  s.streams_closed = streams_closed_.load();
+  s.stream_frames_received = stream_frames_received_.load();
+  s.stream_results_sent = stream_results_sent_.load();
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     for (const auto& connection : connections_) {
@@ -205,11 +217,32 @@ void Server::reader_loop(Connection& c) {
       protocol_errors_.fetch_add(1);
       break;
     }
+    if (in.header.type != wire::MessageType::request) {
+      // Stream messages (v3) are processed inline right here; see the
+      // handle_stream_* declarations for why that is the right thread.
+      try {
+        switch (in.header.type) {
+          case wire::MessageType::stream_open:
+            handle_stream_open(c, in.payload);
+            break;
+          case wire::MessageType::stream_frame:
+            handle_stream_frame(c, in.payload);
+            break;
+          case wire::MessageType::stream_close:
+            handle_stream_close(c, in.payload);
+            break;
+          default:
+            throw WireError("wire: client sent a server-to-client message");
+        }
+      } catch (const WireError&) {
+        protocol_errors_.fetch_add(1);
+        c.socket.shutdown_both();
+        break;
+      }
+      continue;
+    }
     wire::Request request;
     try {
-      if (in.header.type != wire::MessageType::request) {
-        throw WireError("wire: client sent a non-request message");
-      }
       request = wire::decode_request(in.payload);
     } catch (const WireError&) {
       protocol_errors_.fetch_add(1);
@@ -250,6 +283,10 @@ void Server::reader_loop(Connection& c) {
     }
     c.pending_ready.notify_one();
   }
+  // Mid-stream disconnect (EOF, protocol violation, broken read alike):
+  // reclaim every stream this connection still owns so half-finished
+  // producers cannot pin stream slots. Undelivered frames count shed.
+  abort_connection_streams(c);
   {
     std::lock_guard<std::mutex> lock(c.mutex);
     c.reader_done = true;
@@ -258,20 +295,177 @@ void Server::reader_loop(Connection& c) {
   c.reader_exited.store(true, std::memory_order_release);
 }
 
+void Server::enqueue(Connection& c, std::vector<std::uint8_t> message) {
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.outbox.push_back(std::move(message));
+  }
+  c.pending_ready.notify_one();
+}
+
+void Server::handle_stream_open(Connection& c,
+                                std::span<const std::uint8_t> payload) {
+  const wire::StreamOpen open = wire::decode_stream_open(payload);
+  if (c.stream_ids.count(open.stream_id) != 0) {
+    throw WireError("wire: stream id " + std::to_string(open.stream_id) +
+                    " is already open on this connection");
+  }
+  try {
+    const std::uint64_t local = sessions_.open(open.config);
+    c.stream_ids.emplace(open.stream_id, local);
+    streams_opened_.fetch_add(1);
+    enqueue(c, wire::encode_stream_opened(
+                   {open.stream_id,
+                    static_cast<std::uint32_t>(open.config.credits)}));
+  } catch (const std::exception& e) {
+    // Rejected open (capacity shed, malformed config): an error reply
+    // carrying the stream id in request_id; the connection continues.
+    if (classify(e) == wire::ErrorCode::overloaded) {
+      requests_shed_.fetch_add(1);
+    }
+    errors_sent_.fetch_add(1);
+    enqueue(c, wire::encode_error({open.stream_id, classify(e), e.what()}));
+  }
+}
+
+void Server::handle_stream_frame(Connection& c,
+                                 std::span<const std::uint8_t> payload) {
+  wire::StreamFrame frame = wire::decode_stream_frame(payload);
+  stream_frames_received_.fetch_add(1);
+  const auto it = c.stream_ids.find(frame.stream_id);
+  if (it == c.stream_ids.end()) {
+    errors_sent_.fetch_add(1);
+    enqueue(c, wire::encode_error({frame.stream_id,
+                                   wire::ErrorCode::invalid_argument,
+                                   "transport: frame for unknown stream"}));
+    return;
+  }
+  try {
+    stream::SubmitOutcome out =
+        sessions_.submit_frame(it->second, frame.sequence, frame.frame);
+    for (stream::StreamFrameResult& r : out.results) {
+      stream_results_sent_.fetch_add(1);
+      enqueue(c, wire::encode_stream_result({frame.stream_id, r.sequence,
+                                             r.rung, r.backend,
+                                             r.service_seconds,
+                                             std::move(r.output)}));
+    }
+    if (out.credits_released > 0) {
+      enqueue(c,
+              wire::encode_stream_credit({frame.stream_id,
+                                          out.credits_released}));
+    }
+    if (out.stream_shed) {
+      // The rate controller shed the whole stream (best_effort overload):
+      // finalize it and tell the client spontaneously.
+      const stream::CloseResult done = sessions_.close(it->second);
+      c.stream_ids.erase(it);
+      streams_closed_.fetch_add(1);
+      enqueue(c, wire::encode_stream_closed(
+                     {frame.stream_id, wire::StreamStatus::shed,
+                      done.stats.frames_delivered, done.stats.frames_shed,
+                      done.stats.frames_expired,
+                      static_cast<std::uint32_t>(done.stats.rung_switches),
+                      ""}));
+    }
+  } catch (const serve::Overloaded& e) {
+    // Flow-control window exhausted: per-frame rejection, stream survives.
+    requests_shed_.fetch_add(1);
+    errors_sent_.fetch_add(1);
+    enqueue(c, wire::encode_error(
+                   {frame.stream_id, wire::ErrorCode::overloaded, e.what()}));
+  } catch (const InvalidArgument& e) {
+    // Malformed frame (geometry mismatch, dark frame): per-frame
+    // rejection, stream survives.
+    errors_sent_.fetch_add(1);
+    enqueue(c, wire::encode_error({frame.stream_id,
+                                   wire::ErrorCode::invalid_argument,
+                                   e.what()}));
+  } catch (const std::exception& e) {
+    // Processing itself failed: the stream's pipeline state is suspect —
+    // abort it as a unit and report the failure terminally.
+    const stream::StreamStats st = sessions_.abort(it->second);
+    c.stream_ids.erase(it);
+    streams_closed_.fetch_add(1);
+    enqueue(c, wire::encode_stream_closed(
+                   {frame.stream_id, wire::StreamStatus::failed,
+                    st.frames_delivered, st.frames_shed, st.frames_expired,
+                    static_cast<std::uint32_t>(st.rung_switches),
+                    e.what()}));
+  }
+}
+
+void Server::handle_stream_close(Connection& c,
+                                 std::span<const std::uint8_t> payload) {
+  const wire::StreamClose close = wire::decode_stream_close(payload);
+  const auto it = c.stream_ids.find(close.stream_id);
+  if (it == c.stream_ids.end()) {
+    errors_sent_.fetch_add(1);
+    enqueue(c, wire::encode_error({close.stream_id,
+                                   wire::ErrorCode::invalid_argument,
+                                   "transport: close for unknown stream"}));
+    return;
+  }
+  const std::uint64_t local = it->second;
+  c.stream_ids.erase(it);
+  streams_closed_.fetch_add(1);
+  try {
+    stream::CloseResult done = sessions_.close(local);
+    for (stream::StreamFrameResult& r : done.results) {
+      stream_results_sent_.fetch_add(1);
+      enqueue(c, wire::encode_stream_result({close.stream_id, r.sequence,
+                                             r.rung, r.backend,
+                                             r.service_seconds,
+                                             std::move(r.output)}));
+    }
+    const wire::StreamStatus status =
+        done.stats.state == stream::StreamState::shed
+            ? wire::StreamStatus::shed
+            : wire::StreamStatus::closed;
+    enqueue(c, wire::encode_stream_closed(
+                   {close.stream_id, status, done.stats.frames_delivered,
+                    done.stats.frames_shed, done.stats.frames_expired,
+                    static_cast<std::uint32_t>(done.stats.rung_switches),
+                    ""}));
+  } catch (const std::exception& e) {
+    // close() absorbs processing failures internally; this is the
+    // defensive net for anything else (the stream is already retired).
+    enqueue(c, wire::encode_stream_closed({close.stream_id,
+                                           wire::StreamStatus::failed, 0, 0,
+                                           0, 0, e.what()}));
+  }
+}
+
+void Server::abort_connection_streams(Connection& c) {
+  for (const auto& [remote, local] : c.stream_ids) {
+    streams_closed_.fetch_add(1); // gone either way — keep opened==closed
+    try {
+      sessions_.abort(local);
+    } catch (const std::exception&) {
+      // Already retired (e.g. by a reclaim_stalled sweep): nothing to do.
+    }
+  }
+  c.stream_ids.clear();
+}
+
 void Server::writer_loop(Connection& c) {
-  const auto send = [this, &c](const std::vector<std::uint8_t>& message,
-                               std::atomic<std::uint64_t>& counter) {
-    // Count before writing (the service-counter convention): the client
-    // can observe the reply the instant the last byte reaches the socket
-    // buffer, possibly before this thread runs again — counting after
-    // the write would let a stats() reader see the reply but not the
-    // count.
-    counter.fetch_add(1);
+  const auto send_bytes = [&c](const std::vector<std::uint8_t>& message) {
     if (c.socket.send_all(message) != SendStatus::ok) {
       // error and timeout alike: the peer is not draining this stream.
       std::lock_guard<std::mutex> lock(c.mutex);
       c.write_failed = true;
     }
+  };
+  const auto send = [&send_bytes](const std::vector<std::uint8_t>& message,
+                                  std::atomic<std::uint64_t>& counter) {
+    // Count before writing (the service-counter convention): the client
+    // can observe the reply the instant the last byte reaches the socket
+    // buffer, possibly before this thread runs again — counting after
+    // the write would let a stats() reader see the reply but not the
+    // count. (Stream replies in the outbox were counted at enqueue, the
+    // same convention one step earlier.)
+    counter.fetch_add(1);
+    send_bytes(message);
   };
   // Error replies additionally advance the shed/expired counters their
   // typed code names.
@@ -290,9 +484,20 @@ void Server::writer_loop(Connection& c) {
 
   for (;;) {
     std::unique_lock<std::mutex> lock(c.mutex);
-    c.pending_ready.wait(
-        lock, [&c] { return !c.pending.empty() || c.reader_done; });
-    if (c.pending.empty()) break; // reader done and window drained
+    c.pending_ready.wait(lock, [&c] {
+      return !c.outbox.empty() || !c.pending.empty() || c.reader_done;
+    });
+    // Stream replies first: already encoded, and strictly FIFO — in-order
+    // delivery is part of the stream contract.
+    if (!c.outbox.empty()) {
+      const std::vector<std::uint8_t> message = std::move(c.outbox.front());
+      c.outbox.pop_front();
+      const bool skip = c.write_failed;
+      lock.unlock();
+      if (!skip) send_bytes(message);
+      continue;
+    }
+    if (c.pending.empty()) break; // reader done, outbox + window drained
 
     // Prefer any reply that is already ready — responses go out as
     // futures resolve, not in submission order.

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "serve/service.hpp"
+#include "stream/session.hpp"
 #include "transport/socket.hpp"
 
 namespace tmhls::transport {
@@ -43,6 +45,10 @@ struct ServerOptions {
   std::uint16_t port = 0;
   /// Options of the owned ToneMapService the transport fronts.
   serve::ToneMapServiceOptions service;
+  /// Options of the owned stream::SessionManager behind the v3 streaming
+  /// messages (max_streams is the server-wide stream capacity, shared by
+  /// every connection).
+  stream::SessionManagerOptions sessions;
   /// Bound on decoded-but-unanswered requests per connection. The reader
   /// stops pulling new requests off the socket while the window is full,
   /// so a client that pipelines beyond it is throttled by TCP flow
@@ -83,6 +89,17 @@ struct ServerStats {
   /// Connections dropped for wire-protocol violations (bad magic,
   /// checksum mismatch, truncation, oversized fields).
   std::uint64_t protocol_errors = 0;
+  /// Stream sessions opened over the wire (StreamOpen accepted).
+  std::uint64_t streams_opened = 0;
+  /// Stream sessions retired over the wire: client close, server-side
+  /// shed/abort, and reader-exit reclamation alike. Once every connection
+  /// is gone, streams_closed == streams_opened.
+  std::uint64_t streams_closed = 0;
+  /// StreamFrame messages decoded (whether delivered, shed or expired).
+  std::uint64_t stream_frames_received = 0;
+  /// StreamResult messages written back. Same advance-before-write
+  /// convention as responses_sent.
+  std::uint64_t stream_results_sent = 0;
 };
 
 /// The socket transport front. Construction binds, listens and starts
@@ -105,6 +122,11 @@ public:
   serve::ToneMapService& service() { return service_; }
   const serve::ToneMapService& service() const { return service_; }
 
+  /// The owned stream session manager (e.g. for SessionManagerStats and
+  /// reclaim_stalled sweeps alongside the transport counters).
+  stream::SessionManager& sessions() { return sessions_; }
+  const stream::SessionManager& sessions() const { return sessions_; }
+
   /// Snapshot of the transport-level counters.
   ServerStats stats() const;
 
@@ -121,8 +143,27 @@ private:
   void writer_loop(Connection& connection);
   void reap_finished_locked();
 
+  /// Stream-message dispatch, run inline on the connection's reader
+  /// thread (a stream's frames are serialised per stream anyway, and the
+  /// synchronous processing is itself the backpressure — the credit
+  /// window bounds what a client can queue behind it). Replies go through
+  /// the writer's outbox so the socket keeps a single writing thread.
+  /// WireError propagates to the caller (protocol violation).
+  void handle_stream_open(Connection& connection,
+                          std::span<const std::uint8_t> payload);
+  void handle_stream_frame(Connection& connection,
+                           std::span<const std::uint8_t> payload);
+  void handle_stream_close(Connection& connection,
+                           std::span<const std::uint8_t> payload);
+  /// Reader-exit reclamation: abort every stream the connection still
+  /// owns (mid-stream disconnects must not pin stream slots).
+  void abort_connection_streams(Connection& connection);
+  static void enqueue(Connection& connection,
+                      std::vector<std::uint8_t> message);
+
   ServerOptions options_;
   serve::ToneMapService service_;
+  stream::SessionManager sessions_;
   ListenSocket listener_;
   std::uint16_t port_ = 0;
 
@@ -138,6 +179,10 @@ private:
   std::atomic<std::uint64_t> requests_shed_{0};
   std::atomic<std::uint64_t> requests_expired_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> streams_opened_{0};
+  std::atomic<std::uint64_t> streams_closed_{0};
+  std::atomic<std::uint64_t> stream_frames_received_{0};
+  std::atomic<std::uint64_t> stream_results_sent_{0};
 };
 
 } // namespace tmhls::transport

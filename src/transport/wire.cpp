@@ -421,9 +421,8 @@ Header decode_header(std::span<const std::uint8_t> bytes) {
     throw WireError("wire: unsupported protocol version " +
                     std::to_string(header.version));
   }
-  if (type != static_cast<std::uint16_t>(MessageType::request) &&
-      type != static_cast<std::uint16_t>(MessageType::response) &&
-      type != static_cast<std::uint16_t>(MessageType::error)) {
+  if (type < static_cast<std::uint16_t>(MessageType::request) ||
+      type > static_cast<std::uint16_t>(MessageType::stream_closed)) {
     throw WireError("wire: unknown message type " + std::to_string(type));
   }
   header.type = static_cast<MessageType>(type);
@@ -451,14 +450,19 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
   TMHLS_REQUIRE(request.job.blur_shards >= 1 &&
                     request.job.blur_shards <= serve::kMaxBlurShards,
                 "wire: blur_shards outside [1, kMaxBlurShards]");
-  TMHLS_REQUIRE(std::isfinite(request.job.deadline_seconds) &&
-                    request.job.deadline_seconds >= 0.0,
+  TMHLS_REQUIRE(!request.job.deadline_seconds ||
+                    (std::isfinite(*request.job.deadline_seconds) &&
+                     *request.job.deadline_seconds >= 0.0),
                 "wire: deadline_seconds must be finite and >= 0");
   std::vector<std::uint8_t> payload;
   put_u64(payload, request.request_id);
   put_u32(payload, static_cast<std::uint32_t>(request.job.blur_shards));
   put_u8(payload, code_of(request.job.qos));
-  put_f64(payload, request.job.deadline_seconds);
+  // "No deadline" travels as an explicit flag byte (v3): the f64 that
+  // follows is only meaningful when the flag is 1, and must be zero
+  // otherwise so every no-deadline request has exactly one encoding.
+  put_u8(payload, request.job.deadline_seconds.has_value() ? 1 : 0);
+  put_f64(payload, request.job.deadline_seconds.value_or(0.0));
   put_options(payload, request.job.options);
   put_image(payload, request.job.frame);
   return seal(MessageType::request, std::move(payload));
@@ -477,14 +481,24 @@ Request decode_request(std::span<const std::uint8_t> payload) {
   }
   request.job.blur_shards = static_cast<int>(blur_shards);
   request.job.qos = qos_of(in.u8());
-  request.job.deadline_seconds = in.f64();
+  const std::uint8_t has_deadline = in.u8();
+  if (has_deadline > 1) {
+    throw WireError("wire: deadline flag must be 0 or 1, got " +
+                    std::to_string(has_deadline));
+  }
+  const double deadline = in.f64();
   // The deadline is relative (seconds from server-side admission), so no
   // clock synchronisation is assumed — but hostile bit patterns (NaN,
   // infinities, negatives) are a protocol violation, not an execution
-  // error.
-  if (!std::isfinite(request.job.deadline_seconds) ||
-      request.job.deadline_seconds < 0.0) {
-    throw WireError("wire: deadline_seconds must be finite and >= 0");
+  // error. An absent deadline must carry exactly 0.0 so each request has
+  // a single canonical encoding.
+  if (has_deadline == 1) {
+    if (!std::isfinite(deadline) || deadline < 0.0) {
+      throw WireError("wire: deadline_seconds must be finite and >= 0");
+    }
+    request.job.deadline_seconds = deadline;
+  } else if (deadline != 0.0) {
+    throw WireError("wire: deadline value must be 0 when the flag is 0");
   }
   request.job.options = read_options(in);
   request.job.frame = read_image(in);
@@ -540,6 +554,235 @@ ErrorReply decode_error(std::span<const std::uint8_t> payload) {
   reply.message = in.string();
   in.expect_exhausted("error");
   return reply;
+}
+
+namespace {
+
+std::uint8_t code_of(StreamStatus status) {
+  switch (status) {
+    case StreamStatus::closed: return 0;
+    case StreamStatus::shed: return 1;
+    case StreamStatus::failed: return 2;
+  }
+  throw WireError("wire: unencodable StreamStatus");
+}
+
+StreamStatus stream_status_of(std::uint8_t code) {
+  switch (code) {
+    case 0: return StreamStatus::closed;
+    case 1: return StreamStatus::shed;
+    case 2: return StreamStatus::failed;
+  }
+  throw WireError("wire: unknown StreamStatus code " +
+                  std::to_string(code));
+}
+
+/// Shared bounds of the client-controllable StreamConfig fields —
+/// encoders refuse what decoders would reject, so a conforming client
+/// cannot emit a message a conforming server drops the connection for.
+void check_stream_config(const stream::StreamConfig& config) {
+  if (!std::isfinite(config.frame_interval_seconds) ||
+      config.frame_interval_seconds <= 0.0 ||
+      config.frame_interval_seconds > 3600.0) {
+    throw WireError("wire: stream frame_interval_seconds must be in "
+                    "(0, 3600]");
+  }
+  if (!std::isfinite(config.adaptation_rate) ||
+      config.adaptation_rate <= 0.0 || config.adaptation_rate > 1.0) {
+    throw WireError("wire: stream adaptation_rate must be in (0, 1]");
+  }
+  if (config.width < 1 || config.width > kMaxDimension ||
+      config.height < 1 || config.height > kMaxDimension) {
+    throw WireError("wire: stream geometry outside [1, kMaxDimension]");
+  }
+  if (config.pipeline_depth < 1 ||
+      config.pipeline_depth > stream::kMaxStreamDepth) {
+    throw WireError("wire: stream pipeline_depth outside [1, " +
+                    std::to_string(stream::kMaxStreamDepth) + "]");
+  }
+  if (config.reorder_window < 0 ||
+      config.reorder_window > stream::kMaxReorderWindow) {
+    throw WireError("wire: stream reorder_window outside [0, " +
+                    std::to_string(stream::kMaxReorderWindow) + "]");
+  }
+  if (config.credits < 1 || config.credits > stream::kMaxStreamCredits) {
+    throw WireError("wire: stream credits outside [1, " +
+                    std::to_string(stream::kMaxStreamCredits) + "]");
+  }
+}
+
+} // namespace
+
+std::vector<std::uint8_t> encode_stream_open(const StreamOpen& open) {
+  check_stream_config(open.config);
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, open.stream_id);
+  put_u8(payload, code_of(open.config.qos));
+  put_f64(payload, open.config.frame_interval_seconds);
+  put_f64(payload, open.config.adaptation_rate);
+  put_u32(payload, static_cast<std::uint32_t>(open.config.width));
+  put_u32(payload, static_cast<std::uint32_t>(open.config.height));
+  put_u32(payload, static_cast<std::uint32_t>(open.config.pipeline_depth));
+  put_u32(payload, static_cast<std::uint32_t>(open.config.reorder_window));
+  put_u32(payload, static_cast<std::uint32_t>(open.config.credits));
+  put_options(payload, open.config.pipeline);
+  return seal(MessageType::stream_open, std::move(payload));
+}
+
+StreamOpen decode_stream_open(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamOpen open;
+  open.stream_id = in.u64();
+  open.config.qos = qos_of(in.u8());
+  open.config.frame_interval_seconds = in.f64();
+  open.config.adaptation_rate = in.f64();
+  open.config.width = static_cast<int>(in.u32());
+  open.config.height = static_cast<int>(in.u32());
+  open.config.pipeline_depth = static_cast<int>(in.u32());
+  open.config.reorder_window = static_cast<int>(in.u32());
+  open.config.credits = static_cast<int>(in.u32());
+  check_stream_config(open.config);
+  open.config.pipeline = read_options(in);
+  in.expect_exhausted("stream_open");
+  return open;
+}
+
+std::vector<std::uint8_t> encode_stream_opened(const StreamOpened& opened) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, opened.stream_id);
+  put_u32(payload, opened.credits);
+  return seal(MessageType::stream_opened, std::move(payload));
+}
+
+StreamOpened decode_stream_opened(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamOpened opened;
+  opened.stream_id = in.u64();
+  opened.credits = in.u32();
+  if (opened.credits < 1 ||
+      opened.credits >
+          static_cast<std::uint32_t>(stream::kMaxStreamCredits)) {
+    throw WireError("wire: stream_opened credits outside [1, " +
+                    std::to_string(stream::kMaxStreamCredits) + "]");
+  }
+  in.expect_exhausted("stream_opened");
+  return opened;
+}
+
+std::vector<std::uint8_t> encode_stream_frame(const StreamFrame& frame) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, frame.stream_id);
+  put_u64(payload, frame.sequence);
+  put_image(payload, frame.frame);
+  return seal(MessageType::stream_frame, std::move(payload));
+}
+
+StreamFrame decode_stream_frame(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamFrame frame;
+  frame.stream_id = in.u64();
+  frame.sequence = in.u64();
+  frame.frame = read_image(in);
+  in.expect_exhausted("stream_frame");
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_stream_result(const StreamResult& result) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, result.stream_id);
+  put_u64(payload, result.sequence);
+  put_u8(payload, code_of(result.rung));
+  put_string(payload, result.backend);
+  put_f64(payload, result.service_seconds);
+  put_image(payload, result.output);
+  return seal(MessageType::stream_result, std::move(payload));
+}
+
+StreamResult decode_stream_result(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamResult result;
+  result.stream_id = in.u64();
+  result.sequence = in.u64();
+  result.rung = degrade_of(in.u8());
+  result.backend = in.string();
+  result.service_seconds = in.f64();
+  result.output = read_image(in);
+  in.expect_exhausted("stream_result");
+  return result;
+}
+
+std::vector<std::uint8_t> encode_stream_credit(const StreamCredit& credit) {
+  // Same range the decoder enforces: a correct peer never emits a grant
+  // outside the flow-control window bounds.
+  if (credit.credits < 1 ||
+      credit.credits >
+          static_cast<std::uint32_t>(stream::kMaxStreamCredits)) {
+    throw WireError("wire: stream_credit credits outside [1, " +
+                    std::to_string(stream::kMaxStreamCredits) + "]");
+  }
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, credit.stream_id);
+  put_u32(payload, credit.credits);
+  return seal(MessageType::stream_credit, std::move(payload));
+}
+
+StreamCredit decode_stream_credit(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamCredit credit;
+  credit.stream_id = in.u64();
+  credit.credits = in.u32();
+  if (credit.credits < 1 ||
+      credit.credits >
+          static_cast<std::uint32_t>(stream::kMaxStreamCredits)) {
+    throw WireError("wire: stream_credit credits outside [1, " +
+                    std::to_string(stream::kMaxStreamCredits) + "]");
+  }
+  in.expect_exhausted("stream_credit");
+  return credit;
+}
+
+std::vector<std::uint8_t> encode_stream_close(const StreamClose& close) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, close.stream_id);
+  return seal(MessageType::stream_close, std::move(payload));
+}
+
+StreamClose decode_stream_close(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamClose close;
+  close.stream_id = in.u64();
+  in.expect_exhausted("stream_close");
+  return close;
+}
+
+std::vector<std::uint8_t> encode_stream_closed(const StreamClosed& closed) {
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, closed.stream_id);
+  put_u8(payload, code_of(closed.status));
+  put_u64(payload, closed.frames_delivered);
+  put_u64(payload, closed.frames_shed);
+  put_u64(payload, closed.frames_expired);
+  put_u32(payload, closed.rung_switches);
+  // Clamp rather than reject, like encode_error: a long failure message
+  // must not turn the stream's terminal message into a second failure.
+  std::string message = closed.message;
+  if (message.size() > kMaxStringBytes) message.resize(kMaxStringBytes);
+  put_string(payload, message);
+  return seal(MessageType::stream_closed, std::move(payload));
+}
+
+StreamClosed decode_stream_closed(std::span<const std::uint8_t> payload) {
+  Reader in(payload);
+  StreamClosed closed;
+  closed.stream_id = in.u64();
+  closed.status = stream_status_of(in.u8());
+  closed.frames_delivered = in.u64();
+  closed.frames_shed = in.u64();
+  closed.frames_expired = in.u64();
+  closed.rung_switches = in.u32();
+  closed.message = in.string();
+  in.expect_exhausted("stream_closed");
+  return closed;
 }
 
 } // namespace tmhls::transport::wire

@@ -40,6 +40,7 @@
 
 #include "common/error.hpp"
 #include "serve/service.hpp"
+#include "stream/session.hpp"
 
 namespace tmhls::transport {
 
@@ -59,8 +60,12 @@ namespace wire {
 /// History: v1 shipped the original request/response/error payloads; v2
 /// added FrameJob::qos (u8) + FrameJob::deadline_seconds (f64) to
 /// requests, FrameResult::degrade (u8) to responses, and ErrorCode (u8)
-/// to error replies.
-inline constexpr std::uint16_t kVersion = 2;
+/// to error replies. v3 made the request deadline explicit (flag u8 +
+/// f64, replacing the 0.0-means-none overload) and added the streaming
+/// session messages (StreamOpen/StreamFrame/StreamClose client->server;
+/// StreamOpened/StreamResult/StreamCredit/StreamClosed server->client)
+/// with credit-based per-stream flow control.
+inline constexpr std::uint16_t kVersion = 3;
 
 /// First four payload-independent bytes of every message.
 inline constexpr std::array<std::uint8_t, 4> kMagic{'T', 'M', 'H', 'W'};
@@ -91,6 +96,16 @@ enum class MessageType : std::uint16_t {
   request = 1,  ///< client -> server: one FrameJob
   response = 2, ///< server -> client: one FrameResult
   error = 3,    ///< server -> client: execution failure of one request
+  // Streaming session messages (v3). The error type doubles as the
+  // failure reply for stream_open/stream_frame, carrying the stream id
+  // in its request_id field.
+  stream_open = 4,   ///< client -> server: open one stream session
+  stream_frame = 5,  ///< client -> server: one frame of an open stream
+  stream_close = 6,  ///< client -> server: end-of-stream, drain + close
+  stream_opened = 7, ///< server -> client: open accepted + initial credits
+  stream_result = 8, ///< server -> client: one delivered frame (1 credit)
+  stream_credit = 9, ///< server -> client: credits freed without delivery
+  stream_closed = 10, ///< server -> client: final per-stream counters
 };
 
 /// Decoded message header (magic already verified and stripped).
@@ -153,10 +168,86 @@ struct ErrorReply {
   std::string message;
 };
 
+/// Open one stream session (v3). Stream ids are client-assigned (like
+/// request ids) and scope every later stream message; the config is the
+/// client-controllable subset of stream::StreamConfig — rate-controller
+/// internals (hysteresis band, rung costs) are server policy and do not
+/// cross the wire.
+struct StreamOpen {
+  std::uint64_t stream_id = 0;
+  stream::StreamConfig config;
+};
+
+/// Open accepted: the initial credit grant (== config.credits). A
+/// rejected open comes back as an error message instead, carrying the
+/// stream id in its request_id field.
+struct StreamOpened {
+  std::uint64_t stream_id = 0;
+  std::uint32_t credits = 0;
+};
+
+/// One frame of an open stream. Consumes one credit; the client must not
+/// send with zero credits outstanding.
+struct StreamFrame {
+  std::uint64_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  img::ImageF frame;
+};
+
+/// One delivered frame, in sequence order. Implicitly returns the
+/// frame's credit to the client.
+struct StreamResult {
+  std::uint64_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  serve::DegradeLevel rung = serve::DegradeLevel::none;
+  std::string backend;
+  double service_seconds = 0.0;
+  img::ImageF output;
+};
+
+/// Credits freed WITHOUT a delivery (frames shed or expired server-side).
+struct StreamCredit {
+  std::uint64_t stream_id = 0;
+  std::uint32_t credits = 0;
+};
+
+/// End-of-stream from the client: drain and report final counters.
+struct StreamClose {
+  std::uint64_t stream_id = 0;
+};
+
+/// Terminal status of a stream (u8 on the wire).
+enum class StreamStatus : std::uint8_t {
+  closed = 0, ///< clean close (client-initiated)
+  shed = 1,   ///< shed as a unit by the rate controller (best_effort)
+  failed = 2, ///< server-side execution failure aborted the stream
+};
+
+/// Final per-stream counters; the last message of a stream in either
+/// direction. Sent in reply to StreamClose, or spontaneously when the
+/// server sheds/aborts the stream.
+struct StreamClosed {
+  std::uint64_t stream_id = 0;
+  StreamStatus status = StreamStatus::closed;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_shed = 0;
+  std::uint64_t frames_expired = 0;
+  std::uint32_t rung_switches = 0;
+  /// Failure detail when status == failed; empty otherwise.
+  std::string message;
+};
+
 /// Encode a complete message, header included, ready to write to a socket.
 std::vector<std::uint8_t> encode_request(const Request& request);
 std::vector<std::uint8_t> encode_response(const Response& response);
 std::vector<std::uint8_t> encode_error(const ErrorReply& reply);
+std::vector<std::uint8_t> encode_stream_open(const StreamOpen& open);
+std::vector<std::uint8_t> encode_stream_opened(const StreamOpened& opened);
+std::vector<std::uint8_t> encode_stream_frame(const StreamFrame& frame);
+std::vector<std::uint8_t> encode_stream_result(const StreamResult& result);
+std::vector<std::uint8_t> encode_stream_credit(const StreamCredit& credit);
+std::vector<std::uint8_t> encode_stream_close(const StreamClose& close);
+std::vector<std::uint8_t> encode_stream_closed(const StreamClosed& closed);
 
 /// Decode one payload (the caller has already decoded the header, read
 /// exactly header.payload_bytes and verified the checksum). Throws
@@ -165,6 +256,13 @@ std::vector<std::uint8_t> encode_error(const ErrorReply& reply);
 Request decode_request(std::span<const std::uint8_t> payload);
 Response decode_response(std::span<const std::uint8_t> payload);
 ErrorReply decode_error(std::span<const std::uint8_t> payload);
+StreamOpen decode_stream_open(std::span<const std::uint8_t> payload);
+StreamOpened decode_stream_opened(std::span<const std::uint8_t> payload);
+StreamFrame decode_stream_frame(std::span<const std::uint8_t> payload);
+StreamResult decode_stream_result(std::span<const std::uint8_t> payload);
+StreamCredit decode_stream_credit(std::span<const std::uint8_t> payload);
+StreamClose decode_stream_close(std::span<const std::uint8_t> payload);
+StreamClosed decode_stream_closed(std::span<const std::uint8_t> payload);
 
 } // namespace wire
 } // namespace tmhls::transport

@@ -42,6 +42,13 @@ img::ImageF random_hdr(int w, int h, std::uint64_t seed) {
   return im;
 }
 
+FrameJob job_of(img::ImageF frame, const tonemap::PipelineOptions& opt) {
+  FrameJob job;
+  job.frame = std::move(frame);
+  job.options = opt;
+  return job;
+}
+
 ::testing::AssertionResult bit_identical(const img::ImageF& a,
                                          const img::ImageF& b) {
   if (!a.same_shape(b)) {
@@ -164,7 +171,7 @@ TEST_P(ServiceShardCountTest, BitIdenticalToBlockingToneMapAcrossBackends) {
     ToneMapService service(so);
     std::vector<std::future<FrameResult>> futures;
     for (const img::ImageF& frame : frames) {
-      futures.push_back(service.submit({frame, opt}));
+      futures.push_back(service.submit(job_of(frame, opt)));
     }
     for (int i = 0; i < kJobs; ++i) {
       const FrameResult r = futures[static_cast<std::size_t>(i)].get();
@@ -242,7 +249,7 @@ TEST(ServiceTest, MixedPerJobOptionsEachMatchTheirOwnBlockingRun) {
         variants[static_cast<std::size_t>(i) % variants.size()];
     frames.push_back(random_hdr(25, 19, 700 + static_cast<std::uint64_t>(i)));
     golden.push_back(tonemap::tone_map(frames.back(), opt).output);
-    futures.push_back(service.submit({frames.back(), opt}));
+    futures.push_back(service.submit(job_of(frames.back(), opt)));
   }
   for (int i = 0; i < kJobs; ++i) {
     EXPECT_TRUE(bit_identical(futures[static_cast<std::size_t>(i)].get().output,
@@ -265,7 +272,7 @@ TEST(ServiceTest, EqualOptionsReuseTheSessionMixedOptionsRebuild) {
     std::vector<std::future<FrameResult>> futures;
     for (int i = 0; i < 8; ++i) {
       futures.push_back(
-          service.submit({random_hdr(21, 15, 800u + static_cast<std::uint64_t>(i)), opt}));
+          service.submit(job_of(random_hdr(21, 15, 800u + static_cast<std::uint64_t>(i)), opt)));
     }
     for (auto& f : futures) f.get();
     const ServiceStats stats = service.stats();
@@ -278,8 +285,8 @@ TEST(ServiceTest, EqualOptionsReuseTheSessionMixedOptionsRebuild) {
     std::vector<std::future<FrameResult>> futures;
     for (int i = 0; i < 6; ++i) {
       futures.push_back(service.submit(
-          {random_hdr(21, 15, 900u + static_cast<std::uint64_t>(i)),
-           i % 2 == 0 ? opt : other}));
+          job_of(random_hdr(21, 15, 900u + static_cast<std::uint64_t>(i)),
+                 i % 2 == 0 ? opt : other)));
     }
     for (auto& f : futures) f.get();
     EXPECT_EQ(service.stats().shards[0].session_builds, 6u);
@@ -322,10 +329,10 @@ TEST(ServiceTest, ExecutionErrorsArriveThroughTheFutureAndShardContinues) {
   tonemap::PipelineOptions bad = small_options("hlscode");
   bad.sigma = 40.0;
   bad.radius = 120; // 241 taps > hlscode's static bound
-  std::future<FrameResult> failing = service.submit({frame, bad});
+  std::future<FrameResult> failing = service.submit(job_of(frame, bad));
 
   tonemap::PipelineOptions unknown = small_options("no_such_backend");
-  std::future<FrameResult> unknown_backend = service.submit({frame, unknown});
+  std::future<FrameResult> unknown_backend = service.submit(job_of(frame, unknown));
 
   // A bad sharded job fails through the future too.
   FrameJob bad_sharded;
@@ -336,7 +343,7 @@ TEST(ServiceTest, ExecutionErrorsArriveThroughTheFutureAndShardContinues) {
       service.submit(std::move(bad_sharded));
 
   const tonemap::PipelineOptions good = small_options("separable_float");
-  std::future<FrameResult> ok = service.submit({frame, good});
+  std::future<FrameResult> ok = service.submit(job_of(frame, good));
 
   EXPECT_THROW(failing.get(), InvalidArgument);
   EXPECT_THROW(unknown_backend.get(), InvalidArgument);
@@ -359,7 +366,7 @@ TEST(ServiceTest, BackpressureBoundedQueueStillCompletesEverything) {
   std::vector<std::future<FrameResult>> futures;
   for (int i = 0; i < 10; ++i) {
     frames.push_back(random_hdr(21, 17, 950 + static_cast<std::uint64_t>(i)));
-    futures.push_back(service.submit({frames.back(), opt}));
+    futures.push_back(service.submit(job_of(frames.back(), opt)));
   }
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(bit_identical(
@@ -378,7 +385,7 @@ TEST(ServiceTest, DestructionWithAcceptedJobsCompletesTheirFutures) {
     so.shards = 2;
     ToneMapService service(so);
     for (int i = 0; i < 6; ++i) {
-      futures.push_back(service.submit({frame, opt}));
+      futures.push_back(service.submit(job_of(frame, opt)));
     }
     // Destructor runs with jobs queued and in flight.
   }
@@ -402,7 +409,7 @@ TEST(ServiceTest, LeastLoadedRoutingSteersJobsAroundABusyShard) {
   big_opt.sigma = 16.0;
   big_opt.radius = 48;
   const img::ImageF big_frame = random_hdr(320, 320, 7);
-  std::future<FrameResult> big = service.submit({big_frame, big_opt});
+  std::future<FrameResult> big = service.submit(job_of(big_frame, big_opt));
 
   const tonemap::PipelineOptions opt = small_options("separable_float");
   constexpr int kSmallJobs = 4;
@@ -411,7 +418,7 @@ TEST(ServiceTest, LeastLoadedRoutingSteersJobsAroundABusyShard) {
   for (int i = 0; i < kSmallJobs; ++i) {
     const img::ImageF frame =
         random_hdr(13, 11, 1200 + static_cast<std::uint64_t>(i));
-    const FrameResult r = service.submit({frame, opt}).get();
+    const FrameResult r = service.submit(job_of(frame, opt)).get();
     shards_hit.push_back(r.shard);
     outcomes.push_back(
         bit_identical(r.output, tonemap::tone_map(frame, opt).output));
@@ -461,7 +468,7 @@ TEST(ServiceTest, ConcurrentClientsBalanceAcrossShardsAndStayBitIdentical) {
       for (int i = 0; i < kJobsPerClient; ++i) {
         const img::ImageF frame = random_hdr(
             23, 17, static_cast<std::uint64_t>(1000 + c * 100 + i));
-        const FrameResult r = service.submit({frame, opt}).get();
+        const FrameResult r = service.submit(job_of(frame, opt)).get();
         const ::testing::AssertionResult check =
             bit_identical(r.output, tonemap::tone_map(frame, opt).output);
         if (!check) {

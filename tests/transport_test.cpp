@@ -161,13 +161,15 @@ TEST(WireTest, ResponseRoundTripPreservesResultAndTimings) {
 }
 
 TEST(WireTest, ErrorMessageGoldenBytesPinTheOnWireFormat) {
-  // The exact bytes of a v2 error message with id 1, code generic and
+  // The exact bytes of a v3 error message with id 1, code generic and
   // message "hi" — recorded by hand from the format table in wire.hpp.
-  // This pins the on-wire layout (magic, little-endian fields, the v2
-  // code byte, FNV-1a checksum): any encoder change that alters these
-  // bytes is a protocol break and must bump kVersion.
+  // This pins the on-wire layout (magic, little-endian fields, the code
+  // byte, FNV-1a checksum): any encoder change that alters these bytes
+  // is a protocol break and must bump kVersion. (Only the header's
+  // version field changed from the v2 pin: the checksum covers the
+  // payload alone.)
   const std::vector<std::uint8_t> expected{
-      0x54, 0x4d, 0x48, 0x57, 0x02, 0x00, 0x03, 0x00, 0x0f, 0x00, 0x00,
+      0x54, 0x4d, 0x48, 0x57, 0x03, 0x00, 0x03, 0x00, 0x0f, 0x00, 0x00,
       0x00, 0x01, 0x05, 0x60, 0x5f, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x68, 0x69};
   EXPECT_EQ(wire::encode_error({1, wire::ErrorCode::generic, "hi"}),
@@ -193,6 +195,199 @@ TEST(WireTest, ErrorCodeRoundTripsEveryTypedCategory) {
   }
 }
 
+TEST(WireTest, StreamMessagesRoundTripEveryField) {
+  wire::StreamOpen open;
+  open.stream_id = 0x0123456789abcdefull;
+  open.config.pipeline = small_options("separable_simd");
+  open.config.width = 320;
+  open.config.height = 200;
+  open.config.frame_interval_seconds = 1.0 / 24.0;
+  open.config.adaptation_rate = 0.5;
+  open.config.qos = serve::QosClass::best_effort;
+  open.config.pipeline_depth = 2;
+  open.config.reorder_window = 6;
+  open.config.credits = 12;
+  {
+    const std::vector<std::uint8_t> message = wire::encode_stream_open(open);
+    const wire::StreamOpen decoded = wire::decode_stream_open(
+        std::span<const std::uint8_t>(message).subspan(wire::kHeaderBytes));
+    EXPECT_EQ(decoded.stream_id, open.stream_id);
+    EXPECT_EQ(decoded.config.qos, serve::QosClass::best_effort);
+    EXPECT_EQ(decoded.config.frame_interval_seconds,
+              open.config.frame_interval_seconds);
+    EXPECT_EQ(decoded.config.adaptation_rate, open.config.adaptation_rate);
+    EXPECT_EQ(decoded.config.width, 320);
+    EXPECT_EQ(decoded.config.height, 200);
+    EXPECT_EQ(decoded.config.pipeline_depth, 2);
+    EXPECT_EQ(decoded.config.reorder_window, 6);
+    EXPECT_EQ(decoded.config.credits, 12u);
+    EXPECT_EQ(decoded.config.pipeline, open.config.pipeline);
+  }
+  {
+    const std::vector<std::uint8_t> message =
+        wire::encode_stream_opened({3, 12});
+    const wire::StreamOpened decoded = wire::decode_stream_opened(
+        std::span<const std::uint8_t>(message).subspan(wire::kHeaderBytes));
+    EXPECT_EQ(decoded.stream_id, 3u);
+    EXPECT_EQ(decoded.credits, 12u);
+  }
+  {
+    wire::StreamFrame frame;
+    frame.stream_id = 3;
+    frame.sequence = 41;
+    frame.frame = random_hdr(6, 4, 17);
+    frame.frame.at(2, 1, 0) = std::nanf(""); // exact bits must survive
+    const std::vector<std::uint8_t> message =
+        wire::encode_stream_frame(frame);
+    const wire::StreamFrame decoded = wire::decode_stream_frame(
+        std::span<const std::uint8_t>(message).subspan(wire::kHeaderBytes));
+    EXPECT_EQ(decoded.stream_id, 3u);
+    EXPECT_EQ(decoded.sequence, 41u);
+    EXPECT_TRUE(bit_identical(decoded.frame, frame.frame));
+  }
+  {
+    wire::StreamResult result;
+    result.stream_id = 3;
+    result.sequence = 41;
+    result.rung = serve::DegradeLevel::reduced_blur;
+    result.backend = "separable_simd";
+    result.service_seconds = 1.25e-3;
+    result.output = random_hdr(6, 4, 18);
+    const std::vector<std::uint8_t> message =
+        wire::encode_stream_result(result);
+    const wire::StreamResult decoded = wire::decode_stream_result(
+        std::span<const std::uint8_t>(message).subspan(wire::kHeaderBytes));
+    EXPECT_EQ(decoded.sequence, 41u);
+    EXPECT_EQ(decoded.rung, serve::DegradeLevel::reduced_blur);
+    EXPECT_EQ(decoded.backend, "separable_simd");
+    EXPECT_EQ(decoded.service_seconds, 1.25e-3);
+    EXPECT_TRUE(bit_identical(decoded.output, result.output));
+  }
+  {
+    const std::vector<std::uint8_t> message =
+        wire::encode_stream_credit({3, 2});
+    const wire::StreamCredit decoded = wire::decode_stream_credit(
+        std::span<const std::uint8_t>(message).subspan(wire::kHeaderBytes));
+    EXPECT_EQ(decoded.stream_id, 3u);
+    EXPECT_EQ(decoded.credits, 2u);
+  }
+  {
+    const std::vector<std::uint8_t> message = wire::encode_stream_close({3});
+    EXPECT_EQ(wire::decode_stream_close(
+                  std::span<const std::uint8_t>(message).subspan(
+                      wire::kHeaderBytes))
+                  .stream_id,
+              3u);
+  }
+  for (const wire::StreamStatus status :
+       {wire::StreamStatus::closed, wire::StreamStatus::shed,
+        wire::StreamStatus::failed}) {
+    wire::StreamClosed closed;
+    closed.stream_id = 3;
+    closed.status = status;
+    closed.frames_delivered = 40;
+    closed.frames_shed = 1;
+    closed.frames_expired = 2;
+    closed.rung_switches = 1;
+    closed.message = status == wire::StreamStatus::failed ? "boom" : "";
+    const std::vector<std::uint8_t> message =
+        wire::encode_stream_closed(closed);
+    const wire::StreamClosed decoded = wire::decode_stream_closed(
+        std::span<const std::uint8_t>(message).subspan(wire::kHeaderBytes));
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_EQ(decoded.frames_delivered, 40u);
+    EXPECT_EQ(decoded.frames_shed, 1u);
+    EXPECT_EQ(decoded.frames_expired, 2u);
+    EXPECT_EQ(decoded.rung_switches, 1u);
+    EXPECT_EQ(decoded.message, closed.message);
+  }
+}
+
+TEST(WireTest, StreamOpenRejectsOutOfRangeConfigs) {
+  wire::StreamOpen good;
+  good.stream_id = 1;
+  good.config.pipeline = small_options("separable_float");
+  good.config.width = 32;
+  good.config.height = 24;
+  EXPECT_NO_THROW((void)wire::encode_stream_open(good));
+  // The same bounds gate encode and decode (check_stream_config), so a
+  // config the encoder rejects could not have been produced on the wire.
+  auto rejects = [&](auto mutate) {
+    wire::StreamOpen bad = good;
+    mutate(bad.config);
+    EXPECT_THROW((void)wire::encode_stream_open(bad), WireError);
+  };
+  rejects([](auto& c) { c.frame_interval_seconds = 0.0; });
+  rejects([](auto& c) { c.frame_interval_seconds = 3601.0; });
+  rejects([](auto& c) { c.adaptation_rate = 0.0; });
+  rejects([](auto& c) { c.adaptation_rate = 1.5; });
+  rejects([](auto& c) { c.width = 0; });
+  rejects([](auto& c) { c.width = wire::kMaxDimension + 1; });
+  rejects([](auto& c) { c.height = 0; });
+  rejects([](auto& c) { c.pipeline_depth = 0; });
+  rejects([](auto& c) { c.pipeline_depth = stream::kMaxStreamDepth + 1; });
+  rejects([](auto& c) { c.reorder_window = stream::kMaxReorderWindow + 1; });
+  rejects([](auto& c) { c.credits = 0; });
+  rejects([](auto& c) { c.credits = stream::kMaxStreamCredits + 1; });
+}
+
+TEST(WireTest, StreamDecodersRejectTrailingBytesAndUnknownStatus) {
+  {
+    std::vector<std::uint8_t> message = wire::encode_stream_credit({3, 2});
+    message.push_back(0); // trailing byte past the declared layout
+    EXPECT_THROW(
+        (void)wire::decode_stream_credit(
+            std::span<const std::uint8_t>(message).subspan(
+                wire::kHeaderBytes)),
+        WireError);
+  }
+  {
+    // Credits outside [1, kMaxStreamCredits] never leave a correct peer.
+    EXPECT_THROW((void)wire::encode_stream_credit({3, 0}), WireError);
+    EXPECT_THROW((void)wire::encode_stream_credit(
+                     {3, stream::kMaxStreamCredits + 1}),
+                 WireError);
+  }
+  {
+    wire::StreamClosed closed;
+    closed.stream_id = 3;
+    std::vector<std::uint8_t> message = wire::encode_stream_closed(closed);
+    message[wire::kHeaderBytes + 8] = 0x07; // status byte: unknown code
+    EXPECT_THROW(
+        (void)wire::decode_stream_closed(
+            std::span<const std::uint8_t>(message).subspan(
+                wire::kHeaderBytes)),
+        WireError);
+  }
+}
+
+TEST(WireTest, RequestDecodeRejectsMalformedDeadlineEncodings) {
+  const std::vector<std::uint8_t> message =
+      wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1, {}, {}}});
+  // Payload layout: u64 id, u32 blur_shards, u8 qos, u8 deadline flag,
+  // f64 deadline value.
+  const std::size_t flag_at = wire::kHeaderBytes + 8 + 4 + 1;
+  auto decode_mutated = [&](auto mutate) {
+    std::vector<std::uint8_t> bytes = message;
+    mutate(bytes);
+    return wire::decode_request(
+        std::span<const std::uint8_t>(bytes).subspan(wire::kHeaderBytes));
+  };
+  // Flag 0 with a nonzero value: two encodings of "no deadline" would
+  // otherwise exist.
+  EXPECT_THROW((void)decode_mutated(
+                   [&](auto& b) { b[flag_at + 1] = 0x01; }),
+               WireError);
+  // A flag byte beyond the boolean range.
+  EXPECT_THROW((void)decode_mutated([&](auto& b) { b[flag_at] = 0x02; }),
+               WireError);
+  // The unmutated message still decodes (sanity check of flag_at).
+  EXPECT_FALSE(wire::decode_request(
+                   std::span<const std::uint8_t>(message).subspan(
+                       wire::kHeaderBytes))
+                   .job.deadline_seconds.has_value());
+}
+
 TEST(WireTest, HeaderRejectsMagicVersionTypeAndSizeViolations) {
   const std::vector<std::uint8_t> good =
       wire::encode_error({1, wire::ErrorCode::generic, "x"});
@@ -209,8 +404,8 @@ TEST(WireTest, HeaderRejectsMagicVersionTypeAndSizeViolations) {
       wire::decode_header(header_of([](auto& b) { b[4] = 0x7f; })),
       WireError); // version
   EXPECT_THROW(
-      wire::decode_header(header_of([](auto& b) { b[6] = 0x09; })),
-      WireError); // unknown type
+      wire::decode_header(header_of([](auto& b) { b[6] = 0x0b; })),
+      WireError); // unknown type (just past stream_closed = 10)
   EXPECT_THROW(wire::decode_header(header_of([](auto& b) {
                  b[8] = b[9] = b[10] = b[11] = 0xff; // ~4 GiB payload
                })),
@@ -248,7 +443,8 @@ TEST(WireTest, RequestDecodeRejectsOversizedDimensionsWithoutAllocating) {
   put_u64(payload, 7); // request id
   put_u32(payload, 1); // blur_shards
   payload.push_back(1); // qos: standard
-  put_u64(payload, 0);  // deadline f64: 0.0 (none)
+  payload.push_back(0); // deadline flag: none
+  put_u64(payload, 0);  // deadline f64: must be 0.0 when the flag is 0
   // options: sigma f64, radius i32, blur u8, backend (empty), datapath u8,
   // threads i32, two 4-byte fixed formats, four f32 — defaults, all zeros
   // except where a zero is invalid.
@@ -452,7 +648,7 @@ TEST(TransportMalformedTest, MalformedStreamsCloseOnlyTheirConnection) {
   {
     SCOPED_TRACE("truncated header");
     const std::vector<std::uint8_t> good =
-        wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1}});
+        wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1, {}, {}}});
     expect_connection_rejected(
         port, std::vector<std::uint8_t>(good.begin(), good.begin() + 7));
     ++expected_protocol_errors;
@@ -460,7 +656,7 @@ TEST(TransportMalformedTest, MalformedStreamsCloseOnlyTheirConnection) {
   {
     SCOPED_TRACE("truncated payload");
     const std::vector<std::uint8_t> good =
-        wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1}});
+        wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1, {}, {}}});
     expect_connection_rejected(
         port,
         std::vector<std::uint8_t>(good.begin(), good.end() - 5));
@@ -469,7 +665,7 @@ TEST(TransportMalformedTest, MalformedStreamsCloseOnlyTheirConnection) {
   {
     SCOPED_TRACE("bad checksum");
     std::vector<std::uint8_t> corrupted =
-        wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1}});
+        wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1, {}, {}}});
     corrupted.back() ^= 0x40;
     expect_connection_rejected(port, corrupted);
     ++expected_protocol_errors;
@@ -493,7 +689,8 @@ TEST(TransportMalformedTest, MalformedStreamsCloseOnlyTheirConnection) {
     put_u64(payload, 7);
     put_u32(payload, 1);
     payload.push_back(1); // qos: standard
-    put_u64(payload, 0);  // deadline: none
+    payload.push_back(0); // deadline flag: none
+    put_u64(payload, 0);  // deadline f64: 0.0
     put_u64(payload, 0x3ff0000000000000ull);
     put_u32(payload, 0);
     payload.push_back(0);
@@ -744,7 +941,7 @@ TEST(TransportResilienceTest, ShortReadMidMessageClosesTheConnection) {
 
   Socket socket = Socket::connect("127.0.0.1", server.port());
   const std::vector<std::uint8_t> message =
-      wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1}});
+      wire::encode_request({0, {random_hdr(4, 3, 1), {}, 1, {}, {}}});
   ASSERT_EQ(socket.send_all(message), SendStatus::ok);
   for (int i = 0; i < 500; ++i) {
     if (fault::stats("transport.socket.recv").fires == 1) break;

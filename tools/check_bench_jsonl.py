@@ -40,6 +40,13 @@ REQUIRED_KEYS = {
         "mode", "backend", "threads", "width", "height", "seconds_total",
         "latency_p50_ms", "latency_p99_ms",
     ],
+    "streaming": [
+        "qos", "backend", "threads", "streams", "frames_per_stream",
+        "width", "height", "taps", "fps", "overload_factor",
+        "frames_delivered", "frames_shed", "frames_expired", "streams_shed",
+        "rung_switches_per_stream", "flicker", "frames_per_second",
+        "latency_p99_ms",
+    ],
 }
 
 # bench_serving emits three record shapes distinguished by "mode"; beyond
@@ -161,6 +168,17 @@ SELF_TEST_CASES = [
      '"height":1,"taps":1,"seconds_per_frame":0.5,"fps":2.0,'
      '"speedup_vs_single_thread":1,"speedup_vs_separable_float":1}',
      False, "backend_throughput record missing simd/traffic keys"),
+    ('{"bench":"streaming","qos":"standard","backend":"separable_simd",'
+     '"threads":1,"streams":2,"frames_per_stream":48,"width":96,'
+     '"height":96,"taps":97,"fps":30.0,"overload_factor":2.0,'
+     '"frames_delivered":96,"frames_shed":0,"frames_expired":0,'
+     '"streams_shed":0,"rung_switches_per_stream":1.0,"flicker":0.01,'
+     '"frames_per_second":250.0,"latency_p99_ms":4.2}',
+     True, "complete streaming record"),
+    ('{"bench":"streaming","qos":"best_effort","backend":"separable_simd",'
+     '"threads":1,"streams":2,"frames_per_stream":48,"width":96,'
+     '"height":96,"taps":97,"fps":30.0,"frames_delivered":14}',
+     False, "streaming record missing overload/shed/switch keys"),
     ('{"bench":"some_future_bench","whatever":1.5}',
      True, "unknown bench passes generic rules"),
     ('{"bench":"serving","mode":"jobs"}',

@@ -26,6 +26,9 @@
 //                            [--qos best_effort|standard|critical]
 //                            [--deadline S] [--request-timeout S]
 //                            [--retries N]
+//                            [--stream N [--frames F] [--fps R]
+//                             [--adaptation A] [--reorder-window W]
+//                             [--credits C]]  (streaming sessions, wire v3)
 //   scene   <out.hdr|.pfm>  [--kind window_interior|light_probe|
 //                            gradient_bars|night_street] [--size N]
 //                            [--seed N]
@@ -44,6 +47,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -448,7 +452,197 @@ int cmd_serve_listen(const Args& args) {
   return 0;
 }
 
+int cmd_client_stream(const Args& args) {
+  // Stream mode: open --stream N streaming sessions on one connection,
+  // drive a synthetic pan-and-drift sequence through each (round-robin,
+  // under the server's credit window), and check every full-rung frame
+  // byte-for-byte against a local VideoToneMapper fed the same frames —
+  // the stream identity contract, exercised over the wire.
+  transport::ClientOptions copt;
+  copt.host = args.get_or("host", copt.host);
+  const int port = args.get_int("port", 0);
+  TMHLS_REQUIRE(port >= 1 && port <= 65535,
+                "client: --port must be in [1, 65535]");
+  copt.port = static_cast<std::uint16_t>(port);
+  copt.connect_timeout_seconds =
+      args.get_double("connect-timeout", copt.connect_timeout_seconds);
+
+  const int streams = args.get_int("stream", 1);
+  const int frames = args.get_int("frames", 16);
+  const int size = args.get_int("size", 128);
+  const double fps = args.get_double("fps", 30.0);
+  TMHLS_REQUIRE(streams >= 1 && frames >= 1 && size >= 1 && fps > 0.0,
+                "--stream, --frames, --size and --fps must be positive");
+  const bool check = !args.has("no-check");
+  const io::SceneKind kind =
+      io::scene_kind_from_string(args.get_or("kind", "window_interior"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2018));
+  const tonemap::PipelineOptions popt = pipeline_options_from(args);
+
+  stream::StreamConfig sc;
+  sc.pipeline = popt;
+  sc.width = size;
+  sc.height = size;
+  sc.frame_interval_seconds = 1.0 / fps;
+  sc.qos = serve::qos_from_string(args.get_or("qos", "standard"));
+  sc.adaptation_rate = args.get_double("adaptation", sc.adaptation_rate);
+  sc.reorder_window = args.get_int("reorder-window", sc.reorder_window);
+  sc.credits = args.get_int("credits", sc.credits);
+
+  // Pre-render each stream's sequence (and, when checking, the golden
+  // outputs of a local VideoToneMapper fed the same frames in order).
+  std::vector<std::vector<img::ImageF>> inputs(
+      static_cast<std::size_t>(streams));
+  std::vector<std::vector<img::ImageF>> golden(
+      static_cast<std::size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    video::SceneSequence::Config cfg;
+    cfg.kind = kind;
+    cfg.frame_size = size;
+    cfg.frames = frames;
+    cfg.master_size = 2 * size;
+    cfg.seed = seed + static_cast<std::uint64_t>(s);
+    const video::SceneSequence sequence(cfg);
+    for (int f = 0; f < frames; ++f) {
+      inputs[static_cast<std::size_t>(s)].push_back(sequence.frame(f));
+    }
+    if (check) {
+      video::VideoToneMapperOptions vopt;
+      vopt.pipeline = popt;
+      vopt.adaptation_rate = sc.adaptation_rate;
+      vopt.pipeline_depth = 1;
+      vopt.frame_width = size;
+      vopt.frame_height = size;
+      video::VideoToneMapper mapper(vopt);
+      for (int f = 0; f < frames; ++f) {
+        mapper.submit(inputs[static_cast<std::size_t>(s)]
+                            [static_cast<std::size_t>(f)]);
+        golden[static_cast<std::size_t>(s)].push_back(mapper.next_result());
+      }
+    }
+  }
+
+  transport::Client client(copt);
+  std::vector<std::uint64_t> ids;
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (int s = 0; s < streams; ++s) {
+    ids.push_back(client.open_stream(sc));
+    index_of[ids.back()] = static_cast<std::size_t>(s);
+  }
+
+  std::vector<std::vector<img::ImageF>> outputs(
+      static_cast<std::size_t>(streams),
+      std::vector<img::ImageF>(static_cast<std::size_t>(frames)));
+  std::vector<std::vector<serve::DegradeLevel>> rungs(
+      static_cast<std::size_t>(streams),
+      std::vector<serve::DegradeLevel>(static_cast<std::size_t>(frames),
+                                       serve::DegradeLevel::none));
+  std::vector<bool> dead(static_cast<std::size_t>(streams), false);
+  std::vector<double> latencies;
+  std::uint64_t delivered = 0;
+
+  const auto consume_buffered = [&] {
+    while (client.buffered_stream_results() > 0) {
+      transport::ClientStreamResult r = client.next_stream_result();
+      const std::size_t s = index_of.at(r.stream_id);
+      const auto f = static_cast<std::size_t>(r.sequence);
+      rungs[s][f] = r.rung;
+      outputs[s][f] = std::move(r.output);
+      latencies.push_back(r.service_seconds);
+      ++delivered;
+    }
+  };
+
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  for (int f = 0; f < frames; ++f) {
+    for (int s = 0; s < streams; ++s) {
+      if (dead[static_cast<std::size_t>(s)]) continue;
+      try {
+        client.send_stream_frame(ids[static_cast<std::size_t>(s)],
+                                 static_cast<std::uint64_t>(f),
+                                 inputs[static_cast<std::size_t>(s)]
+                                       [static_cast<std::size_t>(f)]);
+      } catch (const transport::RemoteError&) {
+        // Terminated server-side (shed under overload): stop feeding it;
+        // close_stream below still reports its final counters.
+        dead[static_cast<std::size_t>(s)] = true;
+      }
+      consume_buffered();
+    }
+  }
+  std::vector<transport::wire::StreamClosed> finals;
+  for (int s = 0; s < streams; ++s) {
+    finals.push_back(client.close_stream(ids[static_cast<std::size_t>(s)]));
+    consume_buffered();
+  }
+  const double total_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+
+  // Full-rung frames must match the local VideoToneMapper bit-for-bit;
+  // the adaptation trajectory depends only on the input frames, so this
+  // holds even for frames after a degraded stretch.
+  bool identical = true;
+  if (check) {
+    for (int s = 0; s < streams; ++s) {
+      for (int f = 0; f < frames; ++f) {
+        const img::ImageF& got =
+            outputs[static_cast<std::size_t>(s)][static_cast<std::size_t>(f)];
+        if (got.empty() || rungs[static_cast<std::size_t>(s)]
+                                [static_cast<std::size_t>(f)] !=
+                               serve::DegradeLevel::none) {
+          continue;
+        }
+        const img::ImageF& want =
+            golden[static_cast<std::size_t>(s)][static_cast<std::size_t>(f)];
+        if (!got.same_shape(want) ||
+            std::memcmp(got.samples().data(), want.samples().data(),
+                        want.samples().size_bytes()) != 0) {
+          identical = false;
+          std::cerr << "stream " << s << " frame " << f
+                    << " differs from local VideoToneMapper\n";
+        }
+      }
+    }
+  }
+
+  TextTable t({"stream", "status", "delivered", "shed", "expired",
+               "rung switches"});
+  for (int s = 0; s < streams; ++s) {
+    const transport::wire::StreamClosed& fin =
+        finals[static_cast<std::size_t>(s)];
+    const char* status =
+        fin.status == transport::wire::StreamStatus::closed ? "closed"
+        : fin.status == transport::wire::StreamStatus::shed ? "shed"
+                                                            : "failed";
+    t.add_row({std::to_string(s), status,
+               std::to_string(fin.frames_delivered),
+               std::to_string(fin.frames_shed),
+               std::to_string(fin.frames_expired),
+               std::to_string(fin.rung_switches)});
+  }
+  std::cout << t.render();
+  std::cout << "delivered " << delivered << " frames over " << streams
+            << " stream(s) in " << format_fixed(total_s, 3) << " s ("
+            << (total_s > 0.0
+                    ? format_fixed(static_cast<double>(delivered) / total_s,
+                                   2)
+                    : "-")
+            << " frames/s, p99 service "
+            << (latencies.empty()
+                    ? "-"
+                    : format_fixed(percentile(latencies, 0.99) * 1e3, 2))
+            << " ms)\n";
+  if (check) {
+    std::cout << "\nfull-rung frames bit-identical to VideoToneMapper: "
+              << (identical ? "yes" : "NO — this is a bug, please report")
+              << '\n';
+  }
+  return identical ? 0 : 1;
+}
+
 int cmd_client(const Args& args) {
+  if (args.has("stream")) return cmd_client_stream(args);
   // Drive a transport::Server over one socket: J synthetic frames
   // submitted pipelined (up to --window in flight), every response
   // checked byte-for-byte against the local blocking tone_map() unless
@@ -538,7 +732,9 @@ int cmd_client(const Args& args) {
     job.options = popt;
     job.blur_shards = blur_shards;
     job.qos = qos;
-    job.deadline_seconds = deadline;
+    // Flag-level convention: --deadline 0 (the default) means "no
+    // deadline" and leaves FrameJob::deadline_seconds disengaged.
+    if (deadline > 0.0) job.deadline_seconds = deadline;
     while (client.in_flight() >= static_cast<std::size_t>(window)) {
       consume_one();
     }
@@ -671,7 +867,8 @@ int cmd_serve(const Args& args) {
           job.options = popt;
           job.blur_shards = blur_shards;
           job.qos = qos;
-          job.deadline_seconds = deadline;
+          // --deadline 0 (default): no deadline, optional stays disengaged.
+          if (deadline > 0.0) job.deadline_seconds = deadline;
           const clock::time_point at = clock::now();
           try {
             futures.push_back(service.submit(std::move(job)));
@@ -824,7 +1021,11 @@ void usage() {
       "                       --connect-timeout, --no-check); verifies\n"
       "                       responses byte-for-byte against the local\n"
       "                       blocking pipeline and prints the\n"
-      "                       throughput/latency table\n"
+      "                       throughput/latency table; with --stream N\n"
+      "                       drive N streaming sessions instead (--frames,\n"
+      "                       --fps, --adaptation, --reorder-window,\n"
+      "                       --credits), checked frame-for-frame against a\n"
+      "                       local VideoToneMapper\n"
       "  scene <out>          generate a synthetic HDR scene\n"
       "  analyze              evaluate the Table II design points\n"
       "  backends             list the registered execution backends with\n"
