@@ -29,6 +29,7 @@
 #include "common/args.hpp"
 #include "common/math.hpp"
 #include "common/table.hpp"
+#include "image/plane_pool.hpp"
 #include "imageio/synthetic.hpp"
 #include "serve/service.hpp"
 #include "tonemap/pipeline.hpp"
@@ -42,17 +43,27 @@ struct RunResult {
   double seconds = 0.0;   ///< wall time of the whole workload
   double p50_s = 0.0;     ///< median client-observed latency
   double p99_s = 0.0;
+  /// Fresh plane allocations per job over the whole run (warm-up
+  /// included, so a pooled run trends toward but never quite reaches 0).
+  double allocs_per_job = 0.0;
+  /// pool_hits / acquires of the service pool (0 when pooling is off).
+  double pool_hit_rate = 0.0;
 };
 
 /// Replay `jobs` jobs from each of `clients` threads through a service
-/// with `shards` shards; every job carries `blur_shards`.
+/// with `shards` shards; every job carries `blur_shards`. `pool_bytes`
+/// is the service's plane-pool bound (0 = unpooled).
 RunResult run_workload(int shards, int depth, int clients, int jobs,
                        int blur_shards,
                        const tonemap::PipelineOptions& popt,
-                       const std::vector<img::ImageF>& frames) {
+                       const std::vector<img::ImageF>& frames,
+                       std::size_t pool_bytes =
+                           img::PlanePool::kDefaultMaxRetainedBytes) {
+  const std::uint64_t allocs_before = img::plane_allocation_count();
   serve::ToneMapServiceOptions so;
   so.shards = shards;
   so.pipeline_depth = depth;
+  so.pool_bytes = pool_bytes;
   serve::ToneMapService service(so);
 
   std::vector<std::vector<double>> latencies(
@@ -61,6 +72,10 @@ RunResult run_workload(int shards, int depth, int clients, int jobs,
   std::vector<std::thread> client_threads;
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
+      // Clients stand in for the transport's reader threads, which run
+      // under the service pool's scope (frames decode into pool planes) —
+      // so the job's frame copy recycles too. No-op when unpooled.
+      const img::PlanePool::Scope pool_scope(service.plane_pool());
       std::vector<Clock::time_point> submitted;
       std::vector<std::future<serve::FrameResult>> futures;
       for (int j = 0; j < jobs; ++j) {
@@ -90,6 +105,15 @@ RunResult run_workload(int shards, int depth, int clients, int jobs,
   }
   r.p50_s = percentile(all, 0.5);
   r.p99_s = percentile(all, 0.99);
+  const std::uint64_t total = static_cast<std::uint64_t>(clients) *
+                              static_cast<std::uint64_t>(jobs);
+  r.allocs_per_job =
+      static_cast<double>(img::plane_allocation_count() - allocs_before) /
+      static_cast<double>(total);
+  const img::PoolStats ps = service.pool_stats();
+  r.pool_hit_rate = ps.acquires > 0 ? static_cast<double>(ps.pool_hits) /
+                                          static_cast<double>(ps.acquires)
+                                    : 0.0;
   return r;
 }
 
@@ -103,6 +127,8 @@ struct OverloadResult {
   std::uint64_t degraded = 0; ///< of completed: below full quality
   double p50_s = 0.0;         ///< accepted-and-completed jobs only
   double p99_s = 0.0;
+  double allocs_per_job = 0.0; ///< fresh plane allocations per offered job
+  double pool_hit_rate = 0.0;  ///< pool_hits / acquires of the service pool
 };
 
 /// Offer `clients x jobs` deadlined jobs (alternating best_effort and
@@ -111,6 +137,7 @@ OverloadResult run_overload(int shards, int depth, int clients, int jobs,
                             double assumed_s, double deadline_s,
                             const tonemap::PipelineOptions& popt,
                             const std::vector<img::ImageF>& frames) {
+  const std::uint64_t allocs_before = img::plane_allocation_count();
   serve::ToneMapServiceOptions so;
   so.shards = shards;
   so.pipeline_depth = depth;
@@ -127,6 +154,7 @@ OverloadResult run_overload(int shards, int depth, int clients, int jobs,
   std::vector<std::thread> client_threads;
   for (int c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
+      const img::PlanePool::Scope pool_scope(service.plane_pool());
       std::vector<Clock::time_point> submitted;
       std::vector<std::future<serve::FrameResult>> futures;
       for (int j = 0; j < jobs; ++j) {
@@ -168,6 +196,16 @@ OverloadResult run_overload(int shards, int depth, int clients, int jobs,
   out.expired = expired.load();
   out.completed = completed.load();
   out.degraded = service.stats().degraded;
+  if (out.offered > 0) {
+    out.allocs_per_job =
+        static_cast<double>(img::plane_allocation_count() - allocs_before) /
+        static_cast<double>(out.offered);
+  }
+  const img::PoolStats ps = service.pool_stats();
+  out.pool_hit_rate = ps.acquires > 0
+                          ? static_cast<double>(ps.pool_hits) /
+                                static_cast<double>(ps.acquires)
+                          : 0.0;
   std::vector<double> all;
   for (const auto& per_client : latencies) {
     all.insert(all.end(), per_client.begin(), per_client.end());
@@ -183,7 +221,7 @@ OverloadResult run_overload(int shards, int depth, int clients, int jobs,
 
 int main(int argc, char** argv) {
   try {
-    const Args args(argc, argv);
+    const Args args(argc, argv, {"pool-compare"});
     const int size = args.get_int("size", 256);
     const int clients = args.get_int("clients", 4);
     const int jobs = args.get_int("jobs", 4); // per client
@@ -214,6 +252,56 @@ int main(int argc, char** argv) {
                            std::cerr);
     const int total_jobs = clients * jobs;
     const int taps = popt.kernel().taps();
+
+    // --pool-compare: ONLY the pooled-vs-unpooled comparison — the same
+    // jobs workload through a plane-pooled service and a pool_bytes=0
+    // one, reporting the allocation budget and the throughput delta.
+    if (args.has("pool-compare")) {
+      TextTable pool_table({"pooled", "jobs", "total (s)", "jobs/s",
+                            "allocs/job", "hit rate", "vs unpooled"});
+      double unpooled_jobs_per_s = 0.0;
+      for (const bool pooled : {false, true}) {
+        RunResult best;
+        for (int r = 0; r < reps; ++r) {
+          const RunResult run = run_workload(
+              2, depth, clients, jobs, 1, popt, frames,
+              pooled ? img::PlanePool::kDefaultMaxRetainedBytes : 0);
+          if (best.seconds == 0.0 || run.seconds < best.seconds) best = run;
+        }
+        const double jobs_per_s = total_jobs / best.seconds;
+        if (!pooled) unpooled_jobs_per_s = jobs_per_s;
+        const double speedup = unpooled_jobs_per_s > 0.0
+                                   ? jobs_per_s / unpooled_jobs_per_s
+                                   : 0.0;
+        pool_table.add_row({pooled ? "yes" : "no",
+                            std::to_string(total_jobs),
+                            format_fixed(best.seconds, 4),
+                            format_fixed(jobs_per_s, 2),
+                            format_fixed(best.allocs_per_job, 2),
+                            format_fixed(best.pool_hit_rate, 3),
+                            format_fixed(speedup, 2)});
+        benchkit::JsonRecord record("serving");
+        record.field("mode", "pool")
+            .field("backend", backend)
+            .field("threads", popt.threads)
+            .field("shards", 2)
+            .field("jobs_total", total_jobs)
+            .field("width", size)
+            .field("height", size)
+            .field("taps", taps)
+            .field("pooled", pooled ? 1 : 0)
+            .field("seconds_total", best.seconds)
+            .field("jobs_per_s", jobs_per_s)
+            .field("latency_p50_ms", best.p50_s * 1e3)
+            .field("latency_p99_ms", best.p99_s * 1e3)
+            .field("speedup_vs_unpooled", speedup)
+            .field("allocs_per_job", best.allocs_per_job)
+            .field("pool_hit_rate", best.pool_hit_rate)
+            .emit();
+      }
+      std::cerr << '\n' << pool_table.render();
+      return 0;
+    }
 
     TextTable table({"mode", "shards", "jobs", "total (s)", "jobs/s",
                      "p50 (ms)", "p99 (ms)", "vs 1 shard"});
@@ -254,6 +342,8 @@ int main(int argc, char** argv) {
           .field("latency_p50_ms", best.p50_s * 1e3)
           .field("latency_p99_ms", best.p99_s * 1e3)
           .field("speedup_vs_1shard", speedup)
+          .field("allocs_per_job", best.allocs_per_job)
+          .field("pool_hit_rate", best.pool_hit_rate)
           .emit();
     }
 
@@ -289,6 +379,8 @@ int main(int argc, char** argv) {
           .field("latency_p50_ms", best.p50_s * 1e3)
           .field("latency_p99_ms", best.p99_s * 1e3)
           .field("speedup_vs_1shard", speedup)
+          .field("allocs_per_job", best.allocs_per_job)
+          .field("pool_hit_rate", best.pool_hit_rate)
           .emit();
     }
 
@@ -351,6 +443,8 @@ int main(int argc, char** argv) {
           .field("seconds_total", o.seconds)
           .field("latency_p50_ms", o.p50_s * 1e3)
           .field("latency_p99_ms", o.p99_s * 1e3)
+          .field("allocs_per_job", o.allocs_per_job)
+          .field("pool_hit_rate", o.pool_hit_rate)
           .emit();
     }
     std::cerr << '\n' << overload_table.render();

@@ -26,6 +26,7 @@
 #include "common/args.hpp"
 #include "common/math.hpp"
 #include "common/table.hpp"
+#include "image/plane_pool.hpp"
 #include "serve/qos.hpp"
 #include "stream/session.hpp"
 #include "tonemap/pipeline.hpp"
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
                      "flicker", "frames/s", "p99 (ms)"});
 
     for (const double factor : {1.0, 2.0}) {
+      const std::uint64_t allocs_before = img::plane_allocation_count();
       stream::SessionManager manager;
       std::vector<std::uint64_t> ids;
       std::vector<serve::QosClass> qos_of;
@@ -146,6 +148,25 @@ int main(int argc, char** argv) {
       const double wall =
           std::chrono::duration<double>(Clock::now() - t0).count();
 
+      // Manager-wide allocation budget: fresh plane allocations per
+      // submitted frame across this factor's whole run, and the pool's
+      // hit rate. Per-manager figures (the pool is shared by every
+      // stream), repeated on each QoS record of this factor.
+      const std::uint64_t total_frames =
+          static_cast<std::uint64_t>(streams) *
+          static_cast<std::uint64_t>(frames);
+      const double allocs_per_job =
+          total_frames > 0
+              ? static_cast<double>(img::plane_allocation_count() -
+                                    allocs_before) /
+                    static_cast<double>(total_frames)
+              : 0.0;
+      const img::PoolStats ps = manager.pool_stats();
+      const double pool_hit_rate =
+          ps.acquires > 0 ? static_cast<double>(ps.pool_hits) /
+                                static_cast<double>(ps.acquires)
+                          : 0.0;
+
       for (const auto& [qos, g] : groups) {
         const double switches_per_stream =
             static_cast<double>(g.switches) / g.streams;
@@ -183,6 +204,8 @@ int main(int argc, char** argv) {
             .field("flicker", flicker)
             .field("frames_per_second", frames_per_s)
             .field("latency_p99_ms", p99_ms)
+            .field("allocs_per_job", allocs_per_job)
+            .field("pool_hit_rate", pool_hit_rate)
             .emit();
       }
     }

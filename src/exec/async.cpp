@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
+#include "image/plane_pool.hpp"
 
 namespace tmhls::exec {
 
@@ -21,7 +22,8 @@ void validate(const AsyncExecutorOptions& options) {
 
 AsyncExecutor::AsyncExecutor(PipelineExecutor executor,
                              AsyncExecutorOptions options)
-    : executor_(std::move(executor)), options_(options) {
+    : executor_(std::move(executor)), options_(options),
+      inherited_recycler_(img::detail::current_recycler()) {
   validate(options_);
   workers_.reserve(static_cast<std::size_t>(options_.workers));
   try {
@@ -87,6 +89,10 @@ AsyncExecutorStats AsyncExecutor::stats() const {
 }
 
 void AsyncExecutor::worker_loop() {
+  // Workers run under the plane-pool scope of the thread that built this
+  // executor, so blur results allocate from the same pool as every other
+  // plane of that pipeline/shard (see inherited_recycler_).
+  const img::detail::ScopedRecycler pool_scope(inherited_recycler_);
   for (;;) {
     std::optional<Task> task;
     {

@@ -21,6 +21,10 @@
 
 #include "exec/executor.hpp"
 
+namespace tmhls::img::detail {
+class PlaneRecycler;
+}
+
 namespace tmhls::exec {
 
 /// One asynchronous blur request: the 1-channel intensity plane to blur
@@ -112,6 +116,12 @@ private:
 
   PipelineExecutor executor_;
   AsyncExecutorOptions options_;
+  /// The creating thread's plane recycler, snapshotted at construction
+  /// and re-installed in every worker: blur outputs allocated by the pool
+  /// behind a FramePipeline or service shard stay pool-backed even though
+  /// they materialise on this executor's own threads. Null when the
+  /// creating thread was unpooled.
+  std::shared_ptr<img::detail::PlaneRecycler> inherited_recycler_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_not_empty_;

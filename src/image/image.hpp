@@ -5,16 +5,57 @@
 // tone-mapping pipeline produces display-referred values in [0, 1].
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/error.hpp"
 
 namespace tmhls::img {
 
+namespace detail {
+
+/// Shared free-list state of a PlanePool (defined in plane_pool.cpp). A
+/// float plane acquired under a pool scope carries a shared_ptr to its
+/// recycler — "where my storage goes when I die" — which keeps the
+/// recycler alive for planes that outlive their pool and makes returns
+/// safe from any thread.
+class PlaneRecycler;
+using RecyclerPtr = std::shared_ptr<PlaneRecycler>;
+
+/// A float plane's storage plus the recycler it is bound to (null when
+/// the acquiring thread had no pool scope installed).
+struct AcquiredPlane {
+  std::vector<float> storage;
+  RecyclerPtr recycler;
+};
+
+/// Acquire zero-filled storage for `samples` floats, consulting the
+/// calling thread's installed recycler: a retained buffer of the exact
+/// sample count when the pool has one (no heap allocation), a fresh
+/// value-initialised vector otherwise. Fresh allocations advance the
+/// process-wide plane_allocation_count().
+AcquiredPlane acquire_plane(std::size_t samples);
+
+/// Hand a dying plane's storage back to the recycler it was acquired
+/// from. Never called with a null recycler.
+void release_plane(const RecyclerPtr& recycler,
+                   std::vector<float>&& storage) noexcept;
+
+} // namespace detail
+
 /// Interleaved row-major image with `channels` samples per pixel.
+///
+/// Float images participate in plane pooling: construction routes storage
+/// acquisition through the calling thread's recycler hook (see
+/// plane_pool.hpp), and a pool-backed image returns its buffer to the
+/// pool on destruction. This is invisible to users — a pooled image is
+/// zero-filled and behaves exactly like a fresh one — but it is why the
+/// special members below are spelled out instead of defaulted.
 template <typename T>
 class Image {
 public:
@@ -24,13 +65,57 @@ public:
   /// Allocate a width x height image with `channels` samples per pixel,
   /// value-initialised (zeros for arithmetic T).
   Image(int width, int height, int channels = 1)
-      : width_(width), height_(height), channels_(channels),
-        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height) *
-              static_cast<std::size_t>(channels)) {
+      : width_(width), height_(height), channels_(channels) {
     TMHLS_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
     TMHLS_REQUIRE(channels >= 1 && channels <= 4,
                   "channels must be in [1, 4]");
+    init_storage(static_cast<std::size_t>(width) *
+                 static_cast<std::size_t>(height) *
+                 static_cast<std::size_t>(channels));
   }
+
+  Image(const Image& other)
+      : width_(other.width_), height_(other.height_),
+        channels_(other.channels_) {
+    init_storage(other.data_.size());
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+  }
+
+  Image& operator=(const Image& other) {
+    if (this == &other) return *this;
+    // Matching sample count: copy in place, keeping this image's storage
+    // (and its pool binding, if any). Otherwise release and re-acquire.
+    if (data_.size() != other.data_.size()) {
+      release_storage();
+      init_storage(other.data_.size());
+    }
+    width_ = other.width_;
+    height_ = other.height_;
+    channels_ = other.channels_;
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+    return *this;
+  }
+
+  Image(Image&& other) noexcept
+      : width_(other.width_), height_(other.height_),
+        channels_(other.channels_), data_(std::move(other.data_)),
+        recycler_(std::move(other.recycler_)) {
+    other.reset_to_empty();
+  }
+
+  Image& operator=(Image&& other) noexcept {
+    if (this == &other) return *this;
+    release_storage();
+    width_ = other.width_;
+    height_ = other.height_;
+    channels_ = other.channels_;
+    data_ = std::move(other.data_);
+    recycler_ = std::move(other.recycler_);
+    other.reset_to_empty();
+    return *this;
+  }
+
+  ~Image() { release_storage(); }
 
   int width() const { return width_; }
   int height() const { return height_; }
@@ -87,6 +172,39 @@ public:
   }
 
 private:
+  /// Acquire storage for `samples` samples. Float planes consult the
+  /// calling thread's recycler hook; every other sample type allocates
+  /// plainly. Both paths leave the data zero-filled.
+  void init_storage(std::size_t samples) {
+    if constexpr (std::is_same_v<T, float>) {
+      detail::AcquiredPlane plane = detail::acquire_plane(samples);
+      data_ = std::move(plane.storage);
+      recycler_ = std::move(plane.recycler);
+    } else {
+      data_.assign(samples, T{});
+    }
+  }
+
+  /// Hand pool-backed storage home; plain storage just frees normally.
+  void release_storage() noexcept {
+    if constexpr (std::is_same_v<T, float>) {
+      if (recycler_ != nullptr) {
+        detail::release_plane(recycler_, std::move(data_));
+        recycler_.reset();
+        data_.clear();
+      }
+    }
+  }
+
+  /// Restore the moved-from state the default constructor produces.
+  void reset_to_empty() noexcept {
+    width_ = 0;
+    height_ = 0;
+    channels_ = 1;
+    data_.clear();
+    recycler_.reset();
+  }
+
   bool in_bounds(int x, int y, int c) const {
     return x >= 0 && x < width_ && y >= 0 && y < height_ && c >= 0 &&
            c < channels_;
@@ -102,6 +220,8 @@ private:
   int height_ = 0;
   int channels_ = 1;
   std::vector<T> data_;
+  /// Non-null only for pool-backed float planes (see init_storage).
+  detail::RecyclerPtr recycler_;
 };
 
 using ImageF = Image<float>;

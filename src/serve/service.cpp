@@ -99,6 +99,9 @@ struct ToneMapService::Shard {
 ToneMapService::ToneMapService(ToneMapServiceOptions options)
     : options_(options) {
   validate(options_);
+  if (options_.pool_bytes > 0) {
+    pool_ = std::make_unique<img::PlanePool>(options_.pool_bytes);
+  }
   shards_.reserve(static_cast<std::size_t>(options_.shards));
   for (int i = 0; i < options_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -334,7 +337,16 @@ ServiceStats ToneMapService::stats() const {
   return s;
 }
 
+img::PoolStats ToneMapService::pool_stats() const {
+  return pool_ ? pool_->stats() : img::PoolStats{};
+}
+
 void ToneMapService::worker_loop(Shard& shard, int shard_index) {
+  // Every plane this worker allocates — session frames, stage
+  // intermediates, blur outputs (the session's async blur worker and the
+  // shared blur pool inherit this scope at construction) — comes from the
+  // service pool, so a warm shard recycles instead of allocating.
+  const img::PlanePool::Scope pool_scope(pool_.get());
   // One entry per frame currently inside the session, oldest first — the
   // promise-side mirror of FramePipeline's submission-order queue.
   struct Pending {

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "image/plane_pool.hpp"
 #include "serve/qos.hpp"
 #include "tonemap/pipeline.hpp"
 
@@ -136,6 +137,14 @@ struct ToneMapServiceOptions {
   /// Admission-control knobs: what "the deadline can't be met" means and
   /// how far the degradation ladder reaches (see OverloadPolicy).
   OverloadPolicy overload;
+  /// Retention bound of the service's plane pool (img::PlanePool): every
+  /// shard worker runs under the pool's scope, so a warm steady-state job
+  /// performs zero fresh plane allocations — frames, intermediates and
+  /// outputs all recycle through geometry-keyed free lists, bit-identical
+  /// to unpooled execution. 0 disables pooling entirely (every plane
+  /// allocates fresh), which is how the benches measure the pooled vs.
+  /// unpooled comparison.
+  std::size_t pool_bytes = img::PlanePool::kDefaultMaxRetainedBytes;
 };
 
 /// Validation: throws InvalidArgument naming the offending field unless
@@ -245,6 +254,15 @@ public:
   /// Per-shard queue depths and lifetime job counters (see ServiceStats).
   ServiceStats stats() const;
 
+  /// The service's plane pool, or nullptr when options.pool_bytes == 0.
+  /// Transports install its Scope on their connection threads so wire
+  /// payloads decode straight into pool planes.
+  img::PlanePool* plane_pool() { return pool_.get(); }
+
+  /// Plane-pool counters (all-zero when pooling is disabled). The hit
+  /// rate pool_hits / acquires is the bench's pool_hit_rate.
+  img::PoolStats pool_stats() const;
+
 private:
   struct Shard;
 
@@ -268,6 +286,11 @@ private:
   std::shared_ptr<exec::ExecutorPool> blur_pool_for(const FrameJob& job);
 
   ToneMapServiceOptions options_;
+  /// Created before the shards (workers capture its scope) and destroyed
+  /// after them; null when pooling is disabled. Planes that escape through
+  /// futures keep the recycler alive on their own (shared_ptr inside each
+  /// plane), so results outliving the service stay safe.
+  std::unique_ptr<img::PlanePool> pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_job_id_{0};
   std::atomic<std::uint64_t> rebalanced_{0};

@@ -301,7 +301,11 @@ void drain_reorder(SessionManager::Session& s, bool skip_all_gaps,
 } // namespace
 
 SessionManager::SessionManager(SessionManagerOptions options)
-    : options_((validate(options), options)) {}
+    : options_((validate(options), options)) {
+  if (options_.pool_bytes > 0) {
+    pool_ = std::make_unique<img::PlanePool>(options_.pool_bytes);
+  }
+}
 
 SessionManager::~SessionManager() {
   // Abort everything still registered so the counter contract holds for
@@ -322,6 +326,10 @@ SessionManager::~SessionManager() {
 
 std::uint64_t SessionManager::open(StreamConfig config) {
   validate(config);
+  // Resolving the pipeline below allocates the stream's executor (and,
+  // at depth > 1, its async blur worker, which inherits this scope) —
+  // open under the pool so the whole stream is pool-backed.
+  const img::PlanePool::Scope pool_scope(pool_.get());
   // Resolving the execution decision (backend registry, kernel
   // capability check, executor) happens before the manager lock — it is
   // the expensive part, and a malformed pipeline must reject here.
@@ -360,6 +368,10 @@ SessionManager::find(std::uint64_t stream_id) const {
 SubmitOutcome SessionManager::submit_frame(std::uint64_t stream_id,
                                            std::uint64_t sequence,
                                            const img::ImageF& frame) {
+  // Frame processing happens on this caller thread (the reorder copy,
+  // pipeline stages, delivered outputs): run it under the pool's scope so
+  // a warm stream recycles planes instead of allocating.
+  const img::PlanePool::Scope pool_scope(pool_.get());
   const std::shared_ptr<Session> session = find(stream_id);
   Session& s = *session;
   const std::lock_guard<std::mutex> lock(s.mutex);
@@ -432,6 +444,9 @@ StreamStats SessionManager::locked_stats(const Session& s) const {
 
 CloseResult SessionManager::finish(std::uint64_t stream_id,
                                    bool deliver_tail, bool reclaimed) {
+  // The drain processes buffered frames on this thread; scope it like
+  // submit_frame so the tail recycles planes too.
+  const img::PlanePool::Scope pool_scope(pool_.get());
   std::shared_ptr<Session> session;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -522,6 +537,10 @@ int SessionManager::reclaim_stalled(double max_idle_seconds) {
     }
   }
   return reclaimed;
+}
+
+img::PoolStats SessionManager::pool_stats() const {
+  return pool_ ? pool_->stats() : img::PoolStats{};
 }
 
 StreamStats SessionManager::stream_stats(std::uint64_t stream_id) const {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "image/image.hpp"
+#include "image/plane_pool.hpp"
 #include "serve/qos.hpp"
 #include "serve/service.hpp"
 #include "stream/rate_controller.hpp"
@@ -180,6 +181,12 @@ struct SessionManagerOptions {
   /// reduced_blur; assumed_service_seconds is per-stream, see
   /// RateControllerOptions).
   serve::OverloadPolicy overload;
+  /// Retention bound of the manager's plane pool: stream-frame copies
+  /// into the reorder buffer, pipeline intermediates and delivered
+  /// outputs all recycle through it, so the Nth frame of a warm stream
+  /// performs zero fresh plane allocations — bit-identical to unpooled
+  /// processing. 0 disables pooling.
+  std::size_t pool_bytes = img::PlanePool::kDefaultMaxRetainedBytes;
 };
 
 /// Throws InvalidArgument naming the offending field.
@@ -240,6 +247,12 @@ public:
 
   const SessionManagerOptions& options() const { return options_; }
 
+  /// The manager's plane pool, or nullptr when options.pool_bytes == 0.
+  img::PlanePool* plane_pool() { return pool_.get(); }
+
+  /// Plane-pool counters (all-zero when pooling is disabled).
+  img::PoolStats pool_stats() const;
+
   /// Opaque per-stream state; defined in the implementation (public only
   /// so the implementation's file-local helpers can name it).
   struct Session;
@@ -252,6 +265,13 @@ private:
                      bool reclaimed);
 
   SessionManagerOptions options_;
+  /// Null when pooling is disabled. Each frame-processing entry point
+  /// installs its scope, so planes allocated on any caller thread — the
+  /// reorder copy, pipeline intermediates, delivered outputs — recycle
+  /// here; delivered frames that escape to the caller return their
+  /// buffers from wherever they die (the recycler is shared-ptr-held by
+  /// every plane it backs).
+  std::unique_ptr<img::PlanePool> pool_;
   mutable std::mutex mutex_; ///< guards sessions_ and lifecycle counters
   std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
   std::uint64_t next_stream_id_ = 1;

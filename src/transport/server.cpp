@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "image/plane_pool.hpp"
 #include "transport/framing.hpp"
 
 namespace tmhls::transport {
@@ -197,6 +198,12 @@ void Server::accept_loop() {
 }
 
 void Server::reader_loop(Connection& c) {
+  // Wire payloads decode straight into service-pool planes: read_image's
+  // destination ImageF is constructed on this thread, so installing the
+  // scope here removes the per-request frame allocation once the pool is
+  // warm. (Stream messages handled inline below run under the session
+  // manager's own pool — its entry points install theirs on top.)
+  const img::PlanePool::Scope pool_scope(service_.plane_pool());
   for (;;) {
     InboundMessage in;
     ReadMessageStatus status;

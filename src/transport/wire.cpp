@@ -98,6 +98,10 @@ public:
     return std::string(reinterpret_cast<const char*>(b.data()), b.size());
   }
 
+  /// Consume `n` raw bytes (bounds-checked like every other read) — the
+  /// bulk form read_image uses to blit a plane payload in one go.
+  std::span<const std::uint8_t> bytes(std::size_t n) { return take(n); }
+
   std::size_t remaining() const { return bytes_.size() - offset_; }
 
   /// Throws unless the payload was consumed exactly — trailing bytes mean
@@ -351,9 +355,20 @@ img::ImageF read_image(Reader& in) {
                     std::to_string(samples * 4) + " bytes declared, " +
                     std::to_string(in.remaining()) + " available)");
   }
+  // On a pooled thread (transport reader loops install the service
+  // pool's scope) this construction recycles a retained plane — the wire
+  // decodes straight into pool memory with no intermediate copy.
   img::ImageF image(static_cast<int>(width), static_cast<int>(height),
                     static_cast<int>(channels));
-  for (float& v : image.samples()) v = in.f32();
+  if constexpr (std::endian::native == std::endian::little) {
+    // Samples are consecutive little-endian f32 words, which on a
+    // little-endian host is exactly the plane's memory representation:
+    // one bounds-checked memcpy instead of per-sample reassembly.
+    const auto raw = in.bytes(samples * 4);
+    std::memcpy(image.samples().data(), raw.data(), raw.size());
+  } else {
+    for (float& v : image.samples()) v = in.f32();
+  }
   return image;
 }
 

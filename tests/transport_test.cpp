@@ -25,6 +25,7 @@
 #include "common/fault_injection.hpp"
 #include "common/rng.hpp"
 #include "exec/registry.hpp"
+#include "image/plane_pool.hpp"
 #include "serve/service.hpp"
 #include "tonemap/pipeline.hpp"
 #include "transport/client.hpp"
@@ -473,6 +474,95 @@ TEST(WireTest, RequestDecodeRejectsOversizedDimensionsWithoutAllocating) {
   put_u32(truncated, 64);
   put_u32(truncated, 1); // 16 KiB of samples declared, none present
   EXPECT_THROW(wire::decode_request(truncated), WireError);
+}
+
+TEST(WireTest, RejectedPayloadsNeverLeakPooledPlanes) {
+  // The transport decodes frame payloads straight into pool planes (the
+  // reader thread runs under the service pool's scope), so every rejected
+  // message must leave the pool balanced: either the decoder rejected the
+  // payload before allocating, or the plane it allocated was returned
+  // during unwinding. Pool balance is checked after each rejection.
+  // Valid payloads (headers stripped) to mutate — built BEFORE the scope
+  // is installed, so the pool's counters see only the decoder's planes.
+  wire::Request request;
+  request.request_id = 9;
+  request.job.frame = random_hdr(8, 6, 3);
+  request.job.options.sigma = 1.0;
+  const std::vector<std::uint8_t> message = wire::encode_request(request);
+  const std::vector<std::uint8_t> payload(
+      message.begin() + wire::kHeaderBytes, message.end());
+
+  wire::StreamFrame frame;
+  frame.stream_id = 3;
+  frame.sequence = 1;
+  frame.frame = random_hdr(8, 6, 4);
+  const std::vector<std::uint8_t> fmsg = wire::encode_stream_frame(frame);
+
+  img::PlanePool pool;
+  const img::PlanePool::Scope scope(pool);
+
+  const auto expect_balanced = [&pool](std::uint64_t expected_acquires) {
+    const img::PoolStats s = pool.stats();
+    EXPECT_EQ(s.acquires, expected_acquires);
+    EXPECT_EQ(s.returned, s.acquires); // nothing outstanding -> no leak
+  };
+
+  {
+    SCOPED_TRACE("truncated frame payload");
+    // Sample bytes cut short: rejected by the declared-vs-available check
+    // BEFORE the plane is allocated.
+    const std::vector<std::uint8_t> cut(payload.begin(), payload.end() - 9);
+    EXPECT_THROW((void)wire::decode_request(cut), WireError);
+    expect_balanced(0);
+  }
+  {
+    SCOPED_TRACE("oversized frame payload");
+    // Width inflated beyond the dimension bound (the image header sits
+    // 12 bytes before the sample data): rejected before allocation.
+    std::vector<std::uint8_t> inflated = payload;
+    const std::size_t sample_bytes =
+        static_cast<std::size_t>(8 * 6 * 3) * 4;
+    const std::size_t width_at = inflated.size() - sample_bytes - 12;
+    inflated[width_at] = 0xff;
+    inflated[width_at + 1] = 0xff;
+    inflated[width_at + 2] = 0xff;
+    EXPECT_THROW((void)wire::decode_request(inflated), WireError);
+    expect_balanced(0);
+  }
+  {
+    SCOPED_TRACE("trailing bytes after a decoded frame");
+    // The frame itself decodes into a pooled plane, then the trailing
+    // byte fails the exact-consumption check — unwinding must return the
+    // plane to the pool.
+    std::vector<std::uint8_t> trailing = payload;
+    trailing.push_back(0x5a);
+    EXPECT_THROW((void)wire::decode_request(trailing), WireError);
+    expect_balanced(1);
+  }
+  {
+    SCOPED_TRACE("truncated stream frame payload");
+    std::vector<std::uint8_t> fcut(fmsg.begin() + wire::kHeaderBytes,
+                                   fmsg.end() - 7);
+    EXPECT_THROW((void)wire::decode_stream_frame(fcut), WireError);
+    expect_balanced(1); // unchanged: rejected before allocating
+  }
+  {
+    SCOPED_TRACE("trailing bytes after a decoded stream frame");
+    std::vector<std::uint8_t> ftrailing(fmsg.begin() + wire::kHeaderBytes,
+                                        fmsg.end());
+    ftrailing.push_back(0x5a);
+    EXPECT_THROW((void)wire::decode_stream_frame(ftrailing), WireError);
+    expect_balanced(2); // the stream frame's plane came back too
+  }
+
+  // And the healthy path under the same scope, for contrast: the decoded
+  // frame IS a pooled plane (one acquisition, still live, then returned).
+  {
+    const wire::Request decoded = wire::decode_request(payload);
+    EXPECT_EQ(pool.stats().acquires, 3u);
+    EXPECT_TRUE(bit_identical(decoded.job.frame, request.job.frame));
+  }
+  EXPECT_EQ(pool.stats().returned, 3u);
 }
 
 TEST(WireTest, EncodeRequestRejectsStructurallyInvalidJobs) {

@@ -38,14 +38,15 @@ REQUIRED_KEYS = {
     ],
     "serving": [
         "mode", "backend", "threads", "width", "height", "seconds_total",
-        "latency_p50_ms", "latency_p99_ms",
+        "latency_p50_ms", "latency_p99_ms", "allocs_per_job",
+        "pool_hit_rate",
     ],
     "streaming": [
         "qos", "backend", "threads", "streams", "frames_per_stream",
         "width", "height", "taps", "fps", "overload_factor",
         "frames_delivered", "frames_shed", "frames_expired", "streams_shed",
         "rung_switches_per_stream", "flicker", "frames_per_second",
-        "latency_p99_ms",
+        "latency_p99_ms", "allocs_per_job", "pool_hit_rate",
     ],
 }
 
@@ -64,6 +65,10 @@ SERVING_MODE_KEYS = {
         "shards", "offered_multiplier", "offered", "accepted", "shed",
         "degraded", "expired", "completed", "accept_rate", "deadline_ms",
         "calibrated_service_ms",
+    ],
+    "pool": [
+        "shards", "jobs_total", "taps", "jobs_per_s", "pooled",
+        "speedup_vs_unpooled",
     ],
 }
 
@@ -136,24 +141,43 @@ SELF_TEST_CASES = [
     ('{"bench":"serving","mode":"jobs","backend":"separable_simd",'
      '"threads":1,"shards":2,"jobs_total":8,"width":192,"height":192,'
      '"taps":13,"seconds_total":0.5,"jobs_per_s":16.0,"latency_p50_ms":30.0,'
-     '"latency_p99_ms":60.1,"speedup_vs_1shard":1.0}',
+     '"latency_p99_ms":60.1,"speedup_vs_1shard":1.0,"allocs_per_job":0.5,'
+     '"pool_hit_rate":0.9}',
      True, "complete serving jobs record"),
     ('{"bench":"serving","mode":"overload","backend":"separable_simd",'
      '"threads":1,"shards":2,"offered_multiplier":2,"offered":16,'
      '"accepted":12,"shed":4,"degraded":3,"expired":2,"completed":10,'
      '"accept_rate":0.75,"deadline_ms":2.4,"calibrated_service_ms":0.6,'
      '"width":192,"height":192,"seconds_total":0.5,"latency_p50_ms":1.0,'
-     '"latency_p99_ms":2.2}',
+     '"latency_p99_ms":2.2,"allocs_per_job":1.5,"pool_hit_rate":0.8}',
      True, "complete serving overload record"),
     ('{"bench":"serving","mode":"overload","backend":"separable_simd",'
      '"threads":1,"shards":2,"offered":16,"accepted":12,"width":192,'
      '"height":192,"seconds_total":0.5,"latency_p50_ms":1.0,'
-     '"latency_p99_ms":2.2}',
+     '"latency_p99_ms":2.2,"allocs_per_job":1.5,"pool_hit_rate":0.8}',
      False, "overload record missing shed/degraded/expired keys"),
     ('{"bench":"serving","mode":"some_future_mode","backend":"x",'
      '"threads":1,"width":1,"height":1,"seconds_total":0.5,'
-     '"latency_p50_ms":1.0,"latency_p99_ms":2.2}',
+     '"latency_p50_ms":1.0,"latency_p99_ms":2.2,"allocs_per_job":0.0,'
+     '"pool_hit_rate":0.0}',
      True, "unknown serving mode passes common serving keys only"),
+    ('{"bench":"serving","mode":"jobs","backend":"separable_simd",'
+     '"threads":1,"shards":2,"jobs_total":8,"width":192,"height":192,'
+     '"taps":13,"seconds_total":0.5,"jobs_per_s":16.0,"latency_p50_ms":30.0,'
+     '"latency_p99_ms":60.1,"speedup_vs_1shard":1.0}',
+     False, "serving record missing allocs_per_job/pool_hit_rate"),
+    ('{"bench":"serving","mode":"pool","backend":"separable_simd",'
+     '"threads":1,"shards":2,"jobs_total":16,"width":256,"height":256,'
+     '"taps":97,"pooled":1,"seconds_total":0.5,"jobs_per_s":32.0,'
+     '"latency_p50_ms":20.0,"latency_p99_ms":40.0,'
+     '"speedup_vs_unpooled":1.1,"allocs_per_job":0.3,"pool_hit_rate":0.95}',
+     True, "complete serving pool record"),
+    ('{"bench":"serving","mode":"pool","backend":"separable_simd",'
+     '"threads":1,"shards":2,"jobs_total":16,"width":256,"height":256,'
+     '"taps":97,"seconds_total":0.5,"jobs_per_s":32.0,'
+     '"latency_p50_ms":20.0,"latency_p99_ms":40.0,"allocs_per_job":8.0,'
+     '"pool_hit_rate":0.0}',
+     False, "pool record missing pooled/speedup_vs_unpooled keys"),
     ('{"bench":"frame_pipeline","backend":"hlscode","threads":1,"depth":2,'
      '"frames":8,"width":512,"height":512,"taps":97,"seconds_total":1.0,'
      '"seconds_per_frame":0.125,"fps":8.0,"speedup_vs_depth1":1.02}',
@@ -173,8 +197,16 @@ SELF_TEST_CASES = [
      '"height":96,"taps":97,"fps":30.0,"overload_factor":2.0,'
      '"frames_delivered":96,"frames_shed":0,"frames_expired":0,'
      '"streams_shed":0,"rung_switches_per_stream":1.0,"flicker":0.01,'
-     '"frames_per_second":250.0,"latency_p99_ms":4.2}',
+     '"frames_per_second":250.0,"latency_p99_ms":4.2,'
+     '"allocs_per_job":0.2,"pool_hit_rate":0.97}',
      True, "complete streaming record"),
+    ('{"bench":"streaming","qos":"standard","backend":"separable_simd",'
+     '"threads":1,"streams":2,"frames_per_stream":48,"width":96,'
+     '"height":96,"taps":97,"fps":30.0,"overload_factor":2.0,'
+     '"frames_delivered":96,"frames_shed":0,"frames_expired":0,'
+     '"streams_shed":0,"rung_switches_per_stream":1.0,"flicker":0.01,'
+     '"frames_per_second":250.0,"latency_p99_ms":4.2}',
+     False, "streaming record missing allocs_per_job/pool_hit_rate"),
     ('{"bench":"streaming","qos":"best_effort","backend":"separable_simd",'
      '"threads":1,"streams":2,"frames_per_stream":48,"width":96,'
      '"height":96,"taps":97,"fps":30.0,"frames_delivered":14}',

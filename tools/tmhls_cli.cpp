@@ -18,6 +18,8 @@
 //                            [--kind K] [--seed N]
 //                            [--qos best_effort|standard|critical]
 //                            [--deadline S] [--assumed-service S]
+//                            [--pool-bytes B]  (plane-pool retention bound,
+//                             0 disables pooling)
 //                            [--listen PORT [--window W] [--max-connections M]]
 //   client                  --port PORT [--host H] [--jobs J] [--size N]
 //                            [--window W] [--blur-shards S] [--backend B]
@@ -405,6 +407,13 @@ int cmd_serve_listen(const Args& args) {
   // deadline (0 trusts the observed EWMA alone).
   so.service.overload.assumed_service_seconds = args.get_double(
       "assumed-service", so.service.overload.assumed_service_seconds);
+  // Plane-pool retention bound for BOTH pools the server runs (the
+  // service's and the session manager's); 0 disables pooling entirely.
+  const int pool_bytes_listen =
+      args.get_int("pool-bytes", static_cast<int>(so.service.pool_bytes));
+  TMHLS_REQUIRE(pool_bytes_listen >= 0, "--pool-bytes must be >= 0");
+  so.service.pool_bytes = static_cast<std::size_t>(pool_bytes_listen);
+  so.sessions.pool_bytes = static_cast<std::size_t>(pool_bytes_listen);
 
   transport::Server server(so);
   std::signal(SIGINT, handle_stop_signal);
@@ -821,6 +830,10 @@ int cmd_serve(const Args& args) {
   so.pipeline_depth = args.get_int("pipeline-depth", so.pipeline_depth);
   so.overload.assumed_service_seconds = args.get_double(
       "assumed-service", so.overload.assumed_service_seconds);
+  const int pool_bytes =
+      args.get_int("pool-bytes", static_cast<int>(so.pool_bytes));
+  TMHLS_REQUIRE(pool_bytes >= 0, "--pool-bytes must be >= 0");
+  so.pool_bytes = static_cast<std::size_t>(pool_bytes);
   const serve::QosClass qos =
       serve::qos_from_string(args.get_or("qos", "standard"));
   const double deadline = args.get_double("deadline", 0.0);
