@@ -11,6 +11,7 @@
 
 #include "accel/design.hpp"
 #include "accel/system.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "platform/zynq.hpp"
 
@@ -91,6 +92,17 @@ private:
   std::ostringstream out_;
   bool first_ = true;
 };
+
+/// Append a common::StatsSnapshot to a record as "<scope>.<key>" fields —
+/// the single serializer between the layers' stats structs and the JSONL
+/// stream (the CLI's table twin is common::render_stats_table). Counters
+/// are written as integer-valued doubles, gauges at full precision.
+inline void append_stats(JsonRecord& record,
+                         const common::StatsSnapshot& snapshot) {
+  for (const common::StatsEntry& entry : snapshot.entries) {
+    record.field(snapshot.scope + "." + entry.key, entry.value);
+  }
+}
 
 /// The system every paper bench evaluates: ZC702-class Zynq platform and
 /// the 1024x1024 / 79-tap workload.

@@ -44,7 +44,7 @@ void BM_FixedPipeline(benchmark::State& state) {
   tonemap::PipelineOptions opt;
   opt.sigma = 13.0;
   opt.radius = 39;
-  opt.blur = tonemap::BlurKind::streaming_fixed;
+  opt.backend = "streaming_fixed";
   for (auto _ : state) {
     benchmark::DoNotOptimize(tonemap::tone_map_image(hdr, opt));
   }

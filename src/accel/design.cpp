@@ -82,9 +82,10 @@ tonemap::PipelineOptions Workload::pipeline_options(Design design) const {
   opt.fixed = fixed;
   opt.backend = backend_name(design);
   const exec::BackendCapabilities caps = design_capabilities(design);
-  opt.blur = caps.fixed_datapath ? tonemap::BlurKind::streaming_fixed
-             : caps.streaming    ? tonemap::BlurKind::streaming_float
-                                 : tonemap::BlurKind::separable_float;
+  // Fixed-only designs run their only datapath; leaving the float designs
+  // unspecified lets the planner follow each backend's capabilities.
+  opt.datapath = caps.fixed_datapath ? tonemap::Datapath::fixed_point
+                                     : tonemap::Datapath::unspecified;
   return opt;
 }
 

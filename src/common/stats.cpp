@@ -1,0 +1,36 @@
+#include "common/stats.hpp"
+
+#include "common/table.hpp"
+
+namespace tmhls::common {
+
+void StatsSnapshot::counter(const std::string& key, std::uint64_t value) {
+  entries.push_back({key, static_cast<double>(value), true});
+}
+
+void StatsSnapshot::gauge(const std::string& key, double value) {
+  entries.push_back({key, value, false});
+}
+
+const StatsEntry* StatsSnapshot::find(const std::string& key) const {
+  for (const StatsEntry& entry : entries) {
+    if (entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+std::string render_stats_table(const std::vector<StatsSnapshot>& snapshots) {
+  TextTable table({"scope", "stat", "value"});
+  for (const StatsSnapshot& snapshot : snapshots) {
+    for (const StatsEntry& entry : snapshot.entries) {
+      table.add_row({snapshot.scope, entry.key,
+                     entry.integral
+                         ? std::to_string(static_cast<std::uint64_t>(
+                               entry.value))
+                         : format_fixed(entry.value, 6)});
+    }
+  }
+  return table.render();
+}
+
+} // namespace tmhls::common

@@ -217,4 +217,26 @@ ExecutorPoolStats ExecutorPool::stats() const {
   return s;
 }
 
+std::vector<common::StatsSnapshot> snapshot(const ExecutorPoolStats& stats) {
+  std::vector<common::StatsSnapshot> out;
+  common::StatsSnapshot total;
+  total.scope = "executor_pool";
+  total.counter("queued", stats.queued);
+  total.counter("running", stats.running);
+  total.counter("submitted", stats.submitted);
+  total.counter("completed", stats.completed);
+  out.push_back(std::move(total));
+  for (std::size_t i = 0; i < stats.per_shard.size(); ++i) {
+    const AsyncExecutorStats& row = stats.per_shard[i];
+    common::StatsSnapshot shard;
+    shard.scope = "executor_pool.shard" + std::to_string(i);
+    shard.counter("queued", row.queued);
+    shard.counter("running", row.running);
+    shard.counter("submitted", row.submitted);
+    shard.counter("completed", row.completed);
+    out.push_back(std::move(shard));
+  }
+  return out;
+}
+
 } // namespace tmhls::exec

@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "exec/executor.hpp"
 
 namespace tmhls::img::detail {
@@ -175,6 +176,10 @@ struct ExecutorPoolStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
 };
+
+/// Flatten into the common reporting form: one "executor_pool" snapshot of
+/// the sums, then one "executor_pool.shardN" snapshot per shard.
+std::vector<common::StatsSnapshot> snapshot(const ExecutorPoolStats& stats);
 
 /// The serving-front seam: shards concurrent blur requests round-robin
 /// across several AsyncExecutors, each a copy of one prototype

@@ -40,14 +40,15 @@ BlurCost Backend::estimate_cost(int width, int height,
     // ...which the second pass writes and re-reads through memory.
     cost.traffic_bytes = 4 * plane_bytes;
   }
-  // Wall-time term from the measured per-MAC throughput; linear scaling
-  // over the tiled worker count is an optimistic bound, but a consistent
-  // one across backends, which is all ranking needs.
-  const double mps = CostModel::global().macs_per_second(name());
+  // Wall-time term from the measured per-MAC throughput, scaled over the
+  // tiled worker count by the model's Amdahl term — linear (serial
+  // fraction 0) until multi-thread calibration records have fit one.
+  const CostModel& model = CostModel::global();
+  const double mps = model.macs_per_second(name());
   if (mps > 0.0) {
     const int threads =
         caps.tiled_threads ? std::max(1, ctx.threads) : 1;
-    cost.seconds = cost.macs / (mps * static_cast<double>(threads));
+    cost.seconds = cost.macs / mps / model.thread_speedup(name(), threads);
   }
   return cost;
 }

@@ -67,9 +67,20 @@ struct BlurContext {
   /// path; backends without tiled_threads must be called with threads == 1
   /// (the executor clamps for callers).
   int threads = 1;
+  /// Row bands for the tiled decomposition; 0 (default) derives the band
+  /// count from `threads`. A schedule-searched plan (exec::Planner) may
+  /// set more bands than threads: the tiled runner spawns one worker per
+  /// band, so extra bands oversubscribe — finer-grained load balancing
+  /// when the blur shares cores with the point-wise stages. Output bits
+  /// are identical at every band count (see exec/tiled.hpp).
+  int bands = 0;
   /// For backends supporting both datapaths (hlscode): run the fixed-point
   /// one. Ignored by backends whose datapath is fixed by identity.
   bool use_fixed = false;
+
+  /// The band count the tiled decomposition actually runs: `bands` when
+  /// set, `threads` otherwise.
+  int band_count() const { return bands > 0 ? bands : threads; }
 };
 
 /// Analytic cost of one blur invocation, the hook the accel/platform layers
@@ -90,8 +101,9 @@ struct BlurCost {
   /// Estimated wall time of the invocation at the context's thread count,
   /// from the backend's measured per-MAC throughput (CostModel: priors
   /// overridable by bench_backend_throughput JSONL calibration). 0 when no
-  /// throughput figure is known for the backend. Thread scaling is assumed
-  /// linear — an optimistic bound, good enough for ranking backends.
+  /// throughput figure is known for the backend. Thread scaling follows
+  /// the CostModel's per-backend Amdahl term (linear until a serial
+  /// fraction has been fit from multi-thread calibration records).
   double seconds = 0.0;
 };
 

@@ -30,7 +30,9 @@ BackendCapabilities SeparableFloatBackend::capabilities() const {
 img::ImageF SeparableFloatBackend::run_blur(
     const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
     const BlurContext& ctx) const {
-  if (ctx.threads > 1) return blur_tiled_float(intensity, kernel, ctx.threads);
+  if (ctx.band_count() > 1) {
+    return blur_tiled_float(intensity, kernel, ctx.band_count());
+  }
   return tonemap::blur_separable_float(intensity, kernel);
 }
 
@@ -47,8 +49,9 @@ img::ImageF SeparableSimdBackend::run_blur(
     const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
     const BlurContext& ctx) const {
   // Single source for both modes: blur_tiled_simd runs the SIMD pass
-  // primitives over one band (threads == 1) or the banded decomposition.
-  return blur_tiled_simd(intensity, kernel, ctx.threads);
+  // primitives over one band (band_count == 1) or the banded
+  // decomposition.
+  return blur_tiled_simd(intensity, kernel, ctx.band_count());
 }
 
 BackendCapabilities StreamingFloatBackend::capabilities() const {
@@ -65,7 +68,9 @@ img::ImageF StreamingFloatBackend::run_blur(
     const BlurContext& ctx) const {
   // The tiled form accumulates taps in the same order as the streaming
   // form, which is itself bit-identical to the separable form (§III.B).
-  if (ctx.threads > 1) return blur_tiled_float(intensity, kernel, ctx.threads);
+  if (ctx.band_count() > 1) {
+    return blur_tiled_float(intensity, kernel, ctx.band_count());
+  }
   return tonemap::blur_streaming_float(intensity, kernel);
 }
 
@@ -81,8 +86,8 @@ BackendCapabilities StreamingFixedBackend::capabilities() const {
 img::ImageF StreamingFixedBackend::run_blur(
     const img::ImageF& intensity, const tonemap::GaussianKernel& kernel,
     const BlurContext& ctx) const {
-  if (ctx.threads > 1) {
-    return blur_tiled_fixed(intensity, kernel, ctx.fixed, ctx.threads);
+  if (ctx.band_count() > 1) {
+    return blur_tiled_fixed(intensity, kernel, ctx.fixed, ctx.band_count());
   }
   return tonemap::blur_streaming_fixed(intensity, kernel, ctx.fixed);
 }
@@ -104,7 +109,7 @@ BackendCapabilities FusedStreamBackend::capabilities() const {
 img::ImageF FusedStreamBackend::run_blur(const img::ImageF& intensity,
                                          const tonemap::GaussianKernel& kernel,
                                          const BlurContext& ctx) const {
-  return tonemap::blur_fused_stream(intensity, kernel, ctx.threads);
+  return tonemap::blur_fused_stream(intensity, kernel, ctx.band_count());
 }
 
 BackendCapabilities HlsCodeBackend::capabilities() const {

@@ -1,6 +1,7 @@
 #include "exec/executor.hpp"
 
 #include "common/error.hpp"
+#include "exec/planner.hpp"
 
 namespace tmhls::exec {
 
@@ -8,6 +9,9 @@ void validate(const ExecutorOptions& options) {
   TMHLS_REQUIRE(options.threads >= 1,
                 "ExecutorOptions::threads must be >= 1, got " +
                     std::to_string(options.threads));
+  TMHLS_REQUIRE(options.bands >= 0,
+                "ExecutorOptions::bands must be >= 0, got " +
+                    std::to_string(options.bands));
 }
 
 PipelineExecutor::PipelineExecutor(std::shared_ptr<const Backend> backend,
@@ -44,6 +48,8 @@ BlurContext PipelineExecutor::context() const {
   BlurContext ctx;
   ctx.fixed = options_.fixed;
   ctx.threads = effective_threads();
+  ctx.bands =
+      backend_->capabilities().tiled_threads ? options_.bands : 0;
   ctx.use_fixed = options_.use_fixed;
   return ctx;
 }
@@ -52,38 +58,20 @@ std::shared_ptr<const Backend> select_auto_backend(
     int width, int height, const tonemap::GaussianKernel& kernel,
     const ExecutorOptions& options, const BackendRegistry& registry) {
   validate(options);
-  std::shared_ptr<const Backend> best;
-  bool best_has_time = false;
-  double best_key = 0.0;
-  for (const std::string& name : registry.names()) {
-    const auto backend = registry.resolve(name);
-    BlurContext ctx;
-    ctx.fixed = options.fixed;
-    ctx.use_fixed = options.use_fixed;
-    ctx.threads =
-        backend->capabilities().tiled_threads ? options.threads : 1;
-    if (!backend->can_run(kernel, ctx)) continue;
-    // Rank by the END-TO-END pipeline estimate, not the blur alone: the
-    // point-wise term is backend-invariant (a constant offset), but a
-    // fused backend additionally avoids the inter-stage plane traffic, a
-    // real advantage a blur-only ranking cannot see. Uncalibrated
-    // backends (no blur throughput figure) fall back to the MAC count
-    // and sort after every timed candidate.
-    const PipelineCost cost =
-        estimate_pipeline_cost(*backend, width, height, kernel, ctx);
-    const bool has_time = cost.blur.seconds > 0.0;
-    const double key = has_time ? cost.seconds : cost.blur.macs;
-    if (!best || (has_time && !best_has_time) ||
-        (has_time == best_has_time && key < best_key)) {
-      best = backend;
-      best_has_time = has_time;
-      best_key = key;
-    }
+  PlanRequest request;
+  request.width = width;
+  request.height = height;
+  request.backend = "auto";
+  request.datapath = options.use_fixed ? PlanDatapath::fixed_point
+                                       : PlanDatapath::unspecified;
+  request.threads = options.threads;
+  request.fixed = options.fixed;
+  // Route through the global planner when ranking over the global
+  // registry, so an installed routing table applies here too.
+  if (&registry == &BackendRegistry::global()) {
+    return Planner::global().plan(request, kernel).backend;
   }
-  TMHLS_REQUIRE(best != nullptr,
-                "auto backend selection: no registered backend can run "
-                "this request (datapath or kernel size unsupported)");
-  return best;
+  return Planner(&registry).plan(request, kernel).backend;
 }
 
 } // namespace tmhls::exec

@@ -20,6 +20,11 @@ struct ExecutorOptions {
   /// Worker threads for the tiled mode; clamped to 1 for backends without
   /// tiled_threads capability. Must be >= 1 (see validate).
   int threads = 1;
+  /// Row bands for the tiled decomposition; 0 (default) lets the band
+  /// count follow `threads`. Set by schedule-searched plans
+  /// (exec::ExecutionPlan); see BlurContext::bands for the semantics.
+  /// Must be >= 0 (see validate).
+  int bands = 0;
   /// Select the fixed datapath of dual-datapath backends (hlscode).
   bool use_fixed = false;
   /// Fixed-point formats for fixed-datapath backends.
@@ -27,9 +32,10 @@ struct ExecutorOptions {
 };
 
 /// The one validation point for ExecutorOptions: throws InvalidArgument
-/// naming the offending field and value unless threads >= 1. Every
-/// consumer (PipelineExecutor, select_auto_backend, the async layer) calls
-/// this instead of clamping or re-checking at its own call site.
+/// naming the offending field and value unless threads >= 1 and
+/// bands >= 0. Every consumer (PipelineExecutor, the planner, the async
+/// layer) calls this instead of clamping or re-checking at its own call
+/// site.
 void validate(const ExecutorOptions& options);
 
 class PipelineExecutor {
@@ -75,13 +81,12 @@ private:
 };
 
 /// The cheapest capable backend for a blur request — what `--backend auto`
-/// resolves to. Candidates are the registry's backends whose can_run hook
-/// accepts the request (datapath, tap bounds, format restrictions), ranked
-/// by estimate_cost's calibrated wall-time term at the options' thread
-/// count; backends without a throughput figure rank after every backend
-/// with one. Ties break by name (the registry's sorted order), keeping the
-/// choice deterministic. Throws InvalidArgument when no registered backend
-/// can run the request.
+/// resolves to. A thin wrapper over exec::Planner (the one place the
+/// ranking now lives; measured online EWMAs outrank analytic estimates,
+/// uncalibrated backends sort last, ties break by the registry's sorted
+/// name order). Kept for callers that only need the backend, not the full
+/// ExecutionPlan. Throws InvalidArgument when no registered backend can
+/// run the request.
 std::shared_ptr<const Backend> select_auto_backend(
     int width, int height, const tonemap::GaussianKernel& kernel,
     const ExecutorOptions& options = {},

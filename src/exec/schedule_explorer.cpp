@@ -1,0 +1,196 @@
+#include "exec/schedule_explorer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "image/image.hpp"
+#include "tonemap/kernel.hpp"
+
+namespace tmhls::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Deterministic synthetic intensity plane in [0, 1) — the blur's input
+/// distribution does not affect its timing, only the geometry does, but a
+/// fixed seed keeps repeated sweeps byte-comparable.
+img::ImageF synthetic_plane(int width, int height, std::uint64_t seed) {
+  img::ImageF plane(width, height, 1);
+  Rng rng(seed);
+  for (float& v : plane.samples()) {
+    v = static_cast<float>(rng.uniform());
+  }
+  return plane;
+}
+
+/// The end-to-end composition of estimate_pipeline_cost with the blur
+/// term replaced by a measurement: measured blur + point-wise arithmetic
+/// + (for non-fused backends) the inter-stage plane traffic. Keeping the
+/// same composition makes measured points comparable with analytic
+/// estimates and with the serving layer's end-to-end observations.
+double pipeline_seconds_from(double blur_seconds, const Backend& backend,
+                             int width, int height, const CostModel& model) {
+  double seconds = blur_seconds;
+  const double pixels =
+      static_cast<double>(width) * static_cast<double>(height);
+  const double pointwise = model.pointwise_ops_per_second();
+  if (pointwise > 0.0) {
+    seconds += kPipelinePointwiseOpsPerPixel * pixels / pointwise;
+  }
+  if (!backend.capabilities().fused_pipeline) {
+    const double bandwidth = model.plane_bandwidth_bytes_per_second();
+    if (bandwidth > 0.0) {
+      seconds += kPipelineStagePlanes * pixels * sizeof(float) / bandwidth;
+    }
+  }
+  return seconds;
+}
+
+} // namespace
+
+std::vector<SchedulePoint> explore_schedules(
+    const ScheduleSearchConfig& config, const BackendRegistry& registry,
+    CostModel& model) {
+  TMHLS_REQUIRE(!config.geometries.empty(),
+                "schedule search: need at least one geometry");
+  TMHLS_REQUIRE(!config.thread_counts.empty(),
+                "schedule search: need at least one thread count");
+  TMHLS_REQUIRE(!config.band_factors.empty(),
+                "schedule search: need at least one band factor");
+  TMHLS_REQUIRE(config.reps >= 1, "schedule search: reps must be >= 1");
+  const tonemap::GaussianKernel kernel =
+      config.radius > 0 ? tonemap::GaussianKernel(config.sigma, config.radius)
+                        : tonemap::GaussianKernel(config.sigma);
+  std::vector<std::string> backends = config.backends;
+  if (backends.empty()) backends = registry.names();
+
+  std::vector<SchedulePoint> points;
+  for (const ScheduleSearchConfig::Geometry& geometry : config.geometries) {
+    TMHLS_REQUIRE(geometry.width > 0 && geometry.height > 0,
+                  "schedule search: geometry dimensions must be positive");
+    const img::ImageF plane =
+        synthetic_plane(geometry.width, geometry.height, config.seed);
+    for (const std::string& name : backends) {
+      const std::shared_ptr<const Backend> backend = registry.resolve(name);
+      const BackendCapabilities caps = backend->capabilities();
+      for (const int threads : config.thread_counts) {
+        TMHLS_REQUIRE(threads >= 1,
+                      "schedule search: thread counts must be >= 1");
+        for (const int factor : config.band_factors) {
+          TMHLS_REQUIRE(factor >= 1,
+                        "schedule search: band factors must be >= 1");
+          SchedulePoint point;
+          point.backend = name;
+          point.width = geometry.width;
+          point.height = geometry.height;
+          point.bucket = geometry_bucket(geometry.width, geometry.height);
+          point.threads = threads;
+          point.bands = threads * factor;
+          if (!caps.float_datapath) {
+            point.feasible = false;
+            point.rejection_reason = "no float datapath";
+            points.push_back(std::move(point));
+            continue;
+          }
+          if (!caps.tiled_threads && (threads > 1 || point.bands > 1)) {
+            point.feasible = false;
+            point.rejection_reason = "no tiled execution";
+            points.push_back(std::move(point));
+            continue;
+          }
+          BlurContext ctx;
+          ctx.threads = caps.tiled_threads ? threads : 1;
+          ctx.bands = caps.tiled_threads ? point.bands : 0;
+          ctx.use_fixed = false;
+          if (!backend->can_run(kernel, ctx)) {
+            point.feasible = false;
+            point.rejection_reason = "kernel unsupported";
+            points.push_back(std::move(point));
+            continue;
+          }
+          double best = 0.0;
+          for (int rep = 0; rep < config.reps; ++rep) {
+            const Clock::time_point start = Clock::now();
+            const img::ImageF out = backend->run_blur(plane, kernel, ctx);
+            const double elapsed = seconds_since(start);
+            TMHLS_REQUIRE(!out.empty(), "schedule search: empty blur output");
+            if (rep == 0 || elapsed < best) best = elapsed;
+          }
+          point.blur_seconds = best;
+          point.pipeline_seconds = pipeline_seconds_from(
+              best, *backend, geometry.width, geometry.height, model);
+          if (config.record_observations) {
+            model.record_observation(name, geometry.width, geometry.height,
+                                     ctx.threads, point.pipeline_seconds);
+          }
+          points.push_back(std::move(point));
+        }
+      }
+    }
+  }
+  return points;
+}
+
+RoutingTable build_routing_table(const std::vector<SchedulePoint>& points) {
+  std::map<int, const SchedulePoint*> best;
+  for (const SchedulePoint& point : points) {
+    if (!point.feasible || point.pipeline_seconds <= 0.0) continue;
+    const auto [it, inserted] = best.emplace(point.bucket, &point);
+    if (inserted) continue;
+    const SchedulePoint& incumbent = *it->second;
+    const auto key = [](const SchedulePoint& p) {
+      return std::make_tuple(p.pipeline_seconds, p.backend, p.threads,
+                             p.bands);
+    };
+    if (key(point) < key(incumbent)) it->second = &point;
+  }
+  RoutingTable table;
+  for (const auto& [bucket, point] : best) {
+    RoutingEntry entry;
+    entry.bucket = bucket;
+    entry.backend = point->backend;
+    entry.threads = point->threads;
+    entry.bands = point->bands;
+    entry.measured_seconds = point->pipeline_seconds;
+    table.entries.push_back(std::move(entry));
+  }
+  return table;
+}
+
+std::string render(const std::vector<SchedulePoint>& points) {
+  TextTable table({"Backend", "Geometry", "Bucket", "Threads", "Bands",
+                   "Blur (ms)", "Pipeline (ms)", "Status"});
+  for (const SchedulePoint& p : points) {
+    const std::string geometry =
+        std::to_string(p.width) + "x" + std::to_string(p.height);
+    table.add_row({p.backend, geometry, std::to_string(p.bucket),
+                   std::to_string(p.threads), std::to_string(p.bands),
+                   p.feasible ? format_fixed(p.blur_seconds * 1e3, 3) : "-",
+                   p.feasible ? format_fixed(p.pipeline_seconds * 1e3, 3)
+                              : "-",
+                   p.feasible ? "ok" : p.rejection_reason});
+  }
+  return table.render();
+}
+
+std::string render(const RoutingTable& table) {
+  TextTable out({"Bucket", "Backend", "Threads", "Bands", "Pipeline (ms)"});
+  for (const RoutingEntry& entry : table.entries) {
+    out.add_row({std::to_string(entry.bucket), entry.backend,
+                 std::to_string(entry.threads), std::to_string(entry.bands),
+                 format_fixed(entry.measured_seconds * 1e3, 3)});
+  }
+  return out.render();
+}
+
+} // namespace tmhls::exec

@@ -1,0 +1,100 @@
+// exec::ScheduleExplorer — CPU schedule search, the software analogue of
+// the accel layer's HLS design-space exploration (src/accel/explorer,
+// §III.B): where that sweep searches ARRAY_PARTITION factors and
+// fixed-point widths for the FPGA datapath, this one searches the host
+// schedule — backend x thread count x band shape, per frame geometry — by
+// MEASURING real blur runs on synthetic planes, and emits a routing table
+// (best point per geometry bucket) the exec::Planner serves "auto"
+// requests from. Each measurement is also fed into the CostModel as an
+// online observation, so even buckets the routing table does not cover
+// benefit from the search.
+//
+// Schedules choose scheduling, never bits: every point measured here runs
+// the float datapath, byte-identical to separable_float at one thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/cost_model.hpp"
+#include "exec/planner.hpp"
+#include "exec/registry.hpp"
+
+namespace tmhls::exec {
+
+/// One evaluated schedule point: a (backend, threads, bands) combination
+/// measured at one frame geometry.
+struct SchedulePoint {
+  std::string backend;
+  int width = 0;
+  int height = 0;
+  int bucket = 0; ///< exec::geometry_bucket(width, height)
+  int threads = 1;
+  int bands = 0; ///< 0 == derived from threads
+  /// Measured blur seconds (best of config.reps).
+  double blur_seconds = 0.0;
+  /// End-to-end pipeline seconds: the measured blur plus the model's
+  /// point-wise and inter-stage-traffic terms (the same composition as
+  /// estimate_pipeline_cost, with the blur term replaced by the
+  /// measurement). This is what ranks points and fills the routing table.
+  double pipeline_seconds = 0.0;
+  /// False when the combination cannot run (fixed-only datapath, no tiled
+  /// capability at threads/bands > 1, kernel beyond the tap bound).
+  bool feasible = true;
+  std::string rejection_reason;
+};
+
+/// Sweep configuration.
+struct ScheduleSearchConfig {
+  /// Frame geometries to measure; each contributes one routing bucket.
+  struct Geometry {
+    int width = 0;
+    int height = 0;
+  };
+  std::vector<Geometry> geometries = {{640, 480}, {1024, 768}};
+  /// Worker thread counts to sweep.
+  std::vector<int> thread_counts = {1, 2, 4};
+  /// Band multipliers: each thread count t is measured at bands = t * f
+  /// for every factor f (1 reproduces the default band-per-thread
+  /// decomposition; larger factors oversubscribe for load balancing).
+  std::vector<int> band_factors = {1, 2};
+  /// Backends to sweep; empty selects every registry backend that can run
+  /// the float datapath (schedule search never changes bits, so the fixed
+  /// datapath is out of scope).
+  std::vector<std::string> backends;
+  /// Kernel of the measured blur; radius 0 selects ceil(3 * sigma). The
+  /// default is the paper's 97-tap mask kernel.
+  double sigma = 16.0;
+  int radius = 0;
+  /// Measurement repetitions per point (best-of).
+  int reps = 1;
+  /// Feed each feasible measurement into `model` as an online observation
+  /// (CostModel::record_observation), so auto plans improve even where
+  /// the routing table is not installed.
+  bool record_observations = true;
+  /// Seed of the synthetic intensity plane (deterministic content).
+  std::uint64_t seed = 42;
+};
+
+/// Run the schedule sweep: measures every (geometry x backend x threads x
+/// bands) combination. Infeasible combinations are reported with a
+/// rejection reason rather than skipped, mirroring the accel explorer.
+std::vector<SchedulePoint> explore_schedules(
+    const ScheduleSearchConfig& config,
+    const BackendRegistry& registry = BackendRegistry::global(),
+    CostModel& model = CostModel::global());
+
+/// The routing table of a sweep: for each geometry bucket, the feasible
+/// point with the lowest end-to-end pipeline_seconds (ties break by
+/// backend name, then fewer threads, then fewer bands — deterministic for
+/// equal measurements). Install into a Planner to have "auto" serve it.
+RoutingTable build_routing_table(const std::vector<SchedulePoint>& points);
+
+/// Render a sweep as an aligned text table.
+std::string render(const std::vector<SchedulePoint>& points);
+
+/// Render a routing table as an aligned text table.
+std::string render(const RoutingTable& table);
+
+} // namespace tmhls::exec

@@ -9,6 +9,22 @@
 
 namespace tmhls::img {
 
+common::StatsSnapshot snapshot(const PoolStats& stats) {
+  common::StatsSnapshot out;
+  out.scope = "pool";
+  out.counter("acquires", stats.acquires);
+  out.counter("pool_hits", stats.pool_hits);
+  out.counter("fresh_allocs", stats.fresh_allocs);
+  out.counter("returned", stats.returned);
+  out.counter("evicted", stats.evicted);
+  out.counter("retained_bytes", stats.retained_bytes);
+  return out;
+}
+
+} // namespace tmhls::img
+
+namespace tmhls::img {
+
 namespace detail {
 
 namespace {

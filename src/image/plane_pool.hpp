@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/stats.hpp"
 #include "image/image.hpp"
 
 namespace tmhls::img {
@@ -58,6 +59,9 @@ struct PoolStats {
   /// Gauge: bytes currently held in the free lists, always <= the bound.
   std::uint64_t retained_bytes = 0;
 };
+
+/// Flatten into the common reporting form (scope "pool").
+common::StatsSnapshot snapshot(const PoolStats& stats);
 
 namespace detail {
 

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/fault_injection.hpp"
 #include "exec/async.hpp"
+#include "exec/cost_model.hpp"
 #include "serve/sharded_blur.hpp"
 #include "tonemap/frame_pipeline.hpp"
 #include "tonemap/global_operators.hpp"
@@ -341,6 +342,37 @@ img::PoolStats ToneMapService::pool_stats() const {
   return pool_ ? pool_->stats() : img::PoolStats{};
 }
 
+std::vector<common::StatsSnapshot> snapshot(const ServiceStats& stats) {
+  std::vector<common::StatsSnapshot> out;
+  common::StatsSnapshot total;
+  total.scope = "service";
+  total.counter("queue_depth", stats.queue_depth);
+  total.counter("in_flight", stats.in_flight);
+  total.counter("submitted", stats.submitted);
+  total.counter("completed", stats.completed);
+  total.counter("failed", stats.failed);
+  total.counter("expired", stats.expired);
+  total.counter("degraded", stats.degraded);
+  total.counter("shed", stats.shed);
+  total.counter("rebalanced", stats.rebalanced);
+  out.push_back(std::move(total));
+  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
+    const ShardStats& row = stats.shards[i];
+    common::StatsSnapshot shard;
+    shard.scope = "service.shard" + std::to_string(i);
+    shard.counter("queue_depth", row.queue_depth);
+    shard.counter("in_flight", row.in_flight);
+    shard.counter("submitted", row.submitted);
+    shard.counter("completed", row.completed);
+    shard.counter("failed", row.failed);
+    shard.counter("expired", row.expired);
+    shard.counter("degraded", row.degraded);
+    shard.counter("session_builds", row.session_builds);
+    out.push_back(std::move(shard));
+  }
+  return out;
+}
+
 void ToneMapService::worker_loop(Shard& shard, int shard_index) {
   // Every plane this worker allocates — session frames, stage
   // intermediates, blur outputs (the session's async blur worker and the
@@ -426,6 +458,16 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
       out.backend = session->executor().backend().name();
       out.queue_seconds = p.queue_seconds;
       out.service_seconds = seconds_between(p.picked_up, Clock::now());
+      // Online autotuning: feed the measured end-to-end service time back
+      // into the process-wide cost model (session-path jobs are always
+      // full quality — degraded jobs take the staged path). The model's
+      // revision bump is what makes an auto session re-plan on its next
+      // compatible_with check.
+      if (options_.online_calibration && out.service_seconds > 0.0) {
+        exec::CostModel::global().record_observation(
+            out.backend, session->options().width, session->options().height,
+            session->executor().effective_threads(), out.service_seconds);
+      }
       complete(p, std::move(out));
     } catch (...) {
       fail(p);
@@ -617,6 +659,14 @@ void ToneMapService::worker_loop(Shard& shard, int shard_index) {
         out.queue_seconds = p.queue_seconds;
         out.service_seconds = seconds_between(picked_up, Clock::now());
         out.degrade = p.degrade;
+        // Only full-quality completions are comparable measurements — a
+        // degraded frame ran a cheaper kernel, not this backend's cost.
+        if (options_.online_calibration &&
+            p.degrade == DegradeLevel::none && out.service_seconds > 0.0) {
+          exec::CostModel::global().record_observation(
+              out.backend, key.width, key.height,
+              staged_exec->effective_threads(), out.service_seconds);
+        }
         complete(p, std::move(out));
       } catch (const DeadlineExceeded&) {
         expire(p, std::current_exception());

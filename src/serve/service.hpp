@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "image/image.hpp"
 #include "image/plane_pool.hpp"
 #include "serve/qos.hpp"
@@ -145,6 +146,17 @@ struct ToneMapServiceOptions {
   /// allocates fresh), which is how the benches measure the pooled vs.
   /// unpooled comparison.
   std::size_t pool_bytes = img::PlanePool::kDefaultMaxRetainedBytes;
+  /// Feed each full-quality job's measured service time back into the
+  /// process-wide exec::CostModel as an online observation
+  /// (record_observation keyed by backend and geometry bucket). Auto
+  /// sessions then re-plan when the model's revision moves (see
+  /// FramePipeline::compatible_with), so `--backend auto` converges onto
+  /// the measured-fastest backend under real load. Off by default because
+  /// the CostModel is process-wide state: callers that pin auto choices
+  /// (tests, comparative benches) should not have one service mutate the
+  /// ranking under another's feet. The CLI's serve paths and the autotune
+  /// bench opt in.
+  bool online_calibration = false;
 };
 
 /// Validation: throws InvalidArgument naming the offending field unless
@@ -211,6 +223,11 @@ struct ServiceStats {
   /// (slow jobs, or an options mix that keeps rebuilding its session).
   std::uint64_t rebalanced = 0;
 };
+
+/// Flatten into the common reporting form: one "service" snapshot of the
+/// aggregate counters, then one "service.shardN" snapshot per shard —
+/// what the CLI renders and the benches append to JSONL.
+std::vector<common::StatsSnapshot> snapshot(const ServiceStats& stats);
 
 /// The in-process batch tone-mapping service. Thread-safe: submit() may be
 /// called from any number of client threads. The destructor completes

@@ -574,4 +574,23 @@ SessionManagerStats SessionManager::stats() const {
   return total;
 }
 
+common::StatsSnapshot snapshot(const SessionManagerStats& stats) {
+  common::StatsSnapshot out;
+  out.scope = "streams";
+  out.counter("streams_opened", stats.streams_opened);
+  out.counter("streams_closed", stats.streams_closed);
+  out.counter("streams_shed", stats.streams_shed);
+  out.counter("streams_reclaimed", stats.streams_reclaimed);
+  out.counter("frames_submitted", stats.frames_submitted);
+  out.counter("frames_delivered", stats.frames_delivered);
+  out.counter("frames_shed", stats.frames_shed);
+  out.counter("frames_expired", stats.frames_expired);
+  out.counter("rung_switches", stats.rung_switches);
+  out.counter("streams_active", static_cast<std::uint64_t>(
+                                    stats.streams_active < 0
+                                        ? 0
+                                        : stats.streams_active));
+  return out;
+}
+
 } // namespace tmhls::stream

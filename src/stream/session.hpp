@@ -170,6 +170,9 @@ struct SessionManagerStats {
   int streams_active = 0;
 };
 
+/// Flatten into the common reporting form (scope "streams").
+common::StatsSnapshot snapshot(const SessionManagerStats& stats);
+
 /// Options of the manager itself.
 struct SessionManagerOptions {
   /// Streams concurrently open. At the bound, best_effort and standard

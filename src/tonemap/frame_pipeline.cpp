@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "exec/cost_model.hpp"
 #include "tonemap/fused_stream.hpp"
 
 namespace tmhls::tonemap {
@@ -24,8 +25,9 @@ FramePipeline::FramePipeline(FramePipelineOptions options)
     // the (possibly nonsense) fields.
     : options_((validate(options), std::move(options))),
       kernel_(options_.pipeline.kernel()),
-      executor_(options_.pipeline.make_executor(options_.width,
-                                                options_.height)) {
+      plan_(options_.pipeline.plan(options_.width, options_.height)),
+      executor_(plan_.make_executor()) {
+  planned_revision_.store(plan_.model_revision, std::memory_order_release);
   // Fail fast on capability mismatches (tap bounds, fixed formats): the
   // kernel and executor are fixed for the session, so an incapable pair
   // must reject here, not from some later submit() mid-stream.
@@ -129,9 +131,28 @@ bool FramePipeline::compatible_with(const PipelineOptions& pipeline,
   if (!(options_.pipeline == pipeline)) return false;
   // Named backends resolve geometry-free; only "auto" ranks the cost
   // model on the configured frame size, so only there can a geometry
-  // mismatch change which backend (and which bits) a frame gets.
+  // mismatch change which backend a frame gets.
   if (pipeline.execution().backend != "auto") return true;
-  return options_.width == width && options_.height == height;
+  if (options_.width != width || options_.height != height) return false;
+  // Online re-planning: when the cost model learned something since this
+  // session planned (its revision moved — observations arrived, a
+  // calibration loaded, a routing table landed), re-plan and declare the
+  // session incompatible only if the schedule actually changed. The
+  // rebuild this triggers is how a serving layer converges onto the
+  // measured-fastest backend; bits never change either way.
+  const std::uint64_t current = exec::CostModel::global().revision();
+  if (current == planned_revision_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  const exec::ExecutionPlan fresh = options_.pipeline.plan(width, height);
+  const exec::ExecutorOptions current_opts = executor_.options();
+  if (std::strcmp(fresh.backend->name(), executor_.backend().name()) != 0 ||
+      fresh.threads != current_opts.threads ||
+      fresh.bands != current_opts.bands) {
+    return false;
+  }
+  planned_revision_.store(fresh.model_revision, std::memory_order_release);
+  return true;
 }
 
 PipelineResult FramePipeline::next_result() {

@@ -15,7 +15,9 @@
 // worker thread at all.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -122,10 +124,19 @@ public:
   /// freshly built for it. That holds when the pipeline options match
   /// field-for-field and — only when the backend resolves to "auto",
   /// whose choice depends on frame geometry — the configured geometry
-  /// matches too (named backends serve any geometry). A false answer is
-  /// always safe: it costs the caller a session rebuild, never identity.
+  /// matches too (named backends serve any geometry). Auto sessions
+  /// additionally re-plan when the cost model's revision moved since this
+  /// session planned (online observations arrived): if the fresh plan
+  /// would pick a different backend/threads/bands, the answer is false
+  /// and the caller rebuilds onto the better schedule — this is how
+  /// serving converges onto the measured-fastest backend under load. A
+  /// false answer is always safe: it costs the caller a session rebuild,
+  /// never identity (plans choose scheduling, never bits).
   bool compatible_with(const PipelineOptions& pipeline, int width,
                        int height) const;
+
+  /// The plan this session resolved at construction.
+  const exec::ExecutionPlan& plan() const { return plan_; }
 
   /// The synchronous executor configuration the mask stage runs on (the
   /// async worker holds its own copy of it at depth > 1).
@@ -146,7 +157,13 @@ private:
 
   FramePipelineOptions options_;
   GaussianKernel kernel_;
+  exec::ExecutionPlan plan_;
   exec::PipelineExecutor executor_;
+  /// CostModel::revision() the session last planned against — bumped by
+  /// compatible_with when a re-plan confirms the same schedule, so the
+  /// next call short-circuits. Atomic only so concurrent readers of an
+  /// otherwise-idle session (stats paths) stay race-free.
+  mutable std::atomic<std::uint64_t> planned_revision_{0};
   bool use_fused_ = false; ///< see fused_route()
   std::unique_ptr<exec::AsyncExecutor> async_; ///< null at depth 1
   std::deque<InFlight> in_flight_;

@@ -8,23 +8,9 @@
 
 namespace tmhls::tonemap {
 
-const char* to_string(BlurKind kind) {
-  switch (kind) {
-    case BlurKind::separable_float: return "separable_float";
-    case BlurKind::streaming_float: return "streaming_float";
-    case BlurKind::streaming_fixed: return "streaming_fixed";
-  }
-  return "?";
-}
-
-const char* backend_name(BlurKind kind) {
-  // The three golden datapaths are registered under their enum names.
-  return to_string(kind);
-}
-
 const char* to_string(Datapath datapath) {
   switch (datapath) {
-    case Datapath::from_blur_kind: return "from_blur_kind";
+    case Datapath::unspecified: return "unspecified";
     case Datapath::float32: return "float";
     case Datapath::fixed_point: return "fixed";
   }
@@ -45,49 +31,35 @@ GaussianKernel PipelineOptions::kernel() const {
 
 ExecutionSelection PipelineOptions::execution() const {
   ExecutionSelection s;
-  s.backend = backend.empty() ? backend_name(blur) : backend;
+  s.backend = backend.empty() ? "separable_float" : backend;
+  s.use_fixed = (datapath == Datapath::fixed_point);
+  return s;
+}
+
+exec::ExecutionPlan PipelineOptions::plan(int width, int height) const {
+  exec::PlanRequest request;
+  request.width = width;
+  request.height = height;
+  request.backend = execution().backend;
   switch (datapath) {
-    case Datapath::float32: s.use_fixed = false; break;
-    case Datapath::fixed_point: s.use_fixed = true; break;
-    case Datapath::from_blur_kind:
-      s.use_fixed = (blur == BlurKind::streaming_fixed);
+    case Datapath::unspecified:
+      request.datapath = exec::PlanDatapath::unspecified;
+      break;
+    case Datapath::float32:
+      request.datapath = exec::PlanDatapath::float32;
+      break;
+    case Datapath::fixed_point:
+      request.datapath = exec::PlanDatapath::fixed_point;
       break;
   }
-  return s;
+  request.threads = threads;
+  request.fixed = fixed;
+  return exec::Planner::global().plan(request, kernel());
 }
 
 exec::PipelineExecutor PipelineOptions::make_executor(int width,
                                                       int height) const {
-  const ExecutionSelection selection = execution();
-  exec::ExecutorOptions eo;
-  eo.threads = threads;
-  eo.fixed = fixed;
-  eo.use_fixed = selection.use_fixed;
-  if (selection.backend == "auto") {
-    return exec::PipelineExecutor(
-        exec::select_auto_backend(width, height, kernel(), eo), eo);
-  }
-  const auto resolved =
-      exec::BackendRegistry::global().resolve(selection.backend);
-  const exec::BackendCapabilities caps = resolved->capabilities();
-  // Asking a float-only backend for the fixed datapath would otherwise be
-  // silently ignored (e.g. `--fixed --backend streaming_float`).
-  TMHLS_REQUIRE(!eo.use_fixed || caps.fixed_datapath,
-                "backend " + selection.backend +
-                    " has no fixed-point datapath; drop the fixed-point "
-                    "request or choose streaming_fixed / hlscode");
-  if (!eo.use_fixed && !caps.float_datapath) {
-    // Fixed-only backend named explicitly: an unspecified datapath
-    // follows the backend's only datapath (so `--backend streaming_fixed`
-    // alone just works, at any pipeline depth), while an explicit float
-    // request is a contradiction — quantised output for a float ask.
-    TMHLS_REQUIRE(datapath != Datapath::float32,
-                  "backend " + selection.backend +
-                      " has no float datapath; drop the float request or "
-                      "choose a float-capable backend");
-    eo.use_fixed = true;
-  }
-  return exec::PipelineExecutor(resolved, eo);
+  return plan(width, height).make_executor();
 }
 
 exec::PipelineExecutor PipelineOptions::make_executor() const {

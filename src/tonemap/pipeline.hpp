@@ -14,6 +14,7 @@
 #include <string>
 
 #include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "image/image.hpp"
 #include "tonemap/blur.hpp"
 #include "tonemap/kernel.hpp"
@@ -21,29 +22,15 @@
 
 namespace tmhls::tonemap {
 
-/// DEPRECATED shorthand for the three golden datapaths. Kept as a
-/// source-compatible alias: each value maps onto an exec-layer backend of
-/// the same name plus a datapath (see PipelineOptions::execution, the one
-/// place the mapping lives). New code selects the backend by name through
-/// PipelineOptions::backend and the datapath through
-/// PipelineOptions::datapath.
-enum class BlurKind {
-  separable_float, ///< original CPU form (random neighbour access)
-  streaming_float, ///< restructured line-buffer form, float datapath
-  streaming_fixed, ///< restructured line-buffer form, fixed-point datapath
-};
-
-const char* to_string(BlurKind kind);
-
-/// The exec-registry backend name realising a BlurKind.
-const char* backend_name(BlurKind kind);
-
 /// Which numeric datapath of the selected backend executes the blur.
+/// (The deprecated BlurKind alias this used to defer to is retired; the
+/// CLI keeps `--blur-kind` as a warning-emitting alias for `--backend`
+/// for one release.)
 enum class Datapath {
-  /// Derive from the deprecated BlurKind alias: fixed iff
-  /// blur == BlurKind::streaming_fixed. The default, so legacy callers
-  /// that only set `blur` keep working unchanged.
-  from_blur_kind,
+  /// Follow the backend: float for float-capable backends, fixed for
+  /// fixed-only ones (so `--backend streaming_fixed` alone just works).
+  /// The default.
+  unspecified,
   float32,     ///< the 32-bit float datapath
   fixed_point, ///< the fixed-point datapath (formats from `fixed`)
 };
@@ -54,10 +41,11 @@ const char* to_string(Datapath datapath);
 /// throws InvalidArgument otherwise.
 Datapath datapath_from_string(const std::string& name);
 
-/// The execution selection of a PipelineOptions with the deprecated
-/// BlurKind alias folded in. This is the registry-free resolution;
-/// make_executor() additionally snaps use_fixed to a fixed-only backend's
-/// single datapath (a capability-dependent step that needs the registry).
+/// The execution selection of a PipelineOptions. This is the
+/// registry-free resolution; the planner (exec::Planner, behind plan() /
+/// make_executor()) additionally snaps use_fixed to a fixed-only
+/// backend's single datapath — a capability-dependent step that needs the
+/// registry.
 struct ExecutionSelection {
   /// Registry backend name, or the reserved "auto".
   std::string backend;
@@ -72,20 +60,16 @@ struct PipelineOptions {
   double sigma = 16.0;
   /// Kernel radius; 0 selects ceil(3 * sigma).
   int radius = 0;
-  /// DEPRECATED alias for backend + datapath (see BlurKind). Consulted
-  /// only where `backend` / `datapath` leave the choice open.
-  BlurKind blur = BlurKind::separable_float;
-  /// Execution backend by registry name (e.g. "hlscode"); authoritative
-  /// when non-empty (empty falls back to the `blur` alias). The reserved
-  /// name "auto" picks the cheapest capable backend for the frame
-  /// geometry via the calibrated cost hooks (exec::select_auto_backend).
+  /// Execution backend by registry name (e.g. "hlscode"); empty selects
+  /// separable_float, the golden reference. The reserved name "auto"
+  /// picks the cheapest capable backend for the frame geometry via
+  /// exec::Planner (measured observations, calibrated estimates, or an
+  /// installed routing table — in that order of trust).
   std::string backend;
-  /// Datapath of the selected backend; authoritative when not
-  /// from_blur_kind. The blur alias folds into backend/datapath in
-  /// execution(), and nowhere else; make_executor() then snaps an
-  /// unspecified datapath to the backend's only one for fixed-only
-  /// backends (and rejects explicit contradictions).
-  Datapath datapath = Datapath::from_blur_kind;
+  /// Datapath of the selected backend. The planner snaps `unspecified` to
+  /// the backend's only datapath for fixed-only backends (and rejects
+  /// explicit contradictions).
+  Datapath datapath = Datapath::unspecified;
   /// Worker threads for the mask stage's tiled execution mode (backends
   /// without the capability run single-threaded).
   int threads = 1;
@@ -107,18 +91,23 @@ struct PipelineOptions {
   /// The kernel implied by sigma/radius.
   GaussianKernel kernel() const;
 
-  /// The resolved backend + datapath request — the ONE place the
-  /// deprecated BlurKind alias maps onto the authoritative fields:
-  /// backend falls back to backend_name(blur) when empty, and
-  /// Datapath::from_blur_kind resolves to fixed iff blur is
-  /// streaming_fixed. Registry-free; see ExecutionSelection for the
-  /// capability-dependent refinement make_executor() applies on top.
+  /// The resolved backend + datapath request: backend falls back to
+  /// "separable_float" when empty, and use_fixed is set iff datapath is
+  /// fixed_point. Registry-free; see ExecutionSelection for the
+  /// capability-dependent refinement the planner applies on top.
   ExecutionSelection execution() const;
+
+  /// Resolve these options into an ExecutionPlan (backend + threads +
+  /// bands + datapath + predicted cost) for a frame of the given geometry
+  /// via exec::Planner::global() — the ONE place every layer (CLI, serve,
+  /// stream, video, FramePipeline) gets its execution decision.
+  exec::ExecutionPlan plan(int width, int height) const;
 
   /// Resolve these options into an executor (registry lookup + thread /
   /// datapath configuration) for a frame of the given geometry — which
-  /// backend == "auto" selects on. Callers running many frames build this
-  /// once.
+  /// backend == "auto" selects on. A thin wrapper over
+  /// plan(width, height).make_executor(). Callers running many frames
+  /// build this once.
   exec::PipelineExecutor make_executor(int width, int height) const;
 
   /// Geometry-free overload: as above, assuming the paper's 1024x768
@@ -128,10 +117,10 @@ struct PipelineOptions {
   /// Field-wise equality. Equal options produce bit-identical pipelines
   /// (every field participates in the output), so this is the reuse test
   /// serving layers apply before running a job through a cached session
-  /// instead of building a new one. Note the deprecated `blur` alias
-  /// participates too: two options that resolve to the same execution()
-  /// but spell it differently compare unequal — a conservative answer
-  /// that can only cost a rebuild, never bit-identity.
+  /// instead of building a new one. Two options that resolve to the same
+  /// execution() but spell it differently (e.g. "" vs "separable_float")
+  /// compare unequal — a conservative answer that can only cost a
+  /// rebuild, never bit-identity.
   bool operator==(const PipelineOptions&) const = default;
 };
 

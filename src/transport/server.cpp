@@ -559,4 +559,22 @@ void Server::writer_loop(Connection& c) {
   c.writer_exited.store(true, std::memory_order_release);
 }
 
+common::StatsSnapshot snapshot(const ServerStats& stats) {
+  common::StatsSnapshot out;
+  out.scope = "server";
+  out.counter("connections_accepted", stats.connections_accepted);
+  out.counter("connections_active", stats.connections_active);
+  out.counter("requests_received", stats.requests_received);
+  out.counter("responses_sent", stats.responses_sent);
+  out.counter("errors_sent", stats.errors_sent);
+  out.counter("requests_shed", stats.requests_shed);
+  out.counter("requests_expired", stats.requests_expired);
+  out.counter("protocol_errors", stats.protocol_errors);
+  out.counter("streams_opened", stats.streams_opened);
+  out.counter("streams_closed", stats.streams_closed);
+  out.counter("stream_frames_received", stats.stream_frames_received);
+  out.counter("stream_results_sent", stats.stream_results_sent);
+  return out;
+}
+
 } // namespace tmhls::transport

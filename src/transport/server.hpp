@@ -102,6 +102,9 @@ struct ServerStats {
   std::uint64_t stream_results_sent = 0;
 };
 
+/// Flatten into the common reporting form (scope "server").
+common::StatsSnapshot snapshot(const ServerStats& stats);
+
 /// The socket transport front. Construction binds, listens and starts
 /// serving; stop() (or the destructor) drains cleanly: in-flight requests
 /// complete and their responses are written before connections close.

@@ -132,27 +132,12 @@ private:
 // Explicit on-wire codes, independent of the in-memory enum values, so a
 // reordering refactor on one endpoint cannot silently change the protocol.
 
-std::uint8_t code_of(tonemap::BlurKind kind) {
-  switch (kind) {
-    case tonemap::BlurKind::separable_float: return 0;
-    case tonemap::BlurKind::streaming_float: return 1;
-    case tonemap::BlurKind::streaming_fixed: return 2;
-  }
-  throw WireError("wire: unencodable BlurKind");
-}
-
-tonemap::BlurKind blur_kind_of(std::uint8_t code) {
-  switch (code) {
-    case 0: return tonemap::BlurKind::separable_float;
-    case 1: return tonemap::BlurKind::streaming_float;
-    case 2: return tonemap::BlurKind::streaming_fixed;
-  }
-  throw WireError("wire: unknown BlurKind code " + std::to_string(code));
-}
-
 std::uint8_t code_of(tonemap::Datapath datapath) {
+  // Code 0 was from_blur_kind in protocol version 3; unspecified is its
+  // v4 successor with the same "follow the backend" meaning, so the code
+  // is stable across the rename.
   switch (datapath) {
-    case tonemap::Datapath::from_blur_kind: return 0;
+    case tonemap::Datapath::unspecified: return 0;
     case tonemap::Datapath::float32: return 1;
     case tonemap::Datapath::fixed_point: return 2;
   }
@@ -161,7 +146,7 @@ std::uint8_t code_of(tonemap::Datapath datapath) {
 
 tonemap::Datapath datapath_of(std::uint8_t code) {
   switch (code) {
-    case 0: return tonemap::Datapath::from_blur_kind;
+    case 0: return tonemap::Datapath::unspecified;
     case 1: return tonemap::Datapath::float32;
     case 2: return tonemap::Datapath::fixed_point;
   }
@@ -289,7 +274,6 @@ void put_options(std::vector<std::uint8_t>& out,
                  const tonemap::PipelineOptions& opt) {
   put_f64(out, opt.sigma);
   put_i32(out, opt.radius);
-  put_u8(out, code_of(opt.blur));
   put_string(out, opt.backend);
   put_u8(out, code_of(opt.datapath));
   put_i32(out, opt.threads);
@@ -305,7 +289,6 @@ tonemap::PipelineOptions read_options(Reader& in) {
   tonemap::PipelineOptions opt;
   opt.sigma = in.f64();
   opt.radius = in.i32();
-  opt.blur = blur_kind_of(in.u8());
   opt.backend = in.string();
   opt.datapath = datapath_of(in.u8());
   opt.threads = in.i32();

@@ -64,8 +64,12 @@ namespace wire {
 /// f64, replacing the 0.0-means-none overload) and added the streaming
 /// session messages (StreamOpen/StreamFrame/StreamClose client->server;
 /// StreamOpened/StreamResult/StreamCredit/StreamClosed server->client)
-/// with credit-based per-stream flow control.
-inline constexpr std::uint16_t kVersion = 3;
+/// with credit-based per-stream flow control. v4 retired the deprecated
+/// BlurKind alias: PipelineOptions no longer carries the blur byte (the
+/// backend string + datapath byte are the complete execution selection);
+/// Datapath code 0 was renamed from_blur_kind -> unspecified with the
+/// same "follow the backend" meaning.
+inline constexpr std::uint16_t kVersion = 4;
 
 /// First four payload-independent bytes of every message.
 inline constexpr std::array<std::uint8_t, 4> kMagic{'T', 'M', 'H', 'W'};

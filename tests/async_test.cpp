@@ -372,23 +372,23 @@ PipelineOptions small_options(const std::string& backend) {
   return opt;
 }
 
-// --- Datapath / BlurKind alias resolution (one place: execution()) --------
+// --- Backend/datapath resolution (one place: execution()) ----------------
 
-TEST(ExecutionSelectionTest, BlurKindAliasMapsWhenFieldsAreDefaulted) {
+TEST(ExecutionSelectionTest, DefaultedFieldsSelectTheGoldenReference) {
   PipelineOptions opt;
   EXPECT_EQ(opt.execution().backend, "separable_float");
   EXPECT_FALSE(opt.execution().use_fixed);
-  opt.blur = BlurKind::streaming_fixed;
+  opt.backend = "streaming_fixed";
+  opt.datapath = Datapath::fixed_point;
   EXPECT_EQ(opt.execution().backend, "streaming_fixed");
   EXPECT_TRUE(opt.execution().use_fixed);
 }
 
 TEST(ExecutionSelectionTest, BackendAndDatapathFieldsAreAuthoritative) {
   PipelineOptions opt;
-  opt.blur = BlurKind::streaming_fixed; // the alias loses to both fields
   opt.backend = "hlscode";
   EXPECT_EQ(opt.execution().backend, "hlscode");
-  EXPECT_TRUE(opt.execution().use_fixed); // datapath still from the alias
+  EXPECT_FALSE(opt.execution().use_fixed); // unspecified resolves float here
   opt.datapath = Datapath::float32;
   EXPECT_FALSE(opt.execution().use_fixed);
   opt.datapath = Datapath::fixed_point;

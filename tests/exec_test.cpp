@@ -541,7 +541,7 @@ TEST(PipelineBackendTest, HlscodeBackendBitIdenticalToStreamingFloat) {
   tonemap::PipelineOptions golden;
   golden.sigma = 2.0;
   golden.radius = 6;
-  golden.blur = tonemap::BlurKind::streaming_float;
+  golden.backend = "streaming_float";
   tonemap::PipelineOptions hls = golden;
   hls.backend = "hlscode";
   EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, hls).output,
@@ -553,9 +553,10 @@ TEST(PipelineBackendTest, HlscodeFixedBitIdenticalToStreamingFixed) {
   tonemap::PipelineOptions golden;
   golden.sigma = 2.0;
   golden.radius = 6;
-  golden.blur = tonemap::BlurKind::streaming_fixed;
+  golden.backend = "streaming_fixed";
   tonemap::PipelineOptions hls = golden;
   hls.backend = "hlscode";
+  hls.datapath = tonemap::Datapath::fixed_point;
   EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, hls).output,
                             tonemap::tone_map(hdr, golden).output));
 }
@@ -566,7 +567,6 @@ TEST(PipelineBackendTest, ThreadedStreamingFixedBitIdenticalToSingle) {
   opt.sigma = 2.0;
   opt.radius = 6;
   opt.backend = "streaming_fixed";
-  opt.blur = tonemap::BlurKind::streaming_fixed;
   tonemap::PipelineOptions threaded = opt;
   threaded.threads = 4;
   EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, threaded).output,
@@ -622,7 +622,8 @@ TEST(PipelineBackendTest, AutoBackendHonoursFixedDatapathRequest) {
   tonemap::PipelineOptions golden;
   golden.sigma = 2.0;
   golden.radius = 6;
-  golden.blur = tonemap::BlurKind::streaming_fixed;
+  golden.backend = "streaming_fixed";
+  golden.datapath = tonemap::Datapath::fixed_point;
   tonemap::PipelineOptions autosel = golden;
   autosel.backend = "auto";
   EXPECT_TRUE(bit_identical(tonemap::tone_map(hdr, autosel).output,
@@ -640,7 +641,7 @@ TEST(PipelineBackendTest, FixedDatapathOnFloatOnlyBackendThrows) {
   // `--fixed --backend streaming_float` must fail loudly, not silently
   // produce float output.
   tonemap::PipelineOptions opt;
-  opt.blur = tonemap::BlurKind::streaming_fixed;
+  opt.datapath = tonemap::Datapath::fixed_point;
   opt.backend = "streaming_float";
   EXPECT_THROW(opt.make_executor(), InvalidArgument);
   opt.backend = "hlscode"; // dual datapath: fine

@@ -134,7 +134,7 @@ TEST(GoldenImageTest, PipelineOutputIsStableAcrossRuns) {
   const img::ImageF hdr = io::paper_test_image(96);
   tonemap::PipelineOptions opt;
   opt.sigma = 6.0;
-  opt.blur = tonemap::BlurKind::streaming_fixed;
+  opt.backend = "streaming_fixed";
   const img::ImageF a = tonemap::tone_map_image(hdr, opt);
   const img::ImageF b = tonemap::tone_map_image(hdr, opt);
   auto sa = a.samples();

@@ -498,9 +498,9 @@ TEST(PipelineTest, IntermediatesHaveExpectedShapes) {
 TEST(PipelineTest, StreamingFloatMatchesSeparableExactly) {
   const img::ImageF hdr = io::paper_test_image(64);
   PipelineOptions a;
-  a.blur = BlurKind::separable_float;
+  a.backend = "separable_float";
   PipelineOptions b;
-  b.blur = BlurKind::streaming_float;
+  b.backend = "streaming_float";
   const img::ImageF out_a = tone_map_image(hdr, a);
   const img::ImageF out_b = tone_map_image(hdr, b);
   auto sa = out_a.samples();
@@ -513,7 +513,7 @@ TEST(PipelineTest, FixedBlurPipelineStaysCloseToFloat) {
   PipelineOptions flp;
   flp.sigma = 6.0;
   PipelineOptions fxp = flp;
-  fxp.blur = BlurKind::streaming_fixed;
+  fxp.backend = "streaming_fixed";
   const img::ImageF out_flp = tone_map_image(hdr, flp);
   const img::ImageF out_fxp = tone_map_image(hdr, fxp);
   EXPECT_GT(metrics::psnr(out_flp, out_fxp), 40.0);

@@ -99,7 +99,6 @@ TEST(WireTest, RequestRoundTripPreservesEveryField) {
   tonemap::PipelineOptions& opt = request.job.options;
   opt.sigma = 2.5;
   opt.radius = 7;
-  opt.blur = tonemap::BlurKind::streaming_fixed;
   opt.backend = "auto";
   opt.datapath = tonemap::Datapath::fixed_point;
   opt.threads = 3;
@@ -162,15 +161,15 @@ TEST(WireTest, ResponseRoundTripPreservesResultAndTimings) {
 }
 
 TEST(WireTest, ErrorMessageGoldenBytesPinTheOnWireFormat) {
-  // The exact bytes of a v3 error message with id 1, code generic and
+  // The exact bytes of a v4 error message with id 1, code generic and
   // message "hi" — recorded by hand from the format table in wire.hpp.
   // This pins the on-wire layout (magic, little-endian fields, the code
   // byte, FNV-1a checksum): any encoder change that alters these bytes
   // is a protocol break and must bump kVersion. (Only the header's
-  // version field changed from the v2 pin: the checksum covers the
+  // version field changed from the v3 pin: the checksum covers the
   // payload alone.)
   const std::vector<std::uint8_t> expected{
-      0x54, 0x4d, 0x48, 0x57, 0x03, 0x00, 0x03, 0x00, 0x0f, 0x00, 0x00,
+      0x54, 0x4d, 0x48, 0x57, 0x04, 0x00, 0x03, 0x00, 0x0f, 0x00, 0x00,
       0x00, 0x01, 0x05, 0x60, 0x5f, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00,
       0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00, 0x68, 0x69};
   EXPECT_EQ(wire::encode_error({1, wire::ErrorCode::generic, "hi"}),

@@ -36,7 +36,16 @@
 //                            [--seed N]
 //   analyze                 [--design sw_source|marked_hw|
 //                            sequential_access|hls_pragmas|fixed_point]
+//   autotune                [--geometries WxH,...] [--threads N,...]
+//                            [--band-factors F,...] [--backends B,...]
+//                            [--sigma S] [--radius R] [--reps N] [--seed N]
+//                            (CPU schedule search; prints the routing
+//                             table '--backend auto' would serve)
 //   compare <in>            (PSNR/SSIM of every operator vs moroney-float)
+//
+// serve/client/backends/autotune accept --calibration FILE (warm the cost
+// model from bench JSONL or saved snapshots); serve and autotune accept
+// --save-calibration FILE (persist the live model on clean shutdown).
 //
 // Inputs: Radiance .hdr or .pfm (by extension). Outputs: .ppm (8-bit),
 // .hdr, or .pfm.
@@ -58,10 +67,13 @@
 #include "accel/system.hpp"
 #include "common/args.hpp"
 #include "common/math.hpp"
+#include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exec/cost_model.hpp"
 #include "exec/executor.hpp"
+#include "exec/planner.hpp"
 #include "exec/registry.hpp"
+#include "exec/schedule_explorer.hpp"
 #include "image/stats.hpp"
 #include "imageio/pfm.hpp"
 #include "imageio/pnm.hpp"
@@ -104,6 +116,33 @@ void save_image(const std::string& path, const img::ImageF& image) {
   }
 }
 
+// --calibration FILE: warm the process-wide cost model from a mixed JSONL
+// stream (bench_backend_throughput records and calibration snapshots from
+// --save-calibration alike) before any plan is made. Shared by serve,
+// client, backends and autotune.
+void load_calibration_arg(const Args& args) {
+  const std::string path = args.get_or("calibration", "");
+  if (path.empty()) return;
+  std::ifstream in(path);
+  TMHLS_REQUIRE(in.good(), "cannot open calibration file: " + path);
+  const int applied = exec::CostModel::global().absorb_jsonl(in);
+  std::cout << "calibration: applied " << applied << " record(s) from "
+            << path << '\n';
+}
+
+// --save-calibration FILE: dump the live cost model (priors, calibration
+// and every online observation EWMA) as a versioned JSONL snapshot on
+// clean shutdown, so the next run starts warm via --calibration.
+void save_calibration_arg(const Args& args) {
+  const std::string path = args.get_or("save-calibration", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  TMHLS_REQUIRE(out.good(),
+                "cannot open --save-calibration file: " + path);
+  exec::CostModel::global().save_snapshot(out);
+  std::cout << "calibration: saved model snapshot to " << path << '\n';
+}
+
 tonemap::PipelineOptions pipeline_options_from(const Args& args) {
   tonemap::PipelineOptions opt;
   opt.sigma = args.get_double("sigma", opt.sigma);
@@ -116,6 +155,12 @@ tonemap::PipelineOptions pipeline_options_from(const Args& args) {
   // of dual-datapath backends (--fixed is shorthand for --datapath fixed).
   // Thread counts are validated centrally by the exec layer.
   opt.backend = args.get_or("backend", "");
+  // --blur-kind survives one release as a deprecated alias for --backend
+  // (the BlurKind enum is gone; backend names are the selection surface).
+  if (args.has("blur-kind")) {
+    std::cerr << "warning: --blur-kind is deprecated; use --backend\n";
+    if (opt.backend.empty()) opt.backend = args.get_or("blur-kind", "");
+  }
   std::string datapath = args.get_or("datapath", "");
   if (args.has("fixed")) {
     TMHLS_REQUIRE(datapath.empty() ||
@@ -235,15 +280,11 @@ int cmd_backends(const Args& args) {
   eopts.use_fixed = args.has("fixed");
   exec::validate(eopts);
 
-  // Optional re-calibration of the cost model from measured JSONL records.
-  const std::string calibration = args.get_or("calibration", "");
-  if (!calibration.empty()) {
-    std::ifstream in(calibration);
-    TMHLS_REQUIRE(in.good(),
-                  "cannot open calibration file: " + calibration);
-    const int updated = exec::CostModel::global().calibrate_from_jsonl(in);
-    std::cout << "calibrated " << updated << " backend(s) from "
-              << calibration << "\n\n";
+  // Optional warm-up of the cost model from measured JSONL: bench records
+  // and --save-calibration snapshots both feed in (absorb_jsonl).
+  if (args.has("calibration")) {
+    load_calibration_arg(args);
+    std::cout << '\n';
   }
 
   const exec::BackendRegistry& registry = exec::BackendRegistry::global();
@@ -414,6 +455,13 @@ int cmd_serve_listen(const Args& args) {
   TMHLS_REQUIRE(pool_bytes_listen >= 0, "--pool-bytes must be >= 0");
   so.service.pool_bytes = static_cast<std::size_t>(pool_bytes_listen);
   so.sessions.pool_bytes = static_cast<std::size_t>(pool_bytes_listen);
+  // The serving front opts into online calibration: each full-quality
+  // completion's measured service time feeds the process-wide cost model,
+  // so '--backend auto' jobs converge onto the measured-fastest backend
+  // while the server runs — and --save-calibration persists what it
+  // learned for the next start.
+  so.service.online_calibration = true;
+  load_calibration_arg(args);
 
   transport::Server server(so);
   std::signal(SIGINT, handle_stop_signal);
@@ -430,34 +478,17 @@ int cmd_serve_listen(const Args& args) {
   }
   server.stop();
 
-  const transport::ServerStats ts = server.stats();
-  TextTable t({"connections", "requests", "responses", "errors sent",
-               "shed", "expired", "protocol errors"});
-  t.add_row({std::to_string(ts.connections_accepted),
-             std::to_string(ts.requests_received),
-             std::to_string(ts.responses_sent),
-             std::to_string(ts.errors_sent),
-             std::to_string(ts.requests_shed),
-             std::to_string(ts.requests_expired),
-             std::to_string(ts.protocol_errors)});
-  std::cout << '\n' << t.render();
-
-  const serve::ServiceStats ss = server.service().stats();
-  TextTable per_shard({"shard", "submitted", "completed", "failed",
-                       "expired", "degraded", "session builds"});
-  for (std::size_t i = 0; i < ss.shards.size(); ++i) {
-    const serve::ShardStats& row = ss.shards[i];
-    per_shard.add_row({std::to_string(i), std::to_string(row.submitted),
-                       std::to_string(row.completed),
-                       std::to_string(row.failed),
-                       std::to_string(row.expired),
-                       std::to_string(row.degraded),
-                       std::to_string(row.session_builds)});
+  // Every layer's counters through the one reporting interface: the
+  // transport, the service (total + per shard) and the stream session
+  // manager, rendered by the common serializer.
+  std::vector<common::StatsSnapshot> snaps;
+  snaps.push_back(snapshot(server.stats()));
+  for (common::StatsSnapshot& s : snapshot(server.service().stats())) {
+    snaps.push_back(std::move(s));
   }
-  std::cout << per_shard.render();
-  std::cout << "shed at admission (typed Overloaded): " << ss.shed << "\n"
-            << "rebalanced (least-loaded routing overrode round-robin): "
-            << ss.rebalanced << "\n";
+  snaps.push_back(snapshot(server.sessions().stats()));
+  std::cout << '\n' << common::render_stats_table(snaps);
+  save_calibration_arg(args);
   return 0;
 }
 
@@ -651,6 +682,10 @@ int cmd_client_stream(const Args& args) {
 }
 
 int cmd_client(const Args& args) {
+  // Client-side calibration warms the LOCAL model: the golden-check
+  // pipeline (and any '--backend auto' resolution in it) plans from the
+  // same measured figures a warmed server would.
+  load_calibration_arg(args);
   if (args.has("stream")) return cmd_client_stream(args);
   // Drive a transport::Server over one socket: J synthetic frames
   // submitted pipelined (up to --window in flight), every response
@@ -808,6 +843,7 @@ int cmd_client(const Args& args) {
 
 int cmd_serve(const Args& args) {
   if (args.has("listen")) return cmd_serve_listen(args);
+  load_calibration_arg(args);
   // A synthetic multi-client workload through the in-process serving
   // layer: C client threads each submit J whole-frame jobs into a
   // serve::ToneMapService and wait for their futures, measuring the
@@ -834,6 +870,9 @@ int cmd_serve(const Args& args) {
       args.get_int("pool-bytes", static_cast<int>(so.pool_bytes));
   TMHLS_REQUIRE(pool_bytes >= 0, "--pool-bytes must be >= 0");
   so.pool_bytes = static_cast<std::size_t>(pool_bytes);
+  // Measured service times feed the cost model while the workload runs
+  // ('--backend auto' converges online; --save-calibration persists it).
+  so.online_calibration = true;
   const serve::QosClass qos =
       serve::qos_from_string(args.get_or("qos", "standard"));
   const double deadline = args.get_double("deadline", 0.0);
@@ -961,24 +1000,14 @@ int cmd_serve(const Args& args) {
                        percentile(queue_seconds_all, 0.5) * 1e3, 2)});
   std::cout << t.render() << '\n';
 
-  TextTable per_shard({"shard", "submitted", "completed", "failed",
-                       "expired", "degraded", "session builds"});
-  for (std::size_t i = 0; i < stats.shards.size(); ++i) {
-    const serve::ShardStats& row = stats.shards[i];
-    per_shard.add_row({std::to_string(i), std::to_string(row.submitted),
-                       std::to_string(row.completed),
-                       std::to_string(row.failed),
-                       std::to_string(row.expired),
-                       std::to_string(row.degraded),
-                       std::to_string(row.session_builds)});
+  // Service counters (total + per shard) through the common serializer —
+  // the same table every other layer's stats render as.
+  std::cout << common::render_stats_table(snapshot(stats));
+  if (stats.shed + stats.expired > 0) {
+    std::cout << "client-observed outcomes: shed " << client_shed.load()
+              << ", expired " << client_expired.load() << "\n";
   }
-  std::cout << per_shard.render();
-  if (stats.shed + stats.expired + stats.degraded > 0) {
-    std::cout << "overload outcomes: shed " << stats.shed << " (client saw "
-              << client_shed.load() << "), expired " << stats.expired
-              << " (client saw " << client_expired.load() << "), degraded "
-              << stats.degraded << "\n";
-  }
+  save_calibration_arg(args);
   std::cout << "\nbit-identical to blocking tone_map(): "
             << (identical ? "yes" : "NO — this is a bug, please report")
             << "\n(shard count beyond the core count only adds queueing on "
@@ -1004,6 +1033,104 @@ int cmd_compare(const Args& args) {
   std::cout << t.render();
   std::cout << "\n(low scores are expected: different operators render the\n"
                "same scene differently; the table quantifies how far apart)\n";
+  return 0;
+}
+
+// Comma-separated fields of `text`, in order; empty fields rejected.
+std::vector<std::string> split_list(const std::string& text,
+                                    const std::string& flag) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    const std::string item =
+        comma == std::string::npos ? text.substr(start)
+                                   : text.substr(start, comma - start);
+    TMHLS_REQUIRE(!item.empty(),
+                  flag + ": empty element in '" + text + "'");
+    out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+// "1,2,4" -> {1, 2, 4}; rejects non-digits so typos fail loudly.
+std::vector<int> parse_int_list(const std::string& text,
+                                const std::string& flag) {
+  std::vector<int> out;
+  for (const std::string& item : split_list(text, flag)) {
+    TMHLS_REQUIRE(
+        item.find_first_not_of("0123456789") == std::string::npos &&
+            item.size() <= 6,
+        flag + ": expected a comma-separated list of positive integers, "
+               "got '" + text + "'");
+    out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+// "640x480,1024x768" -> geometry list for the schedule sweep.
+std::vector<exec::ScheduleSearchConfig::Geometry> parse_geometry_list(
+    const std::string& text) {
+  std::vector<exec::ScheduleSearchConfig::Geometry> out;
+  for (const std::string& item : split_list(text, "--geometries")) {
+    const std::size_t x = item.find('x');
+    TMHLS_REQUIRE(x != std::string::npos && x > 0 && x + 1 < item.size(),
+                  "--geometries: expected WIDTHxHEIGHT entries, got '" +
+                      item + "'");
+    const std::vector<int> w =
+        parse_int_list(item.substr(0, x), "--geometries");
+    const std::vector<int> h =
+        parse_int_list(item.substr(x + 1), "--geometries");
+    TMHLS_REQUIRE(w.size() == 1 && h.size() == 1,
+                  "--geometries: expected WIDTHxHEIGHT entries, got '" +
+                      item + "'");
+    out.push_back({w[0], h[0]});
+  }
+  return out;
+}
+
+int cmd_autotune(const Args& args) {
+  // CPU schedule search — the software twin of the accel explorer's HLS
+  // design-space sweep: measure backend x threads x bands at each frame
+  // geometry, print every evaluated point, build the best-per-bucket
+  // routing table, and feed each measurement into the cost model as an
+  // online observation. With --save-calibration the warmed model (EWMAs
+  // included) persists, so a later `serve --calibration` starts from
+  // these measurements instead of the shipped priors.
+  load_calibration_arg(args);
+  exec::ScheduleSearchConfig cfg;
+  if (args.has("geometries")) {
+    cfg.geometries = parse_geometry_list(args.get_or("geometries", ""));
+  }
+  if (args.has("threads")) {
+    cfg.thread_counts =
+        parse_int_list(args.get_or("threads", ""), "--threads");
+  }
+  if (args.has("band-factors")) {
+    cfg.band_factors =
+        parse_int_list(args.get_or("band-factors", ""), "--band-factors");
+  }
+  if (args.has("backends")) {
+    cfg.backends = split_list(args.get_or("backends", ""), "--backends");
+  }
+  cfg.sigma = args.get_double("sigma", cfg.sigma);
+  cfg.radius = args.get_int("radius", cfg.radius);
+  cfg.reps = args.get_int("reps", cfg.reps);
+  cfg.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<int>(cfg.seed)));
+
+  const std::vector<exec::SchedulePoint> points =
+      exec::explore_schedules(cfg);
+  std::cout << exec::render(points) << '\n';
+  const exec::RoutingTable table = exec::build_routing_table(points);
+  std::cout << exec::render(table);
+  exec::Planner::global().install_routing_table(table);
+  std::cout << "\n(measurements fed into the cost model as online "
+               "observations;\n use --save-calibration FILE to start the "
+               "next run warm)\n";
+  save_calibration_arg(args);
   return 0;
 }
 
@@ -1045,7 +1172,20 @@ void usage() {
       "                       cost estimates for a geometry (--width,\n"
       "                       --height, --sigma, --radius, --threads,\n"
       "                       --fixed, --calibration <perf.jsonl>)\n"
-      "  compare <in>         compare operators against moroney\n";
+      "  autotune             measure backend x threads x bands schedules\n"
+      "                       per geometry and print the routing table\n"
+      "                       '--backend auto' would serve (--geometries\n"
+      "                       WxH,..., --threads N,..., --band-factors\n"
+      "                       F,..., --backends B,..., --sigma, --radius,\n"
+      "                       --reps, --seed)\n"
+      "  compare <in>         compare operators against moroney\n"
+      "\n"
+      "calibration (serve, client, backends, autotune):\n"
+      "  --calibration FILE        warm the cost model from bench JSONL\n"
+      "                            and/or saved snapshots before planning\n"
+      "  --save-calibration FILE   (serve, autotune) dump the live model,\n"
+      "                            online observations included, on clean\n"
+      "                            shutdown — feed back via --calibration\n";
 }
 
 } // namespace
@@ -1065,6 +1205,7 @@ int main(int argc, char** argv) {
     if (cmd == "scene") return cmd_scene(args);
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "backends") return cmd_backends(args);
+    if (cmd == "autotune") return cmd_autotune(args);
     if (cmd == "compare") return cmd_compare(args);
     usage();
     return 1;
